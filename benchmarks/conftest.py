@@ -1,0 +1,53 @@
+"""Shared fixtures and configuration for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper on the scaled
+synthetic datasets.  To keep ``pytest benchmarks/ --benchmark-only`` runnable
+in minutes on a laptop, the evaluation grid uses the ``*-small`` dataset
+variants and a reduced iteration budget by default; set the environment
+variable ``REPRO_BENCH_FULL=1`` to run the full-size presets instead.
+
+Every benchmark prints the rows/series it reproduces so the output can be
+compared side-by-side with the paper's tables and figures (recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.datasets import make_dataset
+from repro.experiments.harness import run_grid
+from repro.experiments.registry import DEFAULT_METHODS
+
+#: Dataset presets used by the evaluation-grid benchmarks, keyed by the
+#: paper's dataset ids.
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+BENCH_DATASETS: dict[str, str] = {
+    "D1 (Multi5)": "multi5" if FULL_MODE else "multi5-small",
+    "D2 (Multi10)": "multi10" if FULL_MODE else "multi10-small",
+    "D3 (R-Min20Max200)": "r-min20max200" if FULL_MODE else "r-min20max200-small",
+    "D4 (R-Top10)": "r-top10" if FULL_MODE else "r-top10-small",
+}
+
+BENCH_MAX_ITER = 40 if FULL_MODE else 20
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """Pre-generated datasets shared across the table benchmarks."""
+    return {alias: make_dataset(name, random_state=BENCH_SEED)
+            for alias, name in BENCH_DATASETS.items()}
+
+
+@pytest.fixture(scope="session")
+def evaluation_grid(bench_datasets):
+    """The full (method × dataset) grid, computed once per benchmark session."""
+    return run_grid(methods=DEFAULT_METHODS,
+                    datasets=list(bench_datasets),
+                    max_iter=BENCH_MAX_ITER,
+                    random_state=BENCH_SEED,
+                    prebuilt=bench_datasets)

@@ -1,0 +1,76 @@
+"""Figure 2 — FScore/NMI sensitivity to λ, γ, α and β.
+
+Figure 2 of the paper sweeps the four trade-off parameters of RHCHME on
+R-Min20Max200 and observes that performance is stable when λ is large
+(≈250), γ ∈ [10, 50], α ∈ [0.25, 2] and β ≈ 50.  This benchmark reproduces
+the four sweeps on the synthetic analogue, prints the FScore/NMI series and
+checks the stability statements in a scale-tolerant way (the score in the
+paper's stable region must be close to the best score over the whole grid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RHCHMEConfig
+from repro.data.datasets import make_dataset
+from repro.experiments.figures import figure2_parameter_sensitivity
+from repro.experiments.reporting import format_series
+
+from conftest import BENCH_SEED
+
+#: Reduced grids keep the full sweep runnable in minutes; they cover the same
+#: orders of magnitude as the paper's grids (Section IV.E).
+SWEEP_GRIDS = {
+    "lam": [0.01, 1.0, 250.0, 1000.0],
+    "gamma": [0.1, 10.0, 25.0, 100.0],
+    "alpha": [0.0625, 0.25, 1.0, 4.0, 16.0],
+    "beta": [1.0, 10.0, 50.0, 1000.0],
+}
+
+#: The paper's reported stable regions, used for the closeness checks.
+STABLE_POINTS = {"lam": 250.0, "gamma": 25.0, "alpha": 1.0, "beta": 50.0}
+
+SWEEP_MAX_ITER = 12
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    """The R-Min20Max200 analogue used by all four sweeps."""
+    return make_dataset("r-min20max200-small", random_state=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def sweep_config():
+    return RHCHMEConfig(max_iter=SWEEP_MAX_ITER, random_state=BENCH_SEED,
+                        track_metrics_every=0)
+
+
+class TestFigure2Sensitivity:
+    @pytest.mark.parametrize("parameter", ["lam", "gamma", "alpha", "beta"])
+    def test_parameter_sweep(self, parameter, sweep_dataset, sweep_config, capsys):
+        curve = figure2_parameter_sensitivity(
+            parameter, values=SWEEP_GRIDS[parameter], data=sweep_dataset,
+            base_config=sweep_config, max_iter=SWEEP_MAX_ITER,
+            random_state=BENCH_SEED)
+        with capsys.disabled():
+            print(f"\n\nFigure 2 — sensitivity to {parameter} "
+                  f"(values: {SWEEP_GRIDS[parameter]})")
+            print(format_series({"fscore": curve.fscore, "nmi": curve.nmi},
+                                x_label="grid index"))
+
+        scores = np.array(curve.fscore)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+        # Stability claim: the paper's recommended setting is within 0.15
+        # FScore of the best setting found over the sweep grid.
+        stable_index = curve.values.index(STABLE_POINTS[parameter])
+        assert scores[stable_index] >= scores.max() - 0.15
+
+    def test_benchmark_single_sweep_point(self, benchmark, sweep_dataset,
+                                          sweep_config):
+        from repro.core.rhchme import RHCHME
+        def fit_one():
+            return RHCHME(sweep_config).fit(sweep_dataset)
+        result = benchmark.pedantic(fit_one, rounds=1, iterations=1)
+        assert result.n_iterations >= 1

@@ -1,0 +1,36 @@
+"""Table II — characteristics of the evaluation datasets.
+
+The paper's Table II lists, for each dataset, the number of classes,
+documents, terms and Wikipedia concepts.  This benchmark regenerates the
+analogous rows for the synthetic presets (scaled down; the class-balance
+profile of each paper dataset is preserved) and times dataset generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import dataset_characteristics, make_dataset
+from repro.experiments.reporting import rows_to_markdown
+
+
+class TestTable2:
+    def test_table2_rows(self, capsys):
+        rows = dataset_characteristics()
+        text = rows_to_markdown(rows, columns=[
+            "dataset", "paper_dataset", "classes", "documents", "terms",
+            "concepts", "balanced"])
+        with capsys.disabled():
+            print("\n\nTable II — dataset characteristics (synthetic, scaled)")
+            print(text)
+        assert len(rows) == 4
+        # Relative ordering of the paper: D4 is the largest collection, D3 has
+        # the most classes, D1/D2 are balanced.
+        by_name = {row["dataset"]: row for row in rows}
+        assert by_name["r-top10"]["documents"] == max(r["documents"] for r in rows)
+        assert by_name["r-min20max200"]["classes"] == max(r["classes"] for r in rows)
+        assert by_name["multi5"]["balanced"] and by_name["multi10"]["balanced"]
+
+    def test_benchmark_dataset_generation(self, benchmark):
+        data = benchmark(make_dataset, "multi5-small", random_state=0)
+        assert data.n_types == 3

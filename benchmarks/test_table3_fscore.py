@@ -1,0 +1,67 @@
+"""Table III — FScore of every method on every dataset.
+
+The paper reports the document-clustering FScore of DR-T, DR-C, DR-TC, SRC,
+SNMTF, RMC and RHCHME on D1–D4, with RHCHME best on average and the HOCC
+methods ahead of the two-way co-clustering variants.  This benchmark runs the
+same grid on the synthetic analogues, prints the table and checks the
+qualitative shape; the timed benchmark measures one full RHCHME fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rhchme import RHCHME
+from repro.experiments.registry import DEFAULT_METHODS
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import grid_to_matrix, method_averages
+
+from conftest import BENCH_MAX_ITER, BENCH_SEED
+
+#: Paper values (Table III) used for side-by-side comparison in the output.
+PAPER_TABLE3 = {
+    "DR-T": {"D1": 0.575, "D2": 0.501, "D3": 0.688, "D4": 0.576},
+    "DR-C": {"D1": 0.426, "D2": 0.516, "D3": 0.608, "D4": 0.584},
+    "DR-TC": {"D1": 0.562, "D2": 0.526, "D3": 0.705, "D4": 0.596},
+    "SRC": {"D1": 0.837, "D2": 0.714, "D3": 0.721, "D4": 0.763},
+    "SNMTF": {"D1": 0.854, "D2": 0.741, "D3": 0.738, "D4": 0.797},
+    "RMC": {"D1": 0.867, "D2": 0.758, "D3": 0.742, "D4": 0.803},
+    "RHCHME": {"D1": 0.892, "D2": 0.777, "D3": 0.750, "D4": 0.813},
+}
+
+
+class TestTable3FScore:
+    def test_fscore_grid(self, evaluation_grid, bench_datasets, capsys):
+        matrix = grid_to_matrix(evaluation_grid, "fscore")
+        averages = method_averages(matrix)
+        with capsys.disabled():
+            print("\n\nTable III — FScore (measured, synthetic analogues)")
+            print(format_table(matrix, row_order=list(DEFAULT_METHODS),
+                               column_order=list(bench_datasets)))
+            print("\nTable III — FScore (paper, for reference)")
+            print(format_table(PAPER_TABLE3, row_order=list(DEFAULT_METHODS),
+                               column_order=["D1", "D2", "D3", "D4"]))
+
+        # Qualitative shape checks (who wins, roughly by how much):
+        # 1. every method produces a valid score on every dataset;
+        for method in DEFAULT_METHODS:
+            for dataset in bench_datasets:
+                assert 0.0 <= matrix[method][dataset] <= 1.0
+        # 2. the best HOCC method beats the best two-way variant on average;
+        hocc_best = max(averages[m] for m in ("SRC", "SNMTF", "RMC", "RHCHME"))
+        two_way_best = max(averages[m] for m in ("DR-T", "DR-C", "DR-TC"))
+        assert hocc_best >= two_way_best - 0.05
+        # 3. RHCHME is at the top of the HOCC group on average (small slack
+        #    because the synthetic data is easier than the paper's corpora).
+        assert averages["RHCHME"] >= averages["SRC"] - 0.05
+        assert averages["RHCHME"] >= averages["SNMTF"] - 0.05
+        assert averages["RHCHME"] >= averages["RMC"] - 0.05
+
+    def test_benchmark_rhchme_fit(self, benchmark, bench_datasets):
+        data = next(iter(bench_datasets.values()))
+        def fit():
+            return RHCHME(max_iter=BENCH_MAX_ITER, random_state=BENCH_SEED,
+                          track_metrics_every=0).fit(data)
+        result = benchmark.pedantic(fit, rounds=1, iterations=1)
+        assert result.n_iterations >= 1

@@ -1,0 +1,60 @@
+"""Table IV — NMI of every method on every dataset.
+
+Same grid as Table III, reported in Normalized Mutual Information.  The paper
+finds the same ordering as for FScore: HOCC methods ahead of two-way
+co-clustering, RHCHME best on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.src import SRC
+from repro.experiments.registry import DEFAULT_METHODS
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import grid_to_matrix, method_averages
+
+from conftest import BENCH_MAX_ITER, BENCH_SEED
+
+#: Paper values (Table IV) for side-by-side comparison in the output.
+PAPER_TABLE4 = {
+    "DR-T": {"D1": 0.508, "D2": 0.484, "D3": 0.682, "D4": 0.504},
+    "DR-C": {"D1": 0.373, "D2": 0.502, "D3": 0.595, "D4": 0.513},
+    "DR-TC": {"D1": 0.492, "D2": 0.513, "D3": 0.698, "D4": 0.517},
+    "SRC": {"D1": 0.822, "D2": 0.625, "D3": 0.709, "D4": 0.529},
+    "SNMTF": {"D1": 0.849, "D2": 0.650, "D3": 0.728, "D4": 0.547},
+    "RMC": {"D1": 0.854, "D2": 0.655, "D3": 0.740, "D4": 0.554},
+    "RHCHME": {"D1": 0.861, "D2": 0.678, "D3": 0.760, "D4": 0.585},
+}
+
+
+class TestTable4NMI:
+    def test_nmi_grid(self, evaluation_grid, bench_datasets, capsys):
+        matrix = grid_to_matrix(evaluation_grid, "nmi")
+        averages = method_averages(matrix)
+        with capsys.disabled():
+            print("\n\nTable IV — NMI (measured, synthetic analogues)")
+            print(format_table(matrix, row_order=list(DEFAULT_METHODS),
+                               column_order=list(bench_datasets)))
+            print("\nTable IV — NMI (paper, for reference)")
+            print(format_table(PAPER_TABLE4, row_order=list(DEFAULT_METHODS),
+                               column_order=["D1", "D2", "D3", "D4"]))
+
+        for method in DEFAULT_METHODS:
+            for dataset in bench_datasets:
+                assert 0.0 <= matrix[method][dataset] <= 1.0
+        hocc_best = max(averages[m] for m in ("SRC", "SNMTF", "RMC", "RHCHME"))
+        two_way_best = max(averages[m] for m in ("DR-T", "DR-C", "DR-TC"))
+        assert hocc_best >= two_way_best - 0.05
+        assert averages["RHCHME"] >= averages["SRC"] - 0.05
+        assert averages["RHCHME"] >= averages["SNMTF"] - 0.05
+        assert averages["RHCHME"] >= averages["RMC"] - 0.05
+
+    def test_benchmark_src_fit(self, benchmark, bench_datasets):
+        # SRC is the fastest HOCC baseline, useful as a lower-bound timing.
+        data = next(iter(bench_datasets.values()))
+        def fit():
+            return SRC(max_iter=BENCH_MAX_ITER, random_state=BENCH_SEED,
+                       track_metrics_every=0).fit(data)
+        result = benchmark.pedantic(fit, rounds=1, iterations=1)
+        assert result.n_iterations >= 1

@@ -1,0 +1,68 @@
+"""Table V — running time of each method on each dataset.
+
+The paper reports wall-clock running time (in 10³ seconds on the authors'
+testbed) with three qualitative findings: the two-way DRCC variants are the
+fastest overall, SRC is the slowest HOCC method, and RHCHME is the fastest
+HOCC method (its two-member ensemble is cheaper than RMC's six candidates).
+Absolute numbers are not comparable across hardware and implementation
+languages; this benchmark reproduces the per-method timing table on the
+synthetic analogues and checks the orderings that do not depend on scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import DEFAULT_METHODS
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import grid_to_matrix, method_averages
+
+#: Paper values (Table V, in 10^3 seconds) for side-by-side comparison.
+PAPER_TABLE5 = {
+    "DR-T": {"D1": 0.04, "D2": 0.05, "D3": 0.20, "D4": 0.41},
+    "DR-C": {"D1": 0.03, "D2": 0.03, "D3": 0.14, "D4": 0.22},
+    "DR-TC": {"D1": 0.06, "D2": 0.07, "D3": 0.26, "D4": 0.51},
+    "SRC": {"D1": 0.75, "D2": 0.83, "D3": 12.2, "D4": 29.3},
+    "SNMTF": {"D1": 0.47, "D2": 0.54, "D3": 10.8, "D4": 24.6},
+    "RMC": {"D1": 0.50, "D2": 0.58, "D3": 11.1, "D4": 25.4},
+    "RHCHME": {"D1": 0.46, "D2": 0.51, "D3": 9.90, "D4": 22.8},
+}
+
+
+class TestTable5Runtime:
+    def test_runtime_grid(self, evaluation_grid, bench_datasets, capsys):
+        matrix = grid_to_matrix(evaluation_grid, "runtime_seconds")
+        averages = method_averages(matrix)
+        with capsys.disabled():
+            print("\n\nTable V — running time in seconds (measured, synthetic analogues)")
+            print(format_table(matrix, row_order=list(DEFAULT_METHODS),
+                               column_order=list(bench_datasets), precision=2))
+            print("\nTable V — running time in 10^3 seconds (paper, authors' testbed)")
+            print(format_table(PAPER_TABLE5, row_order=list(DEFAULT_METHODS),
+                               column_order=["D1", "D2", "D3", "D4"], precision=2))
+
+        # Qualitative shape: the two-way variants are faster than every HOCC
+        # method (they factorise a single relation instead of the full block
+        # matrix and need no per-type ensembles).
+        two_way_average = max(averages[m] for m in ("DR-T", "DR-C", "DR-TC"))
+        hocc_averages = {m: averages[m] for m in ("SRC", "SNMTF", "RMC", "RHCHME")}
+        assert two_way_average <= min(hocc_averages.values())
+        # All timings are positive and finite.
+        for method in DEFAULT_METHODS:
+            for dataset in bench_datasets:
+                assert matrix[method][dataset] > 0.0
+
+    def test_runtime_note_on_rhchme_vs_rmc(self, evaluation_grid, capsys):
+        # The paper reports RHCHME as the fastest HOCC method because its
+        # heterogeneous ensemble has two members versus RMC's six candidate
+        # Laplacians.  In this Python reproduction the subspace member is the
+        # dominant cost at small scale, so we report the comparison rather
+        # than assert it; the RMC-vs-SNMTF relation (ensemble overhead) is
+        # scale-independent and is asserted.
+        matrix = grid_to_matrix(evaluation_grid, "runtime_seconds")
+        averages = method_averages(matrix)
+        with capsys.disabled():
+            ratio = averages["RHCHME"] / averages["RMC"]
+            print(f"\nRHCHME / RMC average runtime ratio: {ratio:.2f} "
+                  "(paper: < 1.0 at corpus scale)")
+        assert averages["RMC"] >= averages["SNMTF"] * 0.8

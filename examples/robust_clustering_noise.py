@@ -1,0 +1,71 @@
+"""Robustness to sample-wise corruption: the role of the sparse error matrix.
+
+The paper motivates the L2,1-regularised error matrix E_R with grossly
+corrupted samples: a handful of documents whose relational profiles are
+garbage should not drag the factorisation off course.  This example
+
+1. corrupts an increasing fraction of document rows in the document-term
+   relation;
+2. runs RHCHME with and without the error matrix at each corruption level;
+3. reports FScore and shows that the rows of E_R with the largest norms point
+   at the truly corrupted documents.
+
+Run with::
+
+    python examples/robust_clustering_noise.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RHCHME, RHCHMEConfig, make_dataset
+from repro.data.noise import corrupt_rows
+from repro.metrics import clustering_fscore
+
+
+def corrupted_dataset(fraction: float, seed: int = 0):
+    """Generate the dataset and corrupt a fraction of its document rows."""
+    data = make_dataset("multi5-small", random_state=seed, noise_scale=0.0)
+    relation = data.relation_between("documents", "terms")
+    corrupted, rows = corrupt_rows(relation.matrix, fraction=fraction,
+                                   magnitude=3.0, random_state=seed)
+    relation.matrix[...] = corrupted
+    return data, rows
+
+
+def run(data, *, use_error_matrix: bool) -> tuple[float, np.ndarray]:
+    config = RHCHMEConfig(max_iter=15, random_state=0, beta=5.0,
+                          use_error_matrix=use_error_matrix,
+                          track_metrics_every=0)
+    result = RHCHME(config).fit(data)
+    documents = data.get_type("documents")
+    fscore = clustering_fscore(documents.labels, result.labels["documents"])
+    n_docs = documents.n_objects
+    error_row_norms = np.linalg.norm(result.state.E_R[:n_docs], axis=1)
+    return fscore, error_row_norms
+
+
+def main() -> None:
+    print("corruption  FScore (with E_R)  FScore (without E_R)  corrupted docs found")
+    print("-" * 78)
+    for fraction in (0.0, 0.05, 0.1, 0.2):
+        data, corrupted_docs = corrupted_dataset(fraction)
+        with_error, row_norms = run(data, use_error_matrix=True)
+        without_error, _ = run(data, use_error_matrix=False)
+
+        if corrupted_docs.size:
+            top = np.argsort(row_norms)[::-1][:corrupted_docs.size]
+            found = len(set(top.tolist()) & set(corrupted_docs.tolist()))
+            detection = f"{found}/{corrupted_docs.size}"
+        else:
+            detection = "-"
+        print(f"{fraction:10.0%}  {with_error:17.3f}  {without_error:20.3f}  {detection:>20s}")
+
+    print("\nThe error matrix E_R absorbs the corrupted rows: the documents with")
+    print("the largest E_R row norms are (mostly) the ones that were corrupted,")
+    print("which keeps the factorisation of the remaining data clean.")
+
+
+if __name__ == "__main__":
+    main()

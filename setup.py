@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``python setup.py develop`` works in
+offline environments that lack the ``wheel`` package required for PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of RHCHME (Hou & Nayak, ICDE 2015).
+
+Robust High-order Co-clustering via a Heterogeneous Manifold Ensemble
+simultaneously clusters multiple types of inter-related objects (documents,
+terms, concepts, …) using:
+
+* the inter-type co-occurrence structure (a symmetric block factorisation
+  ``R ≈ G S Gᵀ``),
+* complete intra-type relationships learnt by multiple-subspace learning,
+* accurate intra-type relationships fused in a heterogeneous manifold
+  ensemble (subspace Laplacian + p-NN Laplacian),
+* robustness to sample-wise corruption via an L2,1-regularised sparse error
+  matrix.
+
+Quickstart
+----------
+>>> from repro import RHCHME, make_dataset, clustering_fscore
+>>> data = make_dataset("multi5-small", random_state=0)
+>>> result = RHCHME(max_iter=20, random_state=0).fit(data)
+>>> fscore = clustering_fscore(data.get_type("documents").labels,
+...                            result.labels["documents"])
+
+Subpackages
+-----------
+``repro.core``
+    The RHCHME estimator, its objective and update rules.
+``repro.baselines``
+    SRC, SNMTF, RMC and the DRCC two-way co-clustering variants.
+``repro.relational``
+    The multi-type relational data model (object types, relations, block
+    matrices).
+``repro.subspace``
+    Multiple-subspace representation learning (SPG solver).
+``repro.graph`` / ``repro.manifold``
+    p-NN graphs, Laplacians and the manifold ensembles.
+``repro.cluster`` / ``repro.metrics``
+    k-means, spectral clustering, FScore, NMI, purity, ARI.
+``repro.data``
+    Synthetic multi-type corpora mirroring the paper's datasets, plus
+    union-of-manifold toy data.
+``repro.experiments``
+    The harness that regenerates every table and figure of the paper.
+"""
+
+from .core.config import RHCHMEConfig
+from .core.rhchme import RHCHME, RHCHMEResult
+from .baselines import DRCC, RMC, SNMTF, SRC
+from .data.datasets import list_datasets, make_dataset
+from .metrics import (
+    adjusted_rand_index,
+    clustering_fscore,
+    normalized_mutual_information,
+    purity_score,
+)
+from .relational import MultiTypeRelationalData, ObjectType, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRCC",
+    "MultiTypeRelationalData",
+    "ObjectType",
+    "RHCHME",
+    "RHCHMEConfig",
+    "RHCHMEResult",
+    "RMC",
+    "Relation",
+    "SNMTF",
+    "SRC",
+    "adjusted_rand_index",
+    "clustering_fscore",
+    "list_datasets",
+    "make_dataset",
+    "normalized_mutual_information",
+    "purity_score",
+    "__version__",
+]

@@ -1,0 +1,182 @@
+"""Input validation helpers shared across the library.
+
+These functions normalise user input into dense ``float64`` numpy arrays (or
+validate scipy sparse matrices where supported) and raise
+:class:`repro.exceptions.ValidationError` with actionable messages when the
+input cannot be used.  Keeping validation in one place keeps the numerical
+modules free of repetitive defensive code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .exceptions import ShapeError, ValidationError
+
+__all__ = [
+    "as_float_array",
+    "check_square",
+    "check_symmetric",
+    "check_non_negative",
+    "check_labels",
+    "check_random_state",
+    "check_positive_int",
+    "check_positive_float",
+    "check_probability",
+    "ensure_dense",
+]
+
+
+def as_float_array(values, *, name: str = "array", ndim: int | None = None,
+                   allow_sparse: bool = False):
+    """Convert ``values`` to a C-contiguous float64 array.
+
+    Parameters
+    ----------
+    values:
+        Array-like or scipy sparse matrix.
+    name:
+        Name used in error messages.
+    ndim:
+        If given, the required number of dimensions.
+    allow_sparse:
+        If ``True`` a scipy sparse matrix is returned as CSR without
+        densification.
+    """
+    if sp.issparse(values):
+        if allow_sparse:
+            matrix = values.tocsr().astype(np.float64)
+            if ndim is not None and ndim != 2:
+                raise ShapeError(f"{name}: sparse input is always 2-D, expected {ndim}-D")
+            return matrix
+        values = values.toarray()
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValidationError(f"{name} is empty")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    if ndim is not None and array.ndim != ndim:
+        raise ShapeError(f"{name} must be {ndim}-D, got shape {array.shape}")
+    return np.ascontiguousarray(array)
+
+
+def ensure_dense(matrix):
+    """Return a dense ndarray view of ``matrix`` (densifying sparse input)."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def check_square(matrix: np.ndarray, *, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a square 2-D array and return it."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_symmetric(matrix: np.ndarray, *, name: str = "matrix",
+                    tol: float = 1e-8, fix: bool = False) -> np.ndarray:
+    """Validate symmetry of ``matrix``.
+
+    With ``fix=True`` the symmetrised matrix ``(M + Mᵀ) / 2`` is returned
+    instead of raising when the asymmetry is within numerical noise of the
+    matrix scale.
+    """
+    check_square(matrix, name=name)
+    gap = float(np.max(np.abs(matrix - matrix.T))) if matrix.size else 0.0
+    scale = max(1.0, float(np.max(np.abs(matrix))) if matrix.size else 1.0)
+    if gap <= tol * scale:
+        return matrix
+    if fix:
+        return (matrix + matrix.T) / 2.0
+    raise ValidationError(f"{name} is not symmetric (max asymmetry {gap:.3e})")
+
+
+def check_non_negative(matrix: np.ndarray, *, name: str = "matrix",
+                       tol: float = 0.0) -> np.ndarray:
+    """Validate that every entry of ``matrix`` is ``>= -tol``."""
+    minimum = float(matrix.min()) if matrix.size else 0.0
+    if minimum < -tol:
+        raise ValidationError(
+            f"{name} must be non-negative, found minimum entry {minimum:.3e}")
+    return matrix
+
+
+def check_labels(labels: Iterable[int], *, name: str = "labels",
+                 n_samples: int | None = None) -> np.ndarray:
+    """Validate an integer label vector and return it as an int64 array."""
+    array = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels)
+    if array.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValidationError(f"{name} is empty")
+    if not np.issubdtype(array.dtype, np.integer):
+        rounded = np.round(array.astype(np.float64))
+        if not np.allclose(rounded, array):
+            raise ValidationError(f"{name} must contain integers")
+        array = rounded
+    if n_samples is not None and array.size != n_samples:
+        raise ShapeError(
+            f"{name} has {array.size} entries, expected {n_samples}")
+    return array.astype(np.int64)
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None``, an ``int`` seed, a ``Generator`` or a legacy
+    ``RandomState`` (wrapped through its bit generator seed sequence).
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**32 - 1))
+    raise ValidationError(f"cannot convert {seed!r} to a random generator")
+
+
+def check_positive_int(value, *, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_positive_float(value, *, name: str, minimum: float = 0.0,
+                         inclusive: bool = False) -> float:
+    """Validate that ``value`` is a finite float above ``minimum``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if value < minimum:
+            raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    elif value <= minimum:
+        raise ValidationError(f"{name} must be > {minimum}, got {value}")
+    return value
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = check_positive_float(value, name=name, minimum=0.0, inclusive=True)
+    if value > 1.0:
+        raise ValidationError(f"{name} must be <= 1, got {value}")
+    return value
+
+
+def check_sizes(sizes: Sequence[int], *, name: str = "sizes") -> list[int]:
+    """Validate a sequence of positive group sizes."""
+    result = [check_positive_int(s, name=f"{name}[{i}]") for i, s in enumerate(sizes)]
+    if not result:
+        raise ValidationError(f"{name} must be non-empty")
+    return result

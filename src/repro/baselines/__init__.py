@@ -1,0 +1,33 @@
+"""Baseline clustering methods the paper compares against (Section IV.B).
+
+* :mod:`repro.baselines.base` — shared NMTF-style HOCC machinery (a common
+  estimator skeleton with pluggable graph regulariser and error-matrix
+  behaviour).
+* :mod:`repro.baselines.src` — Spectral Relational Clustering (SRC):
+  collective factorisation of the inter-type relations, no intra-type
+  information.
+* :mod:`repro.baselines.snmtf` — Symmetric NMTF (SNMTF): adds a single p-NN
+  graph Laplacian regulariser.
+* :mod:`repro.baselines.rmc` — Relational Multi-manifold Co-clustering (RMC):
+  a homogeneous ensemble of p-NN candidate Laplacians with learnt weights.
+* :mod:`repro.baselines.drcc` — DRCC-style two-way graph-regularised
+  co-clustering used in three configurations: DR-T (documents × terms),
+  DR-C (documents × concepts), DR-TC (documents × concatenated features).
+"""
+
+from .base import BaseHOCC, HOCCResult
+from .src import SRC
+from .snmtf import SNMTF
+from .rmc import RMC
+from .drcc import DRCC, DRCCResult, DRCCVariant
+
+__all__ = [
+    "BaseHOCC",
+    "DRCC",
+    "DRCCResult",
+    "DRCCVariant",
+    "HOCCResult",
+    "RMC",
+    "SNMTF",
+    "SRC",
+]

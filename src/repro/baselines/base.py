@@ -1,0 +1,227 @@
+"""Shared skeleton of the NMTF-based HOCC baselines.
+
+SRC, SNMTF and RMC all minimise variants of
+
+    ‖R − G S Gᵀ‖²_F + λ tr(Gᵀ L G)          (Eq. 1 of the paper)
+
+with different choices of ``L`` (none / single p-NN Laplacian / homogeneous
+candidate ensemble).  They share the same S update, the same multiplicative
+G update (without the ℓ1 row normalisation, matching how those methods were
+published) and the same iteration loop; the subclasses only customise the
+regulariser.  Reusing RHCHME's audited update-rule implementations keeps the
+comparison honest — every method runs on the same numerical substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import time
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+from ..core.convergence import TraceRecorder
+from ..core.objective import evaluate_objective
+from ..core.state import FactorizationState, initialize_state
+from ..core.updates import apply_block_structure, update_association
+from ..exceptions import NotFittedError
+from ..linalg.parts import split_parts
+from ..linalg.safe import safe_divide
+from ..metrics.fscore import clustering_fscore
+from ..metrics.nmi import normalized_mutual_information
+from ..relational.dataset import MultiTypeRelationalData
+
+__all__ = ["HOCCResult", "BaseHOCC"]
+
+
+@dataclass
+class HOCCResult:
+    """Outcome of fitting one HOCC baseline.
+
+    Attributes
+    ----------
+    labels:
+        Mapping from type name to that type's hard cluster labels.
+    state:
+        Final factorisation state.
+    trace:
+        Objective / metric history per iteration.
+    converged:
+        Whether the relative decrease dropped below tolerance early.
+    n_iterations:
+        Iterations performed.
+    fit_seconds:
+        Wall-clock fitting time.
+    """
+
+    labels: dict[str, np.ndarray]
+    state: FactorizationState
+    trace: TraceRecorder
+    converged: bool
+    n_iterations: int
+    fit_seconds: float
+    extras: dict = field(default_factory=dict)
+
+
+class BaseHOCC:
+    """Common driver of the NMTF-based HOCC baselines.
+
+    Subclasses implement :meth:`build_regularizer` (returning the ``n × n``
+    Laplacian, or ``None`` for no intra-type regularisation) and may override
+    :meth:`update_regularizer` to adapt the regulariser between iterations
+    (RMC refits its candidate weights this way).
+
+    Parameters
+    ----------
+    lam:
+        Graph regularisation weight λ (ignored when no regulariser is used).
+    max_iter, tol:
+        Iteration budget and relative-decrease tolerance.
+    normalize_relations:
+        Scale each relation block of R to unit Frobenius norm.
+    row_normalize:
+        Apply the ℓ1 row normalisation to G after each update.  The published
+        baselines do not use it; it is exposed for ablation studies.
+    init, init_smoothing, random_state:
+        Initialisation controls (same semantics as RHCHME).
+    track_metrics_every:
+        Metric recording cadence against ground-truth labels (0 disables).
+    """
+
+    method_name = "base-hocc"
+
+    def __init__(self, *, lam: float = 0.1, max_iter: int = 100, tol: float = 1e-5,
+                 normalize_relations: bool = True, row_normalize: bool = False,
+                 init: str = "kmeans", init_smoothing: float = 0.2,
+                 random_state: int | None = None,
+                 track_metrics_every: int = 1) -> None:
+        self.lam = check_positive_float(lam, name="lam", minimum=0.0, inclusive=True)
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = check_positive_float(tol, name="tol")
+        self.normalize_relations = bool(normalize_relations)
+        self.row_normalize = bool(row_normalize)
+        self.init = init
+        self.init_smoothing = float(init_smoothing)
+        self.random_state = random_state
+        self.track_metrics_every = int(track_metrics_every)
+        self.result_: HOCCResult | None = None
+
+    # --------------------------------------------------------- customisation
+    def build_regularizer(self, data: MultiTypeRelationalData) -> np.ndarray | None:
+        """Return the graph Laplacian ``L`` (or ``None`` for no regulariser)."""
+        raise NotImplementedError
+
+    def update_regularizer(self, L: np.ndarray | None,
+                           state: FactorizationState) -> np.ndarray | None:
+        """Hook to adapt the regulariser between iterations (default: keep it)."""
+        return L
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, data: MultiTypeRelationalData) -> HOCCResult:
+        """Run the alternating optimisation on a multi-type dataset."""
+        start = time.perf_counter()
+        R = data.inter_type_matrix(normalize=self.normalize_relations)
+        L = self.build_regularizer(data)
+        state = initialize_state(data, R, init=self.init,
+                                 smoothing=self.init_smoothing,
+                                 random_state=self.random_state)
+        trace = TraceRecorder()
+        state.S = update_association(R, state)
+        self._record(trace, data, R, L, state)
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            state.S = update_association(R, state)
+            state.G = self._update_G(R, L, state)
+            state.iteration = iteration
+            L = self.update_regularizer(L, state)
+            self._record(trace, data, R, L, state)
+            decrease = trace.last_relative_decrease()
+            if 0.0 <= decrease < self.tol:
+                converged = True
+                break
+
+        labels = {object_type.name: state.labels_for_type(index)
+                  for index, object_type in enumerate(data.types)}
+        result = HOCCResult(labels=labels, state=state, trace=trace,
+                            converged=converged, n_iterations=iteration,
+                            fit_seconds=time.perf_counter() - start,
+                            extras={"method": self.method_name})
+        self.result_ = result
+        return result
+
+    def fit_predict(self, data: MultiTypeRelationalData,
+                    type_name: str | None = None) -> np.ndarray:
+        """Fit and return labels for one type (default: the first type)."""
+        result = self.fit(data)
+        if type_name is None:
+            type_name = data.type_names[0]
+        return result.labels[type_name]
+
+    # -------------------------------------------------------------- internals
+    def _update_G(self, R: np.ndarray, L: np.ndarray | None,
+                  state: FactorizationState) -> np.ndarray:
+        """One multiplicative G update, with or without the graph term.
+
+        Unlike RHCHME, the published baselines do not apply the ℓ1 row
+        normalisation, so the step is computed here directly rather than via
+        :func:`~repro.core.updates.update_membership` (which normalises);
+        ``row_normalize=True`` re-enables it for ablation studies.
+        """
+        graph = L if (L is not None and self.lam > 0) else None
+        return self._membership_step(R, graph, state)
+
+    def _membership_step(self, R: np.ndarray, L: np.ndarray | None,
+                         state: FactorizationState) -> np.ndarray:
+        """Multiplicative update of G (optionally followed by ℓ1 normalisation)."""
+        G, S, E_R = state.G, state.S, state.E_R
+        A = (R - E_R) @ G @ S.T
+        B = S.T @ (G.T @ G) @ S
+        A_pos, A_neg = split_parts(A)
+        B_pos, B_neg = split_parts(B)
+        numerator = A_pos + G @ B_neg
+        denominator = A_neg + G @ B_pos
+        if L is not None and self.lam > 0:
+            L_pos, L_neg = split_parts(L)
+            numerator = numerator + self.lam * (L_neg @ G)
+            denominator = denominator + self.lam * (L_pos @ G)
+        ratio = safe_divide(numerator, denominator)
+        updated = G * np.sqrt(ratio)
+        updated = apply_block_structure(updated, state)
+        if self.row_normalize:
+            from ..linalg.normalize import row_normalize_l1
+            updated = row_normalize_l1(updated)
+        return updated
+
+    def _record(self, trace: TraceRecorder, data: MultiTypeRelationalData,
+                R: np.ndarray, L: np.ndarray | None,
+                state: FactorizationState) -> None:
+        zero_L = L if L is not None else np.zeros((R.shape[0], R.shape[0]))
+        breakdown = evaluate_objective(R, state.G, state.S, state.E_R, zero_L,
+                                       lam=self.lam if L is not None else 0.0,
+                                       beta=0.0)
+        metrics: dict[str, float] = {}
+        if self.track_metrics_every and (
+                state.iteration % self.track_metrics_every == 0):
+            for index, object_type in enumerate(data.types):
+                if not object_type.has_labels:
+                    continue
+                predicted = state.labels_for_type(index)
+                metrics[f"fscore/{object_type.name}"] = clustering_fscore(
+                    object_type.labels, predicted)
+                metrics[f"nmi/{object_type.name}"] = normalized_mutual_information(
+                    object_type.labels, predicted)
+        trace.record(state.iteration, breakdown.total,
+                     terms={
+                         "reconstruction": breakdown.reconstruction,
+                         "graph_smoothness": breakdown.graph_smoothness,
+                     },
+                     metrics=metrics)
+
+    @property
+    def labels_(self) -> dict[str, np.ndarray]:
+        """Labels from the last fit (raises before fitting)."""
+        if self.result_ is None:
+            raise NotFittedError(f"{self.method_name} has not been fitted yet")
+        return self.result_.labels

@@ -1,0 +1,33 @@
+"""Clustering primitives shared by the HOCC methods.
+
+The multiplicative-update HOCC algorithms need an initial cluster membership
+matrix (the paper initialises ``G`` with k-means) and a way to turn soft
+membership matrices back into hard labels for evaluation.  The spectral
+embedding helper supports the two-way and diagnostic clustering paths.
+
+* :mod:`repro.cluster.kmeans` — Lloyd's algorithm with k-means++ seeding.
+* :mod:`repro.cluster.assignments` — labels ↔ membership-matrix conversions.
+* :mod:`repro.cluster.spectral` — spectral embedding + k-means clustering of
+  an affinity matrix.
+"""
+
+from .kmeans import KMeans, KMeansResult, kmeans
+from .assignments import (
+    labels_to_membership,
+    membership_to_labels,
+    one_hot_membership,
+    relabel_consecutive,
+)
+from .spectral import spectral_clustering, spectral_embedding
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "kmeans",
+    "labels_to_membership",
+    "membership_to_labels",
+    "one_hot_membership",
+    "relabel_consecutive",
+    "spectral_clustering",
+    "spectral_embedding",
+]

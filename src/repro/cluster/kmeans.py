@@ -1,0 +1,155 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Used to initialise the cluster membership matrix ``G`` of the HOCC methods
+(Algorithm 2 of the paper initialises G with k-means) and as the final
+assignment step of spectral clustering and of the DRCC baseline.  Implemented
+here because the execution environment has no scikit-learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    as_float_array,
+    check_positive_int,
+    check_random_state,
+)
+
+__all__ = ["KMeansResult", "KMeans", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means fit.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per sample.
+    centers:
+        ``(n_clusters, d)`` centroid matrix.
+    inertia:
+        Sum of squared distances of samples to their assigned centroid.
+    n_iterations:
+        Lloyd iterations of the best restart.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+def _plus_plus_init(X: np.ndarray, n_clusters: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D²."""
+    n_samples = X.shape[0]
+    centers = np.empty((n_clusters, X.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n_samples))
+    centers[0] = X[first]
+    closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+    for index in range(1, n_clusters):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with an existing centroid; fall
+            # back to uniform sampling to avoid a zero-probability draw.
+            choice = int(rng.integers(n_samples))
+        else:
+            probabilities = closest_sq / total
+            choice = int(rng.choice(n_samples, p=probabilities))
+        centers[index] = X[choice]
+        distance_sq = np.sum((X - centers[index]) ** 2, axis=1)
+        np.minimum(closest_sq, distance_sq, out=closest_sq)
+    return centers
+
+
+def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (labels, squared distance to assigned centroid) for each sample."""
+    x_sq = np.sum(X * X, axis=1)[:, None]
+    c_sq = np.sum(centers * centers, axis=1)[None, :]
+    distances = x_sq + c_sq - 2.0 * (X @ centers.T)
+    np.maximum(distances, 0.0, out=distances)
+    labels = np.argmin(distances, axis=1)
+    return labels, distances[np.arange(X.shape[0]), labels]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    n_init:
+        Number of random restarts; the fit with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative centroid-shift tolerance for early stopping.
+    random_state:
+        Seed for the restarts.
+    """
+
+    def __init__(self, n_clusters: int, *, n_init: int = 5, max_iter: int = 100,
+                 tol: float = 1e-6, random_state=None) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.n_init = check_positive_int(n_init, name="n_init")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray) -> KMeansResult:
+        """Cluster the rows of ``X`` and return the best restart."""
+        X = as_float_array(X, name="X", ndim=2)
+        n_samples = X.shape[0]
+        if self.n_clusters > n_samples:
+            raise ValueError(
+                f"n_clusters ({self.n_clusters}) exceeds number of samples ({n_samples})")
+        rng = check_random_state(self.random_state)
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._single_run(X, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Cluster the rows of ``X`` and return only the labels."""
+        return self.fit(X).labels
+
+    def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> KMeansResult:
+        centers = _plus_plus_init(X, self.n_clusters, rng)
+        labels, distances = _assign(X, centers)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            new_centers = np.empty_like(centers)
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from its
+                    # centroid to keep exactly n_clusters non-empty groups.
+                    farthest = int(np.argmax(distances))
+                    new_centers[cluster] = X[farthest]
+                    distances[farthest] = 0.0
+                else:
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            scale = max(float(np.linalg.norm(centers)), 1e-12)
+            centers = new_centers
+            labels, distances = _assign(X, centers)
+            if shift / scale < self.tol:
+                break
+        return KMeansResult(labels=labels.astype(np.int64), centers=centers,
+                            inertia=float(distances.sum()), n_iterations=iteration)
+
+
+def kmeans(X: np.ndarray, n_clusters: int, *, n_init: int = 5,
+           max_iter: int = 100, random_state=None) -> np.ndarray:
+    """Functional wrapper returning only the label vector."""
+    model = KMeans(n_clusters, n_init=n_init, max_iter=max_iter,
+                   random_state=random_state)
+    return model.fit_predict(X)

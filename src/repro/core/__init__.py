@@ -1,0 +1,41 @@
+"""RHCHME — the paper's primary contribution.
+
+Robust High-order Co-clustering via Heterogeneous Manifold Ensemble solves
+
+    min_{G ≥ 0, G 1_c = 1_n}  ‖R − G S Gᵀ − E_R‖²_F + β ‖E_R‖_{2,1}
+                              + λ tr(Gᵀ L G)                       (Eq. 15)
+
+by alternating closed-form / multiplicative updates for the association
+matrix S (Eq. 18), the cluster membership matrix G (Eq. 21 + row-ℓ1
+normalisation), and the sample-wise sparse error matrix E_R (Eq. 27), with
+``L`` the heterogeneous manifold ensemble of Eq. 12.
+
+* :mod:`repro.core.config` — :class:`RHCHMEConfig`, every tunable in one place.
+* :mod:`repro.core.objective` — objective evaluation and its decomposition.
+* :mod:`repro.core.updates` — the three update rules.
+* :mod:`repro.core.state` — factorisation state (G, S, E_R) and initialisation.
+* :mod:`repro.core.convergence` — iteration history bookkeeping.
+* :mod:`repro.core.rhchme` — the :class:`RHCHME` estimator (Algorithm 2).
+"""
+
+from .config import RHCHMEConfig
+from .convergence import IterationRecord, TraceRecorder
+from .objective import ObjectiveBreakdown, evaluate_objective
+from .rhchme import RHCHME, RHCHMEResult
+from .state import FactorizationState, initialize_state
+from .updates import update_association, update_error_matrix, update_membership
+
+__all__ = [
+    "FactorizationState",
+    "IterationRecord",
+    "ObjectiveBreakdown",
+    "RHCHME",
+    "RHCHMEConfig",
+    "RHCHMEResult",
+    "TraceRecorder",
+    "evaluate_objective",
+    "initialize_state",
+    "update_association",
+    "update_error_matrix",
+    "update_membership",
+]

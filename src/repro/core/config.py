@@ -1,0 +1,125 @@
+"""Configuration object for the RHCHME estimator.
+
+Collects every tunable of Algorithm 2 and of the heterogeneous manifold
+ensemble in one validated dataclass so that experiment harnesses can sweep
+parameters declaratively (the paper's Figure 2 sweeps λ, γ, α and β).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .._validation import check_positive_float, check_positive_int
+from ..graph.weights import WeightingScheme
+
+__all__ = ["RHCHMEConfig"]
+
+
+@dataclass(frozen=True)
+class RHCHMEConfig:
+    """Hyper-parameters of RHCHME.
+
+    Parameters
+    ----------
+    lam:
+        Weight λ of the graph regulariser ``tr(Gᵀ L G)``; the paper finds a
+        fairly large value (≈250) works best.
+    gamma:
+        Noise-tolerance weight γ of the multiple-subspace objective (Eq. 9);
+        stable region [10, 50] in the paper.
+    alpha:
+        Ensemble trade-off α between the subspace Laplacian and the p-NN
+        Laplacian (Eq. 12); stable region [0.25, 2].
+    beta:
+        Weight β of the L2,1 penalty on the sparse error matrix (Eq. 15);
+        the paper reports 50 as the sweet spot.
+    p:
+        Neighbour size of the p-NN graph (paper: 5).
+    weighting:
+        Edge weighting scheme of the p-NN member (paper: cosine).
+    laplacian_kind:
+        Laplacian normalisation used for both ensemble members.
+    max_iter:
+        Maximum multiplicative-update iterations of Algorithm 2.
+    tol:
+        Relative objective-decrease tolerance for convergence.
+    use_error_matrix:
+        Ablation switch: disable the sparse error matrix E_R (reduces the
+        objective to a graph-regularised SNMTF with ℓ1-normalised G).
+    use_subspace_member, use_pnn_member:
+        Ablation switches for the two ensemble members.
+    normalize_relations:
+        Scale each inter-type block of R to unit Frobenius norm.
+    init:
+        ``"kmeans"`` (paper default) or ``"random"`` initialisation of G.
+    init_smoothing:
+        Positive mass added to the one-hot k-means initialisation so the
+        multiplicative updates can move every entry.
+    subspace_max_iter, subspace_tol:
+        SPG budget of the subspace representation solver.
+    random_state:
+        Seed shared by k-means initialisation and the subspace solver.
+    track_metrics_every:
+        Record FScore/NMI against ground truth every this many iterations
+        when labels are available (0 disables tracking); used to reproduce
+        the convergence curves of Figure 3.
+    zeta:
+        Small perturbation regularising the L2,1 reweighting when a residual
+        row is exactly zero (Section III.D.3).
+    """
+
+    lam: float = 250.0
+    gamma: float = 25.0
+    alpha: float = 1.0
+    beta: float = 50.0
+    p: int = 5
+    weighting: WeightingScheme | str = WeightingScheme.COSINE
+    laplacian_kind: str = "unnormalized"
+    max_iter: int = 100
+    tol: float = 1e-5
+    use_error_matrix: bool = True
+    use_subspace_member: bool = True
+    use_pnn_member: bool = True
+    normalize_relations: bool = True
+    init: str = "kmeans"
+    init_smoothing: float = 0.2
+    subspace_max_iter: int = 150
+    subspace_tol: float = 1e-4
+    random_state: int | None = None
+    track_metrics_every: int = 1
+    zeta: float = 1e-10
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.lam, name="lam", minimum=0.0, inclusive=True)
+        check_positive_float(self.gamma, name="gamma")
+        check_positive_float(self.alpha, name="alpha", minimum=0.0, inclusive=True)
+        check_positive_float(self.beta, name="beta", minimum=0.0, inclusive=True)
+        check_positive_int(self.p, name="p")
+        check_positive_int(self.max_iter, name="max_iter")
+        check_positive_float(self.tol, name="tol")
+        check_positive_float(self.zeta, name="zeta")
+        check_positive_float(self.init_smoothing, name="init_smoothing",
+                             minimum=0.0, inclusive=True)
+        if self.init not in {"kmeans", "random"}:
+            raise ValueError(f"init must be 'kmeans' or 'random', got {self.init!r}")
+        if self.track_metrics_every < 0:
+            raise ValueError("track_metrics_every must be >= 0")
+        object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))
+
+    def with_overrides(self, **overrides: Any) -> "RHCHMEConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> dict[str, Any]:
+        """Plain dictionary of the main tunables for experiment reports."""
+        return {
+            "lambda": self.lam,
+            "gamma": self.gamma,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "p": self.p,
+            "weighting": self.weighting.value,
+            "max_iter": self.max_iter,
+            "init": self.init,
+        }

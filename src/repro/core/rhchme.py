@@ -1,0 +1,190 @@
+"""The RHCHME estimator — Algorithm 2 of the paper.
+
+The estimator ties the pieces together:
+
+1. assemble the inter-type relationship matrix ``R`` from the dataset;
+2. build the heterogeneous manifold ensemble Laplacian ``L`` (Eq. 12);
+3. initialise ``G`` (k-means on relational profiles) and ``E_R`` (zeros);
+4. iterate the S / G / E_R updates until the objective stops decreasing;
+5. return per-type hard labels, the factor matrices and the full
+   iteration trace (objective decomposition plus optional FScore/NMI
+   against ground truth, used for the convergence figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import time
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+from ..manifold.ensemble import HeterogeneousManifoldEnsemble
+from ..metrics.fscore import clustering_fscore
+from ..metrics.nmi import normalized_mutual_information
+from ..relational.dataset import MultiTypeRelationalData
+from .config import RHCHMEConfig
+from .convergence import TraceRecorder
+from .objective import evaluate_objective
+from .state import FactorizationState, initialize_state
+from .updates import update_association, update_error_matrix, update_membership
+
+__all__ = ["RHCHME", "RHCHMEResult"]
+
+
+@dataclass
+class RHCHMEResult:
+    """Outcome of one RHCHME fit.
+
+    Attributes
+    ----------
+    labels:
+        Mapping from type name to the hard cluster labels of that type.
+    state:
+        Final factorisation state (G, S, E_R and block structure).
+    trace:
+        Iteration history (objective terms and optional metrics per iteration).
+    converged:
+        Whether the relative objective decrease dropped below the tolerance
+        before ``max_iter`` was reached.
+    n_iterations:
+        Number of update iterations performed.
+    fit_seconds:
+        Wall-clock time of the fit (including ensemble construction).
+    """
+
+    labels: dict[str, np.ndarray]
+    state: FactorizationState
+    trace: TraceRecorder
+    converged: bool
+    n_iterations: int
+    fit_seconds: float
+    ensemble_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class RHCHME:
+    """Robust High-order Co-clustering via Heterogeneous Manifold Ensemble.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.RHCHMEConfig`; keyword overrides can be
+        passed directly for convenience (``RHCHME(lam=500, beta=10)``).
+
+    Examples
+    --------
+    >>> from repro.data import make_dataset
+    >>> from repro.core import RHCHME
+    >>> data = make_dataset("multi5-small", random_state=0)
+    >>> model = RHCHME(max_iter=15, random_state=0)
+    >>> result = model.fit(data)
+    >>> sorted(result.labels)
+    ['concepts', 'documents', 'terms']
+    """
+
+    def __init__(self, config: RHCHMEConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = RHCHMEConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.result_: RHCHMEResult | None = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, data: MultiTypeRelationalData) -> RHCHMEResult:
+        """Run Algorithm 2 on a multi-type relational dataset."""
+        config = self.config
+        start = time.perf_counter()
+
+        R = data.inter_type_matrix(normalize=config.normalize_relations)
+
+        ensemble_start = time.perf_counter()
+        ensemble = HeterogeneousManifoldEnsemble(
+            alpha=config.alpha,
+            gamma=config.gamma,
+            p=config.p,
+            weighting=config.weighting,
+            laplacian_kind=config.laplacian_kind,
+            subspace_max_iter=config.subspace_max_iter,
+            subspace_tol=config.subspace_tol,
+            use_subspace=config.use_subspace_member and config.alpha > 0,
+            use_pnn=config.use_pnn_member,
+            random_state=config.random_state,
+        )
+        L = ensemble.build(data)
+        ensemble_seconds = time.perf_counter() - ensemble_start
+
+        state = initialize_state(data, R, init=config.init,
+                                 smoothing=config.init_smoothing,
+                                 random_state=config.random_state)
+        trace = TraceRecorder()
+        state.S = update_association(R, state)
+        self._record(trace, data, R, L, state)
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, config.max_iter + 1):
+            state.S = update_association(R, state)
+            state.G = update_membership(R, L, state, lam=config.lam)
+            if config.use_error_matrix:
+                state.E_R = update_error_matrix(R, state, beta=config.beta,
+                                                zeta=config.zeta)
+            state.iteration = iteration
+            self._record(trace, data, R, L, state)
+            decrease = trace.last_relative_decrease()
+            if 0.0 <= decrease < config.tol:
+                converged = True
+                break
+
+        labels = {object_type.name: state.labels_for_type(index)
+                  for index, object_type in enumerate(data.types)}
+        result = RHCHMEResult(labels=labels, state=state, trace=trace,
+                              converged=converged, n_iterations=iteration,
+                              fit_seconds=time.perf_counter() - start,
+                              ensemble_seconds=ensemble_seconds,
+                              extras={"config": config.describe()})
+        self.result_ = result
+        return result
+
+    def fit_predict(self, data: MultiTypeRelationalData,
+                    type_name: str | None = None) -> np.ndarray:
+        """Fit and return the labels of one type (default: the first type)."""
+        result = self.fit(data)
+        if type_name is None:
+            type_name = data.type_names[0]
+        return result.labels[type_name]
+
+    # -------------------------------------------------------------- internal
+    def _record(self, trace: TraceRecorder, data: MultiTypeRelationalData,
+                R: np.ndarray, L: np.ndarray, state: FactorizationState) -> None:
+        """Record the objective breakdown and optional metrics for one iterate."""
+        config = self.config
+        breakdown = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                       lam=config.lam, beta=config.beta)
+        metrics: dict[str, float] = {}
+        if config.track_metrics_every and (
+                state.iteration % config.track_metrics_every == 0):
+            for index, object_type in enumerate(data.types):
+                if not object_type.has_labels:
+                    continue
+                predicted = state.labels_for_type(index)
+                metrics[f"fscore/{object_type.name}"] = clustering_fscore(
+                    object_type.labels, predicted)
+                metrics[f"nmi/{object_type.name}"] = normalized_mutual_information(
+                    object_type.labels, predicted)
+        trace.record(state.iteration, breakdown.total,
+                     terms={
+                         "reconstruction": breakdown.reconstruction,
+                         "error_sparsity": breakdown.error_sparsity,
+                         "graph_smoothness": breakdown.graph_smoothness,
+                     },
+                     metrics=metrics)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def labels_(self) -> dict[str, np.ndarray]:
+        """Labels of the last fit (raises if the model has not been fitted)."""
+        if self.result_ is None:
+            raise NotFittedError("RHCHME has not been fitted yet")
+        return self.result_.labels

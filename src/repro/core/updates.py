@@ -1,0 +1,108 @@
+"""Update rules of Algorithm 2 (Eq. 18, Eq. 21–22, Eq. 25–27).
+
+The objective is minimised by alternating three subproblem solutions while
+the other variables are held fixed:
+
+* ``S`` — closed form ``(GᵀG)⁻¹ Gᵀ (R − E_R) G (GᵀG)⁻¹`` (Eq. 18).
+* ``G`` — a multiplicative update derived from the KKT conditions (Eq. 21),
+  using positive/negative part splits of L, A and B to keep G non-negative,
+  followed by row-ℓ1 normalisation (Eq. 22).
+* ``E_R`` — the L2,1-regularised least squares solution
+  ``(β D + I)⁻¹ (R − G S Gᵀ)`` (Eq. 27) with the diagonal reweighting matrix
+  D of Eq. 25, computed row-wise because ``β D + I`` is diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..linalg.normalize import row_normalize_l1
+from ..linalg.parts import split_parts
+from ..linalg.safe import safe_divide, safe_inverse
+from .state import FactorizationState
+
+__all__ = [
+    "update_association",
+    "update_membership",
+    "update_error_matrix",
+    "l21_reweighting_diagonal",
+    "apply_block_structure",
+]
+
+_EPS = 1e-12
+
+
+def apply_block_structure(G: np.ndarray, state: FactorizationState) -> np.ndarray:
+    """Zero every entry of G outside its type's own cluster columns.
+
+    The factorisation requires G to stay block diagonal (each object can only
+    belong to clusters of its own type); the multiplicative update preserves
+    zeros, but re-imposing the mask explicitly protects against numerical
+    leakage and against initialisations that violate it.
+    """
+    masked = np.zeros_like(G)
+    for type_index in range(state.object_spec.n_types):
+        rows = state.object_spec.slice(type_index)
+        cols = state.cluster_spec.slice(type_index)
+        masked[rows, cols] = G[rows, cols]
+    return masked
+
+
+def update_association(R: np.ndarray, state: FactorizationState) -> np.ndarray:
+    """Closed-form S update (Eq. 18) with a ridge-regularised (GᵀG)⁻¹."""
+    G, E_R = state.G, state.E_R
+    gram_inverse = safe_inverse(G.T @ G)
+    S = gram_inverse @ G.T @ (R - E_R) @ G @ gram_inverse
+    # The association matrix of the paper has zero diagonal blocks (cluster
+    # associations only exist across types); impose that structure to match.
+    masked = S.copy()
+    for type_index in range(state.cluster_spec.n_types):
+        block = state.cluster_spec.slice(type_index)
+        masked[block, block] = 0.0
+    return masked
+
+
+def update_membership(R: np.ndarray, L: np.ndarray, state: FactorizationState,
+                      *, lam: float) -> np.ndarray:
+    """Multiplicative G update (Eq. 21) followed by row-ℓ1 normalisation (Eq. 22)."""
+    G, S, E_R = state.G, state.S, state.E_R
+    A = (R - E_R) @ G @ S.T
+    B = S.T @ (G.T @ G) @ S
+    L_pos, L_neg = split_parts(L)
+    A_pos, A_neg = split_parts(A)
+    B_pos, B_neg = split_parts(B)
+    numerator = lam * (L_neg @ G) + A_pos + G @ B_neg
+    denominator = lam * (L_pos @ G) + A_neg + G @ B_pos
+    ratio = safe_divide(numerator, denominator, eps=_EPS)
+    updated = G * np.sqrt(ratio)
+    updated = apply_block_structure(updated, state)
+    # Row-ℓ1 normalisation keeps each object's memberships on the simplex and
+    # prevents the trivial single-cluster solution (Section III.C).
+    return row_normalize_l1(updated)
+
+
+def l21_reweighting_diagonal(residual: np.ndarray, *, zeta: float = 1e-10) -> np.ndarray:
+    """Diagonal of the L2,1 reweighting matrix D (Eq. 25).
+
+    ``D_ii = 1 / (2 ‖q_i‖₂)`` where ``q_i`` is the i-th row of the residual
+    ``Q = R − G S Gᵀ``; rows with zero norm are regularised with the small
+    perturbation ζ as described under Eq. 27.
+    """
+    row_norms = np.sqrt(np.sum(residual * residual, axis=1) + zeta)
+    return 1.0 / (2.0 * row_norms)
+
+
+def update_error_matrix(R: np.ndarray, state: FactorizationState, *, beta: float,
+                        zeta: float = 1e-10) -> np.ndarray:
+    """Sparse error matrix update (Eq. 27).
+
+    ``E_R = (β D + I)⁻¹ (R − G S Gᵀ)`` where ``β D + I`` is diagonal, so the
+    inverse is an element-wise row scaling: rows of the residual with small
+    norm are shrunk strongly (treated as noise-free) while rows with large
+    norm — the corrupted samples — absorb most of their residual into E_R.
+    """
+    G, S = state.G, state.S
+    residual = R - G @ S @ G.T
+    diag = l21_reweighting_diagonal(residual, zeta=zeta)
+    scale = 1.0 / (beta * diag + 1.0)
+    return residual * scale[:, None]

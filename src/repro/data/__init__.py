@@ -1,0 +1,59 @@
+"""Synthetic multi-type relational data generators.
+
+The paper evaluates on subsets of 20Newsgroups and Reuters-21578 enriched
+with Wikipedia concepts (Table II).  Those corpora and the Wikipedia mapping
+are not available offline, so this package generates *synthetic* multi-type
+relational data with the same structure — documents × terms × concepts with
+planted topic clusters, tf-idf weighting, class-balance profiles matching the
+paper's datasets, and controllable noise/corruption — plus the
+intersecting-manifold toy data the paper uses to motivate subspace learning
+(Figure 1).
+
+* :mod:`repro.data.topics` — the generative topic model (per-class term and
+  concept distributions).
+* :mod:`repro.data.corpus` — sampling documents and the three co-occurrence
+  matrices (document-term, document-concept, term-concept).
+* :mod:`repro.data.noise` — feature noise and sample-wise corruption.
+* :mod:`repro.data.datasets` — presets D1–D4 mirroring Table II (scaled) and
+  the :func:`make_dataset` registry.
+* :mod:`repro.data.manifolds` — union-of-manifolds toy data (circles, lines,
+  planes) for the Figure 1 reproduction.
+"""
+
+from .topics import TopicModel, TopicModelSpec
+from .corpus import CorpusSample, sample_corpus
+from .noise import add_gaussian_noise, corrupt_rows, shuffle_fraction_of_labels
+from .datasets import (
+    DATASET_PRESETS,
+    DatasetSpec,
+    dataset_characteristics,
+    list_datasets,
+    make_dataset,
+    make_multi_type_dataset,
+)
+from .manifolds import (
+    sample_intersecting_circles,
+    sample_union_of_lines,
+    sample_union_of_rays,
+    sample_union_of_subspaces,
+)
+
+__all__ = [
+    "CorpusSample",
+    "DATASET_PRESETS",
+    "DatasetSpec",
+    "TopicModel",
+    "TopicModelSpec",
+    "add_gaussian_noise",
+    "corrupt_rows",
+    "dataset_characteristics",
+    "list_datasets",
+    "make_dataset",
+    "make_multi_type_dataset",
+    "sample_corpus",
+    "sample_intersecting_circles",
+    "sample_union_of_lines",
+    "sample_union_of_rays",
+    "sample_union_of_subspaces",
+    "shuffle_fraction_of_labels",
+]

@@ -1,0 +1,145 @@
+"""Sampling of synthetic multi-type corpora (documents × terms × concepts).
+
+Produces everything the HOCC methods consume:
+
+* per-type feature matrices (documents over terms, terms over documents,
+  concepts over documents);
+* the three co-occurrence relations of the paper's experimental setup —
+  document-term (tf-idf), document-concept (normalised term-weighted
+  activations) and term-concept (pair co-occurrence counts);
+* ground-truth labels for documents, terms and concepts (a term/concept
+  belongs to the class whose topic uses it most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_random_state, check_sizes
+from ..exceptions import DataGenerationError
+from ..linalg.normalize import tfidf_transform
+from .topics import TopicModel
+
+__all__ = ["CorpusSample", "sample_corpus"]
+
+
+@dataclass
+class CorpusSample:
+    """One sampled synthetic corpus.
+
+    Attributes
+    ----------
+    document_term_counts:
+        Raw ``(n_docs, n_terms)`` term counts.
+    document_term:
+        tf-idf weighted document-term relation.
+    document_concept:
+        ``(n_docs, n_concepts)`` normalised concept activation relation.
+    term_concept:
+        ``(n_terms, n_concepts)`` term/concept document co-occurrence counts.
+    document_labels, term_labels, concept_labels:
+        Ground-truth class of each object (terms/concepts inherit the class
+        that uses them most).
+    """
+
+    document_term_counts: np.ndarray
+    document_term: np.ndarray
+    document_concept: np.ndarray
+    term_concept: np.ndarray
+    document_labels: np.ndarray
+    term_labels: np.ndarray
+    concept_labels: np.ndarray
+
+    @property
+    def n_documents(self) -> int:
+        """Number of sampled documents."""
+        return self.document_term.shape[0]
+
+    @property
+    def n_terms(self) -> int:
+        """Vocabulary size."""
+        return self.document_term.shape[1]
+
+    @property
+    def n_concepts(self) -> int:
+        """Number of concepts."""
+        return self.document_concept.shape[1]
+
+
+def sample_corpus(model: TopicModel, class_sizes: list[int] | tuple[int, ...],
+                  *, random_state=None) -> CorpusSample:
+    """Sample a corpus with the given number of documents per class.
+
+    Parameters
+    ----------
+    model:
+        The generative :class:`~repro.data.topics.TopicModel`.
+    class_sizes:
+        Documents per class; its length must equal the model's ``n_classes``.
+    random_state:
+        Seed for the sampling.
+    """
+    class_sizes = check_sizes(class_sizes, name="class_sizes")
+    spec = model.spec
+    if len(class_sizes) != spec.n_classes:
+        raise DataGenerationError(
+            f"class_sizes has {len(class_sizes)} entries but the topic model "
+            f"defines {spec.n_classes} classes")
+    rng = check_random_state(random_state)
+
+    n_documents = sum(class_sizes)
+    term_counts = np.zeros((n_documents, spec.n_terms))
+    concept_counts = np.zeros((n_documents, spec.n_concepts))
+    document_labels = np.zeros(n_documents, dtype=np.int64)
+
+    row = 0
+    for topic, size in enumerate(class_sizes):
+        for _ in range(size):
+            doc_terms, doc_concepts = model.sample_document(topic, rng)
+            term_counts[row] = doc_terms
+            concept_counts[row] = doc_concepts
+            document_labels[row] = topic
+            row += 1
+
+    # Shuffle document order so class blocks are not contiguous.
+    permutation = rng.permutation(n_documents)
+    term_counts = term_counts[permutation]
+    concept_counts = concept_counts[permutation]
+    document_labels = document_labels[permutation]
+
+    document_term = tfidf_transform(term_counts)
+
+    # Document-concept relation: concept activations normalised per document
+    # (the paper normalises by tf-idf of mapped terms and semantic relatedness;
+    # the per-document normalisation plays the same role of keeping documents
+    # comparable regardless of length).
+    concept_row_sums = concept_counts.sum(axis=1, keepdims=True)
+    concept_row_sums = np.where(concept_row_sums > 0, concept_row_sums, 1.0)
+    document_concept = concept_counts / concept_row_sums
+
+    # Term-concept relation: number of documents in which a term and a concept
+    # co-occur.
+    term_presence = (term_counts > 0).astype(np.float64)
+    concept_presence = (concept_counts > 0).astype(np.float64)
+    term_concept = term_presence.T @ concept_presence
+
+    # Ground truth for terms/concepts: the class whose documents use them most.
+    class_term_usage = np.zeros((spec.n_classes, spec.n_terms))
+    class_concept_usage = np.zeros((spec.n_classes, spec.n_concepts))
+    for topic in range(spec.n_classes):
+        members = document_labels == topic
+        if np.any(members):
+            class_term_usage[topic] = term_counts[members].sum(axis=0)
+            class_concept_usage[topic] = concept_counts[members].sum(axis=0)
+    term_labels = np.argmax(class_term_usage, axis=0).astype(np.int64)
+    concept_labels = np.argmax(class_concept_usage, axis=0).astype(np.int64)
+
+    return CorpusSample(document_term_counts=term_counts,
+                        document_term=document_term,
+                        document_concept=document_concept,
+                        term_concept=term_concept,
+                        document_labels=document_labels,
+                        term_labels=term_labels,
+                        concept_labels=concept_labels)

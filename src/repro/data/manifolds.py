@@ -1,0 +1,167 @@
+"""Union-of-manifolds toy data (the Figure 1 setting of the paper).
+
+Figure 1 motivates multiple-subspace learning with two intersecting
+circle-shaped manifolds plus background noise: points near the intersection
+share the same Euclidean nearest neighbours even though they belong to
+different manifolds, and far-away points on the same manifold are missed by
+a small-p nearest-neighbour graph.  These generators create that data (and
+linear-subspace analogues) for the Figure 1 reproduction, the spectral
+clustering diagnostics and the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+
+__all__ = [
+    "sample_intersecting_circles",
+    "sample_union_of_lines",
+    "sample_union_of_rays",
+    "sample_union_of_subspaces",
+]
+
+
+def sample_intersecting_circles(n_per_circle: int = 100, *, radius: float = 1.0,
+                                separation: float = 1.0, noise: float = 0.02,
+                                outlier_fraction: float = 0.0,
+                                random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Two overlapping circles in R² (the Figure 1 illustration).
+
+    Parameters
+    ----------
+    n_per_circle:
+        Points sampled per circle.
+    radius:
+        Circle radius.
+    separation:
+        Distance between the two circle centres; with ``separation < 2·radius``
+        the circles intersect, which is the interesting regime.
+    noise:
+        Standard deviation of isotropic Gaussian jitter.
+    outlier_fraction:
+        Fraction of additional uniform background noise points (label -1).
+
+    Returns
+    -------
+    (points, labels):
+        ``points`` is ``(n, 2)``; ``labels`` is 0/1 per circle and -1 for
+        outliers.
+    """
+    n_per_circle = check_positive_int(n_per_circle, name="n_per_circle")
+    radius = check_positive_float(radius, name="radius")
+    noise = check_positive_float(noise, name="noise", minimum=0.0, inclusive=True)
+    outlier_fraction = check_probability(outlier_fraction, name="outlier_fraction")
+    rng = check_random_state(random_state)
+
+    centers = np.array([[-separation / 2.0, 0.0], [separation / 2.0, 0.0]])
+    points, labels = [], []
+    for circle, center in enumerate(centers):
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=n_per_circle)
+        ring = center + radius * np.column_stack([np.cos(angles), np.sin(angles)])
+        ring += rng.normal(0.0, noise, size=ring.shape) if noise > 0 else 0.0
+        points.append(ring)
+        labels.append(np.full(n_per_circle, circle, dtype=np.int64))
+    n_outliers = int(round(outlier_fraction * 2 * n_per_circle))
+    if n_outliers > 0:
+        span = separation / 2.0 + 2.0 * radius
+        background = rng.uniform(-span, span, size=(n_outliers, 2))
+        points.append(background)
+        labels.append(np.full(n_outliers, -1, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def sample_union_of_lines(n_per_line: int = 50, n_lines: int = 2, *,
+                          ambient_dim: int = 3, noise: float = 0.01,
+                          random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Points on a union of 1-D lines through the origin in ``ambient_dim`` dimensions.
+
+    The canonical linear-subspace-clustering toy problem: the reconstruction-
+    based subspace affinity should connect points on the same line regardless
+    of how far apart they are.
+    """
+    n_per_line = check_positive_int(n_per_line, name="n_per_line")
+    n_lines = check_positive_int(n_lines, name="n_lines")
+    ambient_dim = check_positive_int(ambient_dim, name="ambient_dim")
+    rng = check_random_state(random_state)
+    points, labels = [], []
+    for line in range(n_lines):
+        direction = rng.normal(size=ambient_dim)
+        direction /= np.linalg.norm(direction)
+        coefficients = rng.uniform(-2.0, 2.0, size=n_per_line)
+        samples = np.outer(coefficients, direction)
+        if noise > 0:
+            samples += rng.normal(0.0, noise, size=samples.shape)
+        points.append(samples)
+        labels.append(np.full(n_per_line, line, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def sample_union_of_rays(n_per_ray: int = 50, n_rays: int = 2, *,
+                         ambient_dim: int = 3, noise: float = 0.01,
+                         coefficient_range: tuple[float, float] = (0.2, 2.0),
+                         random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Points on a union of rays (half-lines) from the origin.
+
+    The non-negative self-representation of Eq. 9 can only combine points
+    with non-negative coefficients, so anti-parallel points on a full line
+    cannot reconstruct each other.  Rays are the natural non-negative
+    analogue of the line benchmark: every point on a ray is a non-negative
+    multiple of every other point on the same ray.
+    """
+    n_per_ray = check_positive_int(n_per_ray, name="n_per_ray")
+    n_rays = check_positive_int(n_rays, name="n_rays")
+    ambient_dim = check_positive_int(ambient_dim, name="ambient_dim")
+    low, high = coefficient_range
+    if not (0 < low < high):
+        raise ValueError(
+            f"coefficient_range must satisfy 0 < low < high, got {coefficient_range}")
+    rng = check_random_state(random_state)
+    points, labels = [], []
+    for ray in range(n_rays):
+        direction = rng.normal(size=ambient_dim)
+        direction /= np.linalg.norm(direction)
+        coefficients = rng.uniform(low, high, size=n_per_ray)
+        samples = np.outer(coefficients, direction)
+        if noise > 0:
+            samples += rng.normal(0.0, noise, size=samples.shape)
+        points.append(samples)
+        labels.append(np.full(n_per_ray, ray, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)
+
+
+def sample_union_of_subspaces(n_per_subspace: int = 50, n_subspaces: int = 3, *,
+                              subspace_dim: int = 2, ambient_dim: int = 10,
+                              noise: float = 0.01,
+                              random_state=None) -> tuple[np.ndarray, np.ndarray]:
+    """Points drawn from a union of random low-dimensional linear subspaces.
+
+    Each subspace has an orthonormal basis drawn from the Haar distribution
+    (QR of a Gaussian matrix); points are Gaussian in subspace coordinates
+    plus small ambient noise.
+    """
+    n_per_subspace = check_positive_int(n_per_subspace, name="n_per_subspace")
+    n_subspaces = check_positive_int(n_subspaces, name="n_subspaces")
+    subspace_dim = check_positive_int(subspace_dim, name="subspace_dim")
+    ambient_dim = check_positive_int(ambient_dim, name="ambient_dim")
+    if subspace_dim >= ambient_dim:
+        raise ValueError(
+            f"subspace_dim ({subspace_dim}) must be smaller than ambient_dim "
+            f"({ambient_dim})")
+    rng = check_random_state(random_state)
+    points, labels = [], []
+    for subspace in range(n_subspaces):
+        basis, _ = np.linalg.qr(rng.normal(size=(ambient_dim, subspace_dim)))
+        coordinates = rng.normal(0.0, 1.0, size=(n_per_subspace, subspace_dim))
+        samples = coordinates @ basis.T
+        if noise > 0:
+            samples += rng.normal(0.0, noise, size=samples.shape)
+        points.append(samples)
+        labels.append(np.full(n_per_subspace, subspace, dtype=np.int64))
+    return np.vstack(points), np.concatenate(labels)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors
+elsewhere in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input matrix, vector or parameter failed validation."""
+
+
+class ShapeError(ValidationError):
+    """An array has an incompatible or unexpected shape."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its convergence tolerance."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator received an unsatisfiable specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,57 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+The harness separates three concerns:
+
+* :mod:`repro.experiments.registry` — the method registry (name → factory)
+  and the dataset list used by the evaluation tables.
+* :mod:`repro.experiments.harness` — running one (method, dataset) cell and
+  collecting FScore / NMI / runtime.
+* :mod:`repro.experiments.tables` — Table II (dataset characteristics),
+  Table III (FScore), Table IV (NMI) and Table V (running time).
+* :mod:`repro.experiments.figures` — Figure 2 (parameter sensitivity) and
+  Figure 3 (convergence curves), plus the Figure 1 neighbour-completeness
+  analysis.
+* :mod:`repro.experiments.reporting` — plain-text/markdown rendering of the
+  collected results (the benchmark harness prints the same rows/series the
+  paper reports).
+"""
+
+from .registry import (
+    DEFAULT_DATASETS,
+    DEFAULT_METHODS,
+    MethodSpec,
+    build_method,
+    list_methods,
+    method_registry,
+)
+from .harness import CellResult, evaluate_labels, run_cell, run_grid
+from .tables import table2_dataset_characteristics, table3_fscore, table4_nmi, table5_runtime
+from .figures import (
+    figure1_neighbour_completeness,
+    figure2_parameter_sensitivity,
+    figure3_convergence_curves,
+)
+from .reporting import format_series, format_table, rows_to_markdown
+
+__all__ = [
+    "CellResult",
+    "DEFAULT_DATASETS",
+    "DEFAULT_METHODS",
+    "MethodSpec",
+    "build_method",
+    "evaluate_labels",
+    "figure1_neighbour_completeness",
+    "figure2_parameter_sensitivity",
+    "figure3_convergence_curves",
+    "format_series",
+    "format_table",
+    "list_methods",
+    "method_registry",
+    "rows_to_markdown",
+    "run_cell",
+    "run_grid",
+    "table2_dataset_characteristics",
+    "table3_fscore",
+    "table4_nmi",
+    "table5_runtime",
+]

@@ -1,0 +1,134 @@
+"""Method and dataset registries used by the evaluation harness.
+
+``method_registry`` maps the paper's method names (DR-T, DR-C, DR-TC, SRC,
+SNMTF, RMC, RHCHME) to factories producing configured estimators.  The
+default hyper-parameters follow Section IV.B/IV.E of the paper: p = 5 for
+SNMTF and RHCHME, the six-candidate grid for RMC, λ ≈ 250, γ = 25, α = 1 and
+β = 50 for RHCHME.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..baselines.drcc import DRCC, DRCCVariant
+from ..baselines.rmc import RMC
+from ..baselines.snmtf import SNMTF
+from ..baselines.src import SRC
+from ..core.config import RHCHMEConfig
+from ..core.rhchme import RHCHME
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "MethodSpec",
+    "method_registry",
+    "list_methods",
+    "build_method",
+    "DEFAULT_METHODS",
+    "DEFAULT_DATASETS",
+]
+
+#: Method names in the order the paper's tables list them.
+DEFAULT_METHODS: tuple[str, ...] = (
+    "DR-T", "DR-C", "DR-TC", "SRC", "SNMTF", "RMC", "RHCHME")
+
+#: Dataset presets corresponding to D1–D4 (scaled synthetic variants).
+DEFAULT_DATASETS: tuple[str, ...] = (
+    "multi5", "multi10", "r-min20max200", "r-top10")
+
+#: Reduced dataset list for smoke runs of the full grid.
+SMALL_DATASETS: tuple[str, ...] = (
+    "multi5-small", "multi10-small", "r-min20max200-small", "r-top10-small")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Registry entry describing one comparison method.
+
+    Attributes
+    ----------
+    name:
+        The paper's name for the method.
+    factory:
+        Callable ``(max_iter, random_state, **overrides) -> estimator``.
+    is_two_way:
+        Whether the method clusters only documents (the DRCC variants) rather
+        than all object types.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    is_two_way: bool = False
+
+
+def _drcc_factory(variant: str) -> Callable[..., DRCC]:
+    def build(max_iter: int = 60, random_state: int | None = None,
+              **overrides: Any) -> DRCC:
+        params = {"lam": 1.0, "mu": 1.0, "p": 5}
+        params.update(overrides)
+        return DRCC(DRCCVariant.coerce(variant), max_iter=max_iter,
+                    random_state=random_state, **params)
+    return build
+
+
+def _src_factory(max_iter: int = 60, random_state: int | None = None,
+                 **overrides: Any) -> SRC:
+    return SRC(max_iter=max_iter, random_state=random_state, **overrides)
+
+
+def _snmtf_factory(max_iter: int = 60, random_state: int | None = None,
+                   **overrides: Any) -> SNMTF:
+    params = {"lam": 100.0, "p": 5}
+    params.update(overrides)
+    return SNMTF(max_iter=max_iter, random_state=random_state, **params)
+
+
+def _rmc_factory(max_iter: int = 60, random_state: int | None = None,
+                 **overrides: Any) -> RMC:
+    params = {"lam": 100.0, "refit_every": 5}
+    params.update(overrides)
+    return RMC(max_iter=max_iter, random_state=random_state, **params)
+
+
+def _rhchme_factory(max_iter: int = 60, random_state: int | None = None,
+                    **overrides: Any) -> RHCHME:
+    config = RHCHMEConfig(lam=250.0, gamma=25.0, alpha=1.0, beta=50.0, p=5,
+                          max_iter=max_iter, random_state=random_state)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return RHCHME(config)
+
+
+def method_registry() -> dict[str, MethodSpec]:
+    """Return the full method registry keyed by the paper's method names."""
+    return {
+        "DR-T": MethodSpec("DR-T", _drcc_factory("dr-t"), is_two_way=True),
+        "DR-C": MethodSpec("DR-C", _drcc_factory("dr-c"), is_two_way=True),
+        "DR-TC": MethodSpec("DR-TC", _drcc_factory("dr-tc"), is_two_way=True),
+        "SRC": MethodSpec("SRC", _src_factory),
+        "SNMTF": MethodSpec("SNMTF", _snmtf_factory),
+        "RMC": MethodSpec("RMC", _rmc_factory),
+        "RHCHME": MethodSpec("RHCHME", _rhchme_factory),
+    }
+
+
+def list_methods() -> list[str]:
+    """Registered method names in table order."""
+    return list(DEFAULT_METHODS)
+
+
+def build_method(name: str, *, max_iter: int = 60, random_state: int | None = None,
+                 **overrides: Any):
+    """Instantiate a registered method with optional hyper-parameter overrides."""
+    registry = method_registry()
+    key = name.strip()
+    if key not in registry:
+        # Accept case-insensitive lookups for convenience.
+        matches = [k for k in registry if k.lower() == key.lower()]
+        if not matches:
+            raise ExperimentError(
+                f"unknown method {name!r}; available: {sorted(registry)}")
+        key = matches[0]
+    return registry[key].factory(max_iter=max_iter, random_state=random_state,
+                                 **overrides)

@@ -1,0 +1,97 @@
+"""Rendering experiment results as plain-text / markdown tables.
+
+The benchmark harness prints the same rows the paper's tables report:
+methods down the side, datasets across the top, one metric per table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "rows_to_markdown"]
+
+
+def format_table(values: Mapping[str, Mapping[str, float]],
+                 row_order: Sequence[str] | None = None,
+                 column_order: Sequence[str] | None = None, *,
+                 title: str = "", precision: int = 3,
+                 add_average: bool = True) -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as an aligned text table.
+
+    ``add_average`` appends an "Average" column (mean over the row's columns),
+    matching the Average column of Tables III and IV.
+    """
+    rows = list(row_order) if row_order is not None else sorted(values)
+    columns: list[str] = list(column_order) if column_order is not None else sorted(
+        {column for row in values.values() for column in row})
+    header = ["Method", *columns]
+    if add_average:
+        header.append("Average")
+    lines: list[list[str]] = [header]
+    for row in rows:
+        cells = [row]
+        numeric = []
+        for column in columns:
+            value = values.get(row, {}).get(column)
+            if value is None:
+                cells.append("-")
+            else:
+                cells.append(f"{value:.{precision}f}")
+                numeric.append(value)
+        if add_average:
+            cells.append(f"{np.mean(numeric):.{precision}f}" if numeric else "-")
+        lines.append(cells)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    if title:
+        rendered.append(title)
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    return "\n".join(rendered)
+
+
+def format_series(series: Mapping[str, Iterable[float]], *, x_label: str = "x",
+                  title: str = "", precision: int = 3) -> str:
+    """Render named numeric series (e.g. FScore vs λ) as aligned text columns."""
+    names = list(series)
+    columns = {name: [f"{v:.{precision}f}" for v in values]
+               for name, values in series.items()}
+    length = max((len(v) for v in columns.values()), default=0)
+    header = [x_label, *names]
+    lines = [header, ["-" * len(h) for h in header]]
+    for index in range(length):
+        row = [str(index)]
+        for name in names:
+            values = columns[name]
+            row.append(values[index] if index < len(values) else "-")
+        lines.append(row)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = [title] if title else []
+    for line in lines:
+        rendered.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(rendered)
+
+
+def rows_to_markdown(rows: Sequence[Mapping[str, object]], *,
+                     columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

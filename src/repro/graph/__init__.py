@@ -1,0 +1,44 @@
+"""Nearest-neighbour graphs and graph Laplacians.
+
+This package builds the Euclidean-distance-based intra-type relationship
+matrix ``W^E`` of the paper (Eq. 3) and the graph Laplacians that turn an
+affinity matrix into the regulariser used in the HOCC objectives:
+
+* :mod:`repro.graph.neighbors` — brute-force and KD-tree p-nearest-neighbour
+  search.
+* :mod:`repro.graph.weights` — binary, heat-kernel and cosine edge weights.
+* :mod:`repro.graph.pnn` — symmetric p-NN affinity graph construction.
+* :mod:`repro.graph.laplacian` — unnormalised, symmetric-normalised and
+  random-walk Laplacians.
+* :mod:`repro.graph.candidates` — the grid of candidate Laplacians used by
+  the RMC baseline's homogeneous ensemble.
+"""
+
+from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances, pnn_indices
+from .weights import WeightingScheme, compute_edge_weights
+from .pnn import pnn_affinity
+from .laplacian import (
+    degree_vector,
+    laplacian,
+    normalized_laplacian,
+    random_walk_laplacian,
+    unnormalized_laplacian,
+)
+from .candidates import CandidateSpec, candidate_laplacians, default_candidate_grid
+
+__all__ = [
+    "CandidateSpec",
+    "WeightingScheme",
+    "candidate_laplacians",
+    "compute_edge_weights",
+    "default_candidate_grid",
+    "degree_vector",
+    "laplacian",
+    "normalized_laplacian",
+    "pairwise_cosine_similarity",
+    "pairwise_euclidean_distances",
+    "pnn_affinity",
+    "pnn_indices",
+    "random_walk_laplacian",
+    "unnormalized_laplacian",
+]

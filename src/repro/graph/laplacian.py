@@ -1,0 +1,91 @@
+"""Graph Laplacians of intra-type affinity matrices.
+
+The HOCC objectives regularise the cluster membership matrix with
+``tr(Gᵀ L G)`` where ``L`` is a graph Laplacian of the intra-type affinity
+``W``.  The paper's formulation uses ``L = D − W`` (with ``D`` the degree
+matrix); the symmetric-normalised variant ``I − D^{-1/2} W D^{-1/2}`` is also
+provided because the paper refers to the regulariser as a *normalised* graph
+Laplacian and both behave equivalently up to degree scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_square, check_symmetric
+from ..linalg.normalize import symmetric_normalize
+
+__all__ = [
+    "degree_vector",
+    "unnormalized_laplacian",
+    "normalized_laplacian",
+    "random_walk_laplacian",
+    "laplacian",
+]
+
+_EPS = 1e-12
+
+
+def degree_vector(affinity: np.ndarray) -> np.ndarray:
+    """Row-sum degree vector ``d_i = Σ_j W_ij`` of an affinity matrix."""
+    affinity = as_float_array(affinity, name="affinity", ndim=2)
+    check_square(affinity, name="affinity")
+    return np.sum(affinity, axis=1)
+
+
+def unnormalized_laplacian(affinity: np.ndarray) -> np.ndarray:
+    """Combinatorial Laplacian ``L = D − W``."""
+    affinity = as_float_array(affinity, name="affinity", ndim=2)
+    affinity = check_symmetric(affinity, name="affinity", fix=True)
+    laplacian_matrix = -affinity.copy()
+    degrees = np.sum(affinity, axis=1)
+    laplacian_matrix[np.diag_indices_from(laplacian_matrix)] += degrees
+    return laplacian_matrix
+
+
+def normalized_laplacian(affinity: np.ndarray) -> np.ndarray:
+    """Symmetric-normalised Laplacian ``L = I − D^{-1/2} W D^{-1/2}``.
+
+    Isolated vertices contribute a zero row/column of the normalised affinity
+    and therefore a diagonal entry of 1 in the Laplacian.
+    """
+    affinity = as_float_array(affinity, name="affinity", ndim=2)
+    affinity = check_symmetric(affinity, name="affinity", fix=True)
+    normalised = symmetric_normalize(affinity)
+    laplacian_matrix = -normalised
+    laplacian_matrix[np.diag_indices_from(laplacian_matrix)] += 1.0
+    return laplacian_matrix
+
+
+def random_walk_laplacian(affinity: np.ndarray) -> np.ndarray:
+    """Random-walk Laplacian ``L = I − D^{-1} W`` (rows of zero degree kept)."""
+    affinity = as_float_array(affinity, name="affinity", ndim=2)
+    affinity = check_symmetric(affinity, name="affinity", fix=True)
+    degrees = np.sum(affinity, axis=1)
+    inverse = np.where(degrees > _EPS, 1.0 / np.maximum(degrees, _EPS), 0.0)
+    walk = affinity * inverse[:, None]
+    laplacian_matrix = -walk
+    laplacian_matrix[np.diag_indices_from(laplacian_matrix)] += 1.0
+    return laplacian_matrix
+
+
+def laplacian(affinity: np.ndarray, kind: str = "unnormalized") -> np.ndarray:
+    """Dispatch to one of the Laplacian variants by name.
+
+    Parameters
+    ----------
+    affinity:
+        Symmetric non-negative affinity matrix.
+    kind:
+        ``"unnormalized"`` (paper's ``D − W``), ``"normalized"`` (symmetric)
+        or ``"random_walk"``.
+    """
+    builders = {
+        "unnormalized": unnormalized_laplacian,
+        "normalized": normalized_laplacian,
+        "random_walk": random_walk_laplacian,
+    }
+    if kind not in builders:
+        raise ValueError(
+            f"unknown laplacian kind {kind!r}; expected one of {sorted(builders)}")
+    return builders[kind](affinity)

@@ -1,0 +1,100 @@
+"""Pairwise distances/similarities and p-nearest-neighbour search.
+
+Objects of each type are column vectors ``x_k^i`` in the paper; here we adopt
+the row-major numpy convention: a data matrix ``X`` has one object per row.
+The p-NN graph of Eq. 3 needs, for each object, the indices of its ``p``
+nearest neighbours in Euclidean space (excluding the object itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .._validation import as_float_array, check_positive_int
+
+__all__ = [
+    "pairwise_euclidean_distances",
+    "pairwise_cosine_similarity",
+    "pnn_indices",
+]
+
+_EPS = 1e-12
+
+
+def pairwise_euclidean_distances(X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+    """Return the matrix of Euclidean distances between rows of ``X`` and ``Y``.
+
+    With ``Y=None`` the distances are computed within ``X``.  Uses the
+    expansion ``‖x − y‖² = ‖x‖² + ‖y‖² − 2 xᵀy`` and clips tiny negative
+    values caused by floating-point cancellation.
+    """
+    X = as_float_array(X, name="X", ndim=2)
+    Y = X if Y is None else as_float_array(Y, name="Y", ndim=2)
+    if X.shape[1] != Y.shape[1]:
+        raise ValueError(
+            f"X and Y must share a feature dimension, got {X.shape[1]} and {Y.shape[1]}")
+    x_sq = np.sum(X * X, axis=1)[:, None]
+    y_sq = np.sum(Y * Y, axis=1)[None, :]
+    squared = x_sq + y_sq - 2.0 * (X @ Y.T)
+    np.maximum(squared, 0.0, out=squared)
+    if Y is X:
+        np.fill_diagonal(squared, 0.0)
+    return np.sqrt(squared)
+
+
+def pairwise_cosine_similarity(X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+    """Return the matrix of cosine similarities between rows of ``X`` and ``Y``.
+
+    Zero rows produce zero similarity rather than NaN.
+    """
+    X = as_float_array(X, name="X", ndim=2)
+    Y = X if Y is None else as_float_array(Y, name="Y", ndim=2)
+    if X.shape[1] != Y.shape[1]:
+        raise ValueError(
+            f"X and Y must share a feature dimension, got {X.shape[1]} and {Y.shape[1]}")
+    x_norms = np.linalg.norm(X, axis=1)
+    y_norms = np.linalg.norm(Y, axis=1)
+    denom = np.outer(np.where(x_norms > _EPS, x_norms, 1.0),
+                     np.where(y_norms > _EPS, y_norms, 1.0))
+    similarity = (X @ Y.T) / denom
+    similarity[x_norms <= _EPS, :] = 0.0
+    similarity[:, y_norms <= _EPS] = 0.0
+    return np.clip(similarity, -1.0, 1.0)
+
+
+def pnn_indices(X: np.ndarray, p: int, *, algorithm: str = "auto") -> np.ndarray:
+    """Return an ``(n, p)`` array of the p nearest-neighbour indices per object.
+
+    The object itself is excluded.  ``algorithm`` selects between a KD-tree
+    (``"kdtree"``, good for low dimensional data), dense brute force
+    (``"brute"``), or an automatic choice based on dimensionality (``"auto"``).
+    """
+    X = as_float_array(X, name="X", ndim=2)
+    n_objects = X.shape[0]
+    p = check_positive_int(p, name="p")
+    if p >= n_objects:
+        raise ValueError(
+            f"p={p} must be smaller than the number of objects ({n_objects})")
+    if algorithm not in {"auto", "kdtree", "brute"}:
+        raise ValueError(f"unknown neighbour search algorithm {algorithm!r}")
+    if algorithm == "auto":
+        algorithm = "kdtree" if X.shape[1] <= 15 else "brute"
+    if algorithm == "kdtree":
+        tree = cKDTree(X)
+        # query p+1 because the closest hit is the point itself
+        _, indices = tree.query(X, k=p + 1)
+        indices = np.atleast_2d(indices)
+        neighbours = np.empty((n_objects, p), dtype=np.int64)
+        for i in range(n_objects):
+            row = [j for j in indices[i] if j != i][:p]
+            # Duplicate points can push `i` out of its own candidate list; pad
+            # with the remaining closest candidates in that case.
+            if len(row) < p:
+                extra = [j for j in indices[i] if j != i and j not in row]
+                row.extend(extra[:p - len(row)])
+            neighbours[i] = row[:p]
+        return neighbours
+    distances = pairwise_euclidean_distances(X)
+    np.fill_diagonal(distances, np.inf)
+    return np.argsort(distances, axis=1)[:, :p].astype(np.int64)

@@ -1,0 +1,75 @@
+"""Edge weighting schemes for p-nearest-neighbour graphs.
+
+The paper (Eq. 3 and Section II.A) lists three ways of weighting an edge
+between neighbouring objects:
+
+* **binary** — weight 1 whenever a neighbour relation exists;
+* **heat kernel** — ``exp(−‖xᵢ − xⱼ‖² / σ)`` with a user bandwidth σ;
+* **cosine** — the cosine similarity of the two feature vectors (this is the
+  scheme RHCHME uses for its ``W^E`` member, Section III.B).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_float
+from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances
+
+__all__ = ["WeightingScheme", "compute_edge_weights"]
+
+
+class WeightingScheme(str, Enum):
+    """Supported p-NN edge weighting schemes."""
+
+    BINARY = "binary"
+    HEAT_KERNEL = "heat_kernel"
+    COSINE = "cosine"
+
+    @classmethod
+    def coerce(cls, value: "WeightingScheme | str") -> "WeightingScheme":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown weighting scheme {value!r}; expected one of: {valid}") from exc
+
+
+def compute_edge_weights(X: np.ndarray,
+                         scheme: WeightingScheme | str = WeightingScheme.COSINE,
+                         *, sigma: float = 1.0) -> np.ndarray:
+    """Return the full ``n × n`` matrix of candidate edge weights.
+
+    The p-NN graph builder masks this matrix down to actual neighbour pairs;
+    computing the dense weight matrix first keeps the weighting schemes
+    trivially interchangeable.
+
+    Parameters
+    ----------
+    X:
+        ``(n, d)`` data matrix, one object per row.
+    scheme:
+        Weighting scheme; see :class:`WeightingScheme`.
+    sigma:
+        Heat-kernel bandwidth (only used by the heat-kernel scheme).
+    """
+    scheme = WeightingScheme.coerce(scheme)
+    X = as_float_array(X, name="X", ndim=2)
+    if scheme is WeightingScheme.BINARY:
+        weights = np.ones((X.shape[0], X.shape[0]), dtype=np.float64)
+    elif scheme is WeightingScheme.HEAT_KERNEL:
+        sigma = check_positive_float(sigma, name="sigma")
+        distances = pairwise_euclidean_distances(X)
+        weights = np.exp(-(distances ** 2) / sigma)
+    else:  # cosine
+        # Negative cosine similarities are clipped: the affinity matrix W^E
+        # must stay non-negative for the graph Laplacian to be well defined.
+        weights = np.maximum(pairwise_cosine_similarity(X), 0.0)
+    np.fill_diagonal(weights, 0.0)
+    return weights

@@ -1,0 +1,78 @@
+"""Shared linear-algebra utilities used by every solver in the library.
+
+The module groups small, well-tested numerical primitives:
+
+* :mod:`repro.linalg.parts` — positive/negative part splits used by the
+  multiplicative update rules.
+* :mod:`repro.linalg.norms` — the ℓ1, ℓ2, Frobenius and L2,1 norms that appear
+  in the paper's objective functions.
+* :mod:`repro.linalg.normalize` — row/column and symmetric normalisations
+  (including the row-ℓ1 normalisation applied to the cluster membership
+  matrix G).
+* :mod:`repro.linalg.blocks` — assembly and extraction of the block matrices
+  R, W, G and S used by multi-type relational data.
+* :mod:`repro.linalg.projections` — projection operators onto the feasible
+  sets used by the SPG solver.
+* :mod:`repro.linalg.safe` — numerically safe inverses and divisions.
+"""
+
+from .parts import negative_part, positive_part, split_parts
+from .norms import (
+    frobenius_norm,
+    l1_norm,
+    l2_norm,
+    l21_norm,
+    row_l2_norms,
+    trace_quadratic,
+)
+from .normalize import (
+    column_normalize_l1,
+    row_normalize_l1,
+    row_normalize_l2,
+    symmetric_normalize,
+    tfidf_transform,
+)
+from .blocks import (
+    BlockSpec,
+    block_diagonal,
+    block_offdiagonal,
+    extract_blocks,
+    extract_diagonal_blocks,
+)
+from .projections import (
+    project_box,
+    project_nonnegative,
+    project_nonnegative_zero_diagonal,
+    project_simplex_rows,
+)
+from .safe import safe_divide, safe_inverse, safe_sqrt, stable_pinv
+
+__all__ = [
+    "BlockSpec",
+    "block_diagonal",
+    "block_offdiagonal",
+    "column_normalize_l1",
+    "extract_blocks",
+    "extract_diagonal_blocks",
+    "frobenius_norm",
+    "l1_norm",
+    "l21_norm",
+    "l2_norm",
+    "negative_part",
+    "positive_part",
+    "project_box",
+    "project_nonnegative",
+    "project_nonnegative_zero_diagonal",
+    "project_simplex_rows",
+    "row_l2_norms",
+    "row_normalize_l1",
+    "row_normalize_l2",
+    "safe_divide",
+    "safe_inverse",
+    "safe_sqrt",
+    "split_parts",
+    "stable_pinv",
+    "symmetric_normalize",
+    "tfidf_transform",
+    "trace_quadratic",
+]

@@ -1,0 +1,161 @@
+"""Block-matrix assembly for multi-type relational data.
+
+The paper organises a K-type dataset into symmetric block matrices:
+
+* ``R`` — inter-type relationships: zero diagonal blocks, submatrix ``R_kl``
+  relating type k to type l on the off-diagonal (``R_lk = R_klᵀ``).
+* ``W`` — intra-type relationships: block diagonal with one affinity matrix
+  per type.
+* ``G`` — cluster membership: block diagonal with one ``n_k × c_k`` block per
+  type.
+* ``S`` — cluster association: zero diagonal blocks, ``S_kl`` on the
+  off-diagonal.
+
+:class:`BlockSpec` records the row/column partition once and provides
+assembly and extraction in both directions, so the solvers never hand-roll
+index arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BlockSpec",
+    "block_diagonal",
+    "block_offdiagonal",
+    "extract_blocks",
+    "extract_diagonal_blocks",
+]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Partition of a square block matrix into per-type segments.
+
+    Parameters
+    ----------
+    sizes:
+        Number of rows/columns contributed by each type, in type order.
+    """
+
+    sizes: tuple[int, ...]
+    offsets: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        sizes = tuple(int(s) for s in self.sizes)
+        if not sizes or any(s <= 0 for s in sizes):
+            raise ValueError(f"sizes must be positive, got {self.sizes!r}")
+        object.__setattr__(self, "sizes", sizes)
+        offsets = (0, *np.cumsum(sizes).tolist())
+        object.__setattr__(self, "offsets", tuple(int(o) for o in offsets))
+
+    @property
+    def n_types(self) -> int:
+        """Number of blocks along each axis."""
+        return len(self.sizes)
+
+    @property
+    def total(self) -> int:
+        """Total number of rows/columns covered by the partition."""
+        return self.offsets[-1]
+
+    def slice(self, index: int) -> slice:
+        """Return the row/column slice covering block ``index``."""
+        if not 0 <= index < self.n_types:
+            raise IndexError(f"block index {index} out of range [0, {self.n_types})")
+        return slice(self.offsets[index], self.offsets[index + 1])
+
+    def block(self, matrix: np.ndarray, row: int, col: int) -> np.ndarray:
+        """Extract the ``(row, col)`` block from a full matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.total:
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows, spec expects {self.total}")
+        return matrix[self.slice(row), self.slice(col)]
+
+    def type_of_index(self, position: int) -> int:
+        """Return the type index owning global row/column ``position``."""
+        if not 0 <= position < self.total:
+            raise IndexError(f"position {position} out of range [0, {self.total})")
+        return int(np.searchsorted(self.offsets, position, side="right") - 1)
+
+
+def block_diagonal(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    """Assemble a block-diagonal matrix from per-type square or tall blocks.
+
+    Used for both the intra-type matrix ``W`` (square blocks) and the cluster
+    membership matrix ``G`` (``n_k × c_k`` blocks).
+    """
+    blocks = [np.asarray(b, dtype=np.float64) for b in blocks]
+    if not blocks:
+        raise ValueError("need at least one block")
+    for block in blocks:
+        if block.ndim != 2:
+            raise ValueError(f"blocks must be 2-D, got shape {block.shape}")
+    n_rows = sum(b.shape[0] for b in blocks)
+    n_cols = sum(b.shape[1] for b in blocks)
+    result = np.zeros((n_rows, n_cols), dtype=np.float64)
+    row = col = 0
+    for block in blocks:
+        result[row:row + block.shape[0], col:col + block.shape[1]] = block
+        row += block.shape[0]
+        col += block.shape[1]
+    return result
+
+
+def block_offdiagonal(spec_rows: BlockSpec, spec_cols: BlockSpec,
+                      blocks: Mapping[tuple[int, int], np.ndarray],
+                      *, symmetric: bool = True) -> np.ndarray:
+    """Assemble a matrix with zero diagonal blocks from off-diagonal blocks.
+
+    ``blocks[(k, l)]`` is placed at block position ``(k, l)``; with
+    ``symmetric=True`` its transpose is mirrored to ``(l, k)`` unless that
+    block is supplied explicitly.  Used for the inter-type matrix ``R`` and
+    the association matrix ``S``.
+    """
+    result = np.zeros((spec_rows.total, spec_cols.total), dtype=np.float64)
+    placed: set[tuple[int, int]] = set()
+    for (row, col), block in blocks.items():
+        block = np.asarray(block, dtype=np.float64)
+        if row == col:
+            raise ValueError(
+                f"block ({row}, {col}) lies on the diagonal; diagonal blocks must be zero")
+        expected = (spec_rows.sizes[row], spec_cols.sizes[col])
+        if block.shape != expected:
+            raise ValueError(
+                f"block ({row}, {col}) has shape {block.shape}, expected {expected}")
+        result[spec_rows.slice(row), spec_cols.slice(col)] = block
+        placed.add((row, col))
+    if symmetric:
+        if spec_rows.sizes != spec_cols.sizes:
+            raise ValueError("symmetric assembly requires identical row/column specs")
+        for (row, col) in list(placed):
+            if (col, row) not in placed:
+                result[spec_rows.slice(col), spec_cols.slice(row)] = (
+                    result[spec_rows.slice(row), spec_cols.slice(col)].T)
+    return result
+
+
+def extract_diagonal_blocks(matrix: np.ndarray, spec: BlockSpec) -> list[np.ndarray]:
+    """Return copies of the diagonal blocks of a square block matrix."""
+    return [np.array(spec.block(matrix, k, k)) for k in range(spec.n_types)]
+
+
+def extract_blocks(matrix: np.ndarray, spec_rows: BlockSpec,
+                   spec_cols: BlockSpec) -> dict[tuple[int, int], np.ndarray]:
+    """Return every block of ``matrix`` keyed by its ``(row, col)`` position."""
+    matrix = np.asarray(matrix)
+    if matrix.shape != (spec_rows.total, spec_cols.total):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match specs "
+            f"({spec_rows.total}, {spec_cols.total})")
+    blocks: dict[tuple[int, int], np.ndarray] = {}
+    for row in range(spec_rows.n_types):
+        for col in range(spec_cols.n_types):
+            blocks[(row, col)] = np.array(
+                matrix[spec_rows.slice(row), spec_cols.slice(col)])
+    return blocks

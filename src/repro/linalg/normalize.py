@@ -1,0 +1,92 @@
+"""Row, column and symmetric normalisation helpers.
+
+Includes the row-ℓ1 normalisation applied to the cluster membership matrix G
+after every multiplicative update (Eq. 22 of the paper), the symmetric
+normalisation ``D^{-1/2} W D^{-1/2}`` used when building normalised graph
+Laplacians and a small tf-idf transformer used by the synthetic corpus
+generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "row_normalize_l1",
+    "row_normalize_l2",
+    "column_normalize_l1",
+    "symmetric_normalize",
+    "tfidf_transform",
+]
+
+_EPS = 1e-12
+
+
+def row_normalize_l1(matrix: np.ndarray, *, copy: bool = True) -> np.ndarray:
+    """Scale each row of ``matrix`` to sum to one.
+
+    Rows whose ℓ1 mass is numerically zero are left untouched rather than
+    producing NaNs, matching the behaviour expected by the G update where an
+    all-zero row means "no cluster evidence yet".
+    """
+    matrix = np.array(matrix, dtype=np.float64, copy=copy)
+    sums = np.sum(np.abs(matrix), axis=1, keepdims=True)
+    scale = np.where(sums > _EPS, sums, 1.0)
+    matrix /= scale
+    return matrix
+
+
+def row_normalize_l2(matrix: np.ndarray, *, copy: bool = True) -> np.ndarray:
+    """Scale each row of ``matrix`` to unit Euclidean norm (zero rows kept)."""
+    matrix = np.array(matrix, dtype=np.float64, copy=copy)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    scale = np.where(norms > _EPS, norms, 1.0)
+    matrix /= scale
+    return matrix
+
+
+def column_normalize_l1(matrix: np.ndarray, *, copy: bool = True) -> np.ndarray:
+    """Scale each column of ``matrix`` to sum to one (zero columns kept)."""
+    matrix = np.array(matrix, dtype=np.float64, copy=copy)
+    sums = np.sum(np.abs(matrix), axis=0, keepdims=True)
+    scale = np.where(sums > _EPS, sums, 1.0)
+    matrix /= scale
+    return matrix
+
+
+def symmetric_normalize(affinity: np.ndarray) -> np.ndarray:
+    """Return the symmetric normalisation ``D^{-1/2} W D^{-1/2}``.
+
+    ``D`` is the diagonal degree matrix of the affinity ``W``.  Isolated
+    vertices (zero degree) keep zero rows/columns instead of dividing by zero.
+    """
+    affinity = np.asarray(affinity, dtype=np.float64)
+    degrees = np.sum(affinity, axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > _EPS
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    return affinity * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def tfidf_transform(counts: np.ndarray, *, smooth: bool = True) -> np.ndarray:
+    """Apply a tf-idf weighting to a documents × terms count matrix.
+
+    Term frequency is the raw count normalised by document length; inverse
+    document frequency uses the standard smoothed logarithm
+    ``log((1 + n) / (1 + df)) + 1`` so that terms present in every document
+    still receive a non-zero weight.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be 2-D, got shape {counts.shape}")
+    n_docs = counts.shape[0]
+    doc_lengths = np.sum(counts, axis=1, keepdims=True)
+    doc_lengths = np.where(doc_lengths > _EPS, doc_lengths, 1.0)
+    tf = counts / doc_lengths
+    document_frequency = np.count_nonzero(counts > 0, axis=0).astype(np.float64)
+    if smooth:
+        idf = np.log((1.0 + n_docs) / (1.0 + document_frequency)) + 1.0
+    else:
+        safe_df = np.where(document_frequency > 0, document_frequency, 1.0)
+        idf = np.log(n_docs / safe_df) + 1.0
+    return tf * idf[None, :]

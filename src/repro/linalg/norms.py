@@ -1,0 +1,62 @@
+"""Matrix norms used throughout the paper's objective functions.
+
+The RHCHME objective (Eq. 15) combines the squared Frobenius norm of the
+reconstruction residual, the L2,1 norm of the sparse error matrix and the
+trace quadratic form ``tr(Gᵀ L G)`` of the graph regulariser; the
+multiple-subspace objective (Eq. 9) adds the entry-wise ℓ1 norm of
+``W Wᵀ``.  All of them live here so the solvers share one audited
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l1_norm",
+    "l2_norm",
+    "frobenius_norm",
+    "l21_norm",
+    "row_l2_norms",
+    "trace_quadratic",
+]
+
+
+def l1_norm(matrix: np.ndarray) -> float:
+    """Entry-wise ℓ1 norm ``Σᵢⱼ |Mᵢⱼ|`` of a matrix or vector."""
+    return float(np.sum(np.abs(np.asarray(matrix, dtype=np.float64))))
+
+
+def l2_norm(vector: np.ndarray) -> float:
+    """Euclidean norm of a vector (or flattened array)."""
+    return float(np.linalg.norm(np.asarray(vector, dtype=np.float64).ravel()))
+
+
+def frobenius_norm(matrix: np.ndarray) -> float:
+    """Frobenius norm ``‖M‖_F`` of a matrix."""
+    return float(np.linalg.norm(np.asarray(matrix, dtype=np.float64), ord="fro")
+                 if np.asarray(matrix).ndim == 2
+                 else np.linalg.norm(np.asarray(matrix, dtype=np.float64)))
+
+
+def row_l2_norms(matrix: np.ndarray) -> np.ndarray:
+    """Vector of row-wise Euclidean norms ``‖Mᵢ.‖₂``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    return np.sqrt(np.sum(matrix * matrix, axis=1))
+
+
+def l21_norm(matrix: np.ndarray) -> float:
+    """L2,1 norm ``Σᵢ ‖Mᵢ.‖₂`` — the sum of row Euclidean norms (Eq. 14)."""
+    return float(np.sum(row_l2_norms(matrix)))
+
+
+def trace_quadratic(G: np.ndarray, L: np.ndarray) -> float:
+    """Graph regulariser value ``tr(Gᵀ L G)``.
+
+    Evaluated as ``Σᵢⱼ (L G)ᵢⱼ Gᵢⱼ`` to avoid forming the c×c product.
+    """
+    G = np.asarray(G, dtype=np.float64)
+    L = np.asarray(L, dtype=np.float64)
+    return float(np.sum((L @ G) * G))

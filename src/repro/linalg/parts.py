@@ -1,0 +1,33 @@
+"""Positive / negative part decomposition of matrices.
+
+The multiplicative update rule for the cluster membership matrix G (Eq. 21 in
+the paper) splits each matrix M into its element-wise positive part
+``M⁺ = (|M| + M) / 2`` and negative part ``M⁻ = (|M| − M) / 2`` so that the
+update keeps G non-negative.  Both parts are non-negative and satisfy
+``M = M⁺ − M⁻``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["positive_part", "negative_part", "split_parts"]
+
+
+def positive_part(matrix: np.ndarray) -> np.ndarray:
+    """Return the element-wise positive part ``(|M| + M) / 2`` of ``matrix``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return (np.abs(matrix) + matrix) / 2.0
+
+
+def negative_part(matrix: np.ndarray) -> np.ndarray:
+    """Return the element-wise negative part ``(|M| − M) / 2`` of ``matrix``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return (np.abs(matrix) - matrix) / 2.0
+
+
+def split_parts(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(M⁺, M⁻)`` such that ``M = M⁺ − M⁻`` with both parts ≥ 0."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    absolute = np.abs(matrix)
+    return (absolute + matrix) / 2.0, (absolute - matrix) / 2.0

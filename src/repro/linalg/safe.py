@@ -1,0 +1,51 @@
+"""Numerically safe inverses, divisions and square roots.
+
+The update rules of RHCHME repeatedly form ``(GᵀG)⁻¹`` and divide by entries
+that can underflow to zero; the helpers here regularise those operations with
+a small ridge or epsilon instead of letting NaNs propagate into the
+factorisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["safe_inverse", "safe_divide", "safe_sqrt", "stable_pinv"]
+
+_EPS = 1e-12
+
+
+def safe_inverse(matrix: np.ndarray, *, ridge: float = 1e-10) -> np.ndarray:
+    """Invert a square matrix, adding a tiny ridge when it is singular.
+
+    The ridge is scaled by the mean diagonal magnitude so the regularisation
+    is relative to the matrix scale.  Falls back to the Moore–Penrose
+    pseudo-inverse if the ridge-regularised solve still fails.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    identity = np.eye(matrix.shape[0])
+    scale = max(float(np.mean(np.abs(np.diag(matrix)))), 1.0)
+    try:
+        return np.linalg.solve(matrix + ridge * scale * identity, identity)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(matrix)
+
+
+def stable_pinv(matrix: np.ndarray, *, rcond: float = 1e-10) -> np.ndarray:
+    """Moore–Penrose pseudo-inverse with a conservative cutoff."""
+    return np.linalg.pinv(np.asarray(matrix, dtype=np.float64), rcond=rcond)
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray,
+                *, eps: float = _EPS) -> np.ndarray:
+    """Element-wise division that floors the denominator at ``eps``."""
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    return numerator / np.maximum(denominator, eps)
+
+
+def safe_sqrt(values: np.ndarray) -> np.ndarray:
+    """Element-wise square root with negatives (numerical noise) clipped to 0."""
+    return np.sqrt(np.maximum(np.asarray(values, dtype=np.float64), 0.0))

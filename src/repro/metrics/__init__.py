@@ -1,0 +1,24 @@
+"""Clustering evaluation metrics.
+
+The paper evaluates with FScore (Eq. 38) and Normalized Mutual Information
+(Eq. 39).  Purity and the adjusted Rand index are provided as additional
+diagnostics used by the extended benchmarks.
+
+All metrics compare a predicted label vector with a ground-truth label
+vector; they are invariant to the numbering of predicted clusters.
+"""
+
+from .contingency import contingency_matrix
+from .fscore import clustering_fscore, pairwise_precision_recall
+from .nmi import mutual_information, normalized_mutual_information
+from .extra import adjusted_rand_index, purity_score
+
+__all__ = [
+    "adjusted_rand_index",
+    "clustering_fscore",
+    "contingency_matrix",
+    "mutual_information",
+    "normalized_mutual_information",
+    "pairwise_precision_recall",
+    "purity_score",
+]

@@ -1,0 +1,37 @@
+"""Additional clustering agreement metrics (purity, adjusted Rand index).
+
+Not reported in the paper but useful as extra diagnostics for the extended
+benchmarks and ablations; both are standard, widely used metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import comb
+
+from .contingency import contingency_matrix
+
+__all__ = ["purity_score", "adjusted_rand_index"]
+
+
+def purity_score(labels_true, labels_pred) -> float:
+    """Fraction of objects assigned to the majority true class of their cluster."""
+    table = contingency_matrix(labels_true, labels_pred)
+    return float(table.max(axis=0).sum() / table.sum())
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index (chance-corrected pairwise agreement) in [-1, 1]."""
+    table = contingency_matrix(labels_true, labels_pred)
+    n_total = int(table.sum())
+    sum_cells = float(np.sum(comb(table, 2)))
+    sum_rows = float(np.sum(comb(table.sum(axis=1), 2)))
+    sum_cols = float(np.sum(comb(table.sum(axis=0), 2)))
+    total_pairs = float(comb(n_total, 2))
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))

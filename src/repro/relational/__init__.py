@@ -1,0 +1,18 @@
+"""Multi-type relational data model.
+
+Multi-type relational data (Section I.A of the paper) consists of K object
+types, each with its own feature matrix, connected by pairwise co-occurrence
+matrices.  This package provides:
+
+* :mod:`repro.relational.types` — :class:`ObjectType` and :class:`Relation`
+  descriptors.
+* :mod:`repro.relational.dataset` — :class:`MultiTypeRelationalData`, the
+  container every HOCC method consumes, with assembly of the block matrices
+  ``R`` (inter-type) and ``W`` (intra-type) and the block structure of the
+  cluster membership matrix ``G``.
+"""
+
+from .types import ObjectType, Relation
+from .dataset import MultiTypeRelationalData
+
+__all__ = ["MultiTypeRelationalData", "ObjectType", "Relation"]

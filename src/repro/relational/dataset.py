@@ -1,0 +1,210 @@
+"""The multi-type relational dataset container.
+
+:class:`MultiTypeRelationalData` holds the object types and the observed
+pairwise relations between them, and assembles the symmetric block matrices
+the HOCC objectives operate on:
+
+* ``R`` — the ``n × n`` inter-type relationship matrix with zero diagonal
+  blocks and ``R_kl`` / ``R_klᵀ`` in the off-diagonal blocks;
+* ``W`` — the ``n × n`` block-diagonal intra-type relationship matrix, built
+  from per-type affinities supplied by the caller;
+* the :class:`~repro.linalg.blocks.BlockSpec` partitions of objects and
+  clusters used to interpret the factor matrices ``G`` and ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..linalg.blocks import BlockSpec, block_diagonal, block_offdiagonal
+from .types import ObjectType, Relation
+
+__all__ = ["MultiTypeRelationalData"]
+
+
+class MultiTypeRelationalData:
+    """Container for K object types and their pairwise relations.
+
+    Parameters
+    ----------
+    types:
+        The object types in a fixed order; this order defines the block
+        layout of every assembled matrix.
+    relations:
+        Observed relations.  Each unordered pair of types may appear at most
+        once; the reverse direction is derived by transposition.  Pairs with
+        no observed relation contribute zero blocks.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.relational import MultiTypeRelationalData, ObjectType, Relation
+    >>> docs = ObjectType("documents", n_objects=4, n_clusters=2)
+    >>> terms = ObjectType("terms", n_objects=3, n_clusters=2)
+    >>> rel = Relation("documents", "terms", np.ones((4, 3)))
+    >>> data = MultiTypeRelationalData([docs, terms], [rel])
+    >>> data.inter_type_matrix().shape
+    (7, 7)
+    """
+
+    def __init__(self, types: Sequence[ObjectType],
+                 relations: Iterable[Relation]) -> None:
+        types = list(types)
+        if len(types) < 2:
+            raise ValidationError("multi-type relational data needs at least two types")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate type names in {names}")
+        self._types: list[ObjectType] = types
+        self._index: dict[str, int] = {t.name: i for i, t in enumerate(types)}
+        self._relations: dict[tuple[int, int], Relation] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------ types
+    @property
+    def types(self) -> list[ObjectType]:
+        """The object types in block order."""
+        return list(self._types)
+
+    @property
+    def type_names(self) -> list[str]:
+        """Names of the object types in block order."""
+        return [t.name for t in self._types]
+
+    @property
+    def n_types(self) -> int:
+        """Number of object types K."""
+        return len(self._types)
+
+    @property
+    def n_objects_total(self) -> int:
+        """Total number of objects across every type."""
+        return sum(t.n_objects for t in self._types)
+
+    @property
+    def n_clusters_total(self) -> int:
+        """Total number of clusters across every type."""
+        return sum(t.n_clusters for t in self._types)
+
+    def type_index(self, name: str) -> int:
+        """Return the block index of the type called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise ValidationError(
+                f"unknown object type {name!r}; known types: {self.type_names}") from exc
+
+    def get_type(self, name: str) -> ObjectType:
+        """Return the :class:`ObjectType` called ``name``."""
+        return self._types[self.type_index(name)]
+
+    # -------------------------------------------------------------- relations
+    def add_relation(self, relation: Relation) -> None:
+        """Register a relation, validating shapes against the declared types."""
+        source = self.type_index(relation.source)
+        target = self.type_index(relation.target)
+        expected = (self._types[source].n_objects, self._types[target].n_objects)
+        if relation.matrix.shape != expected:
+            raise ValidationError(
+                f"relation {relation.source}->{relation.target} has shape "
+                f"{relation.matrix.shape}, expected {expected}")
+        key = (min(source, target), max(source, target))
+        if key in self._relations:
+            raise ValidationError(
+                f"relation between {relation.source!r} and {relation.target!r} "
+                "is already defined")
+        # store in canonical (low index -> high index) orientation
+        if source <= target:
+            self._relations[key] = relation
+        else:
+            self._relations[key] = relation.transposed()
+
+    @property
+    def relations(self) -> list[Relation]:
+        """Registered relations in canonical orientation."""
+        return [self._relations[key] for key in sorted(self._relations)]
+
+    def relation_between(self, name_a: str, name_b: str) -> Relation | None:
+        """Return the relation connecting two named types (or ``None``)."""
+        a, b = self.type_index(name_a), self.type_index(name_b)
+        key = (min(a, b), max(a, b))
+        relation = self._relations.get(key)
+        if relation is None:
+            return None
+        if self.type_index(relation.source) == a:
+            return relation
+        return relation.transposed()
+
+    # ------------------------------------------------------------ block specs
+    def object_block_spec(self) -> BlockSpec:
+        """Partition of the n total objects into per-type segments."""
+        return BlockSpec(tuple(t.n_objects for t in self._types))
+
+    def cluster_block_spec(self) -> BlockSpec:
+        """Partition of the c total clusters into per-type segments."""
+        return BlockSpec(tuple(t.n_clusters for t in self._types))
+
+    # -------------------------------------------------------- matrix assembly
+    def inter_type_matrix(self, *, normalize: bool = False) -> np.ndarray:
+        """Assemble the symmetric inter-type relationship matrix ``R``.
+
+        With ``normalize=True`` each relation block is scaled to unit
+        Frobenius norm (then multiplied by its relation weight) so that types
+        with very different co-occurrence magnitudes contribute comparably.
+        """
+        spec = self.object_block_spec()
+        blocks: dict[tuple[int, int], np.ndarray] = {}
+        for (row, col), relation in self._relations.items():
+            matrix = relation.matrix
+            if normalize:
+                norm = float(np.linalg.norm(matrix))
+                if norm > 0:
+                    matrix = matrix / norm
+            blocks[(row, col)] = matrix * relation.weight
+        return block_offdiagonal(spec, spec, blocks, symmetric=True)
+
+    def intra_type_matrix(self, affinities: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Assemble the block-diagonal intra-type matrix ``W``.
+
+        ``affinities`` maps type names to symmetric non-negative per-type
+        affinity matrices.  Types without an entry contribute a zero block.
+        """
+        blocks = []
+        for object_type in self._types:
+            affinity = affinities.get(object_type.name)
+            size = object_type.n_objects
+            if affinity is None:
+                blocks.append(np.zeros((size, size)))
+                continue
+            affinity = np.asarray(affinity, dtype=np.float64)
+            if affinity.shape != (size, size):
+                raise ValidationError(
+                    f"affinity for type {object_type.name!r} has shape "
+                    f"{affinity.shape}, expected {(size, size)}")
+            blocks.append(affinity)
+        return block_diagonal(blocks)
+
+    def membership_block_structure(self) -> list[tuple[slice, slice]]:
+        """Row/column slices of each type's block inside the full G matrix."""
+        object_spec = self.object_block_spec()
+        cluster_spec = self.cluster_block_spec()
+        return [(object_spec.slice(k), cluster_spec.slice(k))
+                for k in range(self.n_types)]
+
+    def labels_vector(self) -> np.ndarray | None:
+        """Concatenated ground-truth labels for all types, if every type has them."""
+        if not all(t.has_labels for t in self._types):
+            return None
+        return np.concatenate([t.labels for t in self._types])
+
+    def describe(self) -> str:
+        """One-line summary used in logs and experiment reports."""
+        parts = [f"{t.name}(n={t.n_objects}, c={t.n_clusters})" for t in self._types]
+        return " + ".join(parts) + f", {len(self._relations)} relations"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"MultiTypeRelationalData({self.describe()})"

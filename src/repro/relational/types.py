@@ -1,0 +1,122 @@
+"""Descriptors for object types and inter-type relations.
+
+An :class:`ObjectType` carries the name of a type (documents, terms,
+concepts, …), how many objects it has, how many clusters it should be
+grouped into and, optionally, a feature matrix and ground-truth labels used
+for intra-type relationship learning and evaluation.  A :class:`Relation`
+carries one observed co-occurrence matrix between two types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_float_array, check_labels, check_non_negative, check_positive_int
+from ..exceptions import ValidationError
+
+__all__ = ["ObjectType", "Relation"]
+
+
+@dataclass
+class ObjectType:
+    """One type of objects in a multi-type relational dataset.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the type (e.g. ``"documents"``).
+    n_objects:
+        Number of objects of this type.
+    n_clusters:
+        Number of clusters this type should be partitioned into.
+    features:
+        Optional ``(n_objects, d)`` feature matrix used to learn intra-type
+        relationships.  HOCC methods that do not use intra-type information
+        (e.g. SRC) ignore it.
+    labels:
+        Optional ground-truth class labels used only for evaluation.
+    """
+
+    name: str
+    n_objects: int
+    n_clusters: int
+    features: np.ndarray | None = None
+    labels: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("object type name must be a non-empty string")
+        self.n_objects = check_positive_int(self.n_objects, name=f"{self.name}.n_objects")
+        self.n_clusters = check_positive_int(self.n_clusters, name=f"{self.name}.n_clusters")
+        if self.n_clusters > self.n_objects:
+            raise ValidationError(
+                f"{self.name}: n_clusters ({self.n_clusters}) exceeds "
+                f"n_objects ({self.n_objects})")
+        if self.features is not None:
+            self.features = as_float_array(self.features, name=f"{self.name}.features", ndim=2)
+            if self.features.shape[0] != self.n_objects:
+                raise ValidationError(
+                    f"{self.name}: features have {self.features.shape[0]} rows, "
+                    f"expected {self.n_objects}")
+        if self.labels is not None:
+            self.labels = check_labels(self.labels, name=f"{self.name}.labels",
+                                       n_samples=self.n_objects)
+
+    @property
+    def has_features(self) -> bool:
+        """Whether a feature matrix is available for this type."""
+        return self.features is not None
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether ground-truth labels are available for this type."""
+        return self.labels is not None
+
+
+@dataclass
+class Relation:
+    """Observed co-occurrence matrix between two object types.
+
+    Parameters
+    ----------
+    source, target:
+        Names of the related object types; the matrix rows index the source
+        type and the columns index the target type.
+    matrix:
+        Non-negative ``(n_source, n_target)`` co-occurrence matrix (e.g.
+        tf-idf weights of terms in documents).
+    weight:
+        Optional relative importance of this relation; HOCC methods that
+        weight relations (SRC's ν_ij) multiply the matrix by it.
+    """
+
+    source: str
+    target: str
+    matrix: np.ndarray
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ValidationError("relation endpoints must be non-empty strings")
+        if self.source == self.target:
+            raise ValidationError(
+                f"relation must connect two different types, got {self.source!r} twice")
+        self.matrix = as_float_array(self.matrix, name=f"R[{self.source},{self.target}]",
+                                     ndim=2)
+        check_non_negative(self.matrix, name=f"R[{self.source},{self.target}]")
+        self.weight = float(self.weight)
+        if self.weight <= 0:
+            raise ValidationError(
+                f"relation weight must be positive, got {self.weight}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the co-occurrence matrix."""
+        return self.matrix.shape
+
+    def transposed(self) -> "Relation":
+        """Return the reverse relation with the transposed matrix."""
+        return Relation(source=self.target, target=self.source,
+                        matrix=self.matrix.T.copy(), weight=self.weight)

@@ -1,0 +1,157 @@
+"""Non-monotone Spectral Projected Gradient (SPG) solver.
+
+Implements the projected-gradient scheme of Birgin, Martínez & Raydan (SIAM
+J. Optim., 1999) that Algorithm 1 of the paper uses to minimise the
+multiple-subspace objective over the convex set
+``{W : W ≥ 0, diag(W) = 0}``:
+
+1. form the projected direction ``D = P(W − σ ∇f(W)) − W``;
+2. choose a step length by a non-monotone Armijo line search;
+3. update the spectral step ``σ = (yᵀ y) / (sᵀ y)`` from the Barzilai–Borwein
+   quotient of successive iterates/gradients.
+
+The solver is generic: it takes the objective, gradient and projection as
+callables so the same machinery can be reused by other constrained problems
+(for example the RMC ensemble-weight subproblem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+
+__all__ = ["SPGResult", "spg_minimize"]
+
+
+@dataclass
+class SPGResult:
+    """Outcome of an SPG run.
+
+    Attributes
+    ----------
+    solution:
+        The final (projected) iterate.
+    objective:
+        Objective value at the final iterate.
+    n_iterations:
+        Number of outer iterations performed.
+    converged:
+        ``True`` when the projected-gradient stationarity criterion was met
+        before exhausting ``max_iter``.
+    history:
+        Objective value per iteration (including the starting point).
+    """
+
+    solution: np.ndarray
+    objective: float
+    n_iterations: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+
+
+def spg_minimize(objective: Callable[[np.ndarray], float],
+                 gradient: Callable[[np.ndarray], np.ndarray],
+                 project: Callable[[np.ndarray], np.ndarray],
+                 x0: np.ndarray,
+                 *,
+                 max_iter: int = 200,
+                 tol: float = 1e-5,
+                 memory: int = 10,
+                 sigma_init: float = 1.0,
+                 sigma_min: float = 1e-10,
+                 sigma_max: float = 1e10,
+                 armijo_decrease: float = 1e-4,
+                 backtrack_factor: float = 0.5,
+                 max_backtracks: int = 30) -> SPGResult:
+    """Minimise ``objective`` over a convex set defined by ``project``.
+
+    Parameters
+    ----------
+    objective, gradient, project:
+        Callables evaluating the smooth objective, its gradient and the
+        Euclidean projection onto the feasible set.
+    x0:
+        Starting point; it is projected onto the feasible set before use.
+    max_iter:
+        Maximum number of outer iterations.
+    tol:
+        Stationarity tolerance on the infinity norm of the projected-gradient
+        step ``P(x − ∇f(x)) − x``.
+    memory:
+        Number of previous objective values used by the non-monotone Armijo
+        condition (``memory=1`` gives the classical monotone line search).
+    sigma_init, sigma_min, sigma_max:
+        Initial value and safeguarding bounds of the spectral step length.
+    armijo_decrease:
+        Sufficient-decrease constant of the Armijo condition.
+    backtrack_factor:
+        Multiplicative backtracking factor of the line search.
+    max_backtracks:
+        Maximum number of halvings per line search before accepting the step.
+    """
+    max_iter = check_positive_int(max_iter, name="max_iter")
+    memory = check_positive_int(memory, name="memory")
+    tol = check_positive_float(tol, name="tol")
+    sigma = float(np.clip(sigma_init, sigma_min, sigma_max))
+
+    x = project(np.asarray(x0, dtype=np.float64))
+    f_x = float(objective(x))
+    grad = gradient(x)
+    history = [f_x]
+    recent_values = [f_x]
+    converged = False
+    iteration = 0
+
+    for iteration in range(1, max_iter + 1):
+        direction = project(x - sigma * grad) - x
+        step_norm = float(np.max(np.abs(project(x - grad) - x)))
+        if step_norm <= tol:
+            converged = True
+            iteration -= 1
+            break
+
+        directional_derivative = float(np.sum(grad * direction))
+        if directional_derivative >= 0.0:
+            # The projected direction is not a descent direction (can happen
+            # with a badly scaled spectral step); reset sigma and retry once.
+            sigma = 1.0
+            direction = project(x - sigma * grad) - x
+            directional_derivative = float(np.sum(grad * direction))
+            if directional_derivative >= 0.0:
+                converged = True
+                iteration -= 1
+                break
+
+        reference = max(recent_values)
+        step = 1.0
+        for _ in range(max_backtracks):
+            candidate = x + step * direction
+            f_candidate = float(objective(candidate))
+            if f_candidate <= reference + armijo_decrease * step * directional_derivative:
+                break
+            step *= backtrack_factor
+        else:
+            candidate = x + step * direction
+            f_candidate = float(objective(candidate))
+
+        grad_candidate = gradient(candidate)
+        s = (candidate - x).ravel()
+        y = (grad_candidate - grad).ravel()
+        sy = float(np.dot(s, y))
+        if sy > 0:
+            sigma = float(np.clip(np.dot(s, s) / sy, sigma_min, sigma_max))
+        else:
+            sigma = sigma_max
+
+        x, f_x, grad = candidate, f_candidate, grad_candidate
+        history.append(f_x)
+        recent_values.append(f_x)
+        if len(recent_values) > memory:
+            recent_values.pop(0)
+
+    return SPGResult(solution=x, objective=f_x, n_iterations=iteration,
+                     converged=converged, history=history)

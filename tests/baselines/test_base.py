@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.base (shared HOCC skeleton behaviour)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaseHOCC
+from repro.baselines.snmtf import SNMTF
+
+
+class TestBaseHOCC:
+    def test_build_regularizer_abstract(self, tiny_dataset):
+        with pytest.raises(NotImplementedError):
+            BaseHOCC().build_regularizer(tiny_dataset)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            SNMTF(lam=-1.0)
+        with pytest.raises(Exception):
+            SNMTF(max_iter=0)
+        with pytest.raises(Exception):
+            SNMTF(tol=0.0)
+
+    def test_row_normalize_option_produces_simplex_rows(self, tiny_dataset):
+        result = SNMTF(lam=1.0, p=3, max_iter=10, random_state=0,
+                       row_normalize=True).fit(tiny_dataset)
+        G = result.state.G
+        np.testing.assert_allclose(G.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_without_row_normalize_rows_not_forced_to_simplex(self, tiny_dataset):
+        result = SNMTF(lam=1.0, p=3, max_iter=10, random_state=0,
+                       row_normalize=False).fit(tiny_dataset)
+        G = result.state.G
+        assert not np.allclose(G.sum(axis=1), 1.0)
+
+    def test_error_matrix_stays_zero_for_baselines(self, tiny_dataset):
+        result = SNMTF(lam=1.0, p=3, max_iter=5, random_state=0).fit(tiny_dataset)
+        np.testing.assert_allclose(result.state.E_R, 0.0)
+
+    def test_fit_predict_named_type(self, tiny_dataset):
+        model = SNMTF(lam=1.0, p=3, max_iter=5, random_state=0)
+        labels = model.fit_predict(tiny_dataset, "terms")
+        assert labels.shape == (tiny_dataset.get_type("terms").n_objects,)
+
+    def test_track_metrics_disabled(self, tiny_dataset):
+        result = SNMTF(lam=1.0, p=3, max_iter=5, random_state=0,
+                       track_metrics_every=0).fit(tiny_dataset)
+        series = result.trace.metric_series("fscore/documents")
+        assert np.all(np.isnan(series))
+
+    def test_G_nonnegative_throughout(self, tiny_dataset):
+        result = SNMTF(lam=1.0, p=3, max_iter=10, random_state=0).fit(tiny_dataset)
+        assert np.all(result.state.G >= 0)

@@ -1,0 +1,80 @@
+"""Tests for repro.baselines.drcc (two-way co-clustering variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.drcc import DRCC, DRCCVariant
+from repro.metrics.fscore import clustering_fscore
+
+
+class TestDRCCVariant:
+    def test_coerce_paper_names(self):
+        assert DRCCVariant.coerce("DR-T") is DRCCVariant.TERMS
+        assert DRCCVariant.coerce("dr-c") is DRCCVariant.CONCEPTS
+        assert DRCCVariant.coerce("DR-TC") is DRCCVariant.COMBINED
+
+    def test_coerce_enum_values(self):
+        assert DRCCVariant.coerce("terms") is DRCCVariant.TERMS
+        assert DRCCVariant.coerce(DRCCVariant.COMBINED) is DRCCVariant.COMBINED
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ValueError):
+            DRCCVariant.coerce("dr-x")
+
+
+class TestDRCC:
+    def test_fit_on_two_type_dataset(self, tiny_dataset):
+        result = DRCC("dr-t", max_iter=40, random_state=0).fit(tiny_dataset)
+        documents = tiny_dataset.get_type("documents")
+        assert result.labels.shape == (documents.n_objects,)
+        assert clustering_fscore(documents.labels, result.labels) > 0.85
+
+    def test_feature_labels_cover_feature_side(self, tiny_dataset):
+        result = DRCC("dr-t", max_iter=15, random_state=0).fit(tiny_dataset)
+        assert result.feature_labels.shape == (tiny_dataset.get_type("terms").n_objects,)
+
+    def test_all_variants_on_three_type_dataset(self, small_dataset):
+        for variant in ["dr-t", "dr-c", "dr-tc"]:
+            result = DRCC(variant, max_iter=15, random_state=0).fit(small_dataset)
+            documents = small_dataset.get_type("documents")
+            assert result.labels.shape == (documents.n_objects,)
+            assert clustering_fscore(documents.labels, result.labels) > 0.5
+
+    def test_combined_uses_both_feature_spaces(self, small_dataset):
+        model = DRCC("dr-tc", random_state=0)
+        combined = model._feature_matrix(small_dataset)
+        doc_term = small_dataset.relation_between("documents", "terms").matrix
+        doc_concept = small_dataset.relation_between("documents", "concepts").matrix
+        assert combined.shape[1] == doc_term.shape[1] + doc_concept.shape[1]
+
+    def test_concepts_variant_needs_concept_relation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DRCC("dr-c", max_iter=5, random_state=0).fit(tiny_dataset)
+
+    def test_combined_variant_needs_both_relations(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DRCC("dr-tc", max_iter=5, random_state=0).fit(tiny_dataset)
+
+    def test_objective_never_increases(self, tiny_dataset):
+        result = DRCC("dr-t", max_iter=25, random_state=0).fit(tiny_dataset)
+        objectives = result.trace.objectives
+        diffs = np.diff(objectives)
+        assert np.all(diffs <= np.abs(objectives[:-1]) * 1e-6 + 1e-8)
+
+    def test_deterministic_with_seed(self, tiny_dataset):
+        a = DRCC("dr-t", max_iter=10, random_state=2).fit(tiny_dataset)
+        b = DRCC("dr-t", max_iter=10, random_state=2).fit(tiny_dataset)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_fit_predict_returns_document_labels(self, tiny_dataset):
+        model = DRCC("dr-t", max_iter=10, random_state=0)
+        labels = model.fit_predict(tiny_dataset)
+        np.testing.assert_array_equal(labels, model.result_.labels)
+
+    def test_custom_cluster_counts(self, tiny_dataset):
+        result = DRCC("dr-t", n_row_clusters=3, n_col_clusters=4, max_iter=10,
+                      random_state=0).fit(tiny_dataset)
+        assert result.labels.max() < 3
+        assert result.feature_labels.max() < 4

@@ -1,0 +1,45 @@
+"""Tests for repro.baselines.src (Spectral Relational Clustering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.src import SRC
+from repro.exceptions import NotFittedError
+from repro.metrics.fscore import clustering_fscore
+
+
+class TestSRC:
+    def test_no_regularizer(self, tiny_dataset):
+        assert SRC().build_regularizer(tiny_dataset) is None
+
+    def test_fit_produces_labels_for_all_types(self, tiny_dataset):
+        result = SRC(max_iter=20, random_state=0).fit(tiny_dataset)
+        assert set(result.labels) == {"documents", "terms"}
+        assert result.labels["documents"].shape == (20,)
+
+    def test_recovers_block_structure(self, tiny_dataset):
+        result = SRC(max_iter=30, random_state=0).fit(tiny_dataset)
+        documents = tiny_dataset.get_type("documents")
+        assert clustering_fscore(documents.labels, result.labels["documents"]) > 0.85
+
+    def test_objective_never_increases(self, tiny_dataset):
+        result = SRC(max_iter=20, random_state=0).fit(tiny_dataset)
+        objectives = result.trace.objectives
+        diffs = np.diff(objectives)
+        assert np.all(diffs <= np.abs(objectives[:-1]) * 1e-6 + 1e-8)
+
+    def test_deterministic_with_seed(self, tiny_dataset):
+        a = SRC(max_iter=10, random_state=1).fit(tiny_dataset)
+        b = SRC(max_iter=10, random_state=1).fit(tiny_dataset)
+        np.testing.assert_array_equal(a.labels["documents"], b.labels["documents"])
+
+    def test_labels_property_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = SRC().labels_
+
+    def test_metrics_tracked(self, tiny_dataset):
+        result = SRC(max_iter=5, random_state=0).fit(tiny_dataset)
+        series = result.trace.metric_series("fscore/documents")
+        assert np.all(np.isfinite(series))

@@ -1,0 +1,82 @@
+"""Tests for repro.cluster.kmeans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans, kmeans
+from repro.metrics.nmi import normalized_mutual_information
+
+
+def _blobs(seed: int = 0, n_per: int = 30, separation: float = 10.0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [separation, 0.0], [0.0, separation]])
+    points, labels = [], []
+    for index, center in enumerate(centers):
+        points.append(center + rng.normal(0.0, 0.5, size=(n_per, 2)))
+        labels.append(np.full(n_per, index))
+    return np.vstack(points), np.concatenate(labels)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, labels = _blobs()
+        predicted = KMeans(3, random_state=0).fit_predict(X)
+        assert normalized_mutual_information(labels, predicted) > 0.95
+
+    def test_result_fields(self):
+        X, _ = _blobs()
+        result = KMeans(3, random_state=0).fit(X)
+        assert result.labels.shape == (X.shape[0],)
+        assert result.centers.shape == (3, 2)
+        assert result.inertia >= 0.0
+        assert result.n_iterations >= 1
+
+    def test_labels_in_range(self):
+        X, _ = _blobs()
+        labels = KMeans(3, random_state=1).fit_predict(X)
+        assert set(np.unique(labels)).issubset(set(range(3)))
+
+    def test_all_clusters_populated(self):
+        X, _ = _blobs()
+        labels = KMeans(3, random_state=2).fit_predict(X)
+        assert len(np.unique(labels)) == 3
+
+    def test_deterministic_with_seed(self):
+        X, _ = _blobs()
+        a = KMeans(3, random_state=5).fit_predict(X)
+        b = KMeans(3, random_state=5).fit_predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_restarts_never_worse(self):
+        X, _ = _blobs(seed=3, separation=3.0)
+        single = KMeans(3, n_init=1, random_state=0).fit(X)
+        multiple = KMeans(3, n_init=8, random_state=0).fit(X)
+        assert multiple.inertia <= single.inertia + 1e-9
+
+    def test_n_clusters_equal_n_samples(self):
+        X = np.random.default_rng(0).normal(size=(4, 2))
+        result = KMeans(4, random_state=0, n_init=1).fit(X)
+        assert len(np.unique(result.labels)) == 4
+        assert result.inertia == pytest.approx(0.0, abs=1e-10)
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_functional_wrapper(self):
+        X, labels = _blobs()
+        predicted = kmeans(X, 3, random_state=0)
+        assert normalized_mutual_information(labels, predicted) > 0.95
+
+    def test_identical_points(self):
+        X = np.ones((10, 3))
+        result = KMeans(2, random_state=0, n_init=1).fit(X)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(Exception):
+            KMeans(0)
+        with pytest.raises(Exception):
+            KMeans(2, n_init=0)

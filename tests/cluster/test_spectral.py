@@ -1,0 +1,53 @@
+"""Tests for repro.cluster.spectral."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.spectral import spectral_clustering, spectral_embedding
+from repro.metrics.nmi import normalized_mutual_information
+
+
+def _two_cliques(n: int = 12) -> tuple[np.ndarray, np.ndarray]:
+    half = n // 2
+    affinity = np.zeros((n, n))
+    affinity[:half, :half] = 1.0
+    affinity[half:, half:] = 1.0
+    np.fill_diagonal(affinity, 0.0)
+    # weak bridge between the cliques
+    affinity[0, half] = affinity[half, 0] = 0.01
+    labels = np.repeat([0, 1], half)
+    return affinity, labels
+
+
+class TestSpectralEmbedding:
+    def test_embedding_shape_and_row_norms(self):
+        affinity, _ = _two_cliques()
+        embedding = spectral_embedding(affinity, 2)
+        assert embedding.shape == (affinity.shape[0], 2)
+        norms = np.linalg.norm(embedding, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, atol=1e-8)
+
+    def test_too_many_components_rejected(self):
+        affinity, _ = _two_cliques(6)
+        with pytest.raises(ValueError):
+            spectral_embedding(affinity, 10)
+
+
+class TestSpectralClustering:
+    def test_separates_two_cliques(self):
+        affinity, labels = _two_cliques(16)
+        predicted = spectral_clustering(affinity, 2, random_state=0)
+        assert normalized_mutual_information(labels, predicted) > 0.9
+
+    def test_deterministic_with_seed(self):
+        affinity, _ = _two_cliques(10)
+        a = spectral_clustering(affinity, 2, random_state=3)
+        b = spectral_clustering(affinity, 2, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_range(self):
+        affinity, _ = _two_cliques(10)
+        predicted = spectral_clustering(affinity, 2, random_state=0)
+        assert set(np.unique(predicted)).issubset({0, 1})

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, deterministic synthetic datasets and random
+generators so that every test runs in a fraction of a second and is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_dataset
+from repro.data.manifolds import sample_union_of_lines
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> MultiTypeRelationalData:
+    """A tiny three-type dataset (documents/terms/concepts) with easy clusters."""
+    return make_dataset("multi5-small", random_state=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> MultiTypeRelationalData:
+    """An even smaller hand-rolled two-type dataset for fast structural tests.
+
+    Two document clusters with a block-structured document-term matrix; the
+    block structure makes the correct clustering unambiguous.
+    """
+    rng = np.random.default_rng(7)
+    n_docs, n_terms = 20, 12
+    doc_labels = np.repeat([0, 1], n_docs // 2)
+    term_labels = np.repeat([0, 1], n_terms // 2)
+    matrix = np.zeros((n_docs, n_terms))
+    for i in range(n_docs):
+        for j in range(n_terms):
+            base = 2.0 if doc_labels[i] == term_labels[j] else 0.1
+            matrix[i, j] = base + 0.05 * rng.random()
+    documents = ObjectType("documents", n_objects=n_docs, n_clusters=2,
+                           features=matrix, labels=doc_labels)
+    terms = ObjectType("terms", n_objects=n_terms, n_clusters=2,
+                       features=matrix.T, labels=term_labels)
+    relation = Relation("documents", "terms", matrix)
+    return MultiTypeRelationalData([documents, terms], [relation])
+
+
+@pytest.fixture(scope="session")
+def line_data() -> tuple[np.ndarray, np.ndarray]:
+    """Points on two 1-D lines in R^3 (easy subspace clustering problem)."""
+    return sample_union_of_lines(n_per_line=25, n_lines=2, ambient_dim=3,
+                                 noise=0.01, random_state=0)

@@ -1,0 +1,48 @@
+"""Tests for repro.core.convergence (trace recording)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_accumulate(self):
+        recorder = TraceRecorder()
+        recorder.record(0, 10.0)
+        recorder.record(1, 5.0, terms={"reconstruction": 4.0})
+        assert len(recorder) == 2
+        assert recorder.records[1].terms["reconstruction"] == 4.0
+
+    def test_objectives_array(self):
+        recorder = TraceRecorder()
+        for i, value in enumerate([3.0, 2.0, 1.5]):
+            recorder.record(i, value)
+        np.testing.assert_allclose(recorder.objectives, [3.0, 2.0, 1.5])
+
+    def test_metric_series_with_missing_values(self):
+        recorder = TraceRecorder()
+        recorder.record(0, 1.0, metrics={"fscore/documents": 0.5})
+        recorder.record(1, 0.9)
+        series = recorder.metric_series("fscore/documents")
+        assert series[0] == 0.5
+        assert np.isnan(series[1])
+
+    def test_relative_decrease(self):
+        recorder = TraceRecorder()
+        recorder.record(0, 10.0)
+        recorder.record(1, 9.0)
+        assert recorder.last_relative_decrease() == pytest.approx(0.1)
+
+    def test_relative_decrease_with_single_record_is_infinite(self):
+        recorder = TraceRecorder()
+        recorder.record(0, 10.0)
+        assert recorder.last_relative_decrease() == float("inf")
+
+    def test_negative_decrease_when_objective_rises(self):
+        recorder = TraceRecorder()
+        recorder.record(0, 1.0)
+        recorder.record(1, 2.0)
+        assert recorder.last_relative_decrease() < 0

@@ -1,0 +1,63 @@
+"""Tests for repro.core.objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_objective
+from repro.linalg.norms import frobenius_norm, l21_norm, trace_quadratic
+
+
+class TestEvaluateObjective:
+    def _random_factors(self, seed=0, n=10, c=4):
+        rng = np.random.default_rng(seed)
+        R = rng.random((n, n))
+        R = (R + R.T) / 2
+        G = rng.random((n, c))
+        S = rng.random((c, c))
+        E = rng.normal(size=(n, n)) * 0.1
+        L = rng.random((n, n))
+        L = (L + L.T) / 2
+        return R, G, S, E, L
+
+    def test_matches_direct_formula(self):
+        R, G, S, E, L = self._random_factors()
+        lam, beta = 2.5, 1.5
+        breakdown = evaluate_objective(R, G, S, E, L, lam=lam, beta=beta)
+        expected_recon = frobenius_norm(R - G @ S @ G.T - E) ** 2
+        assert breakdown.reconstruction == pytest.approx(expected_recon)
+        assert breakdown.error_sparsity == pytest.approx(beta * l21_norm(E))
+        assert breakdown.graph_smoothness == pytest.approx(lam * trace_quadratic(G, L))
+        assert breakdown.total == pytest.approx(
+            expected_recon + beta * l21_norm(E) + lam * trace_quadratic(G, L))
+
+    def test_zero_error_matrix_has_zero_sparsity_term(self):
+        R, G, S, _, L = self._random_factors(1)
+        breakdown = evaluate_objective(R, G, S, np.zeros_like(R), L, lam=1.0, beta=5.0)
+        assert breakdown.error_sparsity == 0.0
+
+    def test_perfect_factorisation_has_zero_reconstruction(self):
+        rng = np.random.default_rng(2)
+        G = rng.random((8, 3))
+        S = rng.random((3, 3))
+        R = G @ S @ G.T
+        breakdown = evaluate_objective(R, G, S, np.zeros_like(R),
+                                       np.zeros_like(R), lam=1.0, beta=1.0)
+        assert breakdown.reconstruction == pytest.approx(0.0, abs=1e-18)
+
+    def test_terms_nonnegative_for_laplacian_regularizer(self):
+        from repro.graph.laplacian import unnormalized_laplacian
+        rng = np.random.default_rng(3)
+        R = rng.random((6, 6))
+        G = rng.random((6, 2))
+        S = rng.random((2, 2))
+        E = rng.normal(size=(6, 6))
+        affinity = rng.random((6, 6))
+        affinity = (affinity + affinity.T) / 2
+        np.fill_diagonal(affinity, 0)
+        L = unnormalized_laplacian(affinity)
+        breakdown = evaluate_objective(R, G, S, E, L, lam=3.0, beta=2.0)
+        assert breakdown.reconstruction >= 0
+        assert breakdown.error_sparsity >= 0
+        assert breakdown.graph_smoothness >= -1e-9

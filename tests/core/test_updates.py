@@ -1,0 +1,190 @@
+"""Tests for repro.core.updates (the S / G / E_R update rules)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_objective
+from repro.core.state import initialize_state
+from repro.core.updates import (
+    apply_block_structure,
+    l21_reweighting_diagonal,
+    update_association,
+    update_error_matrix,
+    update_membership,
+)
+from repro.graph.laplacian import unnormalized_laplacian
+from repro.graph.pnn import pnn_affinity
+from repro.linalg.blocks import block_diagonal
+
+
+@pytest.fixture
+def prepared(tiny_dataset):
+    """Dataset, R, a block-diagonal Laplacian and an initialised state."""
+    R = tiny_dataset.inter_type_matrix(normalize=True)
+    laplacians = []
+    for object_type in tiny_dataset.types:
+        affinity = pnn_affinity(object_type.features, p=3, scheme="cosine")
+        laplacians.append(unnormalized_laplacian(affinity))
+    L = block_diagonal(laplacians)
+    state = initialize_state(tiny_dataset, R, random_state=0)
+    state.S = update_association(R, state)
+    return tiny_dataset, R, L, state
+
+
+class TestAssociationUpdate:
+    def test_shape_and_finite(self, prepared):
+        _, R, _, state = prepared
+        S = update_association(R, state)
+        assert S.shape == state.S.shape
+        assert np.all(np.isfinite(S))
+
+    def test_diagonal_blocks_zero(self, prepared):
+        _, R, _, state = prepared
+        S = update_association(R, state)
+        spec = state.cluster_spec
+        for k in range(spec.n_types):
+            np.testing.assert_allclose(S[spec.slice(k), spec.slice(k)], 0.0)
+
+    def test_minimises_reconstruction_given_G(self, prepared):
+        # The closed-form S is the least-squares minimiser; perturbing it must
+        # not decrease the reconstruction term.
+        _, R, L, state = prepared
+        state.S = update_association(R, state)
+        base = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                  lam=0.0, beta=0.0).reconstruction
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perturbed = state.S + 0.05 * rng.normal(size=state.S.shape)
+            value = evaluate_objective(R, state.G, perturbed, state.E_R, L,
+                                       lam=0.0, beta=0.0).reconstruction
+            assert value >= base - 1e-8
+
+
+class TestMembershipUpdate:
+    def test_nonnegative_and_row_normalised(self, prepared):
+        _, R, L, state = prepared
+        G = update_membership(R, L, state, lam=1.0)
+        assert np.all(G >= 0)
+        np.testing.assert_allclose(G.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_block_structure_preserved(self, prepared):
+        data, R, L, state = prepared
+        G = update_membership(R, L, state, lam=1.0)
+        object_spec, cluster_spec = state.object_spec, state.cluster_spec
+        for k in range(object_spec.n_types):
+            for l in range(cluster_spec.n_types):
+                if k != l:
+                    np.testing.assert_allclose(
+                        G[object_spec.slice(k), cluster_spec.slice(l)], 0.0)
+
+    def test_objective_not_increased_by_joint_s_g_update(self, prepared):
+        # Theorem 1: each alternating pass decreases J4.  The G update alone
+        # uses the *unnormalised* KKT step, so we check the full pass
+        # (S update followed by G update) like Algorithm 2 does.
+        _, R, L, state = prepared
+        lam = 0.5
+        before = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                    lam=lam, beta=1.0).total
+        for _ in range(3):
+            state.S = update_association(R, state)
+            state.G = update_membership(R, L, state, lam=lam)
+        after = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                   lam=lam, beta=1.0).total
+        assert after <= before * 1.05
+
+    def test_zero_lambda_ignores_graph(self, prepared):
+        _, R, L, state = prepared
+        with_graph = update_membership(R, L, state, lam=0.0)
+        without_graph = update_membership(R, np.zeros_like(L), state, lam=1.0)
+        np.testing.assert_allclose(with_graph, without_graph, atol=1e-10)
+
+
+class TestApplyBlockStructure:
+    def test_masks_off_blocks(self, prepared):
+        _, R, _, state = prepared
+        full = np.ones_like(state.G)
+        masked = apply_block_structure(full, state)
+        object_spec, cluster_spec = state.object_spec, state.cluster_spec
+        for k in range(object_spec.n_types):
+            np.testing.assert_allclose(
+                masked[object_spec.slice(k), cluster_spec.slice(k)], 1.0)
+            for l in range(cluster_spec.n_types):
+                if l != k:
+                    np.testing.assert_allclose(
+                        masked[object_spec.slice(k), cluster_spec.slice(l)], 0.0)
+
+
+class TestErrorMatrixUpdate:
+    def test_shape_and_finite(self, prepared):
+        _, R, _, state = prepared
+        E = update_error_matrix(R, state, beta=10.0)
+        assert E.shape == R.shape
+        assert np.all(np.isfinite(E))
+
+    def test_large_beta_shrinks_error_matrix(self, prepared):
+        _, R, _, state = prepared
+        small_beta = update_error_matrix(R, state, beta=0.1)
+        large_beta = update_error_matrix(R, state, beta=1000.0)
+        assert np.abs(large_beta).sum() < np.abs(small_beta).sum()
+
+    def test_error_rows_proportional_to_residual_rows(self, prepared):
+        _, R, _, state = prepared
+        E = update_error_matrix(R, state, beta=10.0)
+        residual = R - state.G @ state.S @ state.G.T
+        # Each row of E is a positive scaling of the corresponding residual row.
+        for i in range(R.shape[0]):
+            if np.linalg.norm(residual[i]) < 1e-12:
+                continue
+            mask = np.abs(residual[i]) > 1e-12
+            if not mask.any():
+                continue
+            values = E[i, mask] / residual[i, mask]
+            assert np.allclose(values, values[0], atol=1e-8)
+            assert 0.0 <= values[0] <= 1.0
+
+    def test_update_minimises_reweighted_subproblem(self, prepared):
+        # Eq. 27 is the exact minimiser of the reweighted quadratic
+        # ‖Q − E‖²_F + β tr(Eᵀ D E) with D computed from the residual Q
+        # (Eq. 25); perturbing the solution must not lower that objective.
+        _, R, _, state = prepared
+        beta = 5.0
+        residual = R - state.G @ state.S @ state.G.T
+        diag = l21_reweighting_diagonal(residual)
+
+        def reweighted(E: np.ndarray) -> float:
+            return float(np.sum((residual - E) ** 2)
+                         + beta * np.sum(diag[:, None] * E * E))
+
+        E_star = update_error_matrix(R, state, beta=beta)
+        base = reweighted(E_star)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perturbed = E_star + 0.01 * rng.normal(size=E_star.shape)
+            assert reweighted(perturbed) >= base - 1e-9
+
+    def test_update_decreases_subobjective_when_residual_dominates(self, prepared):
+        # With β small relative to the residual row norms the one-step update
+        # is guaranteed to decrease the true L2,1-regularised sub-objective.
+        _, R, L, state = prepared
+        residual = R - state.G @ state.S @ state.G.T
+        row_norms = np.sqrt(np.sum(residual * residual, axis=1))
+        beta = 0.5 * float(np.min(row_norms[row_norms > 0]))
+        before = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                    lam=0.0, beta=beta).total
+        state.E_R = update_error_matrix(R, state, beta=beta)
+        after = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                   lam=0.0, beta=beta).total
+        assert after <= before + 1e-8
+
+    def test_reweighting_diagonal_positive(self, prepared):
+        _, R, _, state = prepared
+        residual = R - state.G @ state.S @ state.G.T
+        diag = l21_reweighting_diagonal(residual)
+        assert np.all(diag > 0)
+
+    def test_reweighting_handles_zero_rows(self):
+        residual = np.zeros((4, 4))
+        diag = l21_reweighting_diagonal(residual, zeta=1e-10)
+        assert np.all(np.isfinite(diag))

@@ -1,0 +1,79 @@
+"""Tests for repro.data.corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import sample_corpus
+from repro.data.topics import TopicModel, TopicModelSpec
+from repro.exceptions import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def topic_model() -> TopicModel:
+    spec = TopicModelSpec(n_classes=3, n_terms=80, n_concepts=15,
+                          terms_per_topic=15, background_weight=0.25,
+                          doc_length_mean=50.0)
+    return TopicModel(spec, random_state=0)
+
+
+class TestSampleCorpus:
+    def test_shapes(self, topic_model):
+        sample = sample_corpus(topic_model, [10, 12, 8], random_state=0)
+        assert sample.document_term.shape == (30, 80)
+        assert sample.document_concept.shape == (30, 15)
+        assert sample.term_concept.shape == (80, 15)
+        assert sample.document_labels.shape == (30,)
+        assert sample.n_documents == 30
+        assert sample.n_terms == 80
+        assert sample.n_concepts == 15
+
+    def test_class_sizes_respected(self, topic_model):
+        sample = sample_corpus(topic_model, [10, 12, 8], random_state=0)
+        counts = np.bincount(sample.document_labels, minlength=3)
+        np.testing.assert_array_equal(np.sort(counts), [8, 10, 12])
+
+    def test_matrices_nonnegative(self, topic_model):
+        sample = sample_corpus(topic_model, [8, 8, 8], random_state=1)
+        assert np.all(sample.document_term >= 0)
+        assert np.all(sample.document_concept >= 0)
+        assert np.all(sample.term_concept >= 0)
+
+    def test_document_concept_rows_normalised(self, topic_model):
+        sample = sample_corpus(topic_model, [8, 8, 8], random_state=2)
+        sums = sample.document_concept.sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+
+    def test_label_vectors_cover_all_classes(self, topic_model):
+        sample = sample_corpus(topic_model, [10, 10, 10], random_state=3)
+        assert set(np.unique(sample.document_labels)) == {0, 1, 2}
+        assert sample.term_labels.shape == (80,)
+        assert sample.concept_labels.shape == (15,)
+        assert sample.term_labels.max() < 3
+        assert sample.concept_labels.max() < 3
+
+    def test_wrong_class_count_rejected(self, topic_model):
+        with pytest.raises(DataGenerationError):
+            sample_corpus(topic_model, [10, 10], random_state=0)
+
+    def test_deterministic_with_seed(self, topic_model):
+        a = sample_corpus(topic_model, [6, 6, 6], random_state=9)
+        b = sample_corpus(topic_model, [6, 6, 6], random_state=9)
+        np.testing.assert_allclose(a.document_term, b.document_term)
+        np.testing.assert_array_equal(a.document_labels, b.document_labels)
+
+    def test_documents_cluster_by_construction(self, topic_model):
+        # Documents of the same class should be more similar (cosine) on
+        # average than documents of different classes.
+        sample = sample_corpus(topic_model, [15, 15, 15], random_state=4)
+        X = sample.document_term
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        normalised = X / np.where(norms > 0, norms, 1.0)
+        similarity = normalised @ normalised.T
+        same = sample.document_labels[:, None] == sample.document_labels[None, :]
+        np.fill_diagonal(same, False)
+        off_diag = ~np.eye(len(X), dtype=bool)
+        within = similarity[same].mean()
+        across = similarity[off_diag & ~same].mean()
+        assert within > across

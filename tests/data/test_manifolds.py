@@ -1,0 +1,97 @@
+"""Tests for repro.data.manifolds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.manifolds import (
+    sample_intersecting_circles,
+    sample_union_of_lines,
+    sample_union_of_rays,
+    sample_union_of_subspaces,
+)
+
+
+class TestIntersectingCircles:
+    def test_shapes_and_labels(self):
+        points, labels = sample_intersecting_circles(50, random_state=0)
+        assert points.shape == (100, 2)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_points_lie_near_circles(self):
+        points, labels = sample_intersecting_circles(
+            40, radius=1.0, separation=1.0, noise=0.0, random_state=1)
+        centers = np.array([[-0.5, 0.0], [0.5, 0.0]])
+        for circle in (0, 1):
+            members = points[labels == circle]
+            radii = np.linalg.norm(members - centers[circle], axis=1)
+            np.testing.assert_allclose(radii, 1.0, atol=1e-9)
+
+    def test_outliers_labelled_minus_one(self):
+        points, labels = sample_intersecting_circles(
+            30, outlier_fraction=0.2, random_state=2)
+        n_outliers = int(round(0.2 * 60))
+        assert int(np.sum(labels == -1)) == n_outliers
+        assert points.shape[0] == 60 + n_outliers
+
+    def test_intersecting_regime(self):
+        # With separation < 2*radius some points of different circles are
+        # closer to each other than to most of their own circle.
+        points, labels = sample_intersecting_circles(
+            100, radius=1.0, separation=1.0, noise=0.0, random_state=3)
+        from scipy.spatial.distance import cdist
+        cross = cdist(points[labels == 0], points[labels == 1])
+        assert cross.min() < 0.2
+
+
+class TestUnionOfLinesRaysSubspaces:
+    def test_lines_shapes(self):
+        points, labels = sample_union_of_lines(20, 3, ambient_dim=4, random_state=0)
+        assert points.shape == (60, 4)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_lines_are_one_dimensional(self):
+        points, labels = sample_union_of_lines(30, 2, ambient_dim=5, noise=0.0,
+                                               random_state=1)
+        for line in (0, 1):
+            members = points[labels == line]
+            singular_values = np.linalg.svd(members - members.mean(0),
+                                            compute_uv=False)
+            assert singular_values[1] < 1e-8 * max(singular_values[0], 1.0)
+
+    def test_rays_nonnegative_pairwise_dot_products(self):
+        points, labels = sample_union_of_rays(25, 2, ambient_dim=3, noise=0.0,
+                                              random_state=2)
+        for ray in (0, 1):
+            members = points[labels == ray]
+            dots = members @ members.T
+            assert np.all(dots > 0)
+
+    def test_rays_invalid_coefficient_range(self):
+        with pytest.raises(ValueError):
+            sample_union_of_rays(10, 2, coefficient_range=(2.0, 1.0))
+
+    def test_subspaces_shapes(self):
+        points, labels = sample_union_of_subspaces(15, 3, subspace_dim=2,
+                                                   ambient_dim=8, random_state=3)
+        assert points.shape == (45, 8)
+        assert labels.shape == (45,)
+
+    def test_subspaces_have_requested_rank(self):
+        points, labels = sample_union_of_subspaces(40, 2, subspace_dim=2,
+                                                   ambient_dim=6, noise=0.0,
+                                                   random_state=4)
+        for subspace in (0, 1):
+            members = points[labels == subspace]
+            singular_values = np.linalg.svd(members, compute_uv=False)
+            assert singular_values[2] < 1e-8 * max(singular_values[0], 1.0)
+
+    def test_subspace_dim_must_be_smaller_than_ambient(self):
+        with pytest.raises(ValueError):
+            sample_union_of_subspaces(10, 2, subspace_dim=5, ambient_dim=5)
+
+    def test_deterministic_with_seed(self):
+        a, _ = sample_union_of_rays(10, 2, random_state=11)
+        b, _ = sample_union_of_rays(10, 2, random_state=11)
+        np.testing.assert_allclose(a, b)

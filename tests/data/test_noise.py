@@ -1,0 +1,82 @@
+"""Tests for repro.data.noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.noise import add_gaussian_noise, corrupt_rows, shuffle_fraction_of_labels
+
+
+class TestGaussianNoise:
+    def test_shape_preserved(self):
+        matrix = np.ones((5, 4))
+        noisy = add_gaussian_noise(matrix, scale=0.2, random_state=0)
+        assert noisy.shape == matrix.shape
+
+    def test_nonnegative_by_default(self):
+        matrix = np.full((10, 10), 0.01)
+        noisy = add_gaussian_noise(matrix, scale=5.0, random_state=0)
+        assert np.all(noisy >= 0)
+
+    def test_clipping_can_be_disabled(self):
+        matrix = np.zeros((20, 20))
+        matrix[0, 0] = 1.0
+        noisy = add_gaussian_noise(matrix, scale=10.0, random_state=0,
+                                   clip_nonnegative=False)
+        assert (noisy < 0).any()
+
+    def test_deterministic_with_seed(self):
+        matrix = np.ones((4, 4))
+        a = add_gaussian_noise(matrix, scale=0.5, random_state=3)
+        b = add_gaussian_noise(matrix, scale=0.5, random_state=3)
+        np.testing.assert_allclose(a, b)
+
+
+class TestCorruptRows:
+    def test_fraction_of_rows_corrupted(self):
+        matrix = np.ones((20, 5))
+        corrupted, rows = corrupt_rows(matrix, fraction=0.25, random_state=0)
+        assert rows.shape == (5,)
+        untouched = np.setdiff1d(np.arange(20), rows)
+        np.testing.assert_allclose(corrupted[untouched], 1.0)
+        # corrupted rows differ from the original
+        assert not np.allclose(corrupted[rows], 1.0)
+
+    def test_zero_fraction_is_noop(self):
+        matrix = np.random.default_rng(0).random((10, 3))
+        corrupted, rows = corrupt_rows(matrix, fraction=0.0, random_state=0)
+        assert rows.size == 0
+        np.testing.assert_allclose(corrupted, matrix)
+
+    def test_rows_sorted_and_unique(self):
+        matrix = np.ones((30, 4))
+        _, rows = corrupt_rows(matrix, fraction=0.5, random_state=1)
+        assert np.all(np.diff(rows) > 0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(Exception):
+            corrupt_rows(np.ones((5, 5)), fraction=1.5)
+
+
+class TestShuffleLabels:
+    def test_zero_fraction_identity(self):
+        labels = np.arange(10)
+        shuffled = shuffle_fraction_of_labels(labels, fraction=0.0, random_state=0)
+        np.testing.assert_array_equal(shuffled, labels)
+
+    def test_label_multiset_preserved(self):
+        labels = np.repeat([0, 1, 2], 20)
+        shuffled = shuffle_fraction_of_labels(labels, fraction=0.5, random_state=0)
+        np.testing.assert_array_equal(np.bincount(shuffled), np.bincount(labels))
+
+    def test_full_shuffle_changes_assignments(self):
+        labels = np.repeat([0, 1], 50)
+        shuffled = shuffle_fraction_of_labels(labels, fraction=1.0, random_state=0)
+        assert (shuffled != labels).any()
+
+    def test_original_not_modified(self):
+        labels = np.repeat([0, 1], 10)
+        copy = labels.copy()
+        shuffle_fraction_of_labels(labels, fraction=1.0, random_state=0)
+        np.testing.assert_array_equal(labels, copy)

@@ -1,0 +1,82 @@
+"""Tests for repro.data.topics (the synthetic generative topic model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.topics import TopicModel, TopicModelSpec
+from repro.exceptions import DataGenerationError
+
+
+def _spec(**overrides):
+    params = dict(n_classes=3, n_terms=60, n_concepts=12, terms_per_topic=10,
+                  background_weight=0.3, concept_noise=0.1, doc_length_mean=40.0)
+    params.update(overrides)
+    return TopicModelSpec(**params)
+
+
+class TestTopicModelSpec:
+    def test_valid_spec(self):
+        spec = _spec()
+        assert spec.n_classes == 3
+
+    def test_vocabulary_too_small_rejected(self):
+        with pytest.raises(DataGenerationError):
+            _spec(n_terms=20, terms_per_topic=10, n_classes=3)
+
+    def test_too_few_concepts_rejected(self):
+        with pytest.raises(DataGenerationError):
+            _spec(n_concepts=2, n_classes=3)
+
+    def test_invalid_background_weight_rejected(self):
+        with pytest.raises(Exception):
+            _spec(background_weight=1.5)
+
+
+class TestTopicModel:
+    def test_topic_term_probabilities_normalised(self):
+        model = TopicModel(_spec(), random_state=0)
+        np.testing.assert_allclose(model.topic_term_probs.sum(axis=1), 1.0)
+        assert np.all(model.topic_term_probs >= 0)
+
+    def test_topic_concept_probabilities_normalised(self):
+        model = TopicModel(_spec(), random_state=0)
+        np.testing.assert_allclose(model.topic_concept_probs.sum(axis=1), 1.0)
+
+    def test_topic_blocks_disjoint(self):
+        model = TopicModel(_spec(), random_state=1)
+        seen: set[int] = set()
+        for block in model.topic_term_blocks:
+            block_set = set(block.tolist())
+            assert not (seen & block_set)
+            seen |= block_set
+
+    def test_topics_prefer_their_own_block(self):
+        model = TopicModel(_spec(background_weight=0.2), random_state=2)
+        for topic, block in enumerate(model.topic_term_blocks):
+            own_mass = model.topic_term_probs[topic, block].sum()
+            assert own_mass > 0.5
+
+    def test_every_term_assigned_to_a_concept(self):
+        model = TopicModel(_spec(), random_state=3)
+        assert model.term_to_concept.shape == (60,)
+        assert model.term_to_concept.max() < 12
+
+    def test_sample_document_shapes(self):
+        model = TopicModel(_spec(), random_state=4)
+        rng = np.random.default_rng(0)
+        terms, concepts = model.sample_document(1, rng)
+        assert terms.shape == (60,)
+        assert concepts.shape == (12,)
+        assert terms.sum() >= 5  # minimum document length
+
+    def test_sample_document_invalid_topic(self):
+        model = TopicModel(_spec(), random_state=5)
+        with pytest.raises(DataGenerationError):
+            model.sample_document(99, np.random.default_rng(0))
+
+    def test_deterministic_construction(self):
+        a = TopicModel(_spec(), random_state=7)
+        b = TopicModel(_spec(), random_state=7)
+        np.testing.assert_allclose(a.topic_term_probs, b.topic_term_probs)

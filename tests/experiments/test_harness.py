@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import evaluate_labels, run_cell, run_grid
+
+
+class TestEvaluateLabels:
+    def test_perfect_labels(self):
+        labels = np.array([0, 0, 1, 1])
+        metrics = evaluate_labels(labels, labels)
+        assert metrics["fscore"] == pytest.approx(1.0)
+        assert metrics["nmi"] == pytest.approx(1.0)
+
+
+class TestRunCell:
+    def test_hocc_method_records_per_type_metrics(self, small_dataset):
+        cell = run_cell("SRC", small_dataset, dataset_name="multi5-small",
+                        max_iter=8, random_state=0)
+        assert cell.method == "SRC"
+        assert cell.dataset == "multi5-small"
+        assert 0.0 <= cell.fscore <= 1.0
+        assert 0.0 <= cell.nmi <= 1.0
+        assert cell.runtime_seconds > 0
+        assert set(cell.per_type) == {"documents", "terms", "concepts"}
+
+    def test_two_way_method_has_no_per_type_metrics(self, small_dataset):
+        cell = run_cell("DR-T", small_dataset, dataset_name="multi5-small",
+                        max_iter=8, random_state=0)
+        assert cell.per_type == {}
+        assert 0.0 <= cell.fscore <= 1.0
+
+    def test_overrides_reach_the_estimator(self, small_dataset):
+        # An intentionally tiny iteration budget shows up in n_iterations.
+        cell = run_cell("SNMTF", small_dataset, max_iter=3, random_state=0)
+        assert cell.n_iterations <= 3
+
+
+class TestRunGrid:
+    def test_grid_covers_all_cells(self, small_dataset):
+        cells = run_grid(methods=["SRC", "DR-T"],
+                         datasets=["multi5-small"],
+                         max_iter=5, random_state=0,
+                         prebuilt={"multi5-small": small_dataset})
+        assert len(cells) == 2
+        assert {cell.method for cell in cells} == {"SRC", "DR-T"}
+        assert {cell.dataset for cell in cells} == {"multi5-small"}
+
+    def test_prebuilt_dataset_reused(self, small_dataset):
+        cells = run_grid(methods=["SRC"], datasets=["multi5-small"],
+                         max_iter=3, random_state=0,
+                         prebuilt={"multi5-small": small_dataset})
+        assert cells[0].dataset == "multi5-small"
+
+    def test_per_method_overrides(self, small_dataset):
+        cells = run_grid(methods=["RHCHME"], datasets=["multi5-small"],
+                         max_iter=3, random_state=0,
+                         overrides={"RHCHME": {"use_error_matrix": False}},
+                         prebuilt={"multi5-small": small_dataset})
+        assert len(cells) == 1

@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.drcc import DRCC
+from repro.baselines.rmc import RMC
+from repro.baselines.snmtf import SNMTF
+from repro.baselines.src import SRC
+from repro.core.rhchme import RHCHME
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    DEFAULT_DATASETS,
+    DEFAULT_METHODS,
+    build_method,
+    list_methods,
+    method_registry,
+)
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        registry = method_registry()
+        assert set(DEFAULT_METHODS) == set(registry)
+        assert list_methods() == list(DEFAULT_METHODS)
+
+    def test_default_datasets_are_the_four_paper_datasets(self):
+        assert DEFAULT_DATASETS == ("multi5", "multi10", "r-min20max200", "r-top10")
+
+    def test_two_way_flags(self):
+        registry = method_registry()
+        for name in ("DR-T", "DR-C", "DR-TC"):
+            assert registry[name].is_two_way
+        for name in ("SRC", "SNMTF", "RMC", "RHCHME"):
+            assert not registry[name].is_two_way
+
+    def test_factories_build_correct_types(self):
+        assert isinstance(build_method("DR-T", max_iter=5), DRCC)
+        assert isinstance(build_method("SRC", max_iter=5), SRC)
+        assert isinstance(build_method("SNMTF", max_iter=5), SNMTF)
+        assert isinstance(build_method("RMC", max_iter=5), RMC)
+        assert isinstance(build_method("RHCHME", max_iter=5), RHCHME)
+
+    def test_rhchme_defaults_follow_paper(self):
+        model = build_method("RHCHME", max_iter=5)
+        assert model.config.lam == 250.0
+        assert model.config.gamma == 25.0
+        assert model.config.alpha == 1.0
+        assert model.config.beta == 50.0
+        assert model.config.p == 5
+
+    def test_overrides_forwarded(self):
+        model = build_method("RHCHME", max_iter=5, lam=10.0)
+        assert model.config.lam == 10.0
+        snmtf = build_method("SNMTF", max_iter=5, lam=7.0)
+        assert snmtf.lam == 7.0
+
+    def test_case_insensitive_lookup(self):
+        assert isinstance(build_method("rhchme", max_iter=3), RHCHME)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_method("GPT-CLUSTER")

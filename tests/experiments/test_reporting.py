@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table, rows_to_markdown
+
+
+class TestFormatTable:
+    def test_contains_all_methods_and_datasets(self):
+        values = {"SRC": {"d1": 0.7, "d2": 0.71},
+                  "RHCHME": {"d1": 0.9, "d2": 0.91}}
+        text = format_table(values, row_order=["SRC", "RHCHME"],
+                            column_order=["d1", "d2"], title="Table III")
+        assert "Table III" in text
+        assert "SRC" in text and "RHCHME" in text
+        assert "0.900" in text and "0.710" in text
+
+    def test_average_column(self):
+        values = {"SRC": {"d1": 0.5, "d2": 0.7}}
+        text = format_table(values, add_average=True)
+        assert "Average" in text
+        assert "0.600" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        values = {"SRC": {"d1": 0.5}}
+        text = format_table(values, column_order=["d1", "d2"])
+        assert "-" in text
+
+    def test_no_average_column(self):
+        text = format_table({"SRC": {"d1": 0.5}}, add_average=False)
+        assert "Average" not in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series({"fscore": [0.5, 0.6], "nmi": [0.4, 0.45]},
+                             x_label="iteration", title="Figure 3")
+        assert "Figure 3" in text
+        assert "fscore" in text and "nmi" in text
+        assert "0.600" in text
+
+    def test_unequal_lengths_padded(self):
+        text = format_series({"a": [1.0], "b": [1.0, 2.0]})
+        assert "2.000" in text
+
+
+class TestRowsToMarkdown:
+    def test_markdown_structure(self):
+        rows = [{"dataset": "multi5", "documents": 200, "fscore": 0.913}]
+        text = rows_to_markdown(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("| dataset")
+        assert "---" in lines[1]
+        assert "0.913" in lines[2]
+
+    def test_empty_rows(self):
+        assert rows_to_markdown([]) == ""
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = rows_to_markdown(rows, columns=["b"])
+        assert "| b |" in text.splitlines()[0]
+        assert "| 2 |" in text.splitlines()[2]

@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import CellResult
+from repro.experiments.tables import (
+    grid_to_matrix,
+    method_averages,
+    table2_dataset_characteristics,
+    table3_fscore,
+    table4_nmi,
+    table5_runtime,
+)
+
+
+def _fake_cells() -> list[CellResult]:
+    cells = []
+    for method, base in [("SRC", 0.7), ("RHCHME", 0.85)]:
+        for index, dataset in enumerate(["d1", "d2"]):
+            cells.append(CellResult(method=method, dataset=dataset,
+                                    fscore=base + 0.01 * index,
+                                    nmi=base - 0.05,
+                                    runtime_seconds=0.5 + index))
+    return cells
+
+
+class TestGridReshaping:
+    def test_grid_to_matrix(self):
+        matrix = grid_to_matrix(_fake_cells(), "fscore")
+        assert matrix["SRC"]["d1"] == pytest.approx(0.7)
+        assert matrix["RHCHME"]["d2"] == pytest.approx(0.86)
+
+    def test_method_averages(self):
+        matrix = grid_to_matrix(_fake_cells(), "fscore")
+        averages = method_averages(matrix)
+        assert averages["SRC"] == pytest.approx(0.705)
+        assert averages["RHCHME"] == pytest.approx(0.855)
+
+
+class TestTable2:
+    def test_rows_structure(self):
+        rows = table2_dataset_characteristics()
+        assert len(rows) == 4
+        assert {"dataset", "classes", "documents", "terms", "concepts"}.issubset(rows[0])
+
+
+class TestTables345:
+    def test_tables_reuse_precomputed_cells(self):
+        cells = _fake_cells()
+        fscore_matrix, fscore_avg = table3_fscore(cells=cells)
+        nmi_matrix, _ = table4_nmi(cells=cells)
+        runtime_matrix = table5_runtime(cells=cells)
+        assert fscore_matrix["RHCHME"]["d1"] == pytest.approx(0.85)
+        assert nmi_matrix["SRC"]["d2"] == pytest.approx(0.65)
+        assert runtime_matrix["SRC"]["d2"] == pytest.approx(1.5)
+        assert fscore_avg["RHCHME"] > fscore_avg["SRC"]
+
+    def test_small_live_run(self, small_dataset):
+        # A minimal live run through run_grid with two methods on one dataset.
+        from repro.experiments.harness import run_grid
+        cells = run_grid(methods=["SRC", "DR-T"], datasets=["multi5-small"],
+                         max_iter=4, random_state=0,
+                         prebuilt={"multi5-small": small_dataset})
+        matrix, averages = table3_fscore(cells=cells)
+        assert set(matrix) == {"SRC", "DR-T"}
+        for value in averages.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,48 @@
+"""Tests for repro.graph.candidates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.candidates import CandidateSpec, candidate_laplacians, default_candidate_grid
+from repro.graph.weights import WeightingScheme
+
+
+class TestDefaultGrid:
+    def test_paper_grid_has_six_candidates(self):
+        grid = default_candidate_grid()
+        assert len(grid) == 6
+        assert {spec.p for spec in grid} == {5, 10}
+        assert {spec.scheme for spec in grid} == set(WeightingScheme)
+
+    def test_custom_grid(self):
+        grid = default_candidate_grid(p_values=[3], schemes=["cosine"])
+        assert len(grid) == 1
+        assert grid[0] == CandidateSpec(p=3, scheme=WeightingScheme.COSINE, sigma=1.0)
+
+    def test_describe(self):
+        spec = CandidateSpec(p=5, scheme=WeightingScheme.COSINE)
+        assert spec.describe() == "p=5,cosine"
+
+
+class TestCandidateLaplacians:
+    def test_one_laplacian_per_spec(self):
+        X = np.random.default_rng(0).normal(size=(25, 4))
+        specs = default_candidate_grid(p_values=[3, 5], schemes=["binary", "cosine"])
+        laplacians = candidate_laplacians(X, specs)
+        assert len(laplacians) == 4
+        for L in laplacians:
+            assert L.shape == (25, 25)
+            np.testing.assert_allclose(L.sum(axis=1), 0.0, atol=1e-8)
+
+    def test_default_specs_used_when_none(self):
+        X = np.random.default_rng(1).normal(size=(15, 3))
+        laplacians = candidate_laplacians(X)
+        assert len(laplacians) == 6
+
+    def test_candidates_differ(self):
+        X = np.random.default_rng(2).normal(size=(20, 3))
+        laplacians = candidate_laplacians(
+            X, default_candidate_grid(p_values=[2, 8], schemes=["binary"]))
+        assert not np.allclose(laplacians[0], laplacians[1])

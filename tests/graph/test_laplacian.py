@@ -1,0 +1,116 @@
+"""Tests for repro.graph.laplacian."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.graph.laplacian import (
+    degree_vector,
+    laplacian,
+    normalized_laplacian,
+    random_walk_laplacian,
+    unnormalized_laplacian,
+)
+
+
+def _random_affinity(seed: int, n: int = 8) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n))
+    A = (A + A.T) / 2
+    np.fill_diagonal(A, 0.0)
+    return A
+
+
+affinity_strategy = arrays(np.float64, (6, 6),
+                           elements=st.floats(0, 10, allow_nan=False)).map(
+    lambda A: (A + A.T) / 2).map(
+    lambda A: A - np.diag(np.diag(A)))
+
+
+class TestUnnormalizedLaplacian:
+    def test_rows_sum_to_zero(self):
+        L = unnormalized_laplacian(_random_affinity(0))
+        np.testing.assert_allclose(L.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_matches_networkx(self):
+        graph = nx.erdos_renyi_graph(10, 0.5, seed=1)
+        A = nx.to_numpy_array(graph)
+        expected = nx.laplacian_matrix(graph).toarray()
+        np.testing.assert_allclose(unnormalized_laplacian(A), expected)
+
+    @given(affinity_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_positive_semidefinite(self, affinity):
+        L = unnormalized_laplacian(affinity)
+        eigenvalues = np.linalg.eigvalsh((L + L.T) / 2)
+        assert eigenvalues.min() >= -1e-8
+
+    def test_constant_vector_in_nullspace(self):
+        L = unnormalized_laplacian(_random_affinity(2))
+        np.testing.assert_allclose(L @ np.ones(L.shape[0]), 0.0, atol=1e-10)
+
+    def test_degree_vector(self):
+        affinity = _random_affinity(3)
+        np.testing.assert_allclose(degree_vector(affinity), affinity.sum(axis=1))
+
+
+class TestNormalizedLaplacian:
+    def test_matches_networkx(self):
+        graph = nx.erdos_renyi_graph(12, 0.5, seed=2)
+        A = nx.to_numpy_array(graph)
+        expected = nx.normalized_laplacian_matrix(graph).toarray()
+        np.testing.assert_allclose(normalized_laplacian(A), expected, atol=1e-10)
+
+    def test_eigenvalues_in_zero_two(self):
+        L = normalized_laplacian(_random_affinity(4))
+        eigenvalues = np.linalg.eigvalsh((L + L.T) / 2)
+        assert eigenvalues.min() >= -1e-8
+        assert eigenvalues.max() <= 2.0 + 1e-8
+
+    def test_isolated_vertex_diagonal_one(self):
+        affinity = np.zeros((3, 3))
+        affinity[0, 1] = affinity[1, 0] = 1.0
+        L = normalized_laplacian(affinity)
+        assert L[2, 2] == pytest.approx(1.0)
+
+
+class TestRandomWalkLaplacian:
+    def test_rows_sum_to_zero_for_connected(self):
+        affinity = np.ones((5, 5)) - np.eye(5)
+        L = random_walk_laplacian(affinity)
+        np.testing.assert_allclose(L.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_zero_degree_row_is_identity_row(self):
+        affinity = np.zeros((3, 3))
+        affinity[0, 1] = affinity[1, 0] = 2.0
+        L = random_walk_laplacian(affinity)
+        np.testing.assert_allclose(L[2], [0.0, 0.0, 1.0])
+
+
+class TestDispatch:
+    def test_known_kinds(self):
+        affinity = _random_affinity(5)
+        np.testing.assert_allclose(laplacian(affinity, "unnormalized"),
+                                   unnormalized_laplacian(affinity))
+        np.testing.assert_allclose(laplacian(affinity, "normalized"),
+                                   normalized_laplacian(affinity))
+        np.testing.assert_allclose(laplacian(affinity, "random_walk"),
+                                   random_walk_laplacian(affinity))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown laplacian kind"):
+            laplacian(np.eye(3), "bogus")
+
+    def test_number_of_zero_eigenvalues_equals_components(self):
+        # Two disconnected cliques -> exactly two (near-)zero eigenvalues.
+        block = np.ones((4, 4)) - np.eye(4)
+        affinity = np.zeros((8, 8))
+        affinity[:4, :4] = block
+        affinity[4:, 4:] = block
+        eigenvalues = np.linalg.eigvalsh(unnormalized_laplacian(affinity))
+        assert int(np.sum(eigenvalues < 1e-8)) == 2

@@ -1,0 +1,107 @@
+"""Tests for repro.graph.neighbors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.neighbors import (
+    pairwise_cosine_similarity,
+    pairwise_euclidean_distances,
+    pnn_indices,
+)
+
+
+class TestPairwiseEuclidean:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10, 4))
+        distances = pairwise_euclidean_distances(X)
+        expected = np.sqrt(((X[:, None, :] - X[None, :, :]) ** 2).sum(-1))
+        np.testing.assert_allclose(distances, expected, atol=1e-8)
+
+    def test_self_distances_zero(self):
+        X = np.random.default_rng(1).normal(size=(6, 3))
+        np.testing.assert_allclose(np.diag(pairwise_euclidean_distances(X)), 0.0)
+
+    def test_cross_matrix(self):
+        X = np.array([[0.0, 0.0]])
+        Y = np.array([[3.0, 4.0], [0.0, 1.0]])
+        np.testing.assert_allclose(pairwise_euclidean_distances(X, Y), [[5.0, 1.0]])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_euclidean_distances(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_symmetry(self):
+        X = np.random.default_rng(2).normal(size=(7, 5))
+        D = pairwise_euclidean_distances(X)
+        np.testing.assert_allclose(D, D.T, atol=1e-10)
+
+
+class TestPairwiseCosine:
+    def test_parallel_vectors_have_similarity_one(self):
+        X = np.array([[1.0, 0.0], [2.0, 0.0]])
+        similarity = pairwise_cosine_similarity(X)
+        assert similarity[0, 1] == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_have_similarity_zero(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert pairwise_cosine_similarity(X)[0, 1] == pytest.approx(0.0)
+
+    def test_opposite_vectors_clipped_to_minus_one(self):
+        X = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert pairwise_cosine_similarity(X)[0, 1] == pytest.approx(-1.0)
+
+    def test_zero_rows_give_zero_similarity(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        similarity = pairwise_cosine_similarity(X)
+        assert similarity[0, 1] == 0.0
+        assert similarity[1, 0] == 0.0
+
+    def test_values_bounded(self):
+        X = np.random.default_rng(3).normal(size=(20, 6))
+        similarity = pairwise_cosine_similarity(X)
+        assert np.all(similarity <= 1.0 + 1e-12)
+        assert np.all(similarity >= -1.0 - 1e-12)
+
+
+class TestPnnIndices:
+    def test_excludes_self(self):
+        X = np.random.default_rng(4).normal(size=(12, 3))
+        neighbours = pnn_indices(X, 4)
+        for i in range(X.shape[0]):
+            assert i not in neighbours[i]
+
+    def test_shape(self):
+        X = np.random.default_rng(5).normal(size=(15, 3))
+        assert pnn_indices(X, 3).shape == (15, 3)
+
+    def test_brute_and_kdtree_agree(self):
+        X = np.random.default_rng(6).normal(size=(30, 3))
+        brute = pnn_indices(X, 5, algorithm="brute")
+        kdtree = pnn_indices(X, 5, algorithm="kdtree")
+        # Sets of neighbours agree (ordering may differ under distance ties).
+        for row_b, row_k in zip(brute, kdtree):
+            assert set(row_b) == set(row_k)
+
+    def test_nearest_neighbour_correct_on_line(self):
+        X = np.array([[0.0], [1.0], [2.1], [5.0]])
+        neighbours = pnn_indices(X, 1, algorithm="brute")
+        assert neighbours[0, 0] == 1
+        assert neighbours[3, 0] == 2
+
+    def test_p_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            pnn_indices(np.zeros((3, 2)), 3)
+
+    def test_duplicate_points_handled(self):
+        X = np.zeros((6, 2))
+        neighbours = pnn_indices(X, 2, algorithm="kdtree")
+        assert neighbours.shape == (6, 2)
+        for i in range(6):
+            assert i not in neighbours[i]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            pnn_indices(np.zeros((5, 2)), 2, algorithm="magic")

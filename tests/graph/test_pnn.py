@@ -1,0 +1,58 @@
+"""Tests for repro.graph.pnn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.pnn import pnn_affinity
+from repro.graph.weights import WeightingScheme
+
+
+class TestPnnAffinity:
+    def test_symmetric_nonnegative_zero_diagonal(self):
+        X = np.random.default_rng(0).normal(size=(20, 5))
+        W = pnn_affinity(X, p=4)
+        np.testing.assert_allclose(W, W.T, atol=1e-12)
+        assert np.all(W >= 0)
+        np.testing.assert_allclose(np.diag(W), 0.0)
+
+    def test_edge_exists_if_either_direction_neighbour(self):
+        # Three colinear points: the middle point is everyone's neighbour.
+        X = np.array([[0.0], [1.0], [2.0], [50.0]])
+        W = pnn_affinity(X, p=1, scheme="binary")
+        # point 3's nearest neighbour is point 2, so edge (2,3) exists even
+        # though 3 is not among 2's single nearest neighbour.
+        assert W[2, 3] > 0
+        assert W[3, 2] > 0
+
+    def test_binary_scheme_gives_binary_entries(self):
+        X = np.random.default_rng(1).normal(size=(15, 3))
+        W = pnn_affinity(X, p=3, scheme="binary")
+        values = np.unique(W)
+        assert set(np.round(values, 6)).issubset({0.0, 1.0})
+
+    def test_two_far_clusters_have_no_cross_edges(self):
+        rng = np.random.default_rng(2)
+        cluster_a = rng.normal(0.0, 0.1, size=(10, 2))
+        cluster_b = rng.normal(100.0, 0.1, size=(10, 2))
+        X = np.vstack([cluster_a, cluster_b])
+        W = pnn_affinity(X, p=3, scheme="binary")
+        np.testing.assert_allclose(W[:10, 10:], 0.0)
+
+    def test_p_larger_than_n_falls_back(self):
+        X = np.random.default_rng(3).normal(size=(4, 2))
+        W = pnn_affinity(X, p=10, scheme="binary")
+        assert W.shape == (4, 4)
+
+    def test_larger_p_adds_edges(self):
+        X = np.random.default_rng(4).normal(size=(30, 4))
+        small = pnn_affinity(X, p=2, scheme="binary")
+        large = pnn_affinity(X, p=8, scheme="binary")
+        assert np.count_nonzero(large) >= np.count_nonzero(small)
+
+    def test_heat_kernel_scheme(self):
+        X = np.random.default_rng(5).normal(size=(12, 3))
+        W = pnn_affinity(X, p=3, scheme=WeightingScheme.HEAT_KERNEL, sigma=2.0)
+        assert np.all(W >= 0)
+        assert np.all(W <= 1.0)

@@ -1,0 +1,56 @@
+"""Tests for repro.graph.weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.weights import WeightingScheme, compute_edge_weights
+
+
+class TestWeightingScheme:
+    def test_coerce_from_string(self):
+        assert WeightingScheme.coerce("cosine") is WeightingScheme.COSINE
+        assert WeightingScheme.coerce("binary") is WeightingScheme.BINARY
+        assert WeightingScheme.coerce("heat_kernel") is WeightingScheme.HEAT_KERNEL
+
+    def test_coerce_passthrough(self):
+        assert WeightingScheme.coerce(WeightingScheme.COSINE) is WeightingScheme.COSINE
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown weighting scheme"):
+            WeightingScheme.coerce("euclidean")
+
+
+class TestComputeEdgeWeights:
+    def test_binary_weights_are_one_off_diagonal(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        weights = compute_edge_weights(X, "binary")
+        np.testing.assert_allclose(np.diag(weights), 0.0)
+        off_diag = weights[~np.eye(5, dtype=bool)]
+        np.testing.assert_allclose(off_diag, 1.0)
+
+    def test_heat_kernel_decreases_with_distance(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        weights = compute_edge_weights(X, "heat_kernel", sigma=1.0)
+        assert weights[0, 1] > weights[0, 2]
+
+    def test_heat_kernel_in_unit_interval(self):
+        X = np.random.default_rng(1).normal(size=(8, 4))
+        weights = compute_edge_weights(X, "heat_kernel", sigma=2.0)
+        assert np.all(weights >= 0.0)
+        assert np.all(weights <= 1.0)
+
+    def test_heat_kernel_requires_positive_sigma(self):
+        with pytest.raises(Exception):
+            compute_edge_weights(np.ones((3, 2)), "heat_kernel", sigma=0.0)
+
+    def test_cosine_weights_nonnegative(self):
+        X = np.random.default_rng(2).normal(size=(10, 4))
+        weights = compute_edge_weights(X, "cosine")
+        assert np.all(weights >= 0.0)
+
+    def test_zero_diagonal_for_all_schemes(self):
+        X = np.random.default_rng(3).normal(size=(6, 3))
+        for scheme in WeightingScheme:
+            np.testing.assert_allclose(np.diag(compute_edge_weights(X, scheme)), 0.0)

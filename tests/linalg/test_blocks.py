@@ -1,0 +1,132 @@
+"""Tests for repro.linalg.blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.blocks import (
+    BlockSpec,
+    block_diagonal,
+    block_offdiagonal,
+    extract_blocks,
+    extract_diagonal_blocks,
+)
+
+
+class TestBlockSpec:
+    def test_offsets_and_total(self):
+        spec = BlockSpec((3, 5, 2))
+        assert spec.offsets == (0, 3, 8, 10)
+        assert spec.total == 10
+        assert spec.n_types == 3
+
+    def test_slice(self):
+        spec = BlockSpec((3, 5))
+        assert spec.slice(1) == slice(3, 8)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockSpec((3,)).slice(1)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            BlockSpec((3, 0))
+        with pytest.raises(ValueError):
+            BlockSpec(())
+
+    def test_type_of_index(self):
+        spec = BlockSpec((2, 3))
+        assert spec.type_of_index(0) == 0
+        assert spec.type_of_index(1) == 0
+        assert spec.type_of_index(2) == 1
+        assert spec.type_of_index(4) == 1
+        with pytest.raises(IndexError):
+            spec.type_of_index(5)
+
+    def test_block_extraction(self):
+        spec = BlockSpec((2, 2))
+        matrix = np.arange(16).reshape(4, 4)
+        np.testing.assert_array_equal(spec.block(matrix, 0, 1), [[2, 3], [6, 7]])
+
+    def test_block_extraction_shape_mismatch(self):
+        spec = BlockSpec((2, 2))
+        with pytest.raises(ValueError):
+            spec.block(np.zeros((3, 3)), 0, 0)
+
+
+class TestBlockDiagonal:
+    def test_square_blocks(self):
+        result = block_diagonal([np.eye(2), 2 * np.eye(3)])
+        assert result.shape == (5, 5)
+        np.testing.assert_allclose(result[:2, :2], np.eye(2))
+        np.testing.assert_allclose(result[2:, 2:], 2 * np.eye(3))
+        np.testing.assert_allclose(result[:2, 2:], 0.0)
+
+    def test_rectangular_blocks(self):
+        result = block_diagonal([np.ones((3, 2)), np.ones((2, 4))])
+        assert result.shape == (5, 6)
+        np.testing.assert_allclose(result[:3, :2], 1.0)
+        np.testing.assert_allclose(result[3:, 2:], 1.0)
+        np.testing.assert_allclose(result[:3, 2:], 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            block_diagonal([])
+
+    def test_rejects_1d_blocks(self):
+        with pytest.raises(ValueError):
+            block_diagonal([np.ones(3)])
+
+
+class TestBlockOffdiagonal:
+    def test_symmetric_mirroring(self):
+        spec = BlockSpec((2, 3))
+        R12 = np.arange(6, dtype=float).reshape(2, 3)
+        full = block_offdiagonal(spec, spec, {(0, 1): R12})
+        np.testing.assert_allclose(full[:2, 2:], R12)
+        np.testing.assert_allclose(full[2:, :2], R12.T)
+        np.testing.assert_allclose(full[:2, :2], 0.0)
+        np.testing.assert_allclose(full, full.T)
+
+    def test_explicit_reverse_block_not_overwritten(self):
+        spec = BlockSpec((2, 2))
+        forward = np.ones((2, 2))
+        reverse = 3 * np.ones((2, 2))
+        full = block_offdiagonal(spec, spec, {(0, 1): forward, (1, 0): reverse})
+        np.testing.assert_allclose(full[2:, :2], reverse)
+
+    def test_rejects_diagonal_block(self):
+        spec = BlockSpec((2, 2))
+        with pytest.raises(ValueError, match="diagonal"):
+            block_offdiagonal(spec, spec, {(0, 0): np.ones((2, 2))})
+
+    def test_rejects_shape_mismatch(self):
+        spec = BlockSpec((2, 3))
+        with pytest.raises(ValueError, match="shape"):
+            block_offdiagonal(spec, spec, {(0, 1): np.ones((2, 2))})
+
+    def test_symmetric_requires_matching_specs(self):
+        with pytest.raises(ValueError, match="identical"):
+            block_offdiagonal(BlockSpec((2, 2)), BlockSpec((1, 3)),
+                              {(0, 1): np.ones((2, 3))}, symmetric=True)
+
+
+class TestExtraction:
+    def test_diagonal_blocks_roundtrip(self):
+        blocks = [np.full((2, 2), 1.0), np.full((3, 3), 2.0)]
+        matrix = block_diagonal(blocks)
+        extracted = extract_diagonal_blocks(matrix, BlockSpec((2, 3)))
+        for original, result in zip(blocks, extracted):
+            np.testing.assert_allclose(result, original)
+
+    def test_extract_all_blocks(self):
+        spec = BlockSpec((1, 2))
+        matrix = np.arange(9, dtype=float).reshape(3, 3)
+        blocks = extract_blocks(matrix, spec, spec)
+        assert set(blocks) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        np.testing.assert_allclose(blocks[(1, 1)], matrix[1:, 1:])
+
+    def test_extract_blocks_shape_check(self):
+        with pytest.raises(ValueError):
+            extract_blocks(np.zeros((2, 2)), BlockSpec((3,)), BlockSpec((3,)))

@@ -1,0 +1,116 @@
+"""Tests for repro.linalg.normalize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.normalize import (
+    column_normalize_l1,
+    row_normalize_l1,
+    row_normalize_l2,
+    symmetric_normalize,
+    tfidf_transform,
+)
+
+nonneg_matrices = arrays(np.float64, (5, 4),
+                         elements=st.floats(0, 100, allow_nan=False))
+
+
+class TestRowNormalizeL1:
+    @given(nonneg_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_rows_sum_to_one_or_zero(self, matrix):
+        normalised = row_normalize_l1(matrix)
+        sums = normalised.sum(axis=1)
+        for original_row, total in zip(matrix, sums):
+            if original_row.sum() > 1e-12:
+                assert total == pytest.approx(1.0)
+            else:
+                assert total == pytest.approx(0.0)
+
+    def test_zero_rows_unchanged(self):
+        matrix = np.array([[0.0, 0.0], [2.0, 2.0]])
+        normalised = row_normalize_l1(matrix)
+        np.testing.assert_allclose(normalised[0], [0.0, 0.0])
+        np.testing.assert_allclose(normalised[1], [0.5, 0.5])
+
+    def test_copy_flag_preserves_input(self):
+        matrix = np.array([[2.0, 2.0]])
+        row_normalize_l1(matrix, copy=True)
+        np.testing.assert_allclose(matrix, [[2.0, 2.0]])
+
+    def test_inplace_when_copy_false(self):
+        matrix = np.array([[2.0, 2.0]])
+        out = row_normalize_l1(matrix, copy=False)
+        assert out is matrix
+
+
+class TestRowNormalizeL2:
+    def test_unit_norms(self):
+        matrix = np.array([[3.0, 4.0], [1.0, 0.0]])
+        normalised = row_normalize_l2(matrix)
+        np.testing.assert_allclose(np.linalg.norm(normalised, axis=1), [1.0, 1.0])
+
+    def test_zero_rows_kept(self):
+        normalised = row_normalize_l2(np.zeros((2, 3)))
+        np.testing.assert_allclose(normalised, 0.0)
+
+
+class TestColumnNormalizeL1:
+    def test_columns_sum_to_one(self):
+        matrix = np.array([[1.0, 3.0], [1.0, 1.0]])
+        normalised = column_normalize_l1(matrix)
+        np.testing.assert_allclose(normalised.sum(axis=0), [1.0, 1.0])
+
+
+class TestSymmetricNormalize:
+    def test_preserves_symmetry(self):
+        rng = np.random.default_rng(0)
+        affinity = rng.random((6, 6))
+        affinity = (affinity + affinity.T) / 2
+        normalised = symmetric_normalize(affinity)
+        np.testing.assert_allclose(normalised, normalised.T, atol=1e-12)
+
+    def test_regular_graph_row_sums(self):
+        # For a d-regular graph the normalised affinity rows sum to 1.
+        affinity = np.ones((4, 4)) - np.eye(4)
+        normalised = symmetric_normalize(affinity)
+        np.testing.assert_allclose(normalised.sum(axis=1), np.ones(4))
+
+    def test_isolated_vertices_stay_zero(self):
+        affinity = np.zeros((3, 3))
+        affinity[0, 1] = affinity[1, 0] = 1.0
+        normalised = symmetric_normalize(affinity)
+        np.testing.assert_allclose(normalised[2], 0.0)
+
+
+class TestTfidf:
+    def test_shape_preserved_and_nonnegative(self):
+        counts = np.array([[2.0, 0.0, 1.0], [0.0, 3.0, 1.0]])
+        weighted = tfidf_transform(counts)
+        assert weighted.shape == counts.shape
+        assert np.all(weighted >= 0)
+
+    def test_rare_terms_weighted_higher_than_common(self):
+        # Term 0 appears in one document, term 2 in both; with equal raw
+        # counts the rare term should receive at least the common term's idf.
+        counts = np.array([[2.0, 0.0, 2.0], [0.0, 2.0, 2.0]])
+        weighted = tfidf_transform(counts)
+        assert weighted[0, 0] > weighted[0, 2]
+
+    def test_zero_count_rows_do_not_produce_nan(self):
+        counts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        weighted = tfidf_transform(counts)
+        assert np.all(np.isfinite(weighted))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            tfidf_transform(np.array([1.0, 2.0]))
+
+    def test_unsmoothed_variant_finite(self):
+        counts = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert np.all(np.isfinite(tfidf_transform(counts, smooth=False)))

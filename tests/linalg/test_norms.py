@@ -1,0 +1,89 @@
+"""Tests for repro.linalg.norms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.norms import (
+    frobenius_norm,
+    l1_norm,
+    l21_norm,
+    l2_norm,
+    row_l2_norms,
+    trace_quadratic,
+)
+
+small_matrices = arrays(np.float64, (3, 4),
+                        elements=st.floats(-50, 50, allow_nan=False))
+
+
+class TestElementaryNorms:
+    def test_l1_norm_known_value(self):
+        assert l1_norm(np.array([[1.0, -2.0], [3.0, -4.0]])) == 10.0
+
+    def test_l2_norm_known_value(self):
+        assert l2_norm(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_frobenius_equals_l2_of_flatten(self):
+        matrix = np.random.default_rng(0).normal(size=(4, 5))
+        assert frobenius_norm(matrix) == pytest.approx(l2_norm(matrix.ravel()))
+
+    def test_row_l2_norms_shape_and_values(self):
+        matrix = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(row_l2_norms(matrix), [5.0, 0.0, 1.0])
+
+    def test_row_l2_norms_accepts_vector(self):
+        np.testing.assert_allclose(row_l2_norms(np.array([3.0, 4.0])), [5.0])
+
+
+class TestL21Norm:
+    def test_known_value(self):
+        matrix = np.array([[3.0, 4.0], [0.0, 0.0], [6.0, 8.0]])
+        assert l21_norm(matrix) == pytest.approx(15.0)
+
+    @given(small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_l21_between_frobenius_and_l1(self, matrix):
+        # Standard norm inequalities: ||M||_F <= ||M||_{2,1} <= ||M||_1.
+        assert l21_norm(matrix) >= frobenius_norm(matrix) - 1e-9
+        assert l21_norm(matrix) <= l1_norm(matrix) + 1e-9
+
+    @given(small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_l21_nonnegative_and_zero_iff_zero(self, matrix):
+        value = l21_norm(matrix)
+        assert value >= 0.0
+        if np.allclose(matrix, 0.0):
+            assert value == pytest.approx(0.0)
+
+
+class TestTraceQuadratic:
+    def test_matches_explicit_trace(self):
+        rng = np.random.default_rng(3)
+        G = rng.random((6, 3))
+        L = rng.random((6, 6))
+        L = L + L.T
+        expected = float(np.trace(G.T @ L @ G))
+        assert trace_quadratic(G, L) == pytest.approx(expected)
+
+    def test_laplacian_quadratic_is_nonnegative(self):
+        # For a graph Laplacian, tr(G^T L G) = 1/2 sum_ij W_ij ||g_i - g_j||^2 >= 0.
+        from repro.graph.laplacian import unnormalized_laplacian
+        rng = np.random.default_rng(4)
+        affinity = rng.random((8, 8))
+        affinity = (affinity + affinity.T) / 2
+        np.fill_diagonal(affinity, 0.0)
+        L = unnormalized_laplacian(affinity)
+        G = rng.random((8, 2))
+        assert trace_quadratic(G, L) >= -1e-9
+
+    def test_zero_for_constant_columns_on_connected_graph(self):
+        from repro.graph.laplacian import unnormalized_laplacian
+        affinity = np.ones((5, 5)) - np.eye(5)
+        L = unnormalized_laplacian(affinity)
+        G = np.ones((5, 2))
+        assert trace_quadratic(G, L) == pytest.approx(0.0, abs=1e-9)

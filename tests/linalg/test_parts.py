@@ -1,0 +1,54 @@
+"""Tests for repro.linalg.parts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.parts import negative_part, positive_part, split_parts
+
+matrices = arrays(np.float64, (4, 4),
+                  elements=st.floats(-100, 100, allow_nan=False))
+
+
+class TestPositiveNegativeParts:
+    def test_positive_part_of_positive_matrix_is_identity(self):
+        matrix = np.abs(np.random.default_rng(0).normal(size=(3, 3)))
+        np.testing.assert_allclose(positive_part(matrix), matrix)
+
+    def test_negative_part_of_positive_matrix_is_zero(self):
+        matrix = np.abs(np.random.default_rng(0).normal(size=(3, 3)))
+        np.testing.assert_allclose(negative_part(matrix), 0.0)
+
+    def test_known_values(self):
+        matrix = np.array([[1.0, -2.0], [0.0, 3.0]])
+        np.testing.assert_allclose(positive_part(matrix), [[1.0, 0.0], [0.0, 3.0]])
+        np.testing.assert_allclose(negative_part(matrix), [[0.0, 2.0], [0.0, 0.0]])
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_property(self, matrix):
+        pos, neg = split_parts(matrix)
+        np.testing.assert_allclose(pos - neg, matrix, atol=1e-10)
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_parts_are_nonnegative(self, matrix):
+        pos, neg = split_parts(matrix)
+        assert np.all(pos >= 0)
+        assert np.all(neg >= 0)
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_parts_sum_to_absolute(self, matrix):
+        pos, neg = split_parts(matrix)
+        np.testing.assert_allclose(pos + neg, np.abs(matrix), atol=1e-10)
+
+    def test_split_matches_individual_functions(self):
+        matrix = np.random.default_rng(1).normal(size=(5, 5))
+        pos, neg = split_parts(matrix)
+        np.testing.assert_allclose(pos, positive_part(matrix))
+        np.testing.assert_allclose(neg, negative_part(matrix))

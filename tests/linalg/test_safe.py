@@ -1,0 +1,55 @@
+"""Tests for repro.linalg.safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.safe import safe_divide, safe_inverse, safe_sqrt, stable_pinv
+
+
+class TestSafeInverse:
+    def test_inverts_well_conditioned_matrix(self):
+        matrix = np.array([[2.0, 0.0], [0.0, 4.0]])
+        np.testing.assert_allclose(safe_inverse(matrix) @ matrix, np.eye(2), atol=1e-6)
+
+    def test_singular_matrix_returns_finite(self):
+        singular = np.ones((3, 3))
+        inverse = safe_inverse(singular)
+        assert np.all(np.isfinite(inverse))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            safe_inverse(np.ones((2, 3)))
+
+    def test_result_close_to_true_inverse_for_spd(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(5, 5))
+        spd = A @ A.T + 5 * np.eye(5)
+        np.testing.assert_allclose(safe_inverse(spd), np.linalg.inv(spd), rtol=1e-4)
+
+
+class TestStablePinv:
+    def test_pinv_of_rank_deficient(self):
+        matrix = np.outer(np.arange(1, 4), np.arange(1, 5)).astype(float)
+        pinv = stable_pinv(matrix)
+        np.testing.assert_allclose(matrix @ pinv @ matrix, matrix, atol=1e-8)
+
+
+class TestSafeDivide:
+    def test_normal_division(self):
+        np.testing.assert_allclose(safe_divide(np.array([4.0]), np.array([2.0])), [2.0])
+
+    def test_zero_denominator_floored(self):
+        result = safe_divide(np.array([1.0]), np.array([0.0]), eps=1e-6)
+        assert np.isfinite(result[0])
+        assert result[0] == pytest.approx(1e6)
+
+    def test_broadcasting(self):
+        result = safe_divide(np.ones((2, 2)), np.array([1.0, 2.0]))
+        np.testing.assert_allclose(result, [[1.0, 0.5], [1.0, 0.5]])
+
+
+class TestSafeSqrt:
+    def test_clips_small_negatives(self):
+        np.testing.assert_allclose(safe_sqrt(np.array([-1e-15, 4.0])), [0.0, 2.0])

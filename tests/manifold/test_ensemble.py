@@ -1,0 +1,84 @@
+"""Tests for repro.manifold.ensemble (heterogeneous manifold ensemble)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.manifold.ensemble import HeterogeneousManifoldEnsemble, build_type_laplacians
+
+
+class TestHeterogeneousEnsemble:
+    def test_block_diagonal_structure(self, tiny_dataset):
+        ensemble = HeterogeneousManifoldEnsemble(alpha=1.0, gamma=10.0, p=3,
+                                                 subspace_max_iter=30,
+                                                 random_state=0)
+        L = ensemble.build(tiny_dataset)
+        n = tiny_dataset.n_objects_total
+        assert L.shape == (n, n)
+        spec = tiny_dataset.object_block_spec()
+        np.testing.assert_allclose(spec.block(L, 0, 1), 0.0)
+        np.testing.assert_allclose(spec.block(L, 1, 0), 0.0)
+
+    def test_symmetric_and_psd_blocks(self, tiny_dataset):
+        ensemble = HeterogeneousManifoldEnsemble(alpha=0.5, gamma=10.0, p=3,
+                                                 subspace_max_iter=30,
+                                                 random_state=0)
+        L = ensemble.build(tiny_dataset)
+        np.testing.assert_allclose(L, L.T, atol=1e-8)
+        eigenvalues = np.linalg.eigvalsh((L + L.T) / 2)
+        assert eigenvalues.min() >= -1e-6
+
+    def test_members_recorded_per_type(self, tiny_dataset):
+        ensemble = HeterogeneousManifoldEnsemble(alpha=1.0, gamma=10.0, p=3,
+                                                 subspace_max_iter=20,
+                                                 random_state=0)
+        ensemble.build(tiny_dataset)
+        assert len(ensemble.members_) == tiny_dataset.n_types
+        for member in ensemble.members_:
+            assert member.combined.shape[0] == member.combined.shape[1]
+            assert member.subspace is not None
+            assert member.pnn is not None
+
+    def test_alpha_zero_equals_pnn_only(self, tiny_dataset):
+        hetero = HeterogeneousManifoldEnsemble(alpha=0.0, p=3, use_subspace=True,
+                                               use_pnn=True, random_state=0)
+        L_alpha_zero = hetero.build(tiny_dataset)
+        L_pnn_only = build_type_laplacians(tiny_dataset, p=3)
+        np.testing.assert_allclose(L_alpha_zero, L_pnn_only, atol=1e-10)
+
+    def test_alpha_scales_subspace_member(self, tiny_dataset):
+        small = HeterogeneousManifoldEnsemble(alpha=0.5, gamma=10.0, p=3,
+                                              subspace_max_iter=20, random_state=0)
+        large = HeterogeneousManifoldEnsemble(alpha=2.0, gamma=10.0, p=3,
+                                              subspace_max_iter=20, random_state=0)
+        L_small = small.build(tiny_dataset)
+        L_large = large.build(tiny_dataset)
+        # The pNN member is shared; the difference is (2.0 - 0.5) * L_S per type.
+        difference = L_large - L_small
+        assert np.abs(difference).sum() > 0
+
+    def test_type_without_features_gets_zero_block(self):
+        import numpy as np
+        from repro.relational.dataset import MultiTypeRelationalData
+        from repro.relational.types import ObjectType, Relation
+        rng = np.random.default_rng(0)
+        docs = ObjectType("documents", n_objects=8, n_clusters=2,
+                          features=rng.random((8, 4)))
+        terms = ObjectType("terms", n_objects=5, n_clusters=2)  # no features
+        data = MultiTypeRelationalData(
+            [docs, terms], [Relation("documents", "terms", rng.random((8, 5)))])
+        ensemble = HeterogeneousManifoldEnsemble(alpha=1.0, gamma=10.0, p=3,
+                                                 subspace_max_iter=20,
+                                                 random_state=0)
+        L = ensemble.build(data)
+        spec = data.object_block_spec()
+        np.testing.assert_allclose(spec.block(L, 1, 1), 0.0)
+
+    def test_both_members_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=False)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(Exception):
+            HeterogeneousManifoldEnsemble(alpha=-1.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.manifold.homogeneous (RMC candidate ensemble)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.candidates import CandidateSpec, default_candidate_grid
+from repro.graph.weights import WeightingScheme
+from repro.manifold.homogeneous import HomogeneousCandidateEnsemble
+
+
+class TestHomogeneousEnsemble:
+    def test_default_grid_size(self):
+        ensemble = HomogeneousCandidateEnsemble()
+        assert ensemble.n_candidates == 6
+
+    def test_build_candidates_shapes(self, tiny_dataset):
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=default_candidate_grid(p_values=[2, 4], schemes=["binary"]))
+        candidates = ensemble.build_candidates(tiny_dataset)
+        n = tiny_dataset.n_objects_total
+        assert len(candidates) == 2
+        for candidate in candidates:
+            assert candidate.shape == (n, n)
+
+    def test_combine_requires_build(self):
+        ensemble = HomogeneousCandidateEnsemble()
+        with pytest.raises(RuntimeError):
+            ensemble.combine()
+
+    def test_uniform_combination_is_mean(self, tiny_dataset):
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=default_candidate_grid(p_values=[2, 4], schemes=["cosine"]))
+        candidates = ensemble.build_candidates(tiny_dataset)
+        combined = ensemble.combine()
+        np.testing.assert_allclose(combined, np.mean(candidates, axis=0), atol=1e-12)
+
+    def test_custom_weights_combination(self, tiny_dataset):
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=default_candidate_grid(p_values=[2, 4], schemes=["cosine"]))
+        candidates = ensemble.build_candidates(tiny_dataset)
+        combined = ensemble.combine(np.array([1.0, 0.0]))
+        np.testing.assert_allclose(combined, candidates[0])
+
+    def test_wrong_weight_shape_rejected(self, tiny_dataset):
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=default_candidate_grid(p_values=[2], schemes=["cosine"]))
+        ensemble.build_candidates(tiny_dataset)
+        with pytest.raises(ValueError):
+            ensemble.combine(np.array([0.5, 0.5]))
+
+    def test_refit_weights_on_simplex(self, tiny_dataset):
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=default_candidate_grid(p_values=[2, 4],
+                                         schemes=["binary", "cosine"]))
+        ensemble.build_candidates(tiny_dataset)
+        rng = np.random.default_rng(0)
+        G = rng.random((tiny_dataset.n_objects_total, 4))
+        weights = ensemble.refit_weights(G)
+        assert weights.shape == (4,)
+        assert np.all(weights >= -1e-12)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_refit_requires_build(self):
+        ensemble = HomogeneousCandidateEnsemble()
+        with pytest.raises(RuntimeError):
+            ensemble.refit_weights(np.ones((3, 2)))
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            HomogeneousCandidateEnsemble(specs=[])
+
+    def test_type_without_features_contributes_zero_blocks(self):
+        from repro.relational.dataset import MultiTypeRelationalData
+        from repro.relational.types import ObjectType, Relation
+        rng = np.random.default_rng(1)
+        docs = ObjectType("documents", n_objects=8, n_clusters=2,
+                          features=rng.random((8, 3)))
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        data = MultiTypeRelationalData(
+            [docs, terms], [Relation("documents", "terms", rng.random((8, 4)))])
+        ensemble = HomogeneousCandidateEnsemble(
+            specs=[CandidateSpec(p=3, scheme=WeightingScheme.COSINE)])
+        candidates = ensemble.build_candidates(data)
+        spec = data.object_block_spec()
+        np.testing.assert_allclose(spec.block(candidates[0], 1, 1), 0.0)

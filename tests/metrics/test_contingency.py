@@ -1,0 +1,38 @@
+"""Tests for repro.metrics.contingency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.contingency import contingency_matrix
+
+
+class TestContingencyMatrix:
+    def test_identity_partition_is_diagonal(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        table = contingency_matrix(labels, labels)
+        np.testing.assert_array_equal(table, 2 * np.eye(3, dtype=int))
+
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=50)
+        b = rng.integers(0, 3, size=50)
+        assert contingency_matrix(a, b).sum() == 50
+
+    def test_arbitrary_label_values_handled(self):
+        a = np.array([10, 10, 77, 77])
+        b = np.array([3, 3, 5, 5])
+        table = contingency_matrix(a, b)
+        assert table.shape == (2, 2)
+        np.testing.assert_array_equal(table, [[2, 0], [0, 2]])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            contingency_matrix([0, 1], [0, 1, 2])
+
+    def test_marginals_match_class_sizes(self):
+        a = np.array([0, 0, 0, 1, 1])
+        b = np.array([1, 0, 1, 0, 0])
+        table = contingency_matrix(a, b)
+        np.testing.assert_array_equal(table.sum(axis=1), [3, 2])

@@ -1,0 +1,48 @@
+"""Tests for repro.metrics.extra (purity, adjusted Rand index)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.extra import adjusted_rand_index, purity_score
+
+
+class TestPurity:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1])
+        assert purity_score(labels, labels) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        true = np.array([0, 0, 0, 1, 1, 1])
+        predicted = np.array([0, 0, 1, 1, 1, 1])
+        # cluster 0: majority class 0 (2), cluster 1: majority class 1 (3).
+        assert purity_score(true, predicted) == pytest.approx(5.0 / 6.0)
+
+    def test_singletons_have_purity_one(self):
+        true = np.array([0, 0, 1, 1])
+        predicted = np.arange(4)
+        assert purity_score(true, predicted) == pytest.approx(1.0)
+
+
+class TestAdjustedRandIndex:
+    def test_perfect_agreement(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        true = np.array([0, 0, 1, 1])
+        predicted = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(true, predicted) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 3, 300)
+        predicted = rng.integers(0, 3, 300)
+        assert abs(adjusted_rand_index(true, predicted)) < 0.1
+
+    def test_bounded_above_by_one(self):
+        rng = np.random.default_rng(1)
+        true = rng.integers(0, 4, 50)
+        predicted = rng.integers(0, 4, 50)
+        assert adjusted_rand_index(true, predicted) <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for repro.metrics.nmi (Eq. 39)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.noise import shuffle_fraction_of_labels
+from repro.metrics.nmi import mutual_information, normalized_mutual_information
+
+label_pairs = st.integers(2, 5).flatmap(
+    lambda k: st.lists(st.tuples(st.integers(0, k - 1), st.integers(0, k - 1)),
+                       min_size=8, max_size=60))
+
+
+class TestMutualInformation:
+    def test_identical_labels_equal_entropy(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        mi = mutual_information(labels, labels)
+        # MI(X, X) = H(X) = log 3 for the uniform 3-class labelling.
+        assert mi == pytest.approx(np.log(3))
+
+    def test_independent_labels_near_zero(self):
+        # Constructed independent partitions: every combination appears once.
+        true = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 0, 1])
+        assert mutual_information(true, predicted) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 40)
+        b = rng.integers(0, 4, 40)
+        assert mutual_information(a, b) >= -1e-12
+
+
+class TestNormalizedMutualInformation:
+    def test_perfect_clustering_scores_one(self):
+        labels = np.array([0, 1, 1, 2, 0, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        predicted = np.array([1, 1, 2, 2, 0, 0])
+        assert normalized_mutual_information(true, predicted) == pytest.approx(1.0)
+
+    def test_independent_partitions_score_zero(self):
+        true = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 0, 1])
+        assert normalized_mutual_information(true, predicted) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_cluster_prediction_scores_zero(self):
+        true = np.array([0, 1, 0, 1])
+        predicted = np.zeros(4, dtype=int)
+        assert normalized_mutual_information(true, predicted) == 0.0
+
+    def test_both_single_cluster_scores_one(self):
+        labels = np.zeros(5, dtype=int)
+        assert normalized_mutual_information(labels, labels) == 1.0
+
+    @given(label_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_and_symmetric(self, pairs):
+        true = np.array([p[0] for p in pairs])
+        predicted = np.array([p[1] for p in pairs])
+        forward = normalized_mutual_information(true, predicted)
+        backward = normalized_mutual_information(predicted, true)
+        assert 0.0 <= forward <= 1.0
+        assert forward == pytest.approx(backward, abs=1e-10)
+
+    def test_degrades_with_label_noise(self):
+        labels = np.repeat(np.arange(4), 25)
+        mild = shuffle_fraction_of_labels(labels, fraction=0.1, random_state=1)
+        heavy = shuffle_fraction_of_labels(labels, fraction=0.9, random_state=1)
+        assert (normalized_mutual_information(labels, mild)
+                >= normalized_mutual_information(labels, heavy))

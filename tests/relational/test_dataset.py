@@ -1,0 +1,152 @@
+"""Tests for repro.relational.dataset (MultiTypeRelationalData)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+
+
+@pytest.fixture
+def three_type_data() -> MultiTypeRelationalData:
+    rng = np.random.default_rng(0)
+    docs = ObjectType("documents", n_objects=6, n_clusters=2,
+                      labels=np.array([0, 0, 0, 1, 1, 1]))
+    terms = ObjectType("terms", n_objects=4, n_clusters=2,
+                       labels=np.array([0, 0, 1, 1]))
+    concepts = ObjectType("concepts", n_objects=3, n_clusters=2,
+                          labels=np.array([0, 1, 1]))
+    relations = [
+        Relation("documents", "terms", rng.random((6, 4))),
+        Relation("documents", "concepts", rng.random((6, 3))),
+        Relation("terms", "concepts", rng.random((4, 3))),
+    ]
+    return MultiTypeRelationalData([docs, terms, concepts], relations)
+
+
+class TestConstruction:
+    def test_basic_properties(self, three_type_data):
+        data = three_type_data
+        assert data.n_types == 3
+        assert data.n_objects_total == 13
+        assert data.n_clusters_total == 6
+        assert data.type_names == ["documents", "terms", "concepts"]
+
+    def test_needs_two_types(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        with pytest.raises(ValidationError):
+            MultiTypeRelationalData([docs], [])
+
+    def test_duplicate_type_names_rejected(self):
+        a = ObjectType("documents", n_objects=3, n_clusters=2)
+        b = ObjectType("documents", n_objects=4, n_clusters=2)
+        with pytest.raises(ValidationError):
+            MultiTypeRelationalData([a, b], [])
+
+    def test_unknown_type_in_relation_rejected(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        bad = Relation("documents", "authors", np.ones((3, 2)))
+        with pytest.raises(ValidationError):
+            MultiTypeRelationalData([docs, terms], [bad])
+
+    def test_relation_shape_mismatch_rejected(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        bad = Relation("documents", "terms", np.ones((3, 5)))
+        with pytest.raises(ValidationError):
+            MultiTypeRelationalData([docs, terms], [bad])
+
+    def test_duplicate_relation_rejected(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        r = Relation("documents", "terms", np.ones((3, 4)))
+        reverse = Relation("terms", "documents", np.ones((4, 3)))
+        with pytest.raises(ValidationError):
+            MultiTypeRelationalData([docs, terms], [r, reverse])
+
+    def test_unknown_type_lookup(self, three_type_data):
+        with pytest.raises(ValidationError):
+            three_type_data.type_index("authors")
+
+
+class TestMatrixAssembly:
+    def test_inter_type_matrix_is_symmetric(self, three_type_data):
+        R = three_type_data.inter_type_matrix()
+        assert R.shape == (13, 13)
+        np.testing.assert_allclose(R, R.T, atol=1e-12)
+
+    def test_inter_type_diagonal_blocks_zero(self, three_type_data):
+        R = three_type_data.inter_type_matrix()
+        spec = three_type_data.object_block_spec()
+        for k in range(3):
+            np.testing.assert_allclose(spec.block(R, k, k), 0.0)
+
+    def test_inter_type_offdiagonal_matches_relations(self, three_type_data):
+        data = three_type_data
+        R = data.inter_type_matrix(normalize=False)
+        spec = data.object_block_spec()
+        doc_term = data.relation_between("documents", "terms")
+        np.testing.assert_allclose(spec.block(R, 0, 1), doc_term.matrix)
+
+    def test_normalized_blocks_have_unit_frobenius_norm(self, three_type_data):
+        R = three_type_data.inter_type_matrix(normalize=True)
+        spec = three_type_data.object_block_spec()
+        block = spec.block(R, 0, 1)
+        assert np.linalg.norm(block) == pytest.approx(1.0)
+
+    def test_missing_relation_gives_zero_block(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        concepts = ObjectType("concepts", n_objects=2, n_clusters=2)
+        data = MultiTypeRelationalData(
+            [docs, terms, concepts],
+            [Relation("documents", "terms", np.ones((3, 4)))])
+        R = data.inter_type_matrix()
+        spec = data.object_block_spec()
+        np.testing.assert_allclose(spec.block(R, 0, 2), 0.0)
+        assert data.relation_between("documents", "concepts") is None
+
+    def test_intra_type_matrix_block_diagonal(self, three_type_data):
+        affinities = {"documents": np.ones((6, 6)), "terms": np.ones((4, 4))}
+        W = three_type_data.intra_type_matrix(affinities)
+        assert W.shape == (13, 13)
+        spec = three_type_data.object_block_spec()
+        np.testing.assert_allclose(spec.block(W, 0, 0), 1.0)
+        np.testing.assert_allclose(spec.block(W, 2, 2), 0.0)  # no concepts affinity
+        np.testing.assert_allclose(spec.block(W, 0, 1), 0.0)
+
+    def test_intra_type_shape_mismatch_rejected(self, three_type_data):
+        with pytest.raises(ValidationError):
+            three_type_data.intra_type_matrix({"documents": np.ones((5, 5))})
+
+    def test_relation_between_orientation(self, three_type_data):
+        forward = three_type_data.relation_between("documents", "terms")
+        backward = three_type_data.relation_between("terms", "documents")
+        np.testing.assert_allclose(forward.matrix, backward.matrix.T)
+
+    def test_labels_vector_concatenates(self, three_type_data):
+        labels = three_type_data.labels_vector()
+        assert labels.shape == (13,)
+
+    def test_labels_vector_none_when_missing(self):
+        docs = ObjectType("documents", n_objects=3, n_clusters=2)
+        terms = ObjectType("terms", n_objects=4, n_clusters=2)
+        data = MultiTypeRelationalData(
+            [docs, terms], [Relation("documents", "terms", np.ones((3, 4)))])
+        assert data.labels_vector() is None
+
+    def test_membership_block_structure(self, three_type_data):
+        slices = three_type_data.membership_block_structure()
+        assert len(slices) == 3
+        rows, cols = slices[1]
+        assert rows == slice(6, 10)
+        assert cols == slice(2, 4)
+
+    def test_describe_mentions_all_types(self, three_type_data):
+        text = three_type_data.describe()
+        for name in three_type_data.type_names:
+            assert name in text

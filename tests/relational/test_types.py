@@ -1,0 +1,76 @@
+"""Tests for repro.relational.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.relational.types import ObjectType, Relation
+
+
+class TestObjectType:
+    def test_valid_construction(self):
+        t = ObjectType("documents", n_objects=10, n_clusters=2,
+                       features=np.ones((10, 4)), labels=np.zeros(10, dtype=int))
+        assert t.has_features
+        assert t.has_labels
+
+    def test_optional_fields(self):
+        t = ObjectType("terms", n_objects=5, n_clusters=2)
+        assert not t.has_features
+        assert not t.has_labels
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ObjectType("", n_objects=5, n_clusters=2)
+
+    def test_clusters_exceeding_objects_rejected(self):
+        with pytest.raises(ValidationError):
+            ObjectType("documents", n_objects=3, n_clusters=5)
+
+    def test_feature_row_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ObjectType("documents", n_objects=4, n_clusters=2,
+                       features=np.ones((3, 2)))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            ObjectType("documents", n_objects=4, n_clusters=2,
+                       labels=np.zeros(3, dtype=int))
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            ObjectType("documents", n_objects=0, n_clusters=1)
+        with pytest.raises(ValidationError):
+            ObjectType("documents", n_objects=3, n_clusters=0)
+
+
+class TestRelation:
+    def test_valid_construction(self):
+        r = Relation("documents", "terms", np.ones((3, 4)))
+        assert r.shape == (3, 4)
+
+    def test_self_relation_rejected(self):
+        with pytest.raises(ValidationError):
+            Relation("documents", "documents", np.ones((3, 3)))
+
+    def test_negative_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            Relation("documents", "terms", -np.ones((2, 2)))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            Relation("documents", "terms", np.ones((2, 2)), weight=0.0)
+
+    def test_transposed(self):
+        matrix = np.arange(6, dtype=float).reshape(2, 3)
+        r = Relation("documents", "terms", matrix)
+        t = r.transposed()
+        assert t.source == "terms"
+        assert t.target == "documents"
+        np.testing.assert_allclose(t.matrix, matrix.T)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Relation("", "terms", np.ones((2, 2)))

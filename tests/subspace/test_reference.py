@@ -1,0 +1,50 @@
+"""Tests for repro.subspace.reference (SSC / LRR style affinities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.spectral import spectral_clustering
+from repro.data.manifolds import sample_union_of_lines
+from repro.metrics.nmi import normalized_mutual_information
+from repro.subspace.reference import lrr_shrinkage_affinity, ssc_affinity
+
+
+class TestSSCAffinity:
+    def test_symmetric_nonnegative_zero_diagonal(self, line_data):
+        X, _ = line_data
+        W = ssc_affinity(X, alpha=20.0, max_iter=100)
+        np.testing.assert_allclose(W, W.T, atol=1e-10)
+        assert np.all(W >= 0)
+        np.testing.assert_allclose(np.diag(W), 0.0)
+
+    def test_separates_two_lines(self, line_data):
+        X, labels = line_data
+        W = ssc_affinity(X, alpha=50.0, max_iter=300)
+        predicted = spectral_clustering(W + 1e-8, 2, random_state=0)
+        assert normalized_mutual_information(labels, predicted) > 0.6
+
+    def test_sparsity_increases_with_smaller_alpha(self, line_data):
+        X, _ = line_data
+        dense = ssc_affinity(X, alpha=100.0, max_iter=150)
+        sparse = ssc_affinity(X, alpha=1.0, max_iter=150)
+        assert np.count_nonzero(sparse > 1e-8) <= np.count_nonzero(dense > 1e-8)
+
+
+class TestLRRShrinkageAffinity:
+    def test_symmetric_nonnegative_zero_diagonal(self, line_data):
+        X, _ = line_data
+        W = lrr_shrinkage_affinity(X, rank_fraction=0.3)
+        np.testing.assert_allclose(W, W.T, atol=1e-10)
+        assert np.all(W >= 0)
+        np.testing.assert_allclose(np.diag(W), 0.0)
+
+    def test_values_normalised_to_unit_maximum(self, line_data):
+        X, _ = line_data
+        W = lrr_shrinkage_affinity(X)
+        assert W.max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_rank_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            lrr_shrinkage_affinity(np.ones((5, 2)), rank_fraction=1.5)

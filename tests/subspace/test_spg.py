@@ -1,0 +1,89 @@
+"""Tests for repro.subspace.spg (the Spectral Projected Gradient solver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.projections import project_box, project_nonnegative
+from repro.subspace.spg import spg_minimize
+
+
+class TestSPGQuadratic:
+    def test_unconstrained_quadratic_reaches_minimum(self):
+        # f(x) = ||x - target||^2 with a trivially large feasible box.
+        target = np.array([1.0, -2.0, 3.0])
+        result = spg_minimize(
+            objective=lambda x: float(np.sum((x - target) ** 2)),
+            gradient=lambda x: 2.0 * (x - target),
+            project=lambda x: project_box(x, -100.0, 100.0),
+            x0=np.zeros(3), max_iter=200, tol=1e-8)
+        np.testing.assert_allclose(result.solution, target, atol=1e-5)
+        assert result.converged
+
+    def test_nonnegative_constraint_active(self):
+        # Minimiser of ||x + 1||^2 over x >= 0 is the origin.
+        result = spg_minimize(
+            objective=lambda x: float(np.sum((x + 1.0) ** 2)),
+            gradient=lambda x: 2.0 * (x + 1.0),
+            project=project_nonnegative,
+            x0=np.ones(4), max_iter=200, tol=1e-8)
+        np.testing.assert_allclose(result.solution, 0.0, atol=1e-6)
+
+    def test_box_constraint_respected_throughout(self):
+        result = spg_minimize(
+            objective=lambda x: float(np.sum((x - 10.0) ** 2)),
+            gradient=lambda x: 2.0 * (x - 10.0),
+            project=lambda x: project_box(x, 0.0, 1.0),
+            x0=np.full(3, 0.5), max_iter=100, tol=1e-8)
+        np.testing.assert_allclose(result.solution, 1.0, atol=1e-6)
+
+    def test_history_monotone_overall(self):
+        # Non-monotone line search may allow small bumps inside the memory
+        # window, but the final value must not exceed the initial value.
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(6, 6))
+        Q = A @ A.T + np.eye(6)
+        b = rng.normal(size=6)
+        result = spg_minimize(
+            objective=lambda x: float(0.5 * x @ Q @ x - b @ x),
+            gradient=lambda x: Q @ x - b,
+            project=lambda x: project_box(x, -50.0, 50.0),
+            x0=np.zeros(6), max_iter=300, tol=1e-10)
+        assert result.history[-1] <= result.history[0] + 1e-12
+        expected = np.linalg.solve(Q, b)
+        np.testing.assert_allclose(result.solution, expected, atol=1e-4)
+
+    def test_respects_max_iter(self):
+        result = spg_minimize(
+            objective=lambda x: float(np.sum(x ** 2)),
+            gradient=lambda x: 2.0 * x,
+            project=lambda x: x,
+            x0=np.full(3, 100.0), max_iter=2, tol=1e-16)
+        assert result.n_iterations <= 2
+
+    def test_starting_at_optimum_converges_immediately(self):
+        result = spg_minimize(
+            objective=lambda x: float(np.sum(x ** 2)),
+            gradient=lambda x: 2.0 * x,
+            project=project_nonnegative,
+            x0=np.zeros(3), max_iter=50, tol=1e-8)
+        assert result.converged
+        assert result.n_iterations == 0
+
+    def test_matrix_shaped_variables(self):
+        target = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = spg_minimize(
+            objective=lambda W: float(np.sum((W - target) ** 2)),
+            gradient=lambda W: 2.0 * (W - target),
+            project=project_nonnegative,
+            x0=np.zeros((2, 2)), max_iter=200, tol=1e-8)
+        np.testing.assert_allclose(result.solution, target, atol=1e-5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            spg_minimize(lambda x: 0.0, lambda x: x, lambda x: x,
+                         np.zeros(2), max_iter=0)
+        with pytest.raises(Exception):
+            spg_minimize(lambda x: 0.0, lambda x: x, lambda x: x,
+                         np.zeros(2), tol=-1.0)

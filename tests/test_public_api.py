@@ -1,0 +1,43 @@
+"""Tests for the top-level package exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_defined(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_main_classes_exported(self):
+        for name in ["RHCHME", "RHCHMEConfig", "SRC", "SNMTF", "RMC", "DRCC",
+                     "MultiTypeRelationalData", "ObjectType", "Relation"]:
+            assert name in repro.__all__
+
+    def test_main_functions_exported(self):
+        for name in ["make_dataset", "list_datasets", "clustering_fscore",
+                     "normalized_mutual_information"]:
+            assert name in repro.__all__
+
+    def test_list_datasets_nonempty(self):
+        assert len(repro.list_datasets()) >= 8
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.cluster
+        import repro.core
+        import repro.data
+        import repro.experiments
+        import repro.graph
+        import repro.linalg
+        import repro.manifold
+        import repro.metrics
+        import repro.relational
+        import repro.subspace

@@ -1,0 +1,195 @@
+"""Tests for repro._validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro._validation import (
+    as_float_array,
+    check_labels,
+    check_non_negative,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    check_sizes,
+    check_square,
+    check_symmetric,
+    ensure_dense,
+)
+from repro.exceptions import ShapeError, ValidationError
+
+
+class TestAsFloatArray:
+    def test_converts_lists_to_float64(self):
+        result = as_float_array([[1, 2], [3, 4]])
+        assert result.dtype == np.float64
+        assert result.shape == (2, 2)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValidationError, match="empty"):
+            as_float_array(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            as_float_array([[1.0, np.nan]])
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ValidationError, match="infinite"):
+            as_float_array([[1.0, np.inf]])
+
+    def test_enforces_ndim(self):
+        with pytest.raises(ShapeError):
+            as_float_array([1.0, 2.0], ndim=2)
+
+    def test_densifies_sparse_by_default(self):
+        sparse = sp.csr_matrix(np.eye(3))
+        result = as_float_array(sparse)
+        assert isinstance(result, np.ndarray)
+
+    def test_keeps_sparse_when_allowed(self):
+        sparse = sp.csr_matrix(np.eye(3))
+        result = as_float_array(sparse, allow_sparse=True)
+        assert sp.issparse(result)
+
+    def test_result_is_contiguous(self):
+        transposed = np.arange(12, dtype=np.float64).reshape(3, 4).T
+        assert as_float_array(transposed).flags["C_CONTIGUOUS"]
+
+
+class TestEnsureDense:
+    def test_dense_passthrough(self):
+        matrix = np.ones((2, 2))
+        assert ensure_dense(matrix).shape == (2, 2)
+
+    def test_sparse_is_densified(self):
+        result = ensure_dense(sp.csr_matrix(np.eye(2)))
+        np.testing.assert_allclose(result, np.eye(2))
+
+
+class TestCheckSquareSymmetric:
+    def test_square_accepts_square(self):
+        check_square(np.eye(3))
+
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            check_square(np.ones((2, 3)))
+
+    def test_symmetric_accepts_symmetric(self):
+        check_symmetric(np.eye(4))
+
+    def test_symmetric_rejects_asymmetric(self):
+        matrix = np.array([[0.0, 1.0], [5.0, 0.0]])
+        with pytest.raises(ValidationError, match="symmetric"):
+            check_symmetric(matrix)
+
+    def test_symmetric_fix_returns_symmetrised(self):
+        matrix = np.array([[0.0, 1.0], [3.0, 0.0]])
+        fixed = check_symmetric(matrix, fix=True)
+        np.testing.assert_allclose(fixed, fixed.T)
+
+
+class TestCheckNonNegative:
+    def test_accepts_nonnegative(self):
+        check_non_negative(np.ones((2, 2)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_non_negative(np.array([[-1.0]]))
+
+    def test_tolerance_allows_small_negatives(self):
+        check_non_negative(np.array([[-1e-12]]), tol=1e-10)
+
+
+class TestCheckLabels:
+    def test_accepts_integer_list(self):
+        labels = check_labels([0, 1, 2, 1])
+        assert labels.dtype == np.int64
+
+    def test_accepts_float_integers(self):
+        labels = check_labels(np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_rejects_non_integer_floats(self):
+        with pytest.raises(ValidationError):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ShapeError):
+            check_labels([0, 1], n_samples=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_labels([])
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(5).random(3)
+        b = check_random_state(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_legacy_randomstate_accepted(self):
+        legacy = np.random.RandomState(0)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("not-a-seed")
+
+
+class TestScalarChecks:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, name="x") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, name="x")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, name="x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, name="x")
+
+    def test_positive_float_accepts(self):
+        assert check_positive_float(0.5, name="x") == 0.5
+
+    def test_positive_float_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(0.0, name="x")
+
+    def test_positive_float_inclusive_allows_minimum(self):
+        assert check_positive_float(0.0, name="x", inclusive=True) == 0.0
+
+    def test_positive_float_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive_float(float("nan"), name="x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5, name="p")
+
+    def test_sizes_validated(self):
+        assert check_sizes([1, 2, 3]) == [1, 2, 3]
+        with pytest.raises(ValidationError):
+            check_sizes([])
+        with pytest.raises(ValidationError):
+            check_sizes([1, 0])
