@@ -1,0 +1,268 @@
+"""Dense-vs-sparse backend benchmark for the RHCHME graph pipeline.
+
+Times the stages the compute backend actually differentiates, across growing
+total object counts N:
+
+* **build** — p-NN affinity + ensemble Laplacian assembly
+  (:class:`repro.manifold.HeterogeneousManifoldEnsemble` with the p-NN member
+  only, which is the regulariser every backend-sensitive stage consumes),
+  plus the one-time positive/negative Laplacian split the fit loop reuses;
+* **update** — repeated membership updates (Eq. 21), the per-iteration hot
+  loop forming ``L± @ G``, driven exactly as ``RHCHME.fit`` drives it
+  (precomputed split passed in).
+
+``pipeline = build + update`` is the gated metric: the acceptance target is a
+sparse/dense pipeline speedup ≥ 3× at the largest size.  Objective
+evaluations (Eq. 15) are timed separately because their dominant cost — the
+reconstruction residual ``R − G S Gᵀ − E_R`` — lives in the inherently dense
+R-space shared by both backends (its smoothness term ``tr(Gᵀ L G)`` is the
+only backend-sensitive part); sparsifying R is future work, not this knob.
+
+Peak *additional* memory attributable to the backend — Laplacian assembly
+plus regulariser application (part splits, ``L± @ G``, smoothness trace) — is
+measured with :mod:`tracemalloc` in a separate untimed pass (tracemalloc
+inflates allocation-heavy timings); for the sparse backend it must stay
+sublinear in N².  With ``--with-fit`` the runner additionally times full
+``RHCHME.fit`` calls (random init, error matrix on) as an end-to-end
+reference — the fit also contains backend-independent dense R-space work
+(S and E_R updates, objective tracking), so its speedup is smaller by
+construction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py            # full run
+    PYTHONPATH=src python benchmarks/bench_backend.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_backend.py --with-fit
+
+Writes ``BENCH_backend.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import RHCHME  # noqa: E402
+from repro.core.objective import evaluate_objective  # noqa: E402
+from repro.core.state import initialize_state  # noqa: E402
+from repro.core.updates import update_association, update_membership  # noqa: E402
+from repro.linalg.backend import is_sparse  # noqa: E402
+from repro.linalg.norms import trace_quadratic  # noqa: E402
+from repro.linalg.parts import split_parts  # noqa: E402
+from repro.manifold.ensemble import HeterogeneousManifoldEnsemble  # noqa: E402
+from repro.relational.dataset import MultiTypeRelationalData  # noqa: E402
+from repro.relational.types import ObjectType, Relation  # noqa: E402
+
+DEFAULT_SIZES = (300, 1000, 3000)
+SMOKE_SIZES = (150, 400)
+LAM = 250.0
+BETA = 50.0
+
+
+def make_synthetic(n_total: int, *, n_features: int = 10, n_clusters: int = 5,
+                   relation_density: float = 0.05, seed: int = 0) -> MultiTypeRelationalData:
+    """Two-type dataset (2:1 split) with Gaussian blob features.
+
+    The inter-type relation is a sparse non-negative co-occurrence matrix;
+    features carry the cluster structure so the p-NN graph is meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    n_a = max((2 * n_total) // 3, 2)
+    n_b = max(n_total - n_a, 2)
+    n_clusters = max(1, min(n_clusters, n_b, n_a))
+    types = []
+    assignments = {}
+    for name, n_objects in (("rows", n_a), ("cols", n_b)):
+        centers = rng.normal(scale=4.0, size=(n_clusters, n_features))
+        labels = rng.integers(0, n_clusters, size=n_objects)
+        features = centers[labels] + rng.normal(size=(n_objects, n_features))
+        assignments[name] = labels
+        types.append(ObjectType(name, n_objects=n_objects, n_clusters=n_clusters,
+                                features=features, labels=labels))
+    co_cluster = (assignments["rows"][:, None] == assignments["cols"][None, :])
+    matrix = np.where(co_cluster & (rng.random((n_a, n_b)) < 4 * relation_density),
+                      rng.random((n_a, n_b)), 0.0)
+    background = rng.random((n_a, n_b)) < relation_density
+    matrix = np.maximum(matrix, np.where(background, rng.random((n_a, n_b)), 0.0))
+    return MultiTypeRelationalData(types, [Relation("rows", "cols", matrix)])
+
+
+def _make_ensemble(backend: str, p: int) -> HeterogeneousManifoldEnsemble:
+    return HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=True,
+                                         p=p, backend=backend)
+
+
+def time_pipeline(data: MultiTypeRelationalData, *, backend: str, p: int,
+                  n_iters: int, seed: int) -> dict:
+    """Time the backend-owned stages and measure their peak memory.
+
+    Timed (without tracemalloc, which inflates allocation-heavy code):
+    ensemble build, ``n_iters`` membership updates, ``n_iters`` objective
+    evaluations.  Measured (untimed pass): peak memory of Laplacian assembly
+    plus one regulariser application — the allocations the backend choice is
+    responsible for.
+    """
+    R = data.inter_type_matrix(normalize=True)
+    state = initialize_state(data, R, init="random", random_state=seed)
+    state.S = update_association(R, state)
+
+    start = time.perf_counter()
+    L = _make_ensemble(backend, p).build(data)
+    parts = split_parts(L)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        state.G = update_membership(R, L, state, lam=LAM, parts=parts)
+    update_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        evaluate_objective(R, state.G, state.S, state.E_R, L, lam=LAM, beta=BETA)
+    objective_seconds = time.perf_counter() - start
+
+    del L
+    tracemalloc.start()
+    L = _make_ensemble(backend, p).build(data)
+    L_pos, L_neg = split_parts(L)
+    _ = L_pos @ state.G
+    _ = L_neg @ state.G
+    trace_quadratic(state.G, L)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    nnz = int(L.nnz) if is_sparse(L) else int(np.count_nonzero(L))
+    n = L.shape[0]
+    return {
+        "backend": backend,
+        "build_seconds": round(build_seconds, 6),
+        "update_seconds": round(update_seconds, 6),
+        "objective_seconds": round(objective_seconds, 6),
+        "pipeline_seconds": round(build_seconds + update_seconds, 6),
+        "peak_additional_bytes": int(peak_bytes),
+        "laplacian_nnz": nnz,
+        "laplacian_density": round(nnz / float(n * n), 6),
+        "representation": "csr" if is_sparse(L) else "ndarray",
+    }
+
+
+def time_fit(data: MultiTypeRelationalData, *, backend: str, p: int,
+             max_iter: int, seed: int) -> dict:
+    """Time a full (iteration-capped) RHCHME fit with the given backend."""
+    model = RHCHME(backend=backend, p=p, max_iter=max_iter, init="random",
+                   use_subspace_member=False, track_metrics_every=0,
+                   random_state=seed)
+    start = time.perf_counter()
+    result = model.fit(data)
+    seconds = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "fit_seconds": round(seconds, 6),
+        "ensemble_seconds": round(result.ensemble_seconds, 6),
+        "n_iterations": result.n_iterations,
+        "final_objective": float(result.trace.objectives[-1]),
+    }
+
+
+def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
+        fit_max_iter: int) -> dict:
+    results = []
+    for n_total in sizes:
+        data = make_synthetic(n_total, seed=seed)
+        entry = {"n_total": int(n_total), "p": int(p), "n_iters": int(n_iters)}
+        for backend in ("dense", "sparse"):
+            print(f"[bench] N={n_total} backend={backend} ...", flush=True)
+            entry[backend] = time_pipeline(data, backend=backend, p=p,
+                                           n_iters=n_iters, seed=seed)
+        entry["speedup_pipeline"] = round(
+            entry["dense"]["pipeline_seconds"] / entry["sparse"]["pipeline_seconds"], 3)
+        entry["memory_ratio_dense_over_sparse"] = round(
+            entry["dense"]["peak_additional_bytes"]
+            / max(entry["sparse"]["peak_additional_bytes"], 1), 3)
+        if with_fit:
+            for backend in ("dense", "sparse"):
+                print(f"[bench] N={n_total} full fit backend={backend} ...", flush=True)
+                entry[f"fit_{backend}"] = time_fit(data, backend=backend, p=p,
+                                                   max_iter=fit_max_iter, seed=seed)
+            entry["speedup_fit"] = round(
+                entry["fit_dense"]["fit_seconds"] / entry["fit_sparse"]["fit_seconds"], 3)
+        results.append(entry)
+        print(f"[bench] N={n_total}: pipeline speedup ×{entry['speedup_pipeline']}"
+              + (f", fit speedup ×{entry['speedup_fit']}" if with_fit else ""),
+              flush=True)
+
+    largest = results[-1]
+    # Peak-memory growth exponent of the sparse pipeline vs N (log-log slope
+    # between the smallest and largest size): sublinear in N² means < 2.
+    mem_exponent = None
+    if len(results) >= 2:
+        n0, n1 = results[0]["n_total"], largest["n_total"]
+        m0 = results[0]["sparse"]["peak_additional_bytes"]
+        m1 = largest["sparse"]["peak_additional_bytes"]
+        if m0 > 0 and m1 > 0 and n1 > n0:
+            mem_exponent = round(float(np.log(m1 / m0) / np.log(n1 / n0)), 3)
+    return {
+        "benchmark": "rhchme-backend",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": [int(n) for n in sizes],
+        "p": int(p),
+        "lam": LAM,
+        "beta": BETA,
+        "results": results,
+        "summary": {
+            "largest_n": largest["n_total"],
+            "speedup_pipeline_at_largest": largest["speedup_pipeline"],
+            "meets_3x_target": bool(largest["speedup_pipeline"] >= 3.0),
+            "sparse_peak_memory_growth_exponent_vs_n": mem_exponent,
+            "sparse_memory_sublinear_in_n_squared": (
+                bool(mem_exponent < 2.0) if mem_exponent is not None else None),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
+    parser.add_argument("--p", type=int, default=5, help="p-NN neighbour count")
+    parser.add_argument("--iters", type=int, default=10,
+                        help="membership/objective rounds per pipeline timing")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"quick CI run on sizes {SMOKE_SIZES}")
+    parser.add_argument("--with-fit", action="store_true",
+                        help="also time full RHCHME fits (slower)")
+    parser.add_argument("--fit-max-iter", type=int, default=5)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_backend.json")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+    report = run(sorted(sizes), p=args.p, n_iters=args.iters, seed=args.seed,
+                 with_fit=args.with_fit, fit_max_iter=args.fit_max_iter)
+    report["smoke"] = bool(args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(f"[bench] wrote {args.output}")
+    print(f"[bench] largest N={summary['largest_n']}: "
+          f"pipeline speedup ×{summary['speedup_pipeline_at_largest']} "
+          f"(target ≥3: {'PASS' if summary['meets_3x_target'] else 'MISS'}), "
+          f"sparse peak-memory exponent vs N: "
+          f"{summary['sparse_peak_memory_growth_exponent_vs_n']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,6 @@ average within-manifold neighbour coverage, and it times both constructions.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.manifolds import sample_intersecting_circles
 from repro.experiments.figures import figure1_neighbour_completeness

@@ -8,7 +8,6 @@ profile of each paper dataset is preserved) and times dataset generation.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.datasets import dataset_characteristics, make_dataset
 from repro.experiments.reporting import rows_to_markdown

@@ -9,8 +9,6 @@ qualitative shape; the timed benchmark measures one full RHCHME fit.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.core.rhchme import RHCHME
 from repro.experiments.registry import DEFAULT_METHODS

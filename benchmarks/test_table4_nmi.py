@@ -7,7 +7,6 @@ co-clustering, RHCHME best on average.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.src import SRC
 from repro.experiments.registry import DEFAULT_METHODS

@@ -11,7 +11,6 @@ synthetic analogues and checks the orderings that do not depend on scale.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.registry import DEFAULT_METHODS
 from repro.experiments.reporting import format_table

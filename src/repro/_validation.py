@@ -77,15 +77,26 @@ def check_square(matrix: np.ndarray, *, name: str = "matrix") -> np.ndarray:
     return matrix
 
 
-def check_symmetric(matrix: np.ndarray, *, name: str = "matrix",
-                    tol: float = 1e-8, fix: bool = False) -> np.ndarray:
-    """Validate symmetry of ``matrix``.
+def check_symmetric(matrix, *, name: str = "matrix",
+                    tol: float = 1e-8, fix: bool = False):
+    """Validate symmetry of a dense or scipy sparse ``matrix``.
 
     With ``fix=True`` the symmetrised matrix ``(M + Mᵀ) / 2`` is returned
-    instead of raising when the asymmetry is within numerical noise of the
-    matrix scale.
+    instead of raising when the asymmetry exceeds numerical noise of the
+    matrix scale.  Sparse input keeps its sparse (CSR) representation; the
+    gap/scale tolerance rule is shared between both representations so the
+    dense and sparse pipelines repair asymmetry identically.
     """
     check_square(matrix, name=name)
+    if sp.issparse(matrix):
+        nonempty = matrix.nnz > 0
+        gap = float(abs(matrix - matrix.T).max()) if nonempty else 0.0
+        scale = max(1.0, float(abs(matrix).max()) if nonempty else 1.0)
+        if gap <= tol * scale:
+            return matrix
+        if fix:
+            return ((matrix + matrix.T) / 2.0).tocsr()
+        raise ValidationError(f"{name} is not symmetric (max asymmetry {gap:.3e})")
     gap = float(np.max(np.abs(matrix - matrix.T))) if matrix.size else 0.0
     scale = max(1.0, float(np.max(np.abs(matrix))) if matrix.size else 1.0)
     if gap <= tol * scale:

@@ -7,11 +7,12 @@ parameters declaratively (the paper's Figure 2 sweeps λ, γ, α and β).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from .._validation import check_positive_float, check_positive_int
 from ..graph.weights import WeightingScheme
+from ..linalg.backend import check_backend
 
 __all__ = ["RHCHMEConfig"]
 
@@ -67,6 +68,16 @@ class RHCHMEConfig:
     zeta:
         Small perturbation regularising the L2,1 reweighting when a residual
         row is exactly zero (Section III.D.3).
+    backend:
+        Compute backend for the graph pipeline: ``"dense"`` materialises the
+        affinities and the ensemble Laplacian as numpy arrays (seed
+        behaviour), ``"sparse"`` keeps them as scipy CSR matrices end to end
+        (≤ 2p non-zeros per p-NN row, no ``O(n²)`` intermediates), and
+        ``"auto"`` (default) selects by dataset size — see
+        :func:`repro.linalg.backend.resolve_backend` — except that it stays
+        dense while the subspace member is active, whose affinity is dense in
+        substance.  Both backends produce the same labels and objective trace
+        up to floating-point noise.
     """
 
     lam: float = 250.0
@@ -89,6 +100,7 @@ class RHCHMEConfig:
     random_state: int | None = None
     track_metrics_every: int = 1
     zeta: float = 1e-10
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_float(self.lam, name="lam", minimum=0.0, inclusive=True)
@@ -105,6 +117,7 @@ class RHCHMEConfig:
             raise ValueError(f"init must be 'kmeans' or 'random', got {self.init!r}")
         if self.track_metrics_every < 0:
             raise ValueError("track_metrics_every must be >= 0")
+        check_backend(self.backend)
         object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))
 
     def with_overrides(self, **overrides: Any) -> "RHCHMEConfig":
@@ -122,4 +135,5 @@ class RHCHMEConfig:
             "weighting": self.weighting.value,
             "max_iter": self.max_iter,
             "init": self.init,
+            "backend": self.backend,
         }

@@ -42,9 +42,14 @@ class ObjectiveBreakdown:
 
 
 def evaluate_objective(R: np.ndarray, G: np.ndarray, S: np.ndarray,
-                       E_R: np.ndarray, L: np.ndarray, *, lam: float,
+                       E_R: np.ndarray, L, *, lam: float,
                        beta: float) -> ObjectiveBreakdown:
-    """Evaluate the three terms of Eq. 15 at the given factors."""
+    """Evaluate the three terms of Eq. 15 at the given factors.
+
+    ``L`` may be dense or scipy sparse; the smoothness term only needs the
+    product ``L @ G`` (see :func:`repro.linalg.norms.trace_quadratic`), so a
+    sparse ensemble Laplacian is never densified.
+    """
     residual = R - G @ S @ G.T - E_R
     reconstruction = frobenius_norm(residual) ** 2
     error_sparsity = beta * l21_norm(E_R)

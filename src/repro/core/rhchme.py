@@ -26,6 +26,7 @@ from ..relational.dataset import MultiTypeRelationalData
 from .config import RHCHMEConfig
 from .convergence import TraceRecorder
 from .objective import evaluate_objective
+from ..linalg.parts import split_parts
 from .state import FactorizationState, initialize_state
 from .updates import update_association, update_error_matrix, update_membership
 
@@ -110,11 +111,16 @@ class RHCHME:
             subspace_tol=config.subspace_tol,
             use_subspace=config.use_subspace_member and config.alpha > 0,
             use_pnn=config.use_pnn_member,
+            backend=config.backend,
             random_state=config.random_state,
         )
         L = ensemble.build(data)
+        backend = ensemble.resolved_backend_
         ensemble_seconds = time.perf_counter() - ensemble_start
 
+        # L is fixed for the whole fit; split it into (L+, L-) once instead of
+        # re-splitting inside every membership update.
+        L_parts = split_parts(L)
         state = initialize_state(data, R, init=config.init,
                                  smoothing=config.init_smoothing,
                                  random_state=config.random_state)
@@ -126,7 +132,8 @@ class RHCHME:
         iteration = 0
         for iteration in range(1, config.max_iter + 1):
             state.S = update_association(R, state)
-            state.G = update_membership(R, L, state, lam=config.lam)
+            state.G = update_membership(R, L, state, lam=config.lam,
+                                        parts=L_parts)
             if config.use_error_matrix:
                 state.E_R = update_error_matrix(R, state, beta=config.beta,
                                                 zeta=config.zeta)
@@ -143,7 +150,8 @@ class RHCHME:
                               converged=converged, n_iterations=iteration,
                               fit_seconds=time.perf_counter() - start,
                               ensemble_seconds=ensemble_seconds,
-                              extras={"config": config.describe()})
+                              extras={"config": config.describe(),
+                                      "backend": backend})
         self.result_ = result
         return result
 

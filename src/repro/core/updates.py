@@ -62,15 +62,28 @@ def update_association(R: np.ndarray, state: FactorizationState) -> np.ndarray:
     return masked
 
 
-def update_membership(R: np.ndarray, L: np.ndarray, state: FactorizationState,
-                      *, lam: float) -> np.ndarray:
-    """Multiplicative G update (Eq. 21) followed by row-ℓ1 normalisation (Eq. 22)."""
+def update_membership(R: np.ndarray, L, state: FactorizationState,
+                      *, lam: float, parts=None) -> np.ndarray:
+    """Multiplicative G update (Eq. 21) followed by row-ℓ1 normalisation (Eq. 22).
+
+    ``L`` may be a dense array or a scipy sparse matrix: the positive/negative
+    split of a sparse Laplacian stays sparse and both ``L⁺ @ G`` and
+    ``L⁻ @ G`` are skinny dense products, so the sparse backend never
+    materialises an ``(n, n)`` dense intermediate here.
+
+    ``parts`` optionally supplies a precomputed ``(L⁺, L⁻)`` pair.  L is
+    loop-invariant across the fit iterations, so callers iterating this
+    update (Algorithm 2) should split once and pass it in rather than paying
+    the O(n²) (dense) or O(nnz) (sparse) split every iteration.
+    """
     G, S, E_R = state.G, state.S, state.E_R
     A = (R - E_R) @ G @ S.T
     B = S.T @ (G.T @ G) @ S
-    L_pos, L_neg = split_parts(L)
+    L_pos, L_neg = parts if parts is not None else split_parts(L)
     A_pos, A_neg = split_parts(A)
     B_pos, B_neg = split_parts(B)
+    # With a sparse L these two products are the only place L is touched and
+    # they produce dense (n, c) arrays directly.
     numerator = lam * (L_neg @ G) + A_pos + G @ B_neg
     denominator = lam * (L_pos @ G) + A_neg + G @ B_pos
     ratio = safe_divide(numerator, denominator, eps=_EPS)

@@ -14,7 +14,7 @@ the full benchmark suite runs in minutes on a laptop.  Each preset also has a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

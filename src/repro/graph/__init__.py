@@ -15,7 +15,7 @@ affinity matrix into the regulariser used in the HOCC objectives:
 """
 
 from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances, pnn_indices
-from .weights import WeightingScheme, compute_edge_weights
+from .weights import WeightingScheme, compute_edge_weights, compute_edge_weights_pairs
 from .pnn import pnn_affinity
 from .laplacian import (
     degree_vector,
@@ -31,6 +31,7 @@ __all__ = [
     "WeightingScheme",
     "candidate_laplacians",
     "compute_edge_weights",
+    "compute_edge_weights_pairs",
     "default_candidate_grid",
     "degree_vector",
     "laplacian",

@@ -6,13 +6,20 @@ The HOCC objectives regularise the cluster membership matrix with
 matrix); the symmetric-normalised variant ``I − D^{-1/2} W D^{-1/2}`` is also
 provided because the paper refers to the regulariser as a *normalised* graph
 Laplacian and both behave equivalently up to degree scaling.
+
+Every builder accepts either a dense ``numpy`` affinity or a scipy sparse
+one and returns a Laplacian in the same representation: a p-NN affinity with
+``O(p)`` non-zeros per row yields a CSR Laplacian with the same sparsity
+(plus the diagonal), which the solvers consume purely as an operator.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import as_float_array, check_square, check_symmetric
+from ..exceptions import ValidationError
 from ..linalg.normalize import symmetric_normalize
 
 __all__ = [
@@ -26,15 +33,41 @@ __all__ = [
 _EPS = 1e-12
 
 
-def degree_vector(affinity: np.ndarray) -> np.ndarray:
+def _coerce_sparse(affinity, *, name: str = "affinity") -> sp.csr_array:
+    """Return a square, finite, float64 CSR view of a sparse affinity."""
+    csr = affinity.tocsr().astype(np.float64, copy=False)
+    check_square(csr, name=name)
+    if csr.nnz and not np.all(np.isfinite(csr.data)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return csr
+
+
+def _check_sparse_affinity(affinity, *, name: str = "affinity") -> sp.csr_array:
+    """Validate a sparse affinity as symmetric float64 CSR.
+
+    Symmetry repair is delegated to the shared ``check_symmetric`` so that
+    dense and sparse pipelines apply one tolerance policy.
+    """
+    return check_symmetric(_coerce_sparse(affinity, name=name),
+                           name=name, fix=True).tocsr()
+
+
+def degree_vector(affinity) -> np.ndarray:
     """Row-sum degree vector ``d_i = Σ_j W_ij`` of an affinity matrix."""
+    if sp.issparse(affinity):
+        csr = _coerce_sparse(affinity)
+        return np.asarray(csr.sum(axis=1)).ravel()
     affinity = as_float_array(affinity, name="affinity", ndim=2)
     check_square(affinity, name="affinity")
     return np.sum(affinity, axis=1)
 
 
-def unnormalized_laplacian(affinity: np.ndarray) -> np.ndarray:
+def unnormalized_laplacian(affinity):
     """Combinatorial Laplacian ``L = D − W``."""
+    if sp.issparse(affinity):
+        csr = _check_sparse_affinity(affinity)
+        degrees = np.asarray(csr.sum(axis=1)).ravel()
+        return (sp.diags_array(degrees) - csr).tocsr()
     affinity = as_float_array(affinity, name="affinity", ndim=2)
     affinity = check_symmetric(affinity, name="affinity", fix=True)
     laplacian_matrix = -affinity.copy()
@@ -43,12 +76,16 @@ def unnormalized_laplacian(affinity: np.ndarray) -> np.ndarray:
     return laplacian_matrix
 
 
-def normalized_laplacian(affinity: np.ndarray) -> np.ndarray:
+def normalized_laplacian(affinity):
     """Symmetric-normalised Laplacian ``L = I − D^{-1/2} W D^{-1/2}``.
 
     Isolated vertices contribute a zero row/column of the normalised affinity
     and therefore a diagonal entry of 1 in the Laplacian.
     """
+    if sp.issparse(affinity):
+        csr = _check_sparse_affinity(affinity)
+        normalised = symmetric_normalize(csr)
+        return (sp.eye_array(csr.shape[0], format="csr") - normalised).tocsr()
     affinity = as_float_array(affinity, name="affinity", ndim=2)
     affinity = check_symmetric(affinity, name="affinity", fix=True)
     normalised = symmetric_normalize(affinity)
@@ -57,8 +94,14 @@ def normalized_laplacian(affinity: np.ndarray) -> np.ndarray:
     return laplacian_matrix
 
 
-def random_walk_laplacian(affinity: np.ndarray) -> np.ndarray:
+def random_walk_laplacian(affinity):
     """Random-walk Laplacian ``L = I − D^{-1} W`` (rows of zero degree kept)."""
+    if sp.issparse(affinity):
+        csr = _check_sparse_affinity(affinity)
+        degrees = np.asarray(csr.sum(axis=1)).ravel()
+        inverse = np.where(degrees > _EPS, 1.0 / np.maximum(degrees, _EPS), 0.0)
+        walk = sp.diags_array(inverse) @ csr
+        return (sp.eye_array(csr.shape[0], format="csr") - walk).tocsr()
     affinity = as_float_array(affinity, name="affinity", ndim=2)
     affinity = check_symmetric(affinity, name="affinity", fix=True)
     degrees = np.sum(affinity, axis=1)
@@ -69,13 +112,14 @@ def random_walk_laplacian(affinity: np.ndarray) -> np.ndarray:
     return laplacian_matrix
 
 
-def laplacian(affinity: np.ndarray, kind: str = "unnormalized") -> np.ndarray:
+def laplacian(affinity, kind: str = "unnormalized"):
     """Dispatch to one of the Laplacian variants by name.
 
     Parameters
     ----------
     affinity:
-        Symmetric non-negative affinity matrix.
+        Symmetric non-negative affinity matrix, dense or scipy sparse; the
+        Laplacian is returned in the same representation.
     kind:
         ``"unnormalized"`` (paper's ``D − W``), ``"normalized"`` (symmetric)
         or ``"random_walk"``.

@@ -82,19 +82,47 @@ def pnn_indices(X: np.ndarray, p: int, *, algorithm: str = "auto") -> np.ndarray
         algorithm = "kdtree" if X.shape[1] <= 15 else "brute"
     if algorithm == "kdtree":
         tree = cKDTree(X)
-        # query p+1 because the closest hit is the point itself
+        # query p+1 because the closest hit is usually the point itself
         _, indices = tree.query(X, k=p + 1)
-        indices = np.atleast_2d(indices)
-        neighbours = np.empty((n_objects, p), dtype=np.int64)
-        for i in range(n_objects):
-            row = [j for j in indices[i] if j != i][:p]
-            # Duplicate points can push `i` out of its own candidate list; pad
-            # with the remaining closest candidates in that case.
-            if len(row) < p:
-                extra = [j for j in indices[i] if j != i and j not in row]
-                row.extend(extra[:p - len(row)])
-            neighbours[i] = row[:p]
-        return neighbours
-    distances = pairwise_euclidean_distances(X)
-    np.fill_diagonal(distances, np.inf)
-    return np.argsort(distances, axis=1)[:, :p].astype(np.int64)
+        indices = np.atleast_2d(np.asarray(indices, dtype=np.int64))
+        # Drop exactly one candidate per row: the point itself where it
+        # appears, otherwise the farthest candidate (duplicate points can push
+        # `i` out of its own candidate list — the p+1 hits are then all valid
+        # neighbours and the closest p are kept).
+        self_hits = indices == np.arange(n_objects)[:, None]
+        drop = np.where(self_hits.any(axis=1), self_hits.argmax(axis=1), p)
+        keep = np.ones((n_objects, p + 1), dtype=bool)
+        keep[np.arange(n_objects), drop] = False
+        return indices[keep].reshape(n_objects, p)
+    return _brute_force_indices(X, p)
+
+
+#: Upper bound on the number of entries of one brute-force distance block;
+#: keeps peak memory at ~32 MB regardless of n, so the sparse graph pipeline
+#: never materialises a full (n, n) distance matrix even on high-dimensional
+#: data where the KD-tree is not used.
+_BRUTE_BLOCK_ENTRIES = 4_000_000
+
+
+def _brute_force_indices(X: np.ndarray, p: int) -> np.ndarray:
+    """Blocked brute-force p-NN search with O(block · n) peak memory.
+
+    Processes rows in blocks, using ``argpartition`` to select the p nearest
+    candidates of each row (excluding the row itself) and then ordering those
+    p by actual distance.
+    """
+    n_objects = X.shape[0]
+    block_rows = max(1, _BRUTE_BLOCK_ENTRIES // n_objects)
+    neighbours = np.empty((n_objects, p), dtype=np.int64)
+    for start in range(0, n_objects, block_rows):
+        stop = min(start + block_rows, n_objects)
+        distances = pairwise_euclidean_distances(X[start:stop], X)
+        distances[np.arange(stop - start), np.arange(start, stop)] = np.inf
+        if p < n_objects - 1:
+            candidates = np.argpartition(distances, p, axis=1)[:, :p]
+        else:
+            candidates = np.argsort(distances, axis=1)[:, :p]
+        candidate_distances = np.take_along_axis(distances, candidates, axis=1)
+        order = np.argsort(candidate_distances, axis=1)
+        neighbours[start:stop] = np.take_along_axis(candidates, order, axis=1)
+    return neighbours

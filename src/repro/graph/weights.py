@@ -18,7 +18,9 @@ import numpy as np
 from .._validation import as_float_array, check_positive_float
 from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances
 
-__all__ = ["WeightingScheme", "compute_edge_weights"]
+__all__ = ["WeightingScheme", "compute_edge_weights", "compute_edge_weights_pairs"]
+
+_EPS = 1e-12
 
 
 class WeightingScheme(str, Enum):
@@ -72,4 +74,40 @@ def compute_edge_weights(X: np.ndarray,
         # must stay non-negative for the graph Laplacian to be well defined.
         weights = np.maximum(pairwise_cosine_similarity(X), 0.0)
     np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def compute_edge_weights_pairs(X: np.ndarray, rows: np.ndarray, cols: np.ndarray,
+                               scheme: WeightingScheme | str = WeightingScheme.COSINE,
+                               *, sigma: float = 1.0) -> np.ndarray:
+    """Return edge weights for an explicit list of ``(rows[k], cols[k])`` pairs.
+
+    This is the sparse counterpart of :func:`compute_edge_weights`: instead of
+    the full ``n × n`` candidate matrix it evaluates the same weighting scheme
+    only on the requested pairs (the p-NN edge list), costing O(|pairs| · d)
+    time and memory.  Self-pairs (``rows[k] == cols[k]``) get weight zero,
+    matching the zeroed diagonal of the dense weight matrix.
+    """
+    scheme = WeightingScheme.coerce(scheme)
+    X = as_float_array(X, name="X", ndim=2)
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    cols = np.asarray(cols, dtype=np.int64).ravel()
+    if rows.shape != cols.shape:
+        raise ValueError(
+            f"rows and cols must have equal length, got {rows.size} and {cols.size}")
+    if scheme is WeightingScheme.BINARY:
+        weights = np.ones(rows.shape[0], dtype=np.float64)
+    elif scheme is WeightingScheme.HEAT_KERNEL:
+        sigma = check_positive_float(sigma, name="sigma")
+        differences = X[rows] - X[cols]
+        squared = np.sum(differences * differences, axis=1)
+        weights = np.exp(-squared / sigma)
+    else:  # cosine
+        norms = np.linalg.norm(X, axis=1)
+        safe_norms = np.where(norms > _EPS, norms, 1.0)
+        dots = np.einsum("ij,ij->i", X[rows], X[cols])
+        similarity = dots / (safe_norms[rows] * safe_norms[cols])
+        similarity[(norms[rows] <= _EPS) | (norms[cols] <= _EPS)] = 0.0
+        weights = np.maximum(np.clip(similarity, -1.0, 1.0), 0.0)
+    weights[rows == cols] = 0.0
     return weights

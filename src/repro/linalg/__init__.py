@@ -14,8 +14,20 @@ The module groups small, well-tested numerical primitives:
 * :mod:`repro.linalg.projections` — projection operators onto the feasible
   sets used by the SPG solver.
 * :mod:`repro.linalg.safe` — numerically safe inverses and divisions.
+* :mod:`repro.linalg.backend` — dense/sparse compute-backend selection and
+  conversion helpers used to thread scipy.sparse through the pipeline.
 """
 
+from .backend import (
+    AUTO_SPARSE_THRESHOLD,
+    BACKENDS,
+    as_csr,
+    check_backend,
+    is_sparse,
+    resolve_backend,
+    to_backend,
+    to_dense,
+)
 from .parts import negative_part, positive_part, split_parts
 from .norms import (
     frobenius_norm,
@@ -48,7 +60,15 @@ from .projections import (
 from .safe import safe_divide, safe_inverse, safe_sqrt, stable_pinv
 
 __all__ = [
+    "AUTO_SPARSE_THRESHOLD",
+    "BACKENDS",
     "BlockSpec",
+    "as_csr",
+    "check_backend",
+    "is_sparse",
+    "resolve_backend",
+    "to_backend",
+    "to_dense",
     "block_diagonal",
     "block_offdiagonal",
     "column_normalize_l1",

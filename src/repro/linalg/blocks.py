@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = [
     "BlockSpec",
@@ -84,15 +85,26 @@ class BlockSpec:
         return int(np.searchsorted(self.offsets, position, side="right") - 1)
 
 
-def block_diagonal(blocks: Sequence[np.ndarray]) -> np.ndarray:
+def block_diagonal(blocks: Sequence[np.ndarray]):
     """Assemble a block-diagonal matrix from per-type square or tall blocks.
 
     Used for both the intra-type matrix ``W`` (square blocks) and the cluster
-    membership matrix ``G`` (``n_k × c_k`` blocks).
+    membership matrix ``G`` (``n_k × c_k`` blocks).  When any block is a scipy
+    sparse matrix the whole assembly stays sparse (CSR) — this is how the
+    sparse compute backend builds the ensemble Laplacian without ever
+    allocating the ``(n, n)`` dense array.
     """
-    blocks = [np.asarray(b, dtype=np.float64) for b in blocks]
+    blocks = list(blocks)
     if not blocks:
         raise ValueError("need at least one block")
+    if any(sp.issparse(block) for block in blocks):
+        blocks = [block if sp.issparse(block) else np.asarray(block, dtype=np.float64)
+                  for block in blocks]
+        for block in blocks:
+            if block.ndim != 2:
+                raise ValueError(f"blocks must be 2-D, got shape {block.shape}")
+        return sp.block_diag(blocks, format="csr").astype(np.float64, copy=False)
+    blocks = [np.asarray(b, dtype=np.float64) for b in blocks]
     for block in blocks:
         if block.ndim != 2:
             raise ValueError(f"blocks must be 2-D, got shape {block.shape}")

@@ -10,6 +10,7 @@ generator.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = [
     "row_normalize_l1",
@@ -54,12 +55,21 @@ def column_normalize_l1(matrix: np.ndarray, *, copy: bool = True) -> np.ndarray:
     return matrix
 
 
-def symmetric_normalize(affinity: np.ndarray) -> np.ndarray:
+def symmetric_normalize(affinity):
     """Return the symmetric normalisation ``D^{-1/2} W D^{-1/2}``.
 
     ``D`` is the diagonal degree matrix of the affinity ``W``.  Isolated
     vertices (zero degree) keep zero rows/columns instead of dividing by zero.
+    Sparse input is normalised in CSR form without densification.
     """
+    if sp.issparse(affinity):
+        csr = affinity.tocsr().astype(np.float64, copy=False)
+        degrees = np.asarray(csr.sum(axis=1)).ravel()
+        inv_sqrt = np.zeros_like(degrees)
+        positive = degrees > _EPS
+        inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+        scaling = sp.diags_array(inv_sqrt)
+        return (scaling @ csr @ scaling).tocsr()
     affinity = np.asarray(affinity, dtype=np.float64)
     degrees = np.sum(affinity, axis=1)
     inv_sqrt = np.zeros_like(degrees)

@@ -11,6 +11,7 @@ implementation.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = [
     "l1_norm",
@@ -52,11 +53,14 @@ def l21_norm(matrix: np.ndarray) -> float:
     return float(np.sum(row_l2_norms(matrix)))
 
 
-def trace_quadratic(G: np.ndarray, L: np.ndarray) -> float:
+def trace_quadratic(G: np.ndarray, L) -> float:
     """Graph regulariser value ``tr(Gᵀ L G)``.
 
     Evaluated as ``Σᵢⱼ (L G)ᵢⱼ Gᵢⱼ`` to avoid forming the c×c product.
+    ``L`` may be dense or scipy sparse; either way ``L @ G`` is a skinny
+    ``(n, c)`` dense product, so the sparse backend never densifies ``L``.
     """
     G = np.asarray(G, dtype=np.float64)
-    L = np.asarray(L, dtype=np.float64)
+    if not sp.issparse(L):
+        L = np.asarray(L, dtype=np.float64)
     return float(np.sum((L @ G) * G))

@@ -5,29 +5,45 @@ the paper) splits each matrix M into its element-wise positive part
 ``M⁺ = (|M| + M) / 2`` and negative part ``M⁻ = (|M| − M) / 2`` so that the
 update keeps G non-negative.  Both parts are non-negative and satisfy
 ``M = M⁺ − M⁻``.
+
+Every helper accepts scipy sparse input and returns sparse parts in that
+case: the split of a sparse matrix is again sparse with the same (or fewer)
+non-zeros, which is what lets the G update consume a sparse ensemble
+Laplacian without densifying it.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = ["positive_part", "negative_part", "split_parts"]
 
 
-def positive_part(matrix: np.ndarray) -> np.ndarray:
+def positive_part(matrix):
     """Return the element-wise positive part ``(|M| + M) / 2`` of ``matrix``."""
+    if sp.issparse(matrix):
+        return matrix.tocsr().astype(np.float64, copy=False).maximum(0.0)
     matrix = np.asarray(matrix, dtype=np.float64)
     return (np.abs(matrix) + matrix) / 2.0
 
 
-def negative_part(matrix: np.ndarray) -> np.ndarray:
+def negative_part(matrix):
     """Return the element-wise negative part ``(|M| − M) / 2`` of ``matrix``."""
+    if sp.issparse(matrix):
+        return (-matrix.tocsr().astype(np.float64, copy=False)).maximum(0.0)
     matrix = np.asarray(matrix, dtype=np.float64)
     return (np.abs(matrix) - matrix) / 2.0
 
 
-def split_parts(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(M⁺, M⁻)`` such that ``M = M⁺ − M⁻`` with both parts ≥ 0."""
+def split_parts(matrix):
+    """Return ``(M⁺, M⁻)`` such that ``M = M⁺ − M⁻`` with both parts ≥ 0.
+
+    Sparse input yields sparse CSR parts; dense input yields dense parts.
+    """
+    if sp.issparse(matrix):
+        csr = matrix.tocsr().astype(np.float64, copy=False)
+        return csr.maximum(0.0), (-csr).maximum(0.0)
     matrix = np.asarray(matrix, dtype=np.float64)
     absolute = np.abs(matrix)
     return (absolute + matrix) / 2.0, (absolute - matrix) / 2.0

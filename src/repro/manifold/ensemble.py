@@ -11,6 +11,15 @@ assembled into the block-diagonal regulariser ``L`` over all n objects.
 Setting ``α → 0`` recovers an SNMTF-style pNN-only regulariser and
 ``α → ∞`` a subspace-only regulariser — the extremes the paper's parameter
 study (Fig. 2) explores.
+
+The ensemble supports two compute backends.  With ``backend="sparse"`` the
+p-NN member is assembled directly as a CSR matrix (≤ 2p non-zeros per row)
+and the block-diagonal ``L`` stays sparse end to end, so no ``(n, n)`` dense
+array is ever allocated for the graph pipeline.  ``backend="auto"`` picks
+per dataset size (see :mod:`repro.linalg.backend`).  The subspace member —
+inherently dense, since any within-subspace pair is connected — is converted
+to CSR when it participates in a sparse ensemble so the combined operator
+keeps a single representation.
 """
 
 from __future__ import annotations
@@ -18,11 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import check_positive_float, check_positive_int
 from ..graph.laplacian import laplacian
 from ..graph.pnn import pnn_affinity
 from ..graph.weights import WeightingScheme
+from ..linalg.backend import as_csr, check_backend, resolve_backend
 from ..linalg.blocks import block_diagonal
 from ..relational.dataset import MultiTypeRelationalData
 from ..subspace.representation import SubspaceRepresentation
@@ -35,9 +46,9 @@ class _TypeLaplacians:
     """Per-type Laplacian members kept for inspection and ablation."""
 
     name: str
-    subspace: np.ndarray | None
-    pnn: np.ndarray | None
-    combined: np.ndarray
+    subspace: np.ndarray | sp.csr_array | None
+    pnn: np.ndarray | sp.csr_array | None
+    combined: np.ndarray | sp.csr_array
 
 
 @dataclass
@@ -68,6 +79,10 @@ class HeterogeneousManifoldEnsemble:
         paper meaningful on datasets of different sizes and balances the
         regulariser against the (block-normalised) reconstruction term; it is
         a documented implementation deviation (see DESIGN.md).
+    backend:
+        ``"dense"`` (seed behaviour), ``"sparse"`` (CSR end to end) or
+        ``"auto"`` (sparse once the dataset's total object count crosses
+        :data:`repro.linalg.backend.AUTO_SPARSE_THRESHOLD`).
     random_state:
         Seed for the subspace solver initialisation.
     """
@@ -82,32 +97,57 @@ class HeterogeneousManifoldEnsemble:
     use_subspace: bool = True
     use_pnn: bool = True
     scale_by_size: bool = True
+    backend: str = "dense"
     random_state: int | None = None
     members_: list[_TypeLaplacians] = field(default_factory=list, init=False, repr=False)
+    resolved_backend_: str | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.alpha = check_positive_float(self.alpha, name="alpha", minimum=0.0,
                                           inclusive=True)
         self.gamma = check_positive_float(self.gamma, name="gamma")
         self.p = check_positive_int(self.p, name="p")
+        check_backend(self.backend)
         if not (self.use_subspace or self.use_pnn):
             raise ValueError("at least one ensemble member must be enabled")
 
+    def resolve(self, n_objects: int) -> str:
+        """Resolve the instance's backend knob for ``n_objects`` total objects.
+
+        ``"auto"`` never picks sparse while the subspace member is active:
+        its affinity connects every within-subspace pair, so the combined
+        Laplacian is dense in substance and CSR storage would cost more
+        memory and slower products than a plain array.
+        """
+        if self.backend == "auto" and self.use_subspace and self.alpha > 0.0:
+            return "dense"
+        return resolve_backend(self.backend, n_objects=n_objects)
+
     def build_for_type(self, name: str, features: np.ndarray | None,
-                       n_objects: int) -> _TypeLaplacians:
+                       n_objects: int, *, backend: str | None = None) -> _TypeLaplacians:
         """Build the combined Laplacian for one object type.
 
         Types without features contribute a zero Laplacian block (no
         intra-type smoothing), matching how the paper treats types whose
-        only information is relational.
+        only information is relational.  ``backend`` overrides the instance
+        knob with an already-resolved concrete backend — :meth:`build` always
+        passes one, resolved once against the dataset's *total* object count
+        so every block shares a representation.  Only when this method is
+        called standalone with the knob still at ``"auto"`` is the choice
+        made from this type's own size.
         """
+        backend = self.resolve(n_objects) if backend is None else resolve_backend(
+            backend, n_objects=n_objects)
+        use_sparse = backend == "sparse"
         if features is None:
-            zero = np.zeros((n_objects, n_objects))
+            zero = (sp.csr_array((n_objects, n_objects), dtype=np.float64)
+                    if use_sparse else np.zeros((n_objects, n_objects)))
             return _TypeLaplacians(name=name, subspace=None, pnn=None, combined=zero)
 
         subspace_laplacian = None
         pnn_laplacian = None
-        combined = np.zeros((n_objects, n_objects))
+        combined = (sp.csr_array((n_objects, n_objects), dtype=np.float64)
+                    if use_sparse else np.zeros((n_objects, n_objects)))
         if self.use_subspace and self.alpha > 0.0:
             model = SubspaceRepresentation(gamma=self.gamma,
                                            max_iter=self.subspace_max_iter,
@@ -115,9 +155,15 @@ class HeterogeneousManifoldEnsemble:
                                            random_state=self.random_state)
             affinity = model.fit(features).affinity
             subspace_laplacian = laplacian(affinity, kind=self.laplacian_kind)
+            if use_sparse:
+                # The subspace affinity connects every within-subspace pair,
+                # so this block is dense in substance; converting keeps the
+                # combined operator in one representation.
+                subspace_laplacian = as_csr(subspace_laplacian)
             combined = combined + self.alpha * subspace_laplacian
         if self.use_pnn:
-            affinity = pnn_affinity(features, p=self.p, scheme=self.weighting)
+            affinity = pnn_affinity(features, p=self.p, scheme=self.weighting,
+                                    sparse=use_sparse)
             pnn_laplacian = laplacian(affinity, kind=self.laplacian_kind)
             combined = combined + pnn_laplacian
         if self.scale_by_size and n_objects > 0:
@@ -125,13 +171,21 @@ class HeterogeneousManifoldEnsemble:
         return _TypeLaplacians(name=name, subspace=subspace_laplacian,
                                pnn=pnn_laplacian, combined=combined)
 
-    def build(self, data: MultiTypeRelationalData) -> np.ndarray:
-        """Assemble the full block-diagonal ensemble Laplacian ``L``."""
+    def build(self, data: MultiTypeRelationalData):
+        """Assemble the full block-diagonal ensemble Laplacian ``L``.
+
+        Returns a dense array or a CSR sparse matrix depending on the
+        (resolved) backend; either representation is accepted by the solver's
+        update rules and objective evaluation.  The concrete backend used is
+        recorded on ``resolved_backend_``.
+        """
+        backend = self.resolve(data.n_objects_total)
+        self.resolved_backend_ = backend
         self.members_ = []
         blocks = []
         for object_type in data.types:
             member = self.build_for_type(object_type.name, object_type.features,
-                                         object_type.n_objects)
+                                         object_type.n_objects, backend=backend)
             self.members_.append(member)
             blocks.append(member.combined)
         return block_diagonal(blocks)
@@ -139,7 +193,8 @@ class HeterogeneousManifoldEnsemble:
 
 def build_type_laplacians(data: MultiTypeRelationalData, *, p: int = 5,
                           weighting: WeightingScheme | str = WeightingScheme.COSINE,
-                          laplacian_kind: str = "unnormalized") -> np.ndarray:
+                          laplacian_kind: str = "unnormalized",
+                          backend: str = "dense"):
     """Build a pNN-only block-diagonal Laplacian (the SNMTF regulariser).
 
     This is the homogeneous single-member special case used by the SNMTF
@@ -147,5 +202,6 @@ def build_type_laplacians(data: MultiTypeRelationalData, *, p: int = 5,
     """
     ensemble = HeterogeneousManifoldEnsemble(alpha=0.0, p=p, weighting=weighting,
                                              laplacian_kind=laplacian_kind,
-                                             use_subspace=False, use_pnn=True)
+                                             use_subspace=False, use_pnn=True,
+                                             backend=backend)
     return ensemble.build(data)

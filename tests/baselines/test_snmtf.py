@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines.snmtf import SNMTF
 from repro.metrics.fscore import clustering_fscore

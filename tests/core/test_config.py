@@ -56,3 +56,25 @@ class TestRHCHMEConfig:
         config = RHCHMEConfig()
         with pytest.raises(Exception):
             config.lam = 1.0  # type: ignore[misc]
+
+
+class TestBackendKnob:
+    def test_default_is_auto(self):
+        assert RHCHMEConfig().backend == "auto"
+
+    def test_explicit_backends_accepted(self):
+        assert RHCHMEConfig(backend="dense").backend == "dense"
+        assert RHCHMEConfig(backend="sparse").backend == "sparse"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            RHCHMEConfig(backend="cuda")
+
+    def test_describe_includes_backend(self):
+        assert RHCHMEConfig(backend="sparse").describe()["backend"] == "sparse"
+
+    def test_with_overrides_revalidates_backend(self):
+        config = RHCHMEConfig()
+        assert config.with_overrides(backend="dense").backend == "dense"
+        with pytest.raises(ValueError):
+            config.with_overrides(backend="bogus")

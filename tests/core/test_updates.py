@@ -188,3 +188,20 @@ class TestErrorMatrixUpdate:
         residual = np.zeros((4, 4))
         diag = l21_reweighting_diagonal(residual, zeta=1e-10)
         assert np.all(np.isfinite(diag))
+
+
+class TestMembershipUpdateBackends:
+    def test_precomputed_parts_match_unsplit_path(self, prepared):
+        from repro.linalg.parts import split_parts
+        _, R, L, state = prepared
+        plain = update_membership(R, L, state.copy(), lam=250.0)
+        cached = update_membership(R, L, state.copy(), lam=250.0,
+                                   parts=split_parts(L))
+        np.testing.assert_allclose(cached, plain)
+
+    def test_sparse_laplacian_matches_dense(self, prepared):
+        import scipy.sparse as sp
+        _, R, L, state = prepared
+        dense = update_membership(R, L, state.copy(), lam=250.0)
+        sparse = update_membership(R, sp.csr_array(L), state.copy(), lam=250.0)
+        np.testing.assert_allclose(sparse, dense, atol=1e-12)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.reporting import format_series, format_table, rows_to_markdown
 

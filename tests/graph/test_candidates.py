@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.graph.candidates import CandidateSpec, candidate_laplacians, default_candidate_grid
 from repro.graph.weights import WeightingScheme

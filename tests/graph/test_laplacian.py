@@ -114,3 +114,63 @@ class TestDispatch:
         affinity[4:, 4:] = block
         eigenvalues = np.linalg.eigvalsh(unnormalized_laplacian(affinity))
         assert int(np.sum(eigenvalues < 1e-8)) == 2
+
+
+class TestSparseLaplacians:
+    def _affinity_pair(self, n=12, seed=9):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(seed)
+        dense = rng.random((n, n)) * (rng.random((n, n)) < 0.3)
+        dense = (dense + dense.T) / 2
+        np.fill_diagonal(dense, 0.0)
+        return dense, sp.csr_array(dense)
+
+    @pytest.mark.parametrize("kind", ["unnormalized", "normalized", "random_walk"])
+    def test_sparse_matches_dense(self, kind):
+        import scipy.sparse as sp
+        dense, sparse = self._affinity_pair()
+        L_dense = laplacian(dense, kind)
+        L_sparse = laplacian(sparse, kind)
+        assert sp.issparse(L_sparse)
+        np.testing.assert_allclose(L_sparse.toarray(), L_dense, atol=1e-12)
+
+    def test_sparse_degree_vector(self):
+        dense, sparse = self._affinity_pair()
+        np.testing.assert_allclose(degree_vector(sparse), degree_vector(dense))
+
+    def test_sparse_rows_sum_to_zero_unnormalized(self):
+        _, sparse = self._affinity_pair()
+        L = unnormalized_laplacian(sparse)
+        np.testing.assert_allclose(np.asarray(L.sum(axis=1)).ravel(), 0.0,
+                                   atol=1e-12)
+
+    def test_sparse_asymmetric_within_noise_fixed(self):
+        import scipy.sparse as sp
+        dense, _ = self._affinity_pair()
+        noisy = dense.copy()
+        noisy[0, 1] += 1e-12
+        L = unnormalized_laplacian(sp.csr_array(noisy))
+        np.testing.assert_allclose(L.toarray(), L.toarray().T, atol=1e-10)
+
+    def test_sparse_isolated_vertex_normalized(self):
+        import scipy.sparse as sp
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = 1.0
+        L = normalized_laplacian(sp.csr_array(dense))
+        # isolated vertices keep a diagonal 1, as in the dense variant
+        np.testing.assert_allclose(L.toarray(), normalized_laplacian(dense),
+                                   atol=1e-12)
+
+
+class TestAsymmetricInputConsistency:
+    def test_degree_vector_same_for_asymmetric_dense_and_sparse(self):
+        import scipy.sparse as sp
+        W = np.array([[0.0, 1.0], [0.0, 0.0]])
+        np.testing.assert_allclose(degree_vector(sp.csr_array(W)),
+                                   degree_vector(W))
+
+    def test_grossly_asymmetric_sparse_repaired_like_dense(self):
+        import scipy.sparse as sp
+        W = np.array([[0.0, 5.0], [1.0, 0.0]])
+        np.testing.assert_allclose(unnormalized_laplacian(sp.csr_array(W)).toarray(),
+                                   unnormalized_laplacian(W), atol=1e-12)

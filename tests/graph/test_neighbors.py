@@ -105,3 +105,70 @@ class TestPnnIndices:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ValueError):
             pnn_indices(np.zeros((5, 2)), 2, algorithm="magic")
+
+
+class TestKDTreeSelfExclusion:
+    """Regression tests for the vectorised KD-tree self-exclusion/pad path."""
+
+    def test_duplicate_groups_never_list_self(self):
+        # Three identical groups of duplicates: each point's candidate list is
+        # full of exact ties, which can push the point itself out of the
+        # KD-tree's k=p+1 hits.
+        X = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]]), 4, axis=0)
+        neighbours = pnn_indices(X, 3, algorithm="kdtree")
+        assert neighbours.shape == (12, 3)
+        for i in range(12):
+            row = neighbours[i]
+            assert i not in row
+            assert len(set(row.tolist())) == 3
+
+    def test_duplicates_matched_within_own_group(self):
+        X = np.repeat(np.array([[0.0], [100.0]]), 3, axis=0)
+        neighbours = pnn_indices(X, 2, algorithm="kdtree")
+        groups = [{0, 1, 2}, {3, 4, 5}]
+        for i in range(6):
+            group = groups[0] if i < 3 else groups[1]
+            assert set(neighbours[i].tolist()) == group - {i}
+
+    def test_mixed_duplicates_and_unique_points_agree_with_brute(self):
+        rng = np.random.default_rng(7)
+        unique = rng.normal(size=(10, 2))
+        X = np.vstack([unique, unique[:4]])  # duplicate the first four points
+        kdtree = pnn_indices(X, 3, algorithm="kdtree")
+        assert kdtree.shape == (14, 3)
+        for i in range(14):
+            assert i not in kdtree[i]
+            assert len(set(kdtree[i].tolist())) == 3
+
+    def test_single_duplicate_pair_large_p(self):
+        X = np.array([[0.0], [0.0], [1.0], [2.0], [3.0]])
+        neighbours = pnn_indices(X, 4, algorithm="kdtree")
+        for i in range(5):
+            assert sorted(neighbours[i].tolist()) == sorted(set(range(5)) - {i})
+
+
+class TestBlockedBruteForce:
+    def test_blocked_result_matches_full_argsort_reference(self):
+        rng = np.random.default_rng(21)
+        X = rng.normal(size=(50, 20))  # d > 15 -> auto picks brute
+        result = pnn_indices(X, 6, algorithm="brute")
+        distances = np.sqrt(((X[:, None, :] - X[None, :, :]) ** 2).sum(-1))
+        np.fill_diagonal(distances, np.inf)
+        reference = np.argsort(distances, axis=1)[:, :6]
+        np.testing.assert_array_equal(result, reference)
+
+    def test_blocked_path_exercised_with_tiny_blocks(self, monkeypatch):
+        from repro.graph import neighbors
+        monkeypatch.setattr(neighbors, "_BRUTE_BLOCK_ENTRIES", 40)
+        rng = np.random.default_rng(22)
+        X = rng.normal(size=(30, 4))
+        blocked = pnn_indices(X, 3, algorithm="brute")
+        monkeypatch.setattr(neighbors, "_BRUTE_BLOCK_ENTRIES", 4_000_000)
+        single = pnn_indices(X, 3, algorithm="brute")
+        np.testing.assert_array_equal(blocked, single)
+
+    def test_p_equals_n_minus_one(self):
+        X = np.random.default_rng(23).normal(size=(6, 18))
+        neighbours = pnn_indices(X, 5, algorithm="brute")
+        for i in range(6):
+            assert sorted(neighbours[i].tolist()) == sorted(set(range(6)) - {i})

@@ -56,3 +56,35 @@ class TestPnnAffinity:
         W = pnn_affinity(X, p=3, scheme=WeightingScheme.HEAT_KERNEL, sigma=2.0)
         assert np.all(W >= 0)
         assert np.all(W <= 1.0)
+
+
+class TestSparsePnnAffinity:
+    @pytest.mark.parametrize("scheme", ["cosine", "binary", "heat_kernel"])
+    def test_sparse_matches_dense(self, scheme):
+        import scipy.sparse as sp
+        X = np.random.default_rng(5).normal(size=(40, 4))
+        dense = pnn_affinity(X, p=5, scheme=scheme)
+        sparse = pnn_affinity(X, p=5, scheme=scheme, sparse=True)
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_sparse_total_nnz_bounded_by_2pn(self):
+        # The union of the directed p-NN lists has at most 2·p·n edges (each
+        # directed edge contributes itself plus at most one mirror).
+        X = np.random.default_rng(6).normal(size=(60, 3))
+        sparse = pnn_affinity(X, p=4, scheme="binary", sparse=True)
+        assert sparse.nnz <= 2 * 4 * 60
+
+    def test_sparse_symmetric_zero_diagonal(self):
+        import scipy.sparse as sp
+        X = np.random.default_rng(7).normal(size=(25, 3))
+        sparse = pnn_affinity(X, p=3, sparse=True)
+        assert abs(sparse - sparse.T).max() == 0.0
+        np.testing.assert_allclose(sparse.diagonal(), 0.0)
+        assert sp.issparse(sparse)
+
+    def test_sparse_degenerate_small_type(self):
+        X = np.random.default_rng(8).normal(size=(4, 2))
+        dense = pnn_affinity(X, p=10)
+        sparse = pnn_affinity(X, p=10, sparse=True)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)

@@ -130,3 +130,30 @@ class TestExtraction:
     def test_extract_blocks_shape_check(self):
         with pytest.raises(ValueError):
             extract_blocks(np.zeros((2, 2)), BlockSpec((3,)), BlockSpec((3,)))
+
+
+class TestSparseBlockDiagonal:
+    def test_sparse_blocks_assemble_to_csr(self):
+        import scipy.sparse as sp
+        a = sp.csr_array(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        b = sp.csr_array(np.array([[5.0]]))
+        result = block_diagonal([a, b])
+        assert sp.issparse(result)
+        expected = np.array([[1.0, 2.0, 0.0], [3.0, 4.0, 0.0], [0.0, 0.0, 5.0]])
+        np.testing.assert_allclose(result.toarray(), expected)
+
+    def test_mixed_sparse_and_dense_blocks(self):
+        import scipy.sparse as sp
+        a = sp.csr_array(np.eye(2))
+        b = np.full((2, 2), 7.0)
+        result = block_diagonal([a, b])
+        assert sp.issparse(result)
+        dense_result = block_diagonal([np.eye(2), b])
+        np.testing.assert_allclose(result.toarray(), dense_result)
+
+    def test_sparse_empty_blocks_keep_shape(self):
+        import scipy.sparse as sp
+        zero = sp.csr_array((3, 3))
+        result = block_diagonal([zero, sp.csr_array(np.eye(2))])
+        assert result.shape == (5, 5)
+        assert result.nnz == 2

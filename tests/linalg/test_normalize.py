@@ -114,3 +114,24 @@ class TestTfidf:
     def test_unsmoothed_variant_finite(self):
         counts = np.array([[1.0, 2.0], [3.0, 0.0]])
         assert np.all(np.isfinite(tfidf_transform(counts, smooth=False)))
+
+
+class TestSparseSymmetricNormalize:
+    def test_sparse_matches_dense(self):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(13)
+        affinity = rng.random((9, 9)) * (rng.random((9, 9)) < 0.4)
+        affinity = (affinity + affinity.T) / 2
+        np.fill_diagonal(affinity, 0.0)
+        dense = symmetric_normalize(affinity)
+        sparse = symmetric_normalize(sp.csr_array(affinity))
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_sparse_isolated_vertices_stay_zero(self):
+        import scipy.sparse as sp
+        affinity = np.zeros((4, 4))
+        affinity[0, 1] = affinity[1, 0] = 2.0
+        result = symmetric_normalize(sp.csr_array(affinity))
+        np.testing.assert_allclose(result.toarray()[2:, :], 0.0)
+        np.testing.assert_allclose(result.toarray()[0, 1], 1.0)

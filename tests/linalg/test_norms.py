@@ -87,3 +87,18 @@ class TestTraceQuadratic:
         L = unnormalized_laplacian(affinity)
         G = np.ones((5, 2))
         assert trace_quadratic(G, L) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSparseTraceQuadratic:
+    def test_sparse_matches_dense(self):
+        import scipy.sparse as sp
+        from repro.graph.laplacian import unnormalized_laplacian
+        rng = np.random.default_rng(11)
+        affinity = rng.random((10, 10)) * (rng.random((10, 10)) < 0.3)
+        affinity = (affinity + affinity.T) / 2
+        np.fill_diagonal(affinity, 0.0)
+        G = rng.random((10, 3))
+        L_dense = unnormalized_laplacian(affinity)
+        L_sparse = unnormalized_laplacian(sp.csr_array(affinity))
+        assert trace_quadratic(G, L_sparse) == pytest.approx(
+            trace_quadratic(G, L_dense), rel=1e-12)

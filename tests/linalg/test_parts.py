@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -52,3 +51,33 @@ class TestPositiveNegativeParts:
         pos, neg = split_parts(matrix)
         np.testing.assert_allclose(pos, positive_part(matrix))
         np.testing.assert_allclose(neg, negative_part(matrix))
+
+
+class TestSparseParts:
+    def test_sparse_split_matches_dense(self):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(3)
+        dense = rng.normal(size=(6, 6)) * (rng.random((6, 6)) < 0.4)
+        sparse = sp.csr_array(dense)
+        pos_d, neg_d = split_parts(dense)
+        pos_s, neg_s = split_parts(sparse)
+        assert sp.issparse(pos_s) and sp.issparse(neg_s)
+        np.testing.assert_allclose(pos_s.toarray(), pos_d)
+        np.testing.assert_allclose(neg_s.toarray(), neg_d)
+
+    def test_sparse_parts_reconstruct_and_stay_nonnegative(self):
+        import scipy.sparse as sp
+        dense = np.array([[1.0, -2.0, 0.0], [0.0, 3.0, -4.0], [0.0, 0.0, 0.0]])
+        sparse = sp.csr_array(dense)
+        pos, neg = split_parts(sparse)
+        np.testing.assert_allclose((pos - neg).toarray(), dense)
+        assert (pos.data >= 0).all() and (neg.data >= 0).all()
+
+    def test_sparse_positive_negative_part_helpers(self):
+        import scipy.sparse as sp
+        dense = np.array([[0.0, -1.5], [2.5, 0.0]])
+        sparse = sp.csr_array(dense)
+        np.testing.assert_allclose(positive_part(sparse).toarray(),
+                                   positive_part(dense))
+        np.testing.assert_allclose(negative_part(sparse).toarray(),
+                                   negative_part(dense))

@@ -82,3 +82,69 @@ class TestHeterogeneousEnsemble:
     def test_invalid_alpha_rejected(self):
         with pytest.raises(Exception):
             HeterogeneousManifoldEnsemble(alpha=-1.0)
+
+
+class TestEnsembleBackend:
+    def test_sparse_build_matches_dense(self, tiny_dataset):
+        import scipy.sparse as sp
+        kwargs = dict(use_subspace=False, use_pnn=True, p=3)
+        dense = HeterogeneousManifoldEnsemble(backend="dense", **kwargs).build(
+            tiny_dataset)
+        sparse = HeterogeneousManifoldEnsemble(backend="sparse", **kwargs).build(
+            tiny_dataset)
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_auto_backend_resolves_dense_for_tiny_data(self, tiny_dataset):
+        import scipy.sparse as sp
+        ensemble = HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=True,
+                                                 p=3, backend="auto")
+        L = ensemble.build(tiny_dataset)
+        assert not sp.issparse(L)
+
+    def test_featureless_type_contributes_sparse_zero_block(self):
+        import scipy.sparse as sp
+        ensemble = HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=True,
+                                                 backend="sparse")
+        member = ensemble.build_for_type("no-features", None, 7)
+        assert sp.issparse(member.combined)
+        assert member.combined.shape == (7, 7)
+        assert member.combined.nnz == 0
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousManifoldEnsemble(backend="bogus")
+
+    def test_build_type_laplacians_sparse(self, tiny_dataset):
+        import scipy.sparse as sp
+        dense = build_type_laplacians(tiny_dataset, p=3)
+        sparse = build_type_laplacians(tiny_dataset, p=3, backend="sparse")
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+
+class TestAutoBackendResolution:
+    def test_auto_stays_dense_while_subspace_member_active(self):
+        ensemble = HeterogeneousManifoldEnsemble(alpha=1.0, use_subspace=True,
+                                                 use_pnn=True, backend="auto")
+        assert ensemble.resolve(10_000) == "dense"
+
+    def test_auto_goes_sparse_for_pnn_only_at_scale(self):
+        ensemble = HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=True,
+                                                 backend="auto")
+        assert ensemble.resolve(10_000) == "sparse"
+        assert ensemble.resolve(100) == "dense"
+
+    def test_explicit_backend_wins_over_subspace_guard(self):
+        ensemble = HeterogeneousManifoldEnsemble(alpha=1.0, use_subspace=True,
+                                                 use_pnn=True, backend="sparse")
+        assert ensemble.resolve(100) == "sparse"
+
+
+class TestResolvedBackendRecording:
+    def test_build_records_resolved_backend(self, tiny_dataset):
+        ensemble = HeterogeneousManifoldEnsemble(use_subspace=False, use_pnn=True,
+                                                 p=3, backend="auto")
+        assert ensemble.resolved_backend_ is None
+        ensemble.build(tiny_dataset)
+        assert ensemble.resolved_backend_ == "dense"

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.spectral import spectral_clustering
-from repro.data.manifolds import sample_union_of_lines
 from repro.metrics.nmi import normalized_mutual_information
 from repro.subspace.reference import lrr_shrinkage_affinity, ssc_affinity
 

@@ -193,3 +193,31 @@ class TestScalarChecks:
             check_sizes([])
         with pytest.raises(ValidationError):
             check_sizes([1, 0])
+
+
+class TestSparseCheckSymmetric:
+    def test_sparse_symmetric_passes_through(self):
+        import numpy as np
+        import scipy.sparse as sp
+        from repro._validation import check_symmetric
+        W = sp.csr_array(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        assert check_symmetric(W, name="W") is W
+
+    def test_sparse_asymmetric_raises_without_fix(self):
+        import numpy as np
+        import pytest
+        import scipy.sparse as sp
+        from repro._validation import check_symmetric
+        from repro.exceptions import ValidationError
+        W = sp.csr_array(np.array([[0.0, 5.0], [1.0, 0.0]]))
+        with pytest.raises(ValidationError):
+            check_symmetric(W, name="W")
+
+    def test_sparse_asymmetric_fixed_matches_dense_policy(self):
+        import numpy as np
+        import scipy.sparse as sp
+        from repro._validation import check_symmetric
+        dense = np.array([[0.0, 5.0], [1.0, 0.0]])
+        fixed_sparse = check_symmetric(sp.csr_array(dense), name="W", fix=True)
+        fixed_dense = check_symmetric(dense, name="W", fix=True)
+        np.testing.assert_allclose(fixed_sparse.toarray(), fixed_dense)
