@@ -1,0 +1,197 @@
+"""Serving throughput benchmark for the out-of-sample prediction path.
+
+Fits one RHCHME model per training size N (pNN member only, iteration-capped
+— the fit itself is benchmarked by ``bench_backend.py``), exports it as an
+:class:`repro.serve.RHCHMEModel` artifact, and then measures
+``BatchPredictor`` throughput (objects/second) for a fixed query stream
+across a sweep of micro-batch sizes and both prediction backends:
+
+* **dense** — per-batch weights applied via a gathered einsum;
+* **sparse** — per-batch query affinity assembled as CSR (p non-zeros per
+  row) and applied as an operator.
+
+Small batches expose the per-request overhead (neighbour search setup,
+validation), large batches the steady-state throughput; the gap between the
+two is the serving-side motivation for micro-batching.  A save→load
+round-trip is exercised on every run so the measured path is exactly what a
+fresh serving process executes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI smoke
+
+Writes ``BENCH_serve.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_backend import make_synthetic  # noqa: E402
+from repro.core import RHCHME  # noqa: E402
+from repro.serve import BatchPredictor  # noqa: E402
+
+DEFAULT_SIZES = (1000, 3000)
+SMOKE_SIZES = (300,)
+DEFAULT_BATCH_SIZES = (1, 16, 64, 256, 1024)
+QUERY_TYPE = "rows"
+
+
+def make_queries(data, n_queries: int, *, seed: int) -> np.ndarray:
+    """Perturbed resamples of the training features (realistic query traffic)."""
+    rng = np.random.default_rng(seed)
+    reference = data.get_type(QUERY_TYPE).features
+    picks = rng.integers(0, reference.shape[0], size=n_queries)
+    return reference[picks] + 0.1 * rng.normal(size=(n_queries,
+                                                     reference.shape[1]))
+
+
+def fit_and_save(data, path: Path, *, seed: int, fit_max_iter: int) -> dict:
+    model = RHCHME(use_subspace_member=False, max_iter=fit_max_iter,
+                   init="random", track_metrics_every=0, random_state=seed)
+    start = time.perf_counter()
+    result = model.fit(data)
+    fit_seconds = time.perf_counter() - start
+    artifact = model.export_model(data)
+    artifact.save(path)
+    return {"fit_seconds": round(fit_seconds, 6),
+            "n_iterations": result.n_iterations,
+            "backend_fit": result.extras["backend"]}
+
+
+def time_predict(model_path: Path, queries: np.ndarray, *, batch_size: int,
+                 backend: str, repeats: int) -> dict:
+    predictor = BatchPredictor(default_batch_size=batch_size)
+    model = predictor.get_model(model_path)
+    # warm-up pass: page in the artifact arrays, build any transient state
+    model.predict(QUERY_TYPE, queries[: min(len(queries), batch_size)],
+                  batch_size=batch_size, backend=backend)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        prediction = model.predict(QUERY_TYPE, queries, batch_size=batch_size,
+                                   backend=backend)
+    seconds = time.perf_counter() - start
+    objects = repeats * queries.shape[0]
+    return {
+        "batch_size": int(batch_size),
+        "backend": backend,
+        "seconds": round(seconds, 6),
+        "objects_per_second": round(objects / seconds, 3) if seconds > 0 else None,
+        "batch_latency_seconds": round(
+            seconds / (repeats * prediction.n_batches), 9),
+    }
+
+
+def run(sizes, *, n_queries: int, batch_sizes, seed: int, repeats: int,
+        fit_max_iter: int, workdir: Path) -> dict:
+    results = []
+    for n_total in sizes:
+        data = make_synthetic(n_total, seed=seed)
+        model_path = workdir / f"bench_serve_model_{n_total}.npz"
+        print(f"[bench] N={n_total}: fitting + exporting ...", flush=True)
+        fit_info = fit_and_save(data, model_path, seed=seed,
+                                fit_max_iter=fit_max_iter)
+        queries = make_queries(data, n_queries, seed=seed + 1)
+        n_train = data.get_type(QUERY_TYPE).n_objects
+        entry = {"n_total": int(n_total), "n_train_queried_type": int(n_train),
+                 "n_queries": int(n_queries), "repeats": int(repeats),
+                 **fit_info, "predict": []}
+        for backend in ("dense", "sparse"):
+            for batch_size in batch_sizes:
+                timing = time_predict(model_path, queries,
+                                      batch_size=batch_size, backend=backend,
+                                      repeats=repeats)
+                entry["predict"].append(timing)
+                print(f"[bench] N={n_total} backend={backend} "
+                      f"batch={batch_size}: "
+                      f"{timing['objects_per_second']:,.0f} objects/s",
+                      flush=True)
+        results.append(entry)
+
+    largest = results[-1]
+    best = max(largest["predict"], key=lambda t: t["objects_per_second"])
+    # Batching speedup is measured *within* the peak backend (its best batch
+    # size vs its smallest), so it isolates micro-batching from the
+    # dense/sparse backend choice.
+    smallest_batch = min(batch_sizes)
+    baseline = next(t["objects_per_second"] for t in largest["predict"]
+                    if t["backend"] == best["backend"]
+                    and t["batch_size"] == smallest_batch)
+    return {
+        "benchmark": "rhchme-serve",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": [int(n) for n in sizes],
+        "batch_sizes": [int(b) for b in batch_sizes],
+        "results": results,
+        "summary": {
+            "largest_n": largest["n_total"],
+            "peak_objects_per_second": best["objects_per_second"],
+            "peak_at_batch_size": best["batch_size"],
+            "peak_backend": best["backend"],
+            "smallest_batch_size": int(smallest_batch),
+            "batching_speedup_vs_smallest_batch": round(
+                best["objects_per_second"] / baseline, 3) if baseline else None,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help=f"training object counts (default {DEFAULT_SIZES})")
+    parser.add_argument("--queries", type=int, default=2000,
+                        help="number of out-of-sample queries per size")
+    parser.add_argument("--batch-sizes", type=int, nargs="+",
+                        default=list(DEFAULT_BATCH_SIZES))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes over the query stream")
+    parser.add_argument("--fit-max-iter", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"quick CI run on sizes {SMOKE_SIZES}")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_serve.json")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="where model artifacts are written "
+                             "(default: next to --output)")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+    n_queries = min(args.queries, 500) if args.smoke and args.queries == 2000 \
+        else args.queries
+    workdir = args.workdir if args.workdir else args.output.parent
+    workdir.mkdir(parents=True, exist_ok=True)
+    report = run(sorted(sizes), n_queries=n_queries,
+                 batch_sizes=sorted(args.batch_sizes), seed=args.seed,
+                 repeats=args.repeats, fit_max_iter=args.fit_max_iter,
+                 workdir=workdir)
+    report["smoke"] = bool(args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(f"[bench] wrote {args.output}")
+    print(f"[bench] largest N={summary['largest_n']}: peak "
+          f"{summary['peak_objects_per_second']:,.0f} objects/s "
+          f"(batch={summary['peak_at_batch_size']}, "
+          f"backend={summary['peak_backend']}, batching speedup "
+          f"×{summary['batching_speedup_vs_smallest_batch']} vs "
+          f"batch={summary['smallest_batch_size']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

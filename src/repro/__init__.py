@@ -40,6 +40,11 @@ Subpackages
     union-of-manifold toy data.
 ``repro.experiments``
     The harness that regenerates every table and figure of the paper.
+``repro.serve``
+    Model persistence (``RHCHMEModel`` artifacts) and out-of-sample batch
+    prediction: ``save``/``load`` round-trips, the anchor-style
+    out-of-sample extension, the ``BatchPredictor`` serving front-end and
+    the ``python -m repro.serve`` CLI.
 """
 
 from .core.config import RHCHMEConfig

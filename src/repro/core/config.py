@@ -75,9 +75,19 @@ class RHCHMEConfig:
         (≤ 2p non-zeros per p-NN row, no ``O(n²)`` intermediates), and
         ``"auto"`` (default) selects by dataset size — see
         :func:`repro.linalg.backend.resolve_backend` — except that it stays
-        dense while the subspace member is active, whose affinity is dense in
-        substance.  Both backends produce the same labels and objective trace
-        up to floating-point noise.
+        dense while the subspace member is active with ``subspace_topk``
+        unset, whose affinity is then dense in substance.  Both backends
+        produce the same labels and objective trace up to floating-point
+        noise.
+    subspace_topk:
+        Optional top-k thresholding of the (inherently dense) subspace-member
+        affinity: keep only the k strongest similarities per row, united
+        symmetrically like the p-NN edges of Eq. 3.  This bounds the subspace
+        member at ``2k`` non-zeros per row so ``backend="sparse"`` (and the
+        ``"auto"`` choice) is no longer forced dense when
+        ``use_subspace_member=True``.  ``None`` (default) keeps the exact
+        dense affinity; ``k >= n - 1`` is exact as well (only a zero row
+        minimum can be dropped), so parity degrades gracefully.
     """
 
     lam: float = 250.0
@@ -101,6 +111,7 @@ class RHCHMEConfig:
     track_metrics_every: int = 1
     zeta: float = 1e-10
     backend: str = "auto"
+    subspace_topk: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_float(self.lam, name="lam", minimum=0.0, inclusive=True)
@@ -118,6 +129,8 @@ class RHCHMEConfig:
         if self.track_metrics_every < 0:
             raise ValueError("track_metrics_every must be >= 0")
         check_backend(self.backend)
+        if self.subspace_topk is not None:
+            check_positive_int(self.subspace_topk, name="subspace_topk")
         object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))
 
     def with_overrides(self, **overrides: Any) -> "RHCHMEConfig":

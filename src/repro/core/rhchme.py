@@ -63,6 +63,18 @@ class RHCHMEResult:
     ensemble_seconds: float = 0.0
     extras: dict = field(default_factory=dict)
 
+    def to_model(self, data: MultiTypeRelationalData,
+                 config: RHCHMEConfig) -> "RHCHMEModel":
+        """Convert this fit outcome into a servable, persistable artifact.
+
+        Captures the per-type training features, the factorisation state
+        (membership blocks, S, E_R), the hard labels and the configuration
+        into an immutable :class:`repro.serve.RHCHMEModel` that supports
+        ``save``/``load`` round-trips and out-of-sample batch prediction.
+        """
+        from ..serve.artifact import RHCHMEModel
+        return RHCHMEModel.from_fit(self, data, config)
+
 
 class RHCHME:
     """Robust High-order Co-clustering via Heterogeneous Manifold Ensemble.
@@ -111,6 +123,7 @@ class RHCHME:
             subspace_tol=config.subspace_tol,
             use_subspace=config.use_subspace_member and config.alpha > 0,
             use_pnn=config.use_pnn_member,
+            subspace_topk=config.subspace_topk,
             backend=config.backend,
             random_state=config.random_state,
         )
@@ -162,6 +175,12 @@ class RHCHME:
         if type_name is None:
             type_name = data.type_names[0]
         return result.labels[type_name]
+
+    def export_model(self, data: MultiTypeRelationalData) -> "RHCHMEModel":
+        """Return the fitted model as a servable artifact (see ``repro.serve``)."""
+        if self.result_ is None:
+            raise NotFittedError("RHCHME has not been fitted yet")
+        return self.result_.to_model(data, self.config)
 
     # -------------------------------------------------------------- internal
     def _record(self, trace: TraceRecorder, data: MultiTypeRelationalData,

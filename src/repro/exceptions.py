@@ -34,3 +34,7 @@ class DataGenerationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ArtifactError(ReproError):
+    """A persisted model artifact is missing, corrupt or schema-incompatible."""

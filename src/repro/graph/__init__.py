@@ -14,8 +14,18 @@ affinity matrix into the regulariser used in the HOCC objectives:
   the RMC baseline's homogeneous ensemble.
 """
 
-from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances, pnn_indices
-from .weights import WeightingScheme, compute_edge_weights, compute_edge_weights_pairs
+from .neighbors import (
+    QueryIndex,
+    pairwise_cosine_similarity,
+    pairwise_euclidean_distances,
+    pnn_indices,
+)
+from .weights import (
+    WeightingScheme,
+    compute_edge_weights,
+    compute_edge_weights_pairs,
+    compute_edge_weights_query,
+)
 from .pnn import pnn_affinity
 from .laplacian import (
     degree_vector,
@@ -28,10 +38,12 @@ from .candidates import CandidateSpec, candidate_laplacians, default_candidate_g
 
 __all__ = [
     "CandidateSpec",
+    "QueryIndex",
     "WeightingScheme",
     "candidate_laplacians",
     "compute_edge_weights",
     "compute_edge_weights_pairs",
+    "compute_edge_weights_query",
     "default_candidate_grid",
     "degree_vector",
     "laplacian",

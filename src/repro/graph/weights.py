@@ -18,7 +18,12 @@ import numpy as np
 from .._validation import as_float_array, check_positive_float
 from .neighbors import pairwise_cosine_similarity, pairwise_euclidean_distances
 
-__all__ = ["WeightingScheme", "compute_edge_weights", "compute_edge_weights_pairs"]
+__all__ = [
+    "WeightingScheme",
+    "compute_edge_weights",
+    "compute_edge_weights_pairs",
+    "compute_edge_weights_query",
+]
 
 _EPS = 1e-12
 
@@ -77,6 +82,35 @@ def compute_edge_weights(X: np.ndarray,
     return weights
 
 
+def _edge_weights_for_pairs(XA: np.ndarray, XB: np.ndarray, rows: np.ndarray,
+                            cols: np.ndarray, scheme: WeightingScheme,
+                            sigma: float,
+                            norms_b: np.ndarray | None = None) -> np.ndarray:
+    """Weights of explicit ``(XA[rows[k]], XB[cols[k]])`` pairs, one scheme.
+
+    ``norms_b`` optionally supplies precomputed row norms of ``XB`` (cosine
+    only) so repeated calls against the same reference set do not recompute
+    them.
+    """
+    if scheme is WeightingScheme.BINARY:
+        return np.ones(rows.shape[0], dtype=np.float64)
+    if scheme is WeightingScheme.HEAT_KERNEL:
+        sigma = check_positive_float(sigma, name="sigma")
+        differences = XA[rows] - XB[cols]
+        squared = np.sum(differences * differences, axis=1)
+        return np.exp(-squared / sigma)
+    # cosine
+    norms_a = np.linalg.norm(XA, axis=1)
+    if norms_b is None:
+        norms_b = np.linalg.norm(XB, axis=1)
+    safe_a = np.where(norms_a > _EPS, norms_a, 1.0)
+    safe_b = np.where(norms_b > _EPS, norms_b, 1.0)
+    dots = np.einsum("ij,ij->i", XA[rows], XB[cols])
+    similarity = dots / (safe_a[rows] * safe_b[cols])
+    similarity[(norms_a[rows] <= _EPS) | (norms_b[cols] <= _EPS)] = 0.0
+    return np.maximum(np.clip(similarity, -1.0, 1.0), 0.0)
+
+
 def compute_edge_weights_pairs(X: np.ndarray, rows: np.ndarray, cols: np.ndarray,
                                scheme: WeightingScheme | str = WeightingScheme.COSINE,
                                *, sigma: float = 1.0) -> np.ndarray:
@@ -95,19 +129,38 @@ def compute_edge_weights_pairs(X: np.ndarray, rows: np.ndarray, cols: np.ndarray
     if rows.shape != cols.shape:
         raise ValueError(
             f"rows and cols must have equal length, got {rows.size} and {cols.size}")
-    if scheme is WeightingScheme.BINARY:
-        weights = np.ones(rows.shape[0], dtype=np.float64)
-    elif scheme is WeightingScheme.HEAT_KERNEL:
-        sigma = check_positive_float(sigma, name="sigma")
-        differences = X[rows] - X[cols]
-        squared = np.sum(differences * differences, axis=1)
-        weights = np.exp(-squared / sigma)
-    else:  # cosine
-        norms = np.linalg.norm(X, axis=1)
-        safe_norms = np.where(norms > _EPS, norms, 1.0)
-        dots = np.einsum("ij,ij->i", X[rows], X[cols])
-        similarity = dots / (safe_norms[rows] * safe_norms[cols])
-        similarity[(norms[rows] <= _EPS) | (norms[cols] <= _EPS)] = 0.0
-        weights = np.maximum(np.clip(similarity, -1.0, 1.0), 0.0)
+    weights = _edge_weights_for_pairs(X, X, rows, cols, scheme, sigma)
     weights[rows == cols] = 0.0
     return weights
+
+
+def compute_edge_weights_query(X_query: np.ndarray, X_reference: np.ndarray,
+                               rows: np.ndarray, cols: np.ndarray,
+                               scheme: WeightingScheme | str = WeightingScheme.COSINE,
+                               *, sigma: float = 1.0,
+                               reference_norms: np.ndarray | None = None) -> np.ndarray:
+    """Return edge weights for query→reference pairs.
+
+    ``rows`` indexes ``X_query`` and ``cols`` indexes ``X_reference`` (the
+    edge list produced by :func:`repro.graph.neighbors.pnn_indices` in query
+    mode).  Unlike :func:`compute_edge_weights_pairs` no self-pair zeroing is
+    applied: queries and references are distinct object sets, and a query that
+    coincides exactly with a training object should keep its full weight to
+    that object.  ``reference_norms`` optionally supplies precomputed row
+    norms of ``X_reference`` (cosine scheme only) so a micro-batched caller
+    pays for them once, not per batch.
+    """
+    scheme = WeightingScheme.coerce(scheme)
+    X_query = as_float_array(X_query, name="X_query", ndim=2)
+    X_reference = as_float_array(X_reference, name="X_reference", ndim=2)
+    if X_query.shape[1] != X_reference.shape[1]:
+        raise ValueError(
+            f"X_query and X_reference must share a feature dimension, "
+            f"got {X_query.shape[1]} and {X_reference.shape[1]}")
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    cols = np.asarray(cols, dtype=np.int64).ravel()
+    if rows.shape != cols.shape:
+        raise ValueError(
+            f"rows and cols must have equal length, got {rows.size} and {cols.size}")
+    return _edge_weights_for_pairs(X_query, X_reference, rows, cols, scheme, sigma,
+                                   norms_b=reference_norms)

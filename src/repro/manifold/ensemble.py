@@ -33,7 +33,7 @@ from .._validation import check_positive_float, check_positive_int
 from ..graph.laplacian import laplacian
 from ..graph.pnn import pnn_affinity
 from ..graph.weights import WeightingScheme
-from ..linalg.backend import as_csr, check_backend, resolve_backend
+from ..linalg.backend import as_csr, check_backend, resolve_backend, topk_rows
 from ..linalg.blocks import block_diagonal
 from ..relational.dataset import MultiTypeRelationalData
 from ..subspace.representation import SubspaceRepresentation
@@ -72,6 +72,12 @@ class HeterogeneousManifoldEnsemble:
         SPG budget for the subspace representation solver.
     use_subspace, use_pnn:
         Ablation switches disabling one member (the α → {0, ∞} extremes).
+    subspace_topk:
+        Optional top-k thresholding of the subspace member's affinity (keep
+        the k strongest similarities per row, united symmetrically like the
+        Eq. 3 p-NN edges).  Bounds the subspace member at 2k non-zeros per
+        row, which is what allows a genuinely sparse ensemble even with the
+        subspace member active; ``None`` keeps the exact dense affinity.
     scale_by_size:
         Divide each type's Laplacian by its object count so that
         ``tr(Gᵀ L G)`` measures *average* label smoothness per object rather
@@ -96,6 +102,7 @@ class HeterogeneousManifoldEnsemble:
     subspace_tol: float = 1e-4
     use_subspace: bool = True
     use_pnn: bool = True
+    subspace_topk: int | None = None
     scale_by_size: bool = True
     backend: str = "dense"
     random_state: int | None = None
@@ -108,18 +115,24 @@ class HeterogeneousManifoldEnsemble:
         self.gamma = check_positive_float(self.gamma, name="gamma")
         self.p = check_positive_int(self.p, name="p")
         check_backend(self.backend)
+        if self.subspace_topk is not None:
+            self.subspace_topk = check_positive_int(self.subspace_topk,
+                                                    name="subspace_topk")
         if not (self.use_subspace or self.use_pnn):
             raise ValueError("at least one ensemble member must be enabled")
 
     def resolve(self, n_objects: int) -> str:
         """Resolve the instance's backend knob for ``n_objects`` total objects.
 
-        ``"auto"`` never picks sparse while the subspace member is active:
-        its affinity connects every within-subspace pair, so the combined
-        Laplacian is dense in substance and CSR storage would cost more
-        memory and slower products than a plain array.
+        ``"auto"`` never picks sparse while the subspace member is active
+        *without* top-k thresholding: the exact subspace affinity connects
+        every within-subspace pair, so the combined Laplacian is dense in
+        substance and CSR storage would cost more memory and slower products
+        than a plain array.  With ``subspace_topk`` set the member is bounded
+        at 2k non-zeros per row and the usual size-based choice applies.
         """
-        if self.backend == "auto" and self.use_subspace and self.alpha > 0.0:
+        if (self.backend == "auto" and self.use_subspace and self.alpha > 0.0
+                and self.subspace_topk is None):
             return "dense"
         return resolve_backend(self.backend, n_objects=n_objects)
 
@@ -154,11 +167,16 @@ class HeterogeneousManifoldEnsemble:
                                            tol=self.subspace_tol,
                                            random_state=self.random_state)
             affinity = model.fit(features).affinity
+            if self.subspace_topk is not None:
+                affinity = topk_rows(affinity, self.subspace_topk)
+                if use_sparse:
+                    affinity = as_csr(affinity)
             subspace_laplacian = laplacian(affinity, kind=self.laplacian_kind)
-            if use_sparse:
-                # The subspace affinity connects every within-subspace pair,
-                # so this block is dense in substance; converting keeps the
-                # combined operator in one representation.
+            if use_sparse and not sp.issparse(subspace_laplacian):
+                # Without top-k thresholding the subspace affinity connects
+                # every within-subspace pair, so this block is dense in
+                # substance; converting keeps the combined operator in one
+                # representation.
                 subspace_laplacian = as_csr(subspace_laplacian)
             combined = combined + self.alpha * subspace_laplacian
         if self.use_pnn:

@@ -11,10 +11,17 @@ vector; they are invariant to the numbering of predicted clusters.
 from .contingency import contingency_matrix
 from .fscore import clustering_fscore, pairwise_precision_recall
 from .nmi import mutual_information, normalized_mutual_information
-from .extra import adjusted_rand_index, purity_score
+from .extra import (
+    adjusted_rand_index,
+    align_cluster_labels,
+    cluster_alignment,
+    purity_score,
+)
 
 __all__ = [
     "adjusted_rand_index",
+    "align_cluster_labels",
+    "cluster_alignment",
     "clustering_fscore",
     "contingency_matrix",
     "mutual_information",

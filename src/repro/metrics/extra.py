@@ -1,17 +1,28 @@
 """Additional clustering agreement metrics (purity, adjusted Rand index).
 
 Not reported in the paper but useful as extra diagnostics for the extended
-benchmarks and ablations; both are standard, widely used metrics.
+benchmarks and ablations; both are standard, widely used metrics.  The
+cluster-alignment helpers match the (arbitrary) cluster numberings of two
+labelings of the same objects, which is what lets the serving subsystem
+compare out-of-sample predictions against a full refit.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.optimize import linear_sum_assignment
 from scipy.special import comb
 
+from .._validation import check_labels
+from ..exceptions import ValidationError
 from .contingency import contingency_matrix
 
-__all__ = ["purity_score", "adjusted_rand_index"]
+__all__ = [
+    "purity_score",
+    "adjusted_rand_index",
+    "cluster_alignment",
+    "align_cluster_labels",
+]
 
 
 def purity_score(labels_true, labels_pred) -> float:
@@ -35,3 +46,40 @@ def adjusted_rand_index(labels_true, labels_pred) -> float:
     if maximum == expected:
         return 1.0
     return float((sum_cells - expected) / (maximum - expected))
+
+
+def cluster_alignment(labels_reference, labels_other) -> np.ndarray:
+    """Best one-to-one map from ``labels_other`` ids onto ``labels_reference`` ids.
+
+    Solves a maximum-overlap linear assignment (Hungarian algorithm) on the
+    contingency table of the two labelings — which must label the *same*
+    objects — and returns an integer array ``mapping`` such that
+    ``mapping[labels_other]`` renumbers the other labeling into the reference
+    numbering.  Cluster numberings of independent fits are arbitrary, so this
+    is the canonical way to compare two clusterings label-by-label (e.g.
+    out-of-sample predictions against a full refit).
+    """
+    reference = check_labels(labels_reference, name="labels_reference")
+    other = check_labels(labels_other, name="labels_other",
+                         n_samples=reference.size)
+    if reference.min() < 0 or other.min() < 0:
+        raise ValidationError("cluster alignment requires non-negative label ids")
+    size = int(max(reference.max(), other.max())) + 1
+    overlap = np.zeros((size, size), dtype=np.int64)
+    np.add.at(overlap, (other, reference), 1)
+    rows, cols = linear_sum_assignment(-overlap)
+    mapping = np.empty(size, dtype=np.int64)
+    mapping[rows] = cols
+    return mapping
+
+
+def align_cluster_labels(labels_reference, labels_other) -> np.ndarray:
+    """Renumber ``labels_other`` to best match ``labels_reference``.
+
+    Convenience wrapper around :func:`cluster_alignment` for callers that
+    only need the remapped labels of the same objects the alignment was
+    computed on.
+    """
+    mapping = cluster_alignment(labels_reference, labels_other)
+    other = check_labels(labels_other, name="labels_other")
+    return mapping[other]

@@ -1,0 +1,37 @@
+"""Model persistence and out-of-sample batch prediction (the serving layer).
+
+A full ``RHCHME.fit`` labels only the objects it was trained on; this
+package turns one fit into a *servable model*:
+
+* :class:`RHCHMEModel` — an immutable fitted-model artifact (config,
+  per-type training features, factorisation state, labels, schema stamp)
+  with exact ``save``/``load`` round-trips via compressed ``.npz`` + JSON
+  sidecar;
+* :func:`out_of_sample_predict` / :meth:`RHCHMEModel.predict` — the
+  anchor-style out-of-sample extension: a query's p-NN affinities to the
+  training objects smooth the fitted membership block onto the query, in
+  micro-batches with bounded memory;
+* :class:`BatchPredictor` — the serving front-end with an LRU model cache,
+  per-type input validation and latency/throughput counters;
+* :func:`holdout_split` — train/query splits of relational datasets for
+  evaluating served predictions against full refits;
+* ``python -m repro.serve`` — ``fit-save`` / ``predict`` / ``info`` CLI.
+"""
+
+from .artifact import RHCHMEModel, SCHEMA_VERSION, TypeInfo, load_model
+from .extension import Prediction, out_of_sample_predict
+from .holdout import HoldoutSplit, holdout_split
+from .predictor import BatchPredictor, ServingStats
+
+__all__ = [
+    "BatchPredictor",
+    "HoldoutSplit",
+    "Prediction",
+    "RHCHMEModel",
+    "SCHEMA_VERSION",
+    "ServingStats",
+    "TypeInfo",
+    "holdout_split",
+    "load_model",
+    "out_of_sample_predict",
+]

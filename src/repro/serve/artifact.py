@@ -1,0 +1,344 @@
+"""The persistable fitted-model artifact (``RHCHMEModel``).
+
+An :class:`RHCHMEModel` freezes everything a serving process needs from one
+``RHCHME.fit``: the validated configuration, each type's training features,
+the factorisation state (per-type membership blocks ``G_k``, the association
+matrix ``S`` and the error matrix ``E_R``), the fitted hard labels, and a
+schema/version stamp.  It round-trips exactly through ``save``/``load`` —
+arrays in one compressed ``.npz``, metadata in a human-readable JSON sidecar
+— so a model fitted in one process can serve out-of-sample predictions in
+another, deterministically.
+
+Artifacts are stamped with :data:`SCHEMA_VERSION`; ``load`` refuses any
+artifact whose schema version does not match, raising
+:class:`~repro.exceptions.ArtifactError` instead of silently misreading a
+foreign layout.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__ as _library_version
+from .._validation import as_float_array
+from ..core.config import RHCHMEConfig
+from ..core.state import FactorizationState
+from ..exceptions import ArtifactError, ValidationError
+from ..graph.neighbors import QueryIndex
+from ..linalg.blocks import BlockSpec, block_diagonal
+from ..linalg.backend import resolve_backend
+from .extension import Prediction, out_of_sample_predict
+
+__all__ = ["SCHEMA_VERSION", "TypeInfo", "RHCHMEModel", "load_model"]
+
+#: Version stamp of the on-disk artifact layout.  Bump whenever the npz key
+#: set or the sidecar structure changes incompatibly; ``load`` refuses
+#: mismatched artifacts outright.
+SCHEMA_VERSION = 1
+
+_FORMAT = "rhchme-model"
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """Shape metadata of one object type captured in an artifact."""
+
+    name: str
+    n_objects: int
+    n_clusters: int
+    n_features: int | None
+
+
+# eq=False: the generated __eq__ would compare ndarray/dict fields and raise
+# on the ambiguous array truth value; identity comparison (and explicit
+# array-level assertions in tests) is the meaningful contract here.
+@dataclass(frozen=True, eq=False)
+class RHCHMEModel:
+    """Immutable fitted-model artifact supporting out-of-sample prediction.
+
+    Attributes
+    ----------
+    config:
+        The :class:`RHCHMEConfig` the model was fitted with; prediction
+        reuses its ``p``, ``weighting`` and ``backend`` knobs so queries see
+        the same affinity definition the training graph used.
+    types:
+        Per-type shape metadata in block order.
+    features:
+        Mapping from type name to its training feature matrix (types without
+        features are absent — they cannot receive out-of-sample queries).
+    membership:
+        Mapping from type name to its fitted membership block ``G_k``.
+    labels:
+        Mapping from type name to the fitted hard labels of its training
+        objects.
+    association:
+        The fitted association matrix ``S``.
+    error_matrix:
+        The fitted sample-wise error matrix ``E_R`` (``None`` when the fit
+        disabled it).
+    backend:
+        The concrete backend the fit resolved to (``"dense"``/``"sparse"``).
+    """
+
+    config: RHCHMEConfig
+    types: tuple[TypeInfo, ...]
+    features: dict[str, np.ndarray]
+    membership: dict[str, np.ndarray]
+    labels: dict[str, np.ndarray]
+    association: np.ndarray
+    error_matrix: np.ndarray | None
+    backend: str = "dense"
+    schema_version: int = SCHEMA_VERSION
+    library_version: str = _library_version
+
+    def __post_init__(self) -> None:
+        # Per-type neighbour-search indexes, built lazily on first predict
+        # and reused for every later call (a KD-tree build per request would
+        # dominate single-object latencies).  A plain cache, not state: the
+        # artifact's arrays stay immutable.
+        object.__setattr__(self, "_query_indexes", {})
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_fit(cls, result, data, config: RHCHMEConfig) -> "RHCHMEModel":
+        """Build an artifact from a fit result, its dataset and its config.
+
+        ``data`` must be the dataset the result was fitted on: a mismatched
+        dataset would pair feature rows with membership blocks computed on
+        different objects, producing an artifact that predicts garbage
+        without ever erroring.  The block structure is checked up front so
+        the mismatch fails at export time, not at serving time.
+        """
+        state = result.state
+        if (state.object_spec.n_types != data.n_types
+                or state.object_spec.sizes
+                != tuple(t.n_objects for t in data.types)
+                or set(result.labels) != set(data.type_names)):
+            raise ValidationError(
+                f"fit result (types of sizes {state.object_spec.sizes}, labels "
+                f"for {sorted(result.labels)}) does not describe this dataset "
+                f"({data.describe()}); export the model with the dataset it "
+                "was fitted on")
+        types = []
+        features: dict[str, np.ndarray] = {}
+        membership: dict[str, np.ndarray] = {}
+        labels: dict[str, np.ndarray] = {}
+        for index, object_type in enumerate(data.types):
+            n_features = (object_type.features.shape[1]
+                          if object_type.features is not None else None)
+            types.append(TypeInfo(name=object_type.name,
+                                  n_objects=object_type.n_objects,
+                                  n_clusters=object_type.n_clusters,
+                                  n_features=n_features))
+            if object_type.features is not None:
+                features[object_type.name] = np.array(object_type.features)
+            membership[object_type.name] = np.array(
+                state.membership_block(index))
+            labels[object_type.name] = np.asarray(
+                result.labels[object_type.name], dtype=np.int64).copy()
+        error_matrix = np.array(state.E_R) if config.use_error_matrix else None
+        return cls(config=config, types=tuple(types), features=features,
+                   membership=membership, labels=labels,
+                   association=np.array(state.S),
+                   error_matrix=error_matrix,
+                   backend=result.extras.get("backend", "dense"))
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def type_names(self) -> list[str]:
+        """Names of the captured object types in block order."""
+        return [t.name for t in self.types]
+
+    def type_info(self, name: str) -> TypeInfo:
+        """Return the :class:`TypeInfo` of the named type."""
+        for info in self.types:
+            if info.name == name:
+                return info
+        raise ValidationError(
+            f"unknown object type {name!r}; known types: {self.type_names}")
+
+    def state(self) -> FactorizationState:
+        """Reconstruct the full factorisation state from the stored blocks."""
+        object_spec = BlockSpec(tuple(t.n_objects for t in self.types))
+        cluster_spec = BlockSpec(tuple(t.n_clusters for t in self.types))
+        G = block_diagonal([self.membership[t.name] for t in self.types])
+        E_R = (self.error_matrix.copy() if self.error_matrix is not None
+               else np.zeros((object_spec.total, object_spec.total)))
+        return FactorizationState(G=G, S=self.association.copy(), E_R=E_R,
+                                  object_spec=object_spec,
+                                  cluster_spec=cluster_spec)
+
+    def info(self) -> dict:
+        """Plain-dictionary summary (used by the ``info`` CLI subcommand)."""
+        return {
+            "format": _FORMAT,
+            "schema_version": self.schema_version,
+            "library_version": self.library_version,
+            "backend": self.backend,
+            "config": self._config_dict(),
+            "types": [asdict(t) for t in self.types],
+            "has_error_matrix": self.error_matrix is not None,
+        }
+
+    # ------------------------------------------------------------- prediction
+    def predict(self, type_name: str, X_new, *, batch_size: int = 256,
+                backend: str | None = None) -> Prediction:
+        """Assign new objects of ``type_name`` out of sample.
+
+        Computes the queries' p-NN affinities to the type's training objects
+        (same ``p``/``weighting`` as the fit) and smooths them onto the
+        fitted membership block; see
+        :func:`repro.serve.extension.out_of_sample_predict`.  ``backend``
+        overrides the fitted config's knob (useful for benchmarking); by
+        default the config's backend is resolved against the training size.
+        """
+        info = self.type_info(type_name)
+        if info.n_features is None:
+            raise ValidationError(
+                f"type {type_name!r} was fitted without features; "
+                "out-of-sample prediction needs a feature space to embed queries in")
+        X_new = as_float_array(X_new, name="X_new", ndim=2)
+        if X_new.shape[1] != info.n_features:
+            raise ValidationError(
+                f"queries for type {type_name!r} must have {info.n_features} "
+                f"features, got {X_new.shape[1]}")
+        resolved = resolve_backend(self.config.backend if backend is None
+                                   else backend, n_objects=info.n_objects)
+        index = self._query_indexes.get(type_name)
+        if index is None:
+            index = QueryIndex(self.features[type_name])
+            self._query_indexes[type_name] = index
+        return out_of_sample_predict(
+            self.features[type_name], self.membership[type_name], X_new,
+            p=self.config.p, weighting=self.config.weighting,
+            backend=resolved, batch_size=batch_size, index=index)
+
+    # ------------------------------------------------------------ persistence
+    def _config_dict(self) -> dict:
+        config = asdict(self.config)
+        config["weighting"] = self.config.weighting.value
+        return config
+
+    @staticmethod
+    def _paths(path) -> tuple[Path, Path]:
+        """Resolve the npz path and its JSON sidecar for a user-given path."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        return path, path.with_suffix(".json")
+
+    @classmethod
+    def resolve_path(cls, path) -> Path:
+        """Canonical absolute npz path a user-given artifact path refers to.
+
+        ``"model"``, ``"model.npz"`` and ``"./model.npz"`` all resolve to the
+        same path; cache layers key on this so one artifact is never loaded
+        twice under different spellings.
+        """
+        return cls._paths(path)[0].resolve()
+
+    @classmethod
+    def read_metadata(cls, path) -> dict:
+        """Read and validate an artifact's JSON sidecar without the arrays.
+
+        Performs the same existence/format/schema-version checks as
+        :meth:`load` but never opens the npz, so inspecting a
+        multi-gigabyte artifact costs O(KB).  Returns the sidecar dictionary.
+        """
+        npz_path, sidecar_path = cls._paths(path)
+        if not npz_path.exists():
+            raise ArtifactError(f"model arrays not found: {npz_path}")
+        if not sidecar_path.exists():
+            raise ArtifactError(f"model sidecar not found: {sidecar_path}")
+        try:
+            sidecar = json.loads(sidecar_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"corrupt model sidecar {sidecar_path}: {exc}") from exc
+        if sidecar.get("format") != _FORMAT:
+            raise ArtifactError(
+                f"{sidecar_path} is not an RHCHME model sidecar "
+                f"(format={sidecar.get('format')!r})")
+        version = sidecar.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact schema version {version!r} "
+                f"(this library reads version {SCHEMA_VERSION}); refusing to "
+                "guess at a foreign layout — re-export the model with a "
+                "matching library version")
+        return sidecar
+
+    def save(self, path) -> Path:
+        """Write the artifact to ``path`` (compressed npz + JSON sidecar).
+
+        ``path`` may omit the ``.npz`` suffix; the sidecar lands next to the
+        npz with a ``.json`` suffix.  Returns the npz path actually written.
+        """
+        npz_path, sidecar_path = self._paths(path)
+        arrays: dict[str, np.ndarray] = {"association": self.association}
+        if self.error_matrix is not None:
+            arrays["error_matrix"] = self.error_matrix
+        for info in self.types:
+            arrays[f"membership::{info.name}"] = self.membership[info.name]
+            arrays[f"labels::{info.name}"] = self.labels[info.name]
+            if info.name in self.features:
+                arrays[f"features::{info.name}"] = self.features[info.name]
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(npz_path, **arrays)
+        sidecar_path.write_text(json.dumps(self.info(), indent=2) + "\n")
+        return npz_path
+
+    @classmethod
+    def load(cls, path) -> "RHCHMEModel":
+        """Read an artifact written by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.ArtifactError` when either file is
+        missing, the sidecar does not describe an RHCHME model, the
+        artifact's schema version differs from :data:`SCHEMA_VERSION`, or
+        the npz does not hold the arrays the sidecar promises (a sidecar
+        paired with the wrong or truncated npz).
+        """
+        npz_path, _ = cls._paths(path)
+        sidecar = cls.read_metadata(path)
+        try:
+            config = RHCHMEConfig(**sidecar["config"])
+        except (TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"artifact config cannot be reconstructed: {exc}") from exc
+        types = tuple(TypeInfo(**entry) for entry in sidecar["types"])
+        try:
+            with np.load(npz_path) as arrays:
+                association = np.array(arrays["association"])
+                error_matrix = (np.array(arrays["error_matrix"])
+                                if sidecar.get("has_error_matrix") else None)
+                features = {}
+                membership = {}
+                labels = {}
+                for info in types:
+                    membership[info.name] = np.array(
+                        arrays[f"membership::{info.name}"])
+                    labels[info.name] = np.asarray(arrays[f"labels::{info.name}"],
+                                                   dtype=np.int64)
+                    if info.n_features is not None:
+                        features[info.name] = np.array(
+                            arrays[f"features::{info.name}"])
+        except KeyError as exc:
+            raise ArtifactError(
+                f"model arrays at {npz_path} do not match the sidecar "
+                f"(missing {exc}); the npz and json files do not describe "
+                "the same model") from exc
+        return cls(config=config, types=types, features=features,
+                   membership=membership, labels=labels,
+                   association=association, error_matrix=error_matrix,
+                   backend=sidecar.get("backend", "dense"),
+                   schema_version=int(sidecar["schema_version"]),
+                   library_version=str(sidecar.get("library_version", "unknown")))
+
+
+def load_model(path) -> RHCHMEModel:
+    """Module-level convenience alias for :meth:`RHCHMEModel.load`."""
+    return RHCHMEModel.load(path)

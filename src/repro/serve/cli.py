@@ -1,0 +1,140 @@
+"""Command line interface of the serving subsystem.
+
+Three subcommands cover the fit→persist→serve lifecycle::
+
+    python -m repro.serve fit-save --dataset multi5-small --output model.npz
+    python -m repro.serve predict  --model model.npz --type documents \\
+                                   --queries queries.npy --output predictions.npz
+    python -m repro.serve info     --model model.npz
+
+``fit-save`` fits RHCHME on a registered synthetic dataset preset and writes
+the artifact; ``predict`` loads an artifact and batch-predicts a ``.npy`` /
+``.npz`` query matrix, writing hard labels and soft membership scores;
+``info`` prints the artifact's sidecar metadata without loading the arrays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import RHCHMEConfig
+from ..core.rhchme import RHCHME
+from ..data.datasets import list_datasets, make_dataset
+from ..exceptions import ReproError
+from .artifact import RHCHMEModel
+from .predictor import BatchPredictor
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Persist fitted RHCHME models and serve out-of-sample predictions")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fit = commands.add_parser(
+        "fit-save", help="fit RHCHME on a dataset preset and save the artifact")
+    fit.add_argument("--dataset", default="multi5-small",
+                     help=f"dataset preset (one of: {', '.join(list_datasets())})")
+    fit.add_argument("--output", required=True, type=Path,
+                     help="artifact path (.npz; a .json sidecar lands next to it)")
+    fit.add_argument("--random-state", type=int, default=0)
+    fit.add_argument("--max-iter", type=int, default=30)
+    fit.add_argument("--backend", default="auto",
+                     choices=["auto", "dense", "sparse"])
+    fit.add_argument("--subspace-topk", type=int, default=None,
+                     help="top-k sparsification of the subspace member affinity")
+    fit.add_argument("--no-subspace", action="store_true",
+                     help="disable the subspace ensemble member (faster fits)")
+
+    predict = commands.add_parser(
+        "predict", help="batch-predict new objects against a saved artifact")
+    predict.add_argument("--model", required=True, type=Path)
+    predict.add_argument("--type", required=True, dest="type_name",
+                         help="object type the queries belong to")
+    predict.add_argument("--queries", required=True, type=Path,
+                         help=".npy (or single-array .npz) query feature matrix")
+    predict.add_argument("--output", type=Path, default=None,
+                         help="write labels + membership to this .npz")
+    predict.add_argument("--batch-size", type=int, default=256)
+
+    info = commands.add_parser("info", help="print artifact metadata")
+    info.add_argument("--model", required=True, type=Path)
+    return parser
+
+
+def _load_queries(path: Path) -> np.ndarray:
+    if not path.exists():
+        raise ReproError(f"query file not found: {path}")
+    loaded = np.load(path)
+    if isinstance(loaded, np.lib.npyio.NpzFile):
+        names = loaded.files
+        if len(names) != 1:
+            raise ReproError(
+                f"{path} holds {len(names)} arrays ({names}); store the query "
+                "matrix alone or pass a .npy file")
+        return np.asarray(loaded[names[0]])
+    return np.asarray(loaded)
+
+
+def _cmd_fit_save(args: argparse.Namespace) -> int:
+    config = RHCHMEConfig(max_iter=args.max_iter, random_state=args.random_state,
+                          backend=args.backend, subspace_topk=args.subspace_topk,
+                          use_subspace_member=not args.no_subspace)
+    data = make_dataset(args.dataset, random_state=args.random_state)
+    print(f"[serve] fitting {args.dataset}: {data.describe()}")
+    model = RHCHME(config)
+    start = time.perf_counter()
+    result = model.fit(data)
+    print(f"[serve] fit done in {time.perf_counter() - start:.2f}s "
+          f"({result.n_iterations} iterations, converged={result.converged}, "
+          f"backend={result.extras['backend']})")
+    artifact = result.to_model(data, model.config)
+    written = artifact.save(args.output)
+    print(f"[serve] wrote {written} (+ {written.with_suffix('.json').name})")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    queries = _load_queries(args.queries)
+    predictor = BatchPredictor(default_batch_size=args.batch_size)
+    prediction = predictor.predict(args.model, args.type_name, queries)
+    stats = predictor.stats
+    print(f"[serve] predicted {prediction.n_queries} {args.type_name!r} objects "
+          f"in {stats.last_latency_seconds:.4f}s "
+          f"({stats.objects_per_second:.0f} objects/s, "
+          f"{prediction.n_batches} batches)")
+    counts = np.bincount(prediction.labels,
+                         minlength=prediction.membership.shape[1])
+    print(f"[serve] label histogram: {counts.tolist()}")
+    if args.output is not None:
+        np.savez_compressed(args.output, labels=prediction.labels,
+                            membership=prediction.membership)
+        print(f"[serve] wrote {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    # Metadata lives in the JSON sidecar; validating and printing it never
+    # decompresses the (potentially huge) arrays.
+    print(json.dumps(RHCHMEModel.read_metadata(args.model), indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.serve``."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"fit-save": _cmd_fit_save, "predict": _cmd_predict,
+                "info": _cmd_info}
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"[serve] error: {exc}", file=sys.stderr)
+        return 1

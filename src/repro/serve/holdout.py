@@ -1,0 +1,115 @@
+"""Hold out objects of one type from a multi-type relational dataset.
+
+Evaluating the out-of-sample extension needs a clean train/query split of a
+*relational* dataset: removing objects of one type also removes their rows
+(or columns) from every relation touching that type.  The split keeps every
+other type intact, so the training dataset stays a valid
+:class:`MultiTypeRelationalData` a fresh ``RHCHME.fit`` accepts, and the
+held-out objects become plain query feature rows for
+:meth:`RHCHMEModel.predict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_float, check_random_state
+from ..exceptions import ValidationError
+from ..relational.dataset import MultiTypeRelationalData
+from ..relational.types import ObjectType, Relation
+
+__all__ = ["HoldoutSplit", "holdout_split"]
+
+
+@dataclass(frozen=True)
+class HoldoutSplit:
+    """Outcome of holding out objects of one type.
+
+    Attributes
+    ----------
+    train:
+        The reduced dataset (held-out objects of the split type removed from
+        the type and from every relation touching it).
+    type_name:
+        The type the split was performed on.
+    query_features:
+        ``(n_queries, d)`` features of the held-out objects.
+    query_labels:
+        Ground-truth labels of the held-out objects (``None`` when the type
+        has no labels).
+    query_indices, train_indices:
+        Positions of the held-out / kept objects in the original type's
+        ordering, for joining predictions back against the full dataset.
+    """
+
+    train: MultiTypeRelationalData
+    type_name: str
+    query_features: np.ndarray
+    query_labels: np.ndarray | None
+    query_indices: np.ndarray
+    train_indices: np.ndarray
+
+
+def holdout_split(data: MultiTypeRelationalData, type_name: str, *,
+                  fraction: float = 0.2, random_state=None) -> HoldoutSplit:
+    """Split one type of ``data`` into training objects and held-out queries.
+
+    Parameters
+    ----------
+    data:
+        The full multi-type dataset.
+    type_name:
+        The type to hold objects out of; it must carry a feature matrix
+        (queries are served from feature space).
+    fraction:
+        Fraction of the type's objects to hold out (at least one object is
+        held out; at least ``n_clusters`` and two objects must remain).
+    random_state:
+        Seed for the permutation choosing the held-out objects.
+    """
+    fraction = check_positive_float(fraction, name="fraction")
+    if fraction >= 1.0:
+        raise ValidationError(f"fraction must be < 1, got {fraction}")
+    target = data.get_type(type_name)
+    if target.features is None:
+        raise ValidationError(
+            f"type {type_name!r} has no features; held-out objects could not "
+            "be served as queries")
+    rng = check_random_state(random_state)
+    n_objects = target.n_objects
+    n_hold = max(1, int(round(fraction * n_objects)))
+    n_train = n_objects - n_hold
+    if n_train < max(target.n_clusters, 2):
+        raise ValidationError(
+            f"holding out {n_hold} of {n_objects} {type_name!r} objects leaves "
+            f"{n_train} training objects, fewer than required "
+            f"(max(n_clusters={target.n_clusters}, 2))")
+    permutation = rng.permutation(n_objects)
+    query_indices = np.sort(permutation[:n_hold])
+    train_indices = np.sort(permutation[n_hold:])
+
+    reduced_target = ObjectType(
+        name=target.name, n_objects=n_train, n_clusters=target.n_clusters,
+        features=target.features[train_indices],
+        labels=target.labels[train_indices] if target.labels is not None else None)
+    types = [reduced_target if t.name == type_name else t for t in data.types]
+
+    relations = []
+    for relation in data.relations:
+        matrix = relation.matrix
+        if relation.source == type_name:
+            matrix = matrix[train_indices, :]
+        if relation.target == type_name:
+            matrix = matrix[:, train_indices]
+        relations.append(Relation(source=relation.source, target=relation.target,
+                                  matrix=matrix, weight=relation.weight))
+
+    train = MultiTypeRelationalData(types, relations)
+    return HoldoutSplit(
+        train=train, type_name=type_name,
+        query_features=np.array(target.features[query_indices]),
+        query_labels=(np.array(target.labels[query_indices])
+                      if target.labels is not None else None),
+        query_indices=query_indices, train_indices=train_indices)

@@ -1,0 +1,134 @@
+"""The batch-serving front-end: cached models, validation, counters.
+
+:class:`BatchPredictor` is the process-level entry point a serving loop
+talks to.  It keeps an LRU cache of loaded :class:`RHCHMEModel` artifacts
+keyed by their resolved path (reloading a several-hundred-megabyte npz per
+request would dominate latency), validates every request's type name and
+feature dimensionality before any numerics run, and maintains simple
+latency/throughput counters (requests, objects, wall-clock seconds, cache
+hits/misses) that a scraper can export.
+
+The predictor is deliberately synchronous and single-threaded — one
+predictor per worker process; share nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .._validation import check_positive_int
+from .artifact import RHCHMEModel
+from .extension import Prediction
+
+__all__ = ["ServingStats", "BatchPredictor"]
+
+
+@dataclass
+class ServingStats:
+    """Cumulative serving counters of one :class:`BatchPredictor`."""
+
+    requests: int = 0
+    objects: int = 0
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    last_latency_seconds: float = 0.0
+    per_type_objects: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def objects_per_second(self) -> float:
+        """Cumulative predict throughput (0 before the first request)."""
+        return self.objects / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary snapshot for logs and metric exporters."""
+        return {
+            "requests": self.requests,
+            "objects": self.objects,
+            "seconds": round(self.seconds, 6),
+            "objects_per_second": round(self.objects_per_second, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "last_latency_seconds": round(self.last_latency_seconds, 6),
+            "per_type_objects": dict(self.per_type_objects),
+        }
+
+
+class BatchPredictor:
+    """Serve out-of-sample predictions from persisted model artifacts.
+
+    Parameters
+    ----------
+    cache_size:
+        Maximum number of loaded models kept in memory; the least recently
+        used artifact is evicted when a new one would exceed the bound.
+    default_batch_size:
+        Micro-batch size used when a request does not specify one.
+    """
+
+    def __init__(self, *, cache_size: int = 4,
+                 default_batch_size: int = 256) -> None:
+        self.cache_size = check_positive_int(cache_size, name="cache_size")
+        self.default_batch_size = check_positive_int(default_batch_size,
+                                                     name="default_batch_size")
+        self._models: OrderedDict[str, RHCHMEModel] = OrderedDict()
+        self.stats = ServingStats()
+
+    # ------------------------------------------------------------ model cache
+    def get_model(self, path) -> RHCHMEModel:
+        """Return the artifact at ``path``, loading it on first use (LRU).
+
+        Cache keys are canonical resolved paths, so different spellings of
+        the same artifact (``model``, ``model.npz``, ``./model.npz``) share
+        one cache entry.
+        """
+        key = str(RHCHMEModel.resolve_path(path))
+        model = self._models.get(key)
+        if model is not None:
+            self._models.move_to_end(key)
+            self.stats.cache_hits += 1
+            return model
+        model = RHCHMEModel.load(path)
+        self.stats.cache_misses += 1
+        self._models[key] = model
+        while len(self._models) > self.cache_size:
+            self._models.popitem(last=False)
+        return model
+
+    def evict(self, path=None) -> None:
+        """Drop one cached model (or the whole cache with ``path=None``)."""
+        if path is None:
+            self._models.clear()
+        else:
+            self._models.pop(str(RHCHMEModel.resolve_path(path)), None)
+
+    @property
+    def cached_models(self) -> list[str]:
+        """Paths of the currently cached models, least recently used first."""
+        return list(self._models)
+
+    # -------------------------------------------------------------- prediction
+    def predict(self, path, type_name: str, X_new, *,
+                batch_size: int | None = None) -> Prediction:
+        """Predict labels for new objects against the model at ``path``.
+
+        Validates the type name and query feature dimensionality against the
+        artifact (raising :class:`~repro.exceptions.ValidationError` on
+        mismatch) before running the out-of-sample extension, and folds the
+        request into the cumulative serving counters.
+        """
+        model = self.get_model(path)
+        if batch_size is None:
+            batch_size = self.default_batch_size
+        start = time.perf_counter()
+        prediction = model.predict(type_name, X_new, batch_size=batch_size)
+        elapsed = time.perf_counter() - start
+        self.stats.requests += 1
+        self.stats.objects += prediction.n_queries
+        self.stats.seconds += elapsed
+        self.stats.last_latency_seconds = elapsed
+        self.stats.per_type_objects[type_name] = (
+            self.stats.per_type_objects.get(type_name, 0) + prediction.n_queries)
+        return prediction

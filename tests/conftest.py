@@ -57,3 +57,60 @@ def line_data() -> tuple[np.ndarray, np.ndarray]:
     """Points on two 1-D lines in R^3 (easy subspace clustering problem)."""
     return sample_union_of_lines(n_per_line=25, n_lines=2, ambient_dim=3,
                                  noise=0.01, random_state=0)
+
+
+# --------------------------------------------------------------- serving suite
+def make_two_type_blobs(n_points: int = 90, n_anchors: int = 36,
+                        n_clusters: int = 3, n_features: int = 6,
+                        seed: int = 0) -> MultiTypeRelationalData:
+    """Two types of well-separated Gaussian blobs with a co-cluster relation.
+
+    Small enough for sub-second fits while the cluster structure stays
+    unambiguous, so agreement-style assertions in the serving tests are
+    meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    point_labels = np.arange(n_points) % n_clusters
+    anchor_labels = np.arange(n_anchors) % n_clusters
+    point_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    anchor_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    point_features = point_centers[point_labels] + rng.normal(
+        size=(n_points, n_features))
+    anchor_features = anchor_centers[anchor_labels] + rng.normal(
+        size=(n_anchors, n_features))
+    co_cluster = point_labels[:, None] == anchor_labels[None, :]
+    matrix = np.where(co_cluster, 1.0, 0.05) + 0.05 * rng.random(
+        (n_points, n_anchors))
+    points = ObjectType("points", n_objects=n_points, n_clusters=n_clusters,
+                        features=point_features, labels=point_labels)
+    anchors = ObjectType("anchors", n_objects=n_anchors, n_clusters=n_clusters,
+                         features=anchor_features, labels=anchor_labels)
+    return MultiTypeRelationalData([points, anchors],
+                                   [Relation("points", "anchors", matrix)])
+
+
+@pytest.fixture(scope="session")
+def blob_dataset() -> MultiTypeRelationalData:
+    return make_two_type_blobs()
+
+
+@pytest.fixture(scope="session")
+def blob_split(blob_dataset):
+    from repro.serve import holdout_split
+    return holdout_split(blob_dataset, "points", fraction=0.2, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def blob_fit(blob_split):
+    """A fitted estimator + its result on the blob training split."""
+    from repro.core import RHCHME
+    model = RHCHME(max_iter=25, random_state=0, use_subspace_member=False,
+                   track_metrics_every=0)
+    result = model.fit(blob_split.train)
+    return model, result
+
+
+@pytest.fixture(scope="session")
+def blob_artifact(blob_fit, blob_split):
+    model, _ = blob_fit
+    return model.export_model(blob_split.train)

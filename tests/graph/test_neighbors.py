@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.graph.neighbors import (
+    QueryIndex,
     pairwise_cosine_similarity,
     pairwise_euclidean_distances,
     pnn_indices,
@@ -145,6 +146,121 @@ class TestKDTreeSelfExclusion:
         neighbours = pnn_indices(X, 4, algorithm="kdtree")
         for i in range(5):
             assert sorted(neighbours[i].tolist()) == sorted(set(range(5)) - {i})
+
+
+class TestQueryMode:
+    """Query-vs-reference search: no self-exclusion, p up to the reference size."""
+
+    def test_shape_and_index_range(self):
+        rng = np.random.default_rng(30)
+        X = rng.normal(size=(25, 3))
+        Q = rng.normal(size=(7, 3))
+        neighbours = pnn_indices(X, 4, query_points=Q)
+        assert neighbours.shape == (7, 4)
+        assert neighbours.min() >= 0
+        assert neighbours.max() < 25
+
+    def test_kdtree_and_brute_agree(self):
+        rng = np.random.default_rng(31)
+        X = rng.normal(size=(40, 3))
+        Q = rng.normal(size=(11, 3))
+        kdtree = pnn_indices(X, 5, algorithm="kdtree", query_points=Q)
+        brute = pnn_indices(X, 5, algorithm="brute", query_points=Q)
+        for row_k, row_b in zip(kdtree, brute):
+            assert set(row_k.tolist()) == set(row_b.tolist())
+
+    def test_identical_query_lists_its_reference_point_first(self):
+        # No self-exclusion in query mode: a query that coincides with a
+        # reference point must keep that point as its nearest neighbour.
+        rng = np.random.default_rng(32)
+        X = rng.normal(size=(20, 2))
+        for algorithm in ("kdtree", "brute"):
+            neighbours = pnn_indices(X, 1, algorithm=algorithm,
+                                     query_points=X[4:5])
+            assert neighbours[0, 0] == 4
+
+    def test_duplicate_reference_points(self):
+        # Three identical reference groups; a query equal to one group must
+        # resolve entirely within that group, for both search paths.
+        X = np.repeat(np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]]), 3, axis=0)
+        query = np.array([[5.0, 5.0]])
+        for algorithm in ("kdtree", "brute"):
+            neighbours = pnn_indices(X, 3, algorithm=algorithm,
+                                     query_points=query)
+            assert set(neighbours[0].tolist()) == {3, 4, 5}
+
+    def test_all_identical_points(self):
+        X = np.zeros((6, 2))
+        neighbours = pnn_indices(X, 4, query_points=np.zeros((3, 2)))
+        assert neighbours.shape == (3, 4)
+        for row in neighbours:
+            assert len(set(row.tolist())) == 4
+
+    def test_results_sorted_by_distance(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0]])
+        neighbours = pnn_indices(X, 3, algorithm="brute",
+                                 query_points=np.array([[0.9]]))
+        assert neighbours[0].tolist() == [1, 0, 2]
+
+    def test_p_may_equal_reference_size(self):
+        rng = np.random.default_rng(33)
+        X = rng.normal(size=(6, 2))
+        Q = rng.normal(size=(2, 2))
+        for algorithm in ("kdtree", "brute"):
+            neighbours = pnn_indices(X, 6, algorithm=algorithm, query_points=Q)
+            assert sorted(neighbours[0].tolist()) == list(range(6))
+
+    def test_p_beyond_reference_size_rejected(self):
+        with pytest.raises(ValueError):
+            pnn_indices(np.zeros((4, 2)), 5, query_points=np.zeros((2, 2)))
+
+    def test_feature_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pnn_indices(np.zeros((5, 2)), 2, query_points=np.zeros((2, 3)))
+
+    def test_blocked_query_path_matches_single_block(self, monkeypatch):
+        from repro.graph import neighbors
+        rng = np.random.default_rng(34)
+        X = rng.normal(size=(30, 4))
+        Q = rng.normal(size=(13, 4))
+        monkeypatch.setattr(neighbors, "_BRUTE_BLOCK_ENTRIES", 40)
+        blocked = pnn_indices(X, 3, algorithm="brute", query_points=Q)
+        monkeypatch.setattr(neighbors, "_BRUTE_BLOCK_ENTRIES", 4_000_000)
+        single = pnn_indices(X, 3, algorithm="brute", query_points=Q)
+        np.testing.assert_array_equal(blocked, single)
+
+
+class TestQueryIndex:
+    """A prebuilt index answers repeated query batches without rebuilding."""
+
+    def test_matches_pnn_indices_query_mode(self):
+        rng = np.random.default_rng(40)
+        X = rng.normal(size=(35, 3))
+        Q = rng.normal(size=(9, 3))
+        index = QueryIndex(X)
+        np.testing.assert_array_equal(index.query(Q, 4),
+                                      pnn_indices(X, 4, query_points=Q))
+
+    def test_reusable_across_batches(self):
+        rng = np.random.default_rng(41)
+        X = rng.normal(size=(20, 2))
+        index = QueryIndex(X)
+        full = index.query(rng.normal(size=(10, 2)), 3)
+        assert full.shape == (10, 3)
+        assert index.query(X[:1], 1)[0, 0] == 0  # still answers later batches
+
+    def test_auto_algorithm_by_dimensionality(self):
+        assert QueryIndex(np.zeros((5, 3))).algorithm == "kdtree"
+        assert QueryIndex(np.zeros((5, 20))).algorithm == "brute"
+
+    def test_validation(self):
+        index = QueryIndex(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            index.query(np.zeros((2, 3)), 2)   # dimension mismatch
+        with pytest.raises(ValueError):
+            index.query(np.zeros((2, 2)), 5)   # p beyond reference size
+        with pytest.raises(ValueError):
+            QueryIndex(np.zeros((4, 2)), algorithm="magic")
 
 
 class TestBlockedBruteForce:

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.metrics.extra import adjusted_rand_index, purity_score
+from repro.metrics.extra import (
+    adjusted_rand_index,
+    align_cluster_labels,
+    cluster_alignment,
+    purity_score,
+)
 
 
 class TestPurity:
@@ -46,3 +51,37 @@ class TestAdjustedRandIndex:
         true = rng.integers(0, 4, 50)
         predicted = rng.integers(0, 4, 50)
         assert adjusted_rand_index(true, predicted) <= 1.0
+
+
+class TestClusterAlignment:
+    def test_identity_when_labelings_match(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        mapping = cluster_alignment(labels, labels)
+        np.testing.assert_array_equal(mapping, [0, 1, 2])
+
+    def test_recovers_a_permutation(self):
+        reference = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        mapping = cluster_alignment(reference, permuted)
+        np.testing.assert_array_equal(mapping[permuted], reference)
+
+    def test_align_cluster_labels_convenience(self):
+        reference = np.array([1, 1, 0, 0])
+        other = np.array([0, 0, 1, 1])
+        np.testing.assert_array_equal(
+            align_cluster_labels(reference, other), reference)
+
+    def test_majority_overlap_wins_under_noise(self):
+        reference = np.repeat([0, 1], 10)
+        other = np.repeat([1, 0], 10).copy()
+        other[0] = 0  # one disagreeing object must not flip the matching
+        aligned = align_cluster_labels(reference, other)
+        assert np.mean(aligned == reference) == pytest.approx(0.95)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            cluster_alignment(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_alignment(np.array([0, -1]), np.array([0, 1]))

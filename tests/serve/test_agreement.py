@@ -1,0 +1,103 @@
+"""Acceptance tests: served predictions agree with a full refit.
+
+The out-of-sample extension never re-optimises anything, so its value hinges
+on two properties enforced here: (1) predictions for held-out objects agree
+with the labels a full refit (training + held-out objects) assigns them on
+at least 90% of queries, and (2) a save→load→predict round trip is
+deterministic across processes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import RHCHME
+from repro.data import make_dataset
+from repro.metrics import cluster_alignment
+from repro.serve import holdout_split
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _refit_agreement(data, type_name, *, fraction=0.2, seed=0, **fit_kwargs):
+    """Out-of-sample vs full-refit label agreement on held-out objects."""
+    split = holdout_split(data, type_name, fraction=fraction, random_state=seed)
+    model = RHCHME(random_state=seed, track_metrics_every=0, **fit_kwargs)
+    train_result = model.fit(split.train)
+    artifact = model.export_model(split.train)
+    prediction = artifact.predict(type_name, split.query_features)
+
+    refit = RHCHME(random_state=seed, track_metrics_every=0,
+                   **fit_kwargs).fit(data)
+    refit_labels = refit.labels[type_name]
+    # Cluster numberings of the two fits are arbitrary; align them on the
+    # shared training objects, then compare on the held-out queries.
+    mapping = cluster_alignment(train_result.labels[type_name],
+                                refit_labels[split.train_indices])
+    aligned = mapping[refit_labels[split.query_indices]]
+    return float(np.mean(aligned == prediction.labels))
+
+
+class TestRefitAgreement:
+    def test_blob_manifold_agreement_at_least_90_percent(self, blob_dataset):
+        agreement = _refit_agreement(blob_dataset, "points", max_iter=25,
+                                     use_subspace_member=False)
+        assert agreement >= 0.9
+
+    def test_multi5_small_agreement_at_least_90_percent(self):
+        data = make_dataset("multi5-small", random_state=0)
+        agreement = _refit_agreement(data, "documents", max_iter=40)
+        assert agreement >= 0.9
+
+
+_PREDICT_SNIPPET = """\
+import sys
+import numpy as np
+from repro.serve import RHCHMEModel
+
+model_path, queries_path, out_path = sys.argv[1:4]
+model = RHCHMEModel.load(model_path)
+prediction = model.predict("points", np.load(queries_path), batch_size=8)
+np.savez(out_path, labels=prediction.labels, membership=prediction.membership)
+"""
+
+
+class TestCrossProcessDeterminism:
+    @pytest.fixture(scope="class")
+    def artifact_on_disk(self, blob_artifact, blob_split, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("determinism")
+        model_path = blob_artifact.save(tmp / "model.npz")
+        queries_path = tmp / "queries.npy"
+        np.save(queries_path, blob_split.query_features)
+        return model_path, queries_path, tmp
+
+    def _predict_in_subprocess(self, model_path, queries_path, out_path):
+        completed = subprocess.run(
+            [sys.executable, "-c", _PREDICT_SNIPPET, str(model_path),
+             str(queries_path), str(out_path)],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"})
+        assert completed.returncode == 0, completed.stderr
+        with np.load(out_path) as arrays:
+            return np.array(arrays["labels"]), np.array(arrays["membership"])
+
+    def test_save_load_predict_deterministic_across_processes(
+            self, artifact_on_disk, blob_artifact, blob_split):
+        model_path, queries_path, tmp = artifact_on_disk
+        labels_a, membership_a = self._predict_in_subprocess(
+            model_path, queries_path, tmp / "run_a.npz")
+        labels_b, membership_b = self._predict_in_subprocess(
+            model_path, queries_path, tmp / "run_b.npz")
+        np.testing.assert_array_equal(labels_a, labels_b)
+        np.testing.assert_array_equal(membership_a, membership_b)
+        # and both match the in-process prediction of the source artifact
+        in_process = blob_artifact.predict("points", blob_split.query_features,
+                                           batch_size=8)
+        np.testing.assert_array_equal(labels_a, in_process.labels)
+        np.testing.assert_allclose(membership_a, in_process.membership,
+                                   rtol=1e-12, atol=1e-15)

@@ -1,0 +1,176 @@
+"""Tests for repro.serve.artifact — save/load round-trips and schema checks."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArtifactError, ValidationError
+from repro.serve import RHCHMEModel, SCHEMA_VERSION, load_model
+
+
+@pytest.fixture
+def saved(blob_artifact, tmp_path):
+    path = blob_artifact.save(tmp_path / "model.npz")
+    return blob_artifact, path
+
+
+class TestRoundTrip:
+    def test_labels_exact(self, saved):
+        artifact, path = saved
+        loaded = RHCHMEModel.load(path)
+        assert set(loaded.labels) == set(artifact.labels)
+        for name in artifact.labels:
+            np.testing.assert_array_equal(loaded.labels[name],
+                                          artifact.labels[name])
+
+    def test_state_blocks_exact(self, saved):
+        artifact, path = saved
+        loaded = RHCHMEModel.load(path)
+        for name in artifact.membership:
+            np.testing.assert_array_equal(loaded.membership[name],
+                                          artifact.membership[name])
+        np.testing.assert_array_equal(loaded.association, artifact.association)
+        np.testing.assert_array_equal(loaded.error_matrix, artifact.error_matrix)
+
+    def test_features_exact(self, saved):
+        artifact, path = saved
+        loaded = RHCHMEModel.load(path)
+        assert set(loaded.features) == set(artifact.features)
+        for name in artifact.features:
+            np.testing.assert_array_equal(loaded.features[name],
+                                          artifact.features[name])
+
+    def test_config_and_metadata_exact(self, saved):
+        artifact, path = saved
+        loaded = RHCHMEModel.load(path)
+        assert loaded.config == artifact.config
+        assert loaded.types == artifact.types
+        assert loaded.backend == artifact.backend
+        assert loaded.schema_version == SCHEMA_VERSION
+
+    def test_reconstructed_state_matches_fit(self, saved, blob_fit):
+        _, path = saved
+        _, result = blob_fit
+        state = RHCHMEModel.load(path).state()
+        np.testing.assert_array_equal(state.G, result.state.G)
+        np.testing.assert_array_equal(state.S, result.state.S)
+        np.testing.assert_array_equal(state.E_R, result.state.E_R)
+        assert state.object_spec == result.state.object_spec
+        assert state.cluster_spec == result.state.cluster_spec
+
+    def test_suffixless_path_and_alias(self, blob_artifact, tmp_path):
+        path = blob_artifact.save(tmp_path / "model")
+        assert path.name == "model.npz"
+        assert (tmp_path / "model.json").exists()
+        loaded = load_model(tmp_path / "model")
+        assert loaded.type_names == blob_artifact.type_names
+
+
+class TestSchemaRefusal:
+    def _rewrite_sidecar(self, path, **overrides):
+        sidecar_path = path.with_suffix(".json")
+        sidecar = json.loads(sidecar_path.read_text())
+        sidecar.update(overrides)
+        sidecar_path.write_text(json.dumps(sidecar))
+
+    def test_mismatched_schema_version_refused(self, saved):
+        _, path = saved
+        self._rewrite_sidecar(path, schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ArtifactError, match="schema version"):
+            RHCHMEModel.load(path)
+
+    def test_foreign_format_refused(self, saved):
+        _, path = saved
+        self._rewrite_sidecar(path, format="other-model")
+        with pytest.raises(ArtifactError, match="not an RHCHME model"):
+            RHCHMEModel.load(path)
+
+    def test_corrupt_sidecar_refused(self, saved):
+        _, path = saved
+        path.with_suffix(".json").write_text("{not json")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            RHCHMEModel.load(path)
+
+    def test_missing_files_refused(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            RHCHMEModel.load(tmp_path / "absent.npz")
+
+    def test_missing_sidecar_refused(self, saved, tmp_path):
+        _, path = saved
+        path.with_suffix(".json").unlink()
+        with pytest.raises(ArtifactError, match="sidecar"):
+            RHCHMEModel.load(path)
+
+    def test_sidecar_paired_with_wrong_npz_refused(self, saved, tmp_path):
+        # The sidecar passes format/schema checks but promises arrays the
+        # npz does not hold; load must fail with ArtifactError, not KeyError.
+        _, path = saved
+        np.savez_compressed(path, association=np.zeros((2, 2)))
+        with pytest.raises(ArtifactError, match="do not match the sidecar"):
+            RHCHMEModel.load(path)
+
+    def test_read_metadata_never_touches_arrays(self, saved):
+        _, path = saved
+        path.write_bytes(b"not an npz at all")  # arrays corrupt, sidecar fine
+        metadata = RHCHMEModel.read_metadata(path)
+        assert metadata["schema_version"] == SCHEMA_VERSION
+        with pytest.raises(Exception):
+            RHCHMEModel.load(path)
+
+    def test_resolve_path_normalises_spellings(self, saved):
+        _, path = saved
+        assert (RHCHMEModel.resolve_path(path.with_suffix(""))
+                == RHCHMEModel.resolve_path(path))
+
+    def test_unreconstructable_config_refused(self, saved):
+        _, path = saved
+        sidecar_path = path.with_suffix(".json")
+        sidecar = json.loads(sidecar_path.read_text())
+        sidecar["config"]["no_such_knob"] = 1
+        sidecar_path.write_text(json.dumps(sidecar))
+        with pytest.raises(ArtifactError, match="config"):
+            RHCHMEModel.load(path)
+
+
+class TestModelInterface:
+    def test_info_summarises_artifact(self, blob_artifact):
+        info = blob_artifact.info()
+        assert info["format"] == "rhchme-model"
+        assert info["schema_version"] == SCHEMA_VERSION
+        assert [t["name"] for t in info["types"]] == ["points", "anchors"]
+        assert info["config"]["weighting"] == "cosine"
+        assert json.dumps(info)  # JSON-serialisable end to end
+
+    def test_unknown_type_rejected(self, blob_artifact):
+        with pytest.raises(ValidationError, match="unknown object type"):
+            blob_artifact.type_info("nope")
+
+    def test_predict_validates_feature_dim(self, blob_artifact):
+        with pytest.raises(ValidationError, match="features"):
+            blob_artifact.predict("points", np.ones((3, 2)))
+
+    def test_export_requires_fit(self, blob_split):
+        from repro.core import RHCHME
+        from repro.exceptions import NotFittedError
+        with pytest.raises(NotFittedError):
+            RHCHME().export_model(blob_split.train)
+
+    def test_export_with_mismatched_dataset_rejected(self, blob_fit,
+                                                     blob_dataset):
+        # The fit ran on the training split; exporting against the full
+        # dataset would pair wrong objects with the membership blocks.
+        model, _ = blob_fit
+        with pytest.raises(ValidationError, match="fitted on"):
+            model.export_model(blob_dataset)
+
+    def test_model_comparison_does_not_crash(self, saved):
+        # eq=False: artifacts compare by identity; the dataclass-generated
+        # __eq__ would raise on the ndarray/dict fields.
+        artifact, path = saved
+        loaded = RHCHMEModel.load(path)
+        assert artifact == artifact
+        assert artifact != loaded
+        assert hash(artifact) is not None

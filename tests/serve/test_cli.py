@@ -1,0 +1,94 @@
+"""End-to-end tests of the ``python -m repro.serve`` CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_cli(*args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *map(str, args)],
+        capture_output=True, text=True, timeout=timeout,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"})
+
+
+@pytest.fixture(scope="module")
+def cli_artifact(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    model_path = tmp / "model.npz"
+    completed = run_cli("fit-save", "--dataset", "multi5-small",
+                        "--output", model_path, "--max-iter", "5",
+                        "--no-subspace", "--random-state", "0")
+    assert completed.returncode == 0, completed.stderr
+    return tmp, model_path, completed
+
+
+class TestFitSave:
+    def test_writes_artifact_and_sidecar(self, cli_artifact):
+        _, model_path, completed = cli_artifact
+        assert model_path.exists()
+        assert model_path.with_suffix(".json").exists()
+        assert "wrote" in completed.stdout
+
+
+class TestPredict:
+    def test_predict_writes_labels_and_membership(self, cli_artifact):
+        tmp, model_path, _ = cli_artifact
+        data = make_dataset("multi5-small", random_state=1)
+        queries_path = tmp / "queries.npy"
+        np.save(queries_path, data.get_type("documents").features[:8])
+        out_path = tmp / "predictions.npz"
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "documents", "--queries", queries_path,
+                            "--output", out_path, "--batch-size", "3")
+        assert completed.returncode == 0, completed.stderr
+        assert "predicted 8" in completed.stdout
+        with np.load(out_path) as arrays:
+            assert arrays["labels"].shape == (8,)
+            assert arrays["membership"].shape == (8, 5)
+            np.testing.assert_allclose(arrays["membership"].sum(axis=1), 1.0)
+
+    def test_missing_query_file_fails_cleanly(self, cli_artifact):
+        tmp, model_path, _ = cli_artifact
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "documents",
+                            "--queries", tmp / "absent.npy")
+        assert completed.returncode == 1
+        assert "error" in completed.stderr
+
+    def test_unknown_type_fails_cleanly(self, cli_artifact):
+        tmp, model_path, _ = cli_artifact
+        queries_path = tmp / "queries.npy"
+        if not queries_path.exists():
+            np.save(queries_path, np.ones((2, 3)))
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "nope", "--queries", queries_path)
+        assert completed.returncode == 1
+        assert "unknown object type" in completed.stderr
+
+
+class TestInfo:
+    def test_info_prints_sidecar_json(self, cli_artifact):
+        _, model_path, _ = cli_artifact
+        completed = run_cli("info", "--model", model_path)
+        assert completed.returncode == 0, completed.stderr
+        info = json.loads(completed.stdout)
+        assert info["format"] == "rhchme-model"
+        assert info["schema_version"] == 1
+        assert [t["name"] for t in info["types"]] == ["documents", "terms",
+                                                      "concepts"]
+
+    def test_info_on_missing_model_fails_cleanly(self, tmp_path):
+        completed = run_cli("info", "--model", tmp_path / "absent.npz")
+        assert completed.returncode == 1
+        assert "not found" in completed.stderr

@@ -1,0 +1,119 @@
+"""Tests for the out-of-sample extension (repro.serve.extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.serve import out_of_sample_predict
+from repro.serve.extension import Prediction
+
+
+@pytest.fixture(scope="module")
+def fitted_block():
+    """A reference set of three tight blobs and a one-hot-ish membership."""
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=8.0, size=(3, 4))
+    labels = np.arange(60) % 3
+    reference = centers[labels] + 0.2 * rng.normal(size=(60, 4))
+    membership = np.full((60, 3), 0.05)
+    membership[np.arange(60), labels] = 0.9
+    return reference, membership, labels
+
+
+class TestPredictionBasics:
+    def test_shapes_and_normalisation(self, fitted_block):
+        reference, membership, _ = fitted_block
+        rng = np.random.default_rng(1)
+        queries = reference[:10] + 0.1 * rng.normal(size=(10, 4))
+        prediction = out_of_sample_predict(reference, membership, queries, p=5)
+        assert isinstance(prediction, Prediction)
+        assert prediction.labels.shape == (10,)
+        assert prediction.membership.shape == (10, 3)
+        assert prediction.n_queries == 10
+        np.testing.assert_allclose(prediction.membership.sum(axis=1), 1.0)
+
+    def test_queries_near_training_points_inherit_labels(self, fitted_block):
+        reference, membership, labels = fitted_block
+        rng = np.random.default_rng(2)
+        queries = reference + 0.05 * rng.normal(size=reference.shape)
+        prediction = out_of_sample_predict(reference, membership, queries, p=5)
+        np.testing.assert_array_equal(prediction.labels, labels)
+
+    def test_query_identical_to_training_point(self, fitted_block):
+        reference, membership, labels = fitted_block
+        prediction = out_of_sample_predict(reference, membership,
+                                           reference[7:8], p=3)
+        assert prediction.labels[0] == labels[7]
+
+    def test_p_clamped_to_reference_size(self, fitted_block):
+        reference, membership, _ = fitted_block
+        prediction = out_of_sample_predict(reference[:4], membership[:4],
+                                           reference[10:12], p=50)
+        assert prediction.membership.shape == (2, 3)
+
+
+class TestBatching:
+    def test_batch_size_does_not_change_results(self, fitted_block):
+        reference, membership, _ = fitted_block
+        rng = np.random.default_rng(3)
+        queries = rng.normal(scale=8.0, size=(23, 4))
+        one = out_of_sample_predict(reference, membership, queries,
+                                    p=5, batch_size=1)
+        big = out_of_sample_predict(reference, membership, queries,
+                                    p=5, batch_size=1000)
+        np.testing.assert_array_equal(one.labels, big.labels)
+        np.testing.assert_allclose(one.membership, big.membership,
+                                   rtol=1e-12, atol=1e-14)
+        assert one.n_batches == 23
+        assert big.n_batches == 1
+
+    def test_dense_and_sparse_backends_agree(self, fitted_block):
+        reference, membership, _ = fitted_block
+        rng = np.random.default_rng(4)
+        queries = rng.normal(scale=8.0, size=(17, 4))
+        dense = out_of_sample_predict(reference, membership, queries,
+                                      p=5, backend="dense")
+        sparse = out_of_sample_predict(reference, membership, queries,
+                                       p=5, backend="sparse")
+        np.testing.assert_array_equal(dense.labels, sparse.labels)
+        np.testing.assert_allclose(dense.membership, sparse.membership,
+                                   rtol=1e-10, atol=1e-12)
+
+
+class TestDegenerateQueries:
+    def test_zero_vector_query_gets_binary_fallback(self, fitted_block):
+        reference, membership, _ = fitted_block
+        queries = np.zeros((1, 4))
+        prediction = out_of_sample_predict(reference, membership, queries,
+                                           p=5, weighting="cosine")
+        # cosine weight to every neighbour is zero -> binary fallback keeps
+        # the membership a valid distribution
+        np.testing.assert_allclose(prediction.membership.sum(axis=1), 1.0)
+
+    def test_feature_dimension_mismatch_rejected(self, fitted_block):
+        reference, membership, _ = fitted_block
+        with pytest.raises(ShapeError):
+            out_of_sample_predict(reference, membership, np.ones((2, 9)))
+
+    def test_membership_row_mismatch_rejected(self, fitted_block):
+        reference, membership, _ = fitted_block
+        with pytest.raises(ShapeError):
+            out_of_sample_predict(reference, membership[:-1], reference[:2])
+
+    def test_invalid_batch_size_rejected(self, fitted_block):
+        reference, membership, _ = fitted_block
+        with pytest.raises(ValueError):
+            out_of_sample_predict(reference, membership, reference[:2],
+                                  batch_size=0)
+
+
+class TestWeightingSchemes:
+    @pytest.mark.parametrize("weighting", ["binary", "heat_kernel", "cosine"])
+    def test_every_scheme_produces_valid_predictions(self, fitted_block, weighting):
+        reference, membership, labels = fitted_block
+        prediction = out_of_sample_predict(reference, membership,
+                                           reference[:9], p=4,
+                                           weighting=weighting)
+        np.testing.assert_array_equal(prediction.labels, labels[:9])

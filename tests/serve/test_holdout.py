@@ -1,0 +1,111 @@
+"""Tests for relational holdout splits (repro.serve.holdout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+from repro.serve import holdout_split
+
+
+def _tiny_featureful_dataset(n_points=12, n_anchors=9, n_clusters=3, seed=0):
+    rng = np.random.default_rng(seed)
+    points = ObjectType("points", n_objects=n_points, n_clusters=n_clusters,
+                        features=rng.random((n_points, 4)))
+    anchors = ObjectType("anchors", n_objects=n_anchors, n_clusters=n_clusters,
+                         features=rng.random((n_anchors, 4)))
+    relation = Relation("points", "anchors", rng.random((n_points, n_anchors)))
+    return MultiTypeRelationalData([points, anchors], [relation])
+
+
+class TestSplitStructure:
+    def test_sizes_and_indices(self, blob_dataset):
+        split = holdout_split(blob_dataset, "points", fraction=0.2,
+                              random_state=0)
+        n = blob_dataset.get_type("points").n_objects
+        n_hold = int(round(0.2 * n))
+        assert split.query_features.shape == (n_hold,
+                                              blob_dataset.get_type("points")
+                                              .features.shape[1])
+        assert split.train.get_type("points").n_objects == n - n_hold
+        assert split.query_indices.shape == (n_hold,)
+        merged = np.sort(np.concatenate([split.query_indices,
+                                         split.train_indices]))
+        np.testing.assert_array_equal(merged, np.arange(n))
+
+    def test_features_and_labels_sliced_consistently(self, blob_dataset):
+        split = holdout_split(blob_dataset, "points", fraction=0.25,
+                              random_state=3)
+        original = blob_dataset.get_type("points")
+        np.testing.assert_array_equal(split.query_features,
+                                      original.features[split.query_indices])
+        np.testing.assert_array_equal(split.query_labels,
+                                      original.labels[split.query_indices])
+        kept = split.train.get_type("points")
+        np.testing.assert_array_equal(kept.features,
+                                      original.features[split.train_indices])
+        np.testing.assert_array_equal(kept.labels,
+                                      original.labels[split.train_indices])
+
+    def test_relations_sliced_on_source_side(self, blob_dataset):
+        split = holdout_split(blob_dataset, "points", fraction=0.2,
+                              random_state=0)
+        original = blob_dataset.relation_between("points", "anchors")
+        reduced = split.train.relation_between("points", "anchors")
+        np.testing.assert_array_equal(reduced.matrix,
+                                      original.matrix[split.train_indices, :])
+
+    def test_relations_sliced_on_target_side(self, blob_dataset):
+        split = holdout_split(blob_dataset, "anchors", fraction=0.25,
+                              random_state=1)
+        original = blob_dataset.relation_between("points", "anchors")
+        reduced = split.train.relation_between("points", "anchors")
+        np.testing.assert_array_equal(reduced.matrix,
+                                      original.matrix[:, split.train_indices])
+
+    def test_other_types_untouched(self, blob_dataset):
+        split = holdout_split(blob_dataset, "points", fraction=0.2,
+                              random_state=0)
+        assert (split.train.get_type("anchors").n_objects
+                == blob_dataset.get_type("anchors").n_objects)
+
+    def test_train_dataset_is_fittable(self, blob_split):
+        from repro.core import RHCHME
+        result = RHCHME(max_iter=2, random_state=0, use_subspace_member=False,
+                        track_metrics_every=0).fit(blob_split.train)
+        assert set(result.labels) == {"points", "anchors"}
+
+    def test_deterministic_given_seed(self, blob_dataset):
+        a = holdout_split(blob_dataset, "points", fraction=0.2, random_state=5)
+        b = holdout_split(blob_dataset, "points", fraction=0.2, random_state=5)
+        np.testing.assert_array_equal(a.query_indices, b.query_indices)
+
+
+class TestSplitValidation:
+    def test_fraction_bounds(self, blob_dataset):
+        with pytest.raises(ValidationError):
+            holdout_split(blob_dataset, "points", fraction=1.0)
+        with pytest.raises(ValueError):
+            holdout_split(blob_dataset, "points", fraction=0.0)
+
+    def test_too_few_remaining_objects_rejected(self):
+        data = _tiny_featureful_dataset()
+        with pytest.raises(ValidationError, match="fewer than required"):
+            holdout_split(data, "points", fraction=0.9)
+
+    def test_type_without_features_rejected(self):
+        rng = np.random.default_rng(0)
+        a = ObjectType("a", n_objects=8, n_clusters=2)
+        b = ObjectType("b", n_objects=6, n_clusters=2,
+                       features=rng.random((6, 3)))
+        data = MultiTypeRelationalData(
+            [a, b], [Relation("a", "b", rng.random((8, 6)))])
+        with pytest.raises(ValidationError, match="no features"):
+            holdout_split(data, "a", fraction=0.25)
+
+    def test_unknown_type_rejected(self, blob_dataset):
+        with pytest.raises(ValidationError):
+            holdout_split(blob_dataset, "nope", fraction=0.2)

@@ -1,0 +1,114 @@
+"""Tests for the BatchPredictor serving front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve import BatchPredictor, RHCHMEModel
+
+
+@pytest.fixture
+def model_path(blob_artifact, tmp_path):
+    return blob_artifact.save(tmp_path / "model.npz")
+
+
+@pytest.fixture
+def queries(blob_split):
+    return blob_split.query_features
+
+
+class TestModelCache:
+    def test_first_load_is_a_miss_then_hits(self, model_path, queries):
+        predictor = BatchPredictor()
+        predictor.predict(model_path, "points", queries)
+        predictor.predict(model_path, "points", queries)
+        assert predictor.stats.cache_misses == 1
+        assert predictor.stats.cache_hits == 1
+        assert predictor.cached_models == [
+            str(RHCHMEModel.resolve_path(model_path))]
+
+    def test_path_spellings_share_one_cache_entry(self, blob_artifact, queries,
+                                                  tmp_path):
+        blob_artifact.save(tmp_path / "model.npz")
+        predictor = BatchPredictor()
+        predictor.predict(tmp_path / "model", "points", queries)
+        predictor.predict(tmp_path / "model.npz", "points", queries)
+        assert predictor.stats.cache_misses == 1
+        assert predictor.stats.cache_hits == 1
+        assert len(predictor.cached_models) == 1
+
+    def test_lru_eviction(self, blob_artifact, queries, tmp_path):
+        path_a = blob_artifact.save(tmp_path / "a.npz")
+        path_b = blob_artifact.save(tmp_path / "b.npz")
+        predictor = BatchPredictor(cache_size=1)
+        predictor.predict(path_a, "points", queries)
+        predictor.predict(path_b, "points", queries)   # evicts a
+        assert predictor.cached_models == [str(RHCHMEModel.resolve_path(path_b))]
+        predictor.predict(path_a, "points", queries)   # reload -> miss
+        assert predictor.stats.cache_misses == 3
+        assert predictor.stats.cache_hits == 0
+
+    def test_explicit_eviction(self, model_path, queries):
+        predictor = BatchPredictor()
+        predictor.predict(model_path, "points", queries)
+        predictor.evict(model_path)
+        assert predictor.cached_models == []
+        predictor.predict(model_path, "points", queries)
+        assert predictor.stats.cache_misses == 2
+
+    def test_invalid_cache_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPredictor(cache_size=0)
+
+
+class TestCounters:
+    def test_throughput_counters_accumulate(self, model_path, queries):
+        predictor = BatchPredictor()
+        predictor.predict(model_path, "points", queries)
+        predictor.predict(model_path, "points", queries[:5])
+        stats = predictor.stats
+        assert stats.requests == 2
+        assert stats.objects == queries.shape[0] + 5
+        assert stats.seconds > 0
+        assert stats.objects_per_second > 0
+        assert stats.last_latency_seconds > 0
+        assert stats.per_type_objects == {"points": queries.shape[0] + 5}
+
+    def test_stats_snapshot_is_json_friendly(self, model_path, queries):
+        import json
+        predictor = BatchPredictor()
+        predictor.predict(model_path, "points", queries)
+        snapshot = predictor.stats.as_dict()
+        assert json.dumps(snapshot)
+        assert snapshot["requests"] == 1
+        assert snapshot["objects"] == queries.shape[0]
+
+
+class TestRequestValidation:
+    def test_unknown_type_rejected(self, model_path, queries):
+        predictor = BatchPredictor()
+        with pytest.raises(ValidationError, match="unknown object type"):
+            predictor.predict(model_path, "nope", queries)
+
+    def test_wrong_feature_dimension_rejected(self, model_path):
+        predictor = BatchPredictor()
+        with pytest.raises(ValidationError, match="features"):
+            predictor.predict(model_path, "points", np.ones((4, 2)))
+
+    def test_failed_requests_do_not_pollute_counters(self, model_path, queries):
+        predictor = BatchPredictor()
+        with pytest.raises(ValidationError):
+            predictor.predict(model_path, "points", np.ones((4, 2)))
+        assert predictor.stats.requests == 0
+        assert predictor.stats.objects == 0
+
+    def test_results_match_direct_model_predict(self, blob_artifact, model_path,
+                                                queries):
+        predictor = BatchPredictor()
+        served = predictor.predict(model_path, "points", queries)
+        direct = blob_artifact.predict("points", queries)
+        np.testing.assert_array_equal(served.labels, direct.labels)
+        np.testing.assert_allclose(served.membership, direct.membership,
+                                   rtol=1e-12, atol=1e-15)

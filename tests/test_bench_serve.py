@@ -1,0 +1,38 @@
+"""Smoke test for the serving throughput benchmark runner."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "bench_serve.py"
+
+
+def test_runner_produces_report(tmp_path):
+    output = tmp_path / "bench.json"
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), "--sizes", "120", "--queries", "60",
+         "--batch-sizes", "1", "16", "--repeats", "1", "--fit-max-iter", "2",
+         "--output", str(output), "--workdir", str(tmp_path)],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(output.read_text())
+    assert report["benchmark"] == "rhchme-serve"
+    assert report["sizes"] == [120]
+    entry = report["results"][0]
+    assert entry["n_queries"] == 60
+    timings = entry["predict"]
+    assert {t["backend"] for t in timings} == {"dense", "sparse"}
+    assert {t["batch_size"] for t in timings} == {1, 16}
+    for timing in timings:
+        assert timing["objects_per_second"] > 0
+        assert timing["batch_latency_seconds"] > 0
+    summary = report["summary"]
+    assert summary["largest_n"] == 120
+    assert summary["peak_objects_per_second"] > 0
+    assert summary["peak_at_batch_size"] in {1, 16}
+    # the exported artifact really landed in the workdir
+    assert (tmp_path / "bench_serve_model_120.npz").exists()

@@ -39,4 +39,5 @@ class TestPublicAPI:
         import repro.manifold
         import repro.metrics
         import repro.relational
+        import repro.serve
         import repro.subspace
