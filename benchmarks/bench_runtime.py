@@ -1,0 +1,233 @@
+"""Serving-runtime benchmark: micro-batching vs a serial batch-1 loop.
+
+Fits one RHCHME model per training size N, exports it both monolithically
+and per-type sharded, then replays the same stream of batch-1 predict
+requests through three front-ends:
+
+* **serial-batch1** — the PR-2 baseline: a ``BatchPredictor`` loop issuing
+  one request per object (what a naive service does with real traffic);
+* **runtime-serial** — :class:`repro.runtime.RuntimeServer` with
+  ``workers="serial"``: isolates what request coalescing alone buys;
+* **runtime-thread** — the full async front-end: micro-batching plus the
+  thread worker pool.
+
+The headline metric is the throughput ratio of the micro-batching runtime
+over the serial batch-1 loop on the same stream (the acceptance bar is
+≥ 3× at N = 3000).  The run also opens the sharded artifact through the
+lazy reader, replays a single-type query stream, and *asserts via manifest
+accounting* that only that type's shard was read — a partial-load claim
+checked structurally, not by timing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py            # full run
+    PYTHONPATH=src python benchmarks/bench_runtime.py --smoke    # CI smoke
+
+Writes ``BENCH_runtime.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_backend import make_synthetic  # noqa: E402
+from bench_serve import QUERY_TYPE, fit_and_save, make_queries  # noqa: E402
+from repro.runtime import RuntimeServer  # noqa: E402
+from repro.serve import BatchPredictor, RHCHMEModel, ShardedModelReader  # noqa: E402
+
+DEFAULT_SIZES = (1000, 3000)
+SMOKE_SIZES = (300,)
+
+
+def time_serial_batch1(model_path: Path, queries: np.ndarray) -> dict:
+    """The baseline: one BatchPredictor request per object, strictly serial."""
+    predictor = BatchPredictor()
+    predictor.predict(model_path, QUERY_TYPE, queries[:1])  # warm the cache
+    start = time.perf_counter()
+    for row in queries:
+        predictor.predict(model_path, QUERY_TYPE, row[None, :])
+    seconds = time.perf_counter() - start
+    return {
+        "frontend": "serial-batch1",
+        "seconds": round(seconds, 6),
+        "objects_per_second": round(queries.shape[0] / seconds, 3),
+        "batches": int(queries.shape[0]),
+    }
+
+
+def time_runtime(model_path: Path, queries: np.ndarray, *, workers: str,
+                 n_workers: int, max_batch_size: int,
+                 max_delay_seconds: float) -> dict:
+    """Replay the same batch-1 stream through the micro-batching runtime."""
+    with RuntimeServer(workers=workers, n_workers=n_workers,
+                       max_batch_size=max_batch_size,
+                       max_delay_seconds=max_delay_seconds,
+                       max_pending=queries.shape[0] + 1) as runtime:
+        runtime.predict(model_path, QUERY_TYPE, queries[:1])  # warm the cache
+        start = time.perf_counter()
+        futures = [runtime.submit(model_path, QUERY_TYPE, row)
+                   for row in queries]
+        for future in futures:
+            future.result(timeout=600)
+        seconds = time.perf_counter() - start
+        stats = runtime.stats
+    return {
+        "frontend": f"runtime-{workers}",
+        "workers": workers,
+        "n_workers": int(n_workers),
+        "max_batch_size": int(max_batch_size),
+        "max_delay_seconds": max_delay_seconds,
+        "seconds": round(seconds, 6),
+        "objects_per_second": round(queries.shape[0] / seconds, 3),
+        "batches": stats.batches - 1,  # minus the warm-up batch
+        "mean_batch_rows": round(stats.mean_batch_rows, 3),
+        "flush_counts": stats.flush_counts,
+    }
+
+
+def shard_accounting(sharded_path: Path, queries: np.ndarray) -> dict:
+    """Serve a single-type stream from shards; assert the partial load."""
+    reader = ShardedModelReader(sharded_path)
+    start = time.perf_counter()
+    reader.predict(QUERY_TYPE, queries)
+    seconds = time.perf_counter() - start
+    accounting = reader.accounting()
+    accounting["only_queried_type_loaded"] = (
+        accounting["loaded_types"] == [QUERY_TYPE]
+        and not accounting["global_loaded"])
+    if not accounting["only_queried_type_loaded"]:
+        raise RuntimeError(
+            f"sharded reader loaded more than the queried type's shard: "
+            f"{accounting}")
+    shard_paths = RHCHMEModel.shard_paths(
+        sharded_path, RHCHMEModel.read_metadata(sharded_path))
+    total_bytes = sum(p.stat().st_size for p in shard_paths.values())
+    read_bytes = sum(shard_paths[name].stat().st_size
+                     for name in accounting["loaded_types"])
+    accounting["bytes_on_disk"] = int(total_bytes)
+    accounting["bytes_read"] = int(read_bytes)
+    accounting["read_fraction"] = round(read_bytes / total_bytes, 4)
+    accounting["seconds"] = round(seconds, 6)
+    return accounting
+
+
+def run(sizes, *, n_requests: int, n_workers: int, max_batch_size: int,
+        max_delay_seconds: float, seed: int, fit_max_iter: int,
+        workdir: Path) -> dict:
+    results = []
+    for n_total in sizes:
+        data = make_synthetic(n_total, seed=seed)
+        model_path = workdir / f"bench_runtime_model_{n_total}.npz"
+        sharded_path = workdir / f"bench_runtime_sharded_{n_total}.npz"
+        print(f"[bench] N={n_total}: fitting + exporting ...", flush=True)
+        fit_info = fit_and_save(data, model_path, seed=seed,
+                                fit_max_iter=fit_max_iter)
+        RHCHMEModel.load(model_path).save(sharded_path, shards="per-type")
+        queries = make_queries(data, n_requests, seed=seed + 1)
+        entry = {"n_total": int(n_total),
+                 "n_requests": int(n_requests), **fit_info, "frontends": []}
+        for timing in (
+                time_serial_batch1(model_path, queries),
+                time_runtime(model_path, queries, workers="serial",
+                             n_workers=1, max_batch_size=max_batch_size,
+                             max_delay_seconds=max_delay_seconds),
+                time_runtime(model_path, queries, workers="thread",
+                             n_workers=n_workers,
+                             max_batch_size=max_batch_size,
+                             max_delay_seconds=max_delay_seconds)):
+            entry["frontends"].append(timing)
+            print(f"[bench] N={n_total} {timing['frontend']}: "
+                  f"{timing['objects_per_second']:,.0f} objects/s "
+                  f"({timing['batches']} batches)", flush=True)
+        entry["shard_accounting"] = shard_accounting(sharded_path, queries)
+        print(f"[bench] N={n_total} shards: read "
+              f"{entry['shard_accounting']['read_fraction']:.1%} of the "
+              f"artifact bytes for a single-type stream", flush=True)
+        results.append(entry)
+
+    largest = results[-1]
+    by_frontend = {t["frontend"]: t for t in largest["frontends"]}
+    baseline = by_frontend["serial-batch1"]["objects_per_second"]
+    threaded = by_frontend["runtime-thread"]["objects_per_second"]
+    coalesce_only = by_frontend["runtime-serial"]["objects_per_second"]
+    return {
+        "benchmark": "rhchme-runtime",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": [int(n) for n in sizes],
+        "results": results,
+        "summary": {
+            "largest_n": largest["n_total"],
+            "serial_batch1_objects_per_second": baseline,
+            "runtime_thread_objects_per_second": threaded,
+            "microbatch_throughput_ratio": round(threaded / baseline, 3),
+            "coalescing_only_ratio": round(coalesce_only / baseline, 3),
+            "single_type_read_fraction": largest["shard_accounting"][
+                "read_fraction"],
+            "only_queried_type_loaded": largest["shard_accounting"][
+                "only_queried_type_loaded"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help=f"training object counts (default {DEFAULT_SIZES})")
+    parser.add_argument("--requests", type=int, default=2000,
+                        help="batch-1 requests replayed per size")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread-pool size of the runtime front-end")
+    parser.add_argument("--max-batch-size", type=int, default=256)
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="micro-batch deadline in milliseconds")
+    parser.add_argument("--fit-max-iter", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"quick CI run on sizes {SMOKE_SIZES}")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_runtime.json")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="where model artifacts are written "
+                             "(default: next to --output)")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke
+                                           else DEFAULT_SIZES)
+    n_requests = (min(args.requests, 500) if args.smoke
+                  and args.requests == 2000 else args.requests)
+    workdir = args.workdir if args.workdir else args.output.parent
+    workdir.mkdir(parents=True, exist_ok=True)
+    report = run(sorted(sizes), n_requests=n_requests,
+                 n_workers=args.workers, max_batch_size=args.max_batch_size,
+                 max_delay_seconds=args.max_delay_ms / 1000.0,
+                 seed=args.seed, fit_max_iter=args.fit_max_iter,
+                 workdir=workdir)
+    report["smoke"] = bool(args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(f"[bench] wrote {args.output}")
+    print(f"[bench] largest N={summary['largest_n']}: runtime-thread "
+          f"{summary['runtime_thread_objects_per_second']:,.0f} objects/s = "
+          f"×{summary['microbatch_throughput_ratio']} the serial batch-1 "
+          f"loop (coalescing alone ×{summary['coalescing_only_ratio']}); "
+          f"single-type stream read "
+          f"{summary['single_type_read_fraction']:.1%} of artifact bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

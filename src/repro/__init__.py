@@ -41,10 +41,16 @@ Subpackages
 ``repro.experiments``
     The harness that regenerates every table and figure of the paper.
 ``repro.serve``
-    Model persistence (``RHCHMEModel`` artifacts) and out-of-sample batch
-    prediction: ``save``/``load`` round-trips, the anchor-style
-    out-of-sample extension, the ``BatchPredictor`` serving front-end and
-    the ``python -m repro.serve`` CLI.
+    Model persistence (``RHCHMEModel`` artifacts, monolithic or per-type
+    sharded) and out-of-sample batch prediction: ``save``/``load``
+    round-trips, the anchor-style out-of-sample extension, the
+    ``BatchPredictor`` serving front-end and the ``python -m repro.serve``
+    CLI.
+``repro.runtime``
+    The async multi-worker serving runtime: dynamic micro-batching of
+    small requests, a pluggable thread/process/serial worker pool with
+    explicit backpressure, and incremental artifact refresh from warm
+    starts.
 """
 
 from .core.config import RHCHMEConfig

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from ..exceptions import NotFittedError
+from ..exceptions import NotFittedError, ValidationError
 from ..manifold.ensemble import HeterogeneousManifoldEnsemble
 from ..metrics.fscore import clustering_fscore
 from ..metrics.nmi import normalized_mutual_information
@@ -27,7 +27,7 @@ from .config import RHCHMEConfig
 from .convergence import TraceRecorder
 from .objective import evaluate_objective
 from ..linalg.parts import split_parts
-from .state import FactorizationState, initialize_state
+from .state import FactorizationState, initialize_state, warm_start_state
 from .updates import update_association, update_error_matrix, update_membership
 
 __all__ = ["RHCHME", "RHCHMEResult"]
@@ -105,8 +105,25 @@ class RHCHME:
         self.result_: RHCHMEResult | None = None
 
     # ------------------------------------------------------------------ fit
-    def fit(self, data: MultiTypeRelationalData) -> RHCHMEResult:
-        """Run Algorithm 2 on a multi-type relational dataset."""
+    def fit(self, data: MultiTypeRelationalData, *,
+            warm_start: FactorizationState | dict | None = None) -> RHCHMEResult:
+        """Run Algorithm 2 on a multi-type relational dataset.
+
+        Parameters
+        ----------
+        data:
+            The multi-type relational dataset to co-cluster.
+        warm_start:
+            Optional informed initial iterate instead of the cold k-means
+            initialisation: either a full
+            :class:`~repro.core.state.FactorizationState` whose block
+            structure matches ``data``, or a mapping from type name to a
+            non-negative ``(n_objects, n_clusters)`` membership block (see
+            :func:`~repro.core.state.warm_start_state`).  The incremental
+            refresh path of :mod:`repro.runtime` uses this to refit a grown
+            dataset from a previously fitted model's blocks in a fraction
+            of the cold iterations.
+        """
         config = self.config
         start = time.perf_counter()
 
@@ -134,9 +151,12 @@ class RHCHME:
         # L is fixed for the whole fit; split it into (L+, L-) once instead of
         # re-splitting inside every membership update.
         L_parts = split_parts(L)
-        state = initialize_state(data, R, init=config.init,
-                                 smoothing=config.init_smoothing,
-                                 random_state=config.random_state)
+        if warm_start is None:
+            state = initialize_state(data, R, init=config.init,
+                                     smoothing=config.init_smoothing,
+                                     random_state=config.random_state)
+        else:
+            state = self._coerce_warm_start(warm_start, data)
         trace = TraceRecorder()
         state.S = update_association(R, state)
         self._record(trace, data, R, L, state)
@@ -164,9 +184,31 @@ class RHCHME:
                               fit_seconds=time.perf_counter() - start,
                               ensemble_seconds=ensemble_seconds,
                               extras={"config": config.describe(),
-                                      "backend": backend})
+                                      "backend": backend,
+                                      "warm_start": warm_start is not None})
         self.result_ = result
         return result
+
+    @staticmethod
+    def _coerce_warm_start(warm_start, data: MultiTypeRelationalData
+                           ) -> FactorizationState:
+        """Validate a warm start against ``data`` and return a private copy."""
+        if isinstance(warm_start, FactorizationState):
+            if (warm_start.object_spec != data.object_block_spec()
+                    or warm_start.cluster_spec != data.cluster_block_spec()):
+                raise ValidationError(
+                    f"warm-start state (objects {warm_start.object_spec.sizes}, "
+                    f"clusters {warm_start.cluster_spec.sizes}) does not match "
+                    f"the dataset ({data.describe()})")
+            return warm_start.copy()
+        try:
+            blocks = dict(warm_start)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                "warm_start must be a FactorizationState or a mapping from "
+                f"type name to membership block, got {type(warm_start).__name__}"
+            ) from exc
+        return warm_start_state(data, blocks)
 
     def fit_predict(self, data: MultiTypeRelationalData,
                     type_name: str | None = None) -> np.ndarray:

@@ -10,17 +10,21 @@ can be extracted for label assignment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
-from .._validation import check_random_state
+from .._validation import (as_float_array, check_non_negative,
+                           check_positive_float, check_random_state)
 from ..cluster.assignments import labels_to_membership
 from ..cluster.kmeans import KMeans
+from ..exceptions import ShapeError, ValidationError
 from ..linalg.blocks import BlockSpec, block_diagonal
 from ..linalg.normalize import row_normalize_l1
 from ..relational.dataset import MultiTypeRelationalData
 
-__all__ = ["FactorizationState", "initialize_state", "initialize_membership_blocks"]
+__all__ = ["FactorizationState", "initialize_state",
+           "initialize_membership_blocks", "warm_start_state"]
 
 
 @dataclass
@@ -98,6 +102,88 @@ def initialize_membership_blocks(data: MultiTypeRelationalData, R: np.ndarray, *
                                          random_state=rng)
         blocks.append(row_normalize_l1(block))
     return blocks
+
+
+def warm_start_state(data: MultiTypeRelationalData,
+                     blocks: Mapping[str, np.ndarray], *,
+                     association: np.ndarray | None = None,
+                     error_matrix: np.ndarray | None = None,
+                     smoothing: float = 0.05) -> FactorizationState:
+    """Build a factorisation state from per-type membership blocks.
+
+    This is the warm-start entry point of the fitter: a caller that already
+    holds (approximate) membership blocks for every type — typically the
+    blocks of a previously fitted model, extended with rows for newly
+    arrived objects — assembles them into an initial state so
+    :meth:`repro.core.RHCHME.fit` refines an informed iterate instead of a
+    cold k-means initialisation.
+
+    Parameters
+    ----------
+    data:
+        The dataset about to be fitted; block shapes are validated against
+        its types.
+    blocks:
+        Mapping from type name to a non-negative
+        ``(n_objects, n_clusters)`` membership block.  Every type of
+        ``data`` must be present.
+    association, error_matrix:
+        Optional warm starts for ``S`` and ``E_R`` (zeros when omitted;
+        ``S`` is recomputed from ``G`` at the start of the fit anyway).
+    smoothing:
+        Fraction of uniform mass mixed into each row after ℓ1
+        normalisation.  The multiplicative updates cannot move an entry off
+        an exact zero, so a small floor keeps every cluster reachable for
+        the new objects; ``0`` disables the mixing.
+    """
+    smoothing = check_positive_float(smoothing, name="smoothing",
+                                     minimum=0.0, inclusive=True)
+    if smoothing >= 1.0:
+        raise ValidationError(f"smoothing must be < 1, got {smoothing}")
+    object_spec = data.object_block_spec()
+    cluster_spec = data.cluster_block_spec()
+    prepared: list[np.ndarray] = []
+    for object_type in data.types:
+        if object_type.name not in blocks:
+            raise ValidationError(
+                f"warm start is missing a membership block for type "
+                f"{object_type.name!r}; got blocks for {sorted(blocks)}")
+        block = as_float_array(blocks[object_type.name],
+                               name=f"blocks[{object_type.name!r}]", ndim=2)
+        expected = (object_type.n_objects, object_type.n_clusters)
+        if block.shape != expected:
+            raise ShapeError(
+                f"warm-start block for type {object_type.name!r} has shape "
+                f"{block.shape}, expected {expected}")
+        check_non_negative(block, name=f"blocks[{object_type.name!r}]")
+        block = row_normalize_l1(block)
+        if smoothing > 0.0:
+            block = ((1.0 - smoothing) * block
+                     + smoothing / object_type.n_clusters)
+        prepared.append(block)
+    n_objects = object_spec.total
+    n_clusters = cluster_spec.total
+    if association is None:
+        association = np.zeros((n_clusters, n_clusters))
+    else:
+        association = as_float_array(association, name="association", ndim=2)
+        if association.shape != (n_clusters, n_clusters):
+            raise ShapeError(
+                f"association has shape {association.shape}, expected "
+                f"{(n_clusters, n_clusters)}")
+        association = association.copy()
+    if error_matrix is None:
+        error_matrix = np.zeros((n_objects, n_objects))
+    else:
+        error_matrix = as_float_array(error_matrix, name="error_matrix", ndim=2)
+        if error_matrix.shape != (n_objects, n_objects):
+            raise ShapeError(
+                f"error_matrix has shape {error_matrix.shape}, expected "
+                f"{(n_objects, n_objects)}")
+        error_matrix = error_matrix.copy()
+    return FactorizationState(G=block_diagonal(prepared), S=association,
+                              E_R=error_matrix, object_spec=object_spec,
+                              cluster_spec=cluster_spec)
 
 
 def initialize_state(data: MultiTypeRelationalData, R: np.ndarray, *,

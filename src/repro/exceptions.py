@@ -38,3 +38,11 @@ class ExperimentError(ReproError):
 
 class ArtifactError(ReproError):
     """A persisted model artifact is missing, corrupt or schema-incompatible."""
+
+
+class QueueFullError(ReproError):
+    """A serving runtime rejected a request because its queue is at capacity.
+
+    Raised by the micro-batching runtime as explicit backpressure: callers
+    should retry later or shed load instead of queueing unboundedly.
+    """

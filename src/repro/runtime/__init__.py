@@ -1,0 +1,35 @@
+"""Async multi-worker serving runtime with dynamic micro-batching.
+
+``repro.serve`` made a fitted RHCHME model persistable and servable;
+``repro.runtime`` makes it servable *under load*:
+
+* :class:`MicroBatcher` — coalesces streams of small per-type predict
+  requests and flushes on max-batch-size or max-latency deadline, so
+  batch-1 traffic rides the ×15 batched hot path;
+* :class:`RuntimeServer` — the async front-end: per-request futures, a
+  pluggable worker pool (``workers="thread" | "process" | "serial"``) and
+  explicit backpressure (bounded queue,
+  :class:`~repro.exceptions.QueueFullError`);
+* :func:`refresh_model` / :meth:`RuntimeServer.refresh` — incremental
+  artifact refresh: when new training objects arrive, a refit warm-starts
+  from the fitted G/S/E_R blocks and the refreshed model is hot-swapped
+  into the predictor cache without dropping in-flight requests.
+
+Pairs with per-type sharded artifacts (``RHCHMEModel.save(path,
+shards="per-type")`` + :class:`repro.serve.ShardedModelReader`): a runtime
+serving queries for one object type lazily reads only that type's shard.
+"""
+
+from .batching import MicroBatcher, QueuedRequest
+from .refresh import RefreshOutcome, refresh_model, warm_start_blocks
+from .server import RuntimeServer, RuntimeStats
+
+__all__ = [
+    "MicroBatcher",
+    "QueuedRequest",
+    "RefreshOutcome",
+    "RuntimeServer",
+    "RuntimeStats",
+    "refresh_model",
+    "warm_start_blocks",
+]

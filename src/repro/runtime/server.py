@@ -1,0 +1,340 @@
+"""The async multi-worker serving runtime (:class:`RuntimeServer`).
+
+Layers the pieces of :mod:`repro.serve` into a front-end a real request
+stream can hit:
+
+* every ``submit`` returns a :class:`concurrent.futures.Future` immediately
+  (async from the caller's point of view);
+* a :class:`~repro.runtime.batching.MicroBatcher` coalesces requests per
+  (model, type) so streams of batch-1 requests ride the batched hot path;
+* coalesced batches fan out across a pluggable worker pool —
+  ``workers="thread"`` (default; the KD-tree query and the BLAS kernels
+  release the GIL), ``"process"`` (fully parallel, each worker loads its
+  own artifact copy from disk), or ``"serial"`` (no pool, deterministic
+  in-line execution for debugging and tests);
+* backpressure is explicit: a bounded queue rejects overload with
+  :class:`~repro.exceptions.QueueFullError` rather than queueing
+  unboundedly;
+* :meth:`RuntimeServer.refresh` warm-start-refits a model on a grown
+  dataset and hot-swaps the artifact in the predictor cache without
+  dropping in-flight requests (immutable models: running predicts keep
+  their reference, later requests see the new one).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import QueueFullError, ValidationError
+from ..serve.artifact import RHCHMEModel
+from ..serve.extension import Prediction
+from ..serve.predictor import BatchPredictor
+from ..serve.shards import ShardedModelReader
+from .batching import MicroBatcher, QueuedRequest
+from .refresh import RefreshOutcome, refresh_model
+
+__all__ = ["RuntimeStats", "RuntimeServer"]
+
+WORKER_MODES = ("thread", "process", "serial")
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative counters of one :class:`RuntimeServer`."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    objects: int = 0
+    max_batch_rows: int = 0
+    refreshes: int = 0
+    flush_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Mean coalesced rows per dispatched batch (0 before any batch)."""
+        return self.objects / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "objects": self.objects,
+            "max_batch_rows": self.max_batch_rows,
+            "mean_batch_rows": round(self.mean_batch_rows, 3),
+            "refreshes": self.refreshes,
+            "flush_counts": dict(self.flush_counts),
+        }
+
+
+# --------------------------------------------------------------------- workers
+# Process workers keep one predictor per process, loading artifacts from
+# disk on first use.  The parent passes a generation stamp per artifact so a
+# hot-swapped (refreshed) model is re-read instead of served stale from the
+# worker's private cache.
+_WORKER_PREDICTOR: BatchPredictor | None = None
+_WORKER_GENERATIONS: dict[str, int] = {}
+
+
+def _process_predict(path: str, type_name: str, queries: np.ndarray,
+                     batch_size: int, lazy_shards: bool,
+                     generation: int) -> Prediction:
+    global _WORKER_PREDICTOR
+    if _WORKER_PREDICTOR is None:
+        _WORKER_PREDICTOR = BatchPredictor(lazy_shards=lazy_shards)
+    if _WORKER_GENERATIONS.get(path, generation) != generation:
+        _WORKER_PREDICTOR.evict(path)
+    _WORKER_GENERATIONS[path] = generation
+    return _WORKER_PREDICTOR.predict(path, type_name, queries,
+                                     batch_size=batch_size)
+
+
+class RuntimeServer:
+    """Serve predict requests through micro-batching and a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        ``"thread"`` (shared in-process predictor, GIL-releasing kernels),
+        ``"process"`` (one predictor per worker process) or ``"serial"``
+        (execute flushes in-line, no pool).
+    n_workers:
+        Pool size for thread/process workers (default: CPU count capped
+        at 4).
+    max_batch_size, max_delay_seconds, max_pending:
+        Micro-batching knobs — see
+        :class:`~repro.runtime.batching.MicroBatcher`.  ``max_pending``
+        bounds queued rows; beyond it ``submit`` raises
+        :class:`~repro.exceptions.QueueFullError`.
+    cache_size, default_batch_size, lazy_shards:
+        Forwarded to the underlying :class:`~repro.serve.BatchPredictor`;
+        ``lazy_shards=True`` (default here) serves per-type sharded
+        artifacts by reading only the shards of the queried types.
+    """
+
+    def __init__(self, *, workers: str = "thread", n_workers: int | None = None,
+                 max_batch_size: int = 256, max_delay_seconds: float = 0.002,
+                 max_pending: int = 65536, cache_size: int = 4,
+                 default_batch_size: int = 256,
+                 lazy_shards: bool = True) -> None:
+        if workers not in WORKER_MODES:
+            raise ValidationError(
+                f"workers must be one of {WORKER_MODES}, got {workers!r}")
+        self.workers = workers
+        if n_workers is None:
+            n_workers = max(1, min(4, os.cpu_count() or 1))
+        self.n_workers = int(n_workers)
+        self.lazy_shards = bool(lazy_shards)
+        self.predictor = BatchPredictor(cache_size=cache_size,
+                                        default_batch_size=default_batch_size,
+                                        lazy_shards=lazy_shards)
+        if workers == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="repro-runtime")
+        elif workers == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        else:
+            self._executor = None
+        self._batcher = MicroBatcher(self._run_batch,
+                                     max_batch_size=max_batch_size,
+                                     max_delay_seconds=max_delay_seconds,
+                                     max_pending=max_pending)
+        self._lock = threading.Lock()
+        self._stats = RuntimeStats()
+        # Raw-path -> resolved cache key; Path.resolve touches the
+        # filesystem, which would otherwise be paid per batch-1 request.
+        self._resolved: dict[str, str] = {}
+        self._generations: dict[str, int] = {}
+        self._closed = False
+
+    # -------------------------------------------------------------- submission
+    def _resolve(self, path) -> str:
+        raw = str(path)
+        key = self._resolved.get(raw)
+        if key is None:
+            key = str(RHCHMEModel.resolve_path(path))
+            self._resolved[raw] = key
+        return key
+
+    def submit(self, path, type_name: str, queries) -> Future:
+        """Queue a predict request; returns a future of its `Prediction`.
+
+        ``queries`` may be a single feature vector or an ``(n, d)`` matrix;
+        full validation happens on the coalesced batch (the per-request
+        path stays cheap), so malformed input surfaces through the future,
+        not the submit call.  Raises
+        :class:`~repro.exceptions.QueueFullError` (backpressure) when the
+        bounded queue is at capacity.
+        """
+        if self._closed:
+            raise RuntimeError("RuntimeServer is closed")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValidationError(
+                f"queries must be 1-D or 2-D, got shape {queries.shape}")
+        key = (self._resolve(path), str(type_name))
+        try:
+            future = self._batcher.submit(key, queries)
+        except QueueFullError:
+            with self._lock:
+                self._stats.rejected += 1
+            raise
+        with self._lock:
+            self._stats.submitted += 1
+        return future
+
+    def predict(self, path, type_name: str, queries, *,
+                timeout: float | None = None) -> Prediction:
+        """Synchronous convenience wrapper: ``submit(...).result(timeout)``."""
+        return self.submit(path, type_name, queries).result(timeout=timeout)
+
+    def flush(self) -> int:
+        """Force every queued request out now (returns flushed batch count)."""
+        return self._batcher.flush()
+
+    # -------------------------------------------------------------- execution
+    def _run_batch(self, key: tuple[str, str], batch: list[QueuedRequest]) -> None:
+        path, type_name = key
+        if len(batch) == 1:
+            stacked = batch[0].queries
+        else:
+            stacked = np.concatenate([request.queries for request in batch])
+        with self._lock:
+            self._stats.batches += 1
+            self._stats.objects += int(stacked.shape[0])
+            self._stats.max_batch_rows = max(self._stats.max_batch_rows,
+                                             stacked.shape[0])
+        if self._executor is None:
+            try:
+                prediction = self.predictor.predict(path, type_name, stacked)
+            except BaseException as exc:  # noqa: BLE001 - routed into futures
+                self._fail(batch, exc)
+            else:
+                self._settle(batch, prediction)
+            return
+        if self.workers == "process":
+            worker_future = self._executor.submit(
+                _process_predict, path, type_name, stacked,
+                self.predictor.default_batch_size, self.lazy_shards,
+                self._generations.get(path, 0))
+        else:
+            worker_future = self._executor.submit(
+                self.predictor.predict, path, type_name, stacked)
+        worker_future.add_done_callback(
+            lambda done: (self._fail(batch, done.exception())
+                          if done.exception() is not None
+                          else self._settle(batch, done.result())))
+
+    def _settle(self, batch: list[QueuedRequest],
+                prediction: Prediction) -> None:
+        start = 0
+        for request in batch:
+            stop = start + request.n_rows
+            # A caller may have cancelled its future while the batch was in
+            # flight; settling it would raise InvalidStateError and strand
+            # every later request of the batch.
+            if not request.future.done():
+                request.future.set_result(Prediction(
+                    labels=prediction.labels[start:stop],
+                    membership=prediction.membership[start:stop],
+                    n_batches=prediction.n_batches))
+            start = stop
+        with self._lock:
+            self._stats.completed += len(batch)
+
+    def _fail(self, batch: list[QueuedRequest], exc: BaseException) -> None:
+        for request in batch:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        with self._lock:
+            self._stats.failed += len(batch)
+
+    # --------------------------------------------------------------- refreshing
+    def refresh(self, path, data, *, save: bool = True,
+                **overrides) -> RefreshOutcome:
+        """Incrementally refit the artifact at ``path`` on a grown dataset.
+
+        Warm-starts a refit from the artifact's current G/S/E_R blocks (see
+        :func:`repro.runtime.refresh.refresh_model`), optionally saves the
+        refreshed artifact back to ``path`` preserving its shard layout, and
+        hot-swaps the model in the predictor cache.  In-flight requests are
+        not dropped: they hold a reference to the old immutable model and
+        complete against it; requests dispatched after the swap see the new
+        model.  ``overrides`` are config overrides for the refit (e.g.
+        ``max_iter=10``).
+
+        With ``save=False`` the refreshed model is published to the
+        in-process cache only; this is rejected under ``workers="process"``
+        (process workers load artifacts from disk and would keep serving
+        the stale generation while the outcome claimed a completed swap).
+        """
+        if not save and self.workers == "process":
+            raise ValidationError(
+                "refresh(save=False) cannot publish to process workers, "
+                "which load artifacts from disk; use save=True or "
+                "thread/serial workers")
+        sidecar = RHCHMEModel.read_metadata(path)
+        layout = "per-type" if sidecar.get("shards") else None
+        outcome = refresh_model(RHCHMEModel.load(path), data, **overrides)
+        if save:
+            # A cached lazy reader may still serve in-flight requests and
+            # lazily open shards while the files are rewritten below; make
+            # its remaining shards resident first so it never touches the
+            # disk again.
+            cached = self.predictor.peek_model(path)
+            if isinstance(cached, ShardedModelReader):
+                cached.preload()
+            outcome.model.save(path, shards=layout)
+            self._generations[self._resolve(path)] = (
+                self._generations.get(self._resolve(path), 0) + 1)
+        self.predictor.put_model(path, outcome.model)
+        with self._lock:
+            self._stats.refreshes += 1
+        return outcome
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Flush pending work, stop the batcher and shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close(timeout=timeout)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RuntimeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def stats(self) -> RuntimeStats:
+        """Snapshot of the runtime counters (flush counts folded in)."""
+        with self._lock:
+            snapshot = RuntimeStats(**{
+                name: getattr(self._stats, name)
+                for name in ("submitted", "completed", "failed", "rejected",
+                             "batches", "objects", "max_batch_rows",
+                             "refreshes")})
+        snapshot.flush_counts = self._batcher.flush_counts
+        return snapshot
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows currently queued in the micro-batcher."""
+        return self._batcher.pending_rows

@@ -11,17 +11,25 @@ package turns one fit into a *servable model*:
   anchor-style out-of-sample extension: a query's p-NN affinities to the
   training objects smooth the fitted membership block onto the query, in
   micro-batches with bounded memory;
-* :class:`BatchPredictor` — the serving front-end with an LRU model cache,
-  per-type input validation and latency/throughput counters;
+* :class:`BatchPredictor` — the thread-safe serving front-end with an LRU
+  model cache, per-type input validation and latency/throughput counters;
+* per-type **sharded artifacts** — ``save(path, shards="per-type")`` writes
+  one npz per object type plus a manifest sidecar, and
+  :class:`ShardedModelReader` / :func:`open_model` serve from them lazily,
+  reading only the shards of the types actually queried;
 * :func:`holdout_split` — train/query splits of relational datasets for
   evaluating served predictions against full refits;
 * ``python -m repro.serve`` — ``fit-save`` / ``predict`` / ``info`` CLI.
+
+The async multi-worker front-end with dynamic micro-batching lives one
+layer up, in :mod:`repro.runtime`.
 """
 
-from .artifact import RHCHMEModel, SCHEMA_VERSION, TypeInfo, load_model
+from .artifact import RHCHMEModel, SCHEMA_VERSION, SHARD_LAYOUTS, TypeInfo, load_model
 from .extension import Prediction, out_of_sample_predict
 from .holdout import HoldoutSplit, holdout_split
 from .predictor import BatchPredictor, ServingStats
+from .shards import ShardedModelReader, open_model
 
 __all__ = [
     "BatchPredictor",
@@ -29,9 +37,12 @@ __all__ = [
     "Prediction",
     "RHCHMEModel",
     "SCHEMA_VERSION",
+    "SHARD_LAYOUTS",
     "ServingStats",
+    "ShardedModelReader",
     "TypeInfo",
     "holdout_split",
     "load_model",
+    "open_model",
     "out_of_sample_predict",
 ]

@@ -13,11 +13,26 @@ Artifacts are stamped with :data:`SCHEMA_VERSION`; ``load`` refuses any
 artifact whose schema version does not match, raising
 :class:`~repro.exceptions.ArtifactError` instead of silently misreading a
 foreign layout.
+
+Two on-disk layouts share one schema version and one artifact *handle* (the
+``model.npz`` path a caller passes around):
+
+* **monolithic** (default) — every array in one compressed ``model.npz``;
+* **per-type shards** (``save(path, shards="per-type")``) — one
+  ``model.<type>.npz`` per object type (its membership block, labels and
+  features) plus ``model.global.npz`` (the association and error matrices),
+  described by a ``shards`` manifest inside the JSON sidecar.  ``load``
+  reassembles the exact same model from either layout; a serving process
+  that only ever answers queries for one type can instead go through
+  :class:`repro.serve.shards.ShardedModelReader` and read just that type's
+  shard.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -33,7 +48,8 @@ from ..linalg.blocks import BlockSpec, block_diagonal
 from ..linalg.backend import resolve_backend
 from .extension import Prediction, out_of_sample_predict
 
-__all__ = ["SCHEMA_VERSION", "TypeInfo", "RHCHMEModel", "load_model"]
+__all__ = ["SCHEMA_VERSION", "SHARD_LAYOUTS", "TypeInfo", "RHCHMEModel",
+           "load_model"]
 
 #: Version stamp of the on-disk artifact layout.  Bump whenever the npz key
 #: set or the sidecar structure changes incompatibly; ``load`` refuses
@@ -41,6 +57,35 @@ __all__ = ["SCHEMA_VERSION", "TypeInfo", "RHCHMEModel", "load_model"]
 SCHEMA_VERSION = 1
 
 _FORMAT = "rhchme-model"
+
+#: Supported on-disk array layouts (``save(..., shards=...)``).
+SHARD_LAYOUTS = ("monolithic", "per-type")
+
+#: Manifest key of the cross-type shard (association + error matrix).
+GLOBAL_SHARD = "global"
+
+
+def _shard_stem(stem: str, label: str) -> str:
+    """Filesystem-safe shard file name component for a type label."""
+    safe = re.sub(r"[^A-Za-z0-9_-]+", "-", label).strip("-") or "type"
+    return f"{stem}.{safe}.npz"
+
+
+def _write_npz_atomic(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write a compressed npz via a temp file + atomic rename.
+
+    A concurrent reader (lazy shard reader in another process, a process
+    worker cold-loading during a refresh) sees either the complete old file
+    or the complete new file, never a truncated one.  The temp file is
+    opened explicitly so numpy does not append a second ``.npz`` suffix.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 @dataclass(frozen=True)
@@ -51,6 +96,25 @@ class TypeInfo:
     n_objects: int
     n_clusters: int
     n_features: int | None
+
+
+def check_query_features(info: TypeInfo, X_new) -> np.ndarray:
+    """Validate a query matrix against one type's shape metadata.
+
+    Shared by the eager :class:`RHCHMEModel` and the lazy
+    :class:`repro.serve.shards.ShardedModelReader` so both front-ends reject
+    malformed requests with identical messages.
+    """
+    if info.n_features is None:
+        raise ValidationError(
+            f"type {info.name!r} was fitted without features; "
+            "out-of-sample prediction needs a feature space to embed queries in")
+    X_new = as_float_array(X_new, name="X_new", ndim=2)
+    if X_new.shape[1] != info.n_features:
+        raise ValidationError(
+            f"queries for type {info.name!r} must have {info.n_features} "
+            f"features, got {X_new.shape[1]}")
+    return X_new
 
 
 # eq=False: the generated __eq__ would compare ndarray/dict fields and raise
@@ -100,8 +164,39 @@ class RHCHMEModel:
         # Per-type neighbour-search indexes, built lazily on first predict
         # and reused for every later call (a KD-tree build per request would
         # dominate single-object latencies).  A plain cache, not state: the
-        # artifact's arrays stay immutable.
+        # artifact's arrays stay immutable.  The lock makes the build
+        # single-flight when worker threads race on a cold type.
         object.__setattr__(self, "_query_indexes", {})
+        object.__setattr__(self, "_index_lock", threading.Lock())
+
+    def __getstate__(self) -> dict:
+        # The index cache rebuilds lazily and the lock is process-local;
+        # dropping both keeps the artifact picklable for process workers.
+        state = self.__dict__.copy()
+        state.pop("_query_indexes", None)
+        state.pop("_index_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_query_indexes", {})
+        object.__setattr__(self, "_index_lock", threading.Lock())
+
+    def query_index(self, type_name: str) -> QueryIndex:
+        """The cached neighbour-search index of one type (built on first use).
+
+        Thread-safe: concurrent callers for a cold type build the index once
+        under a lock; after that the immutable index is read lock-free.
+        """
+        index = self._query_indexes.get(type_name)
+        if index is None:
+            with self._index_lock:
+                index = self._query_indexes.get(type_name)
+                if index is None:
+                    index = QueryIndex(self.features[type_name])
+                    self._query_indexes[type_name] = index
+        return index
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -198,21 +293,10 @@ class RHCHMEModel:
         default the config's backend is resolved against the training size.
         """
         info = self.type_info(type_name)
-        if info.n_features is None:
-            raise ValidationError(
-                f"type {type_name!r} was fitted without features; "
-                "out-of-sample prediction needs a feature space to embed queries in")
-        X_new = as_float_array(X_new, name="X_new", ndim=2)
-        if X_new.shape[1] != info.n_features:
-            raise ValidationError(
-                f"queries for type {type_name!r} must have {info.n_features} "
-                f"features, got {X_new.shape[1]}")
+        X_new = check_query_features(info, X_new)
         resolved = resolve_backend(self.config.backend if backend is None
                                    else backend, n_objects=info.n_objects)
-        index = self._query_indexes.get(type_name)
-        if index is None:
-            index = QueryIndex(self.features[type_name])
-            self._query_indexes[type_name] = index
+        index = self.query_index(type_name)
         return out_of_sample_predict(
             self.features[type_name], self.membership[type_name], X_new,
             p=self.config.p, weighting=self.config.weighting,
@@ -247,13 +331,16 @@ class RHCHMEModel:
         """Read and validate an artifact's JSON sidecar without the arrays.
 
         Performs the same existence/format/schema-version checks as
-        :meth:`load` but never opens the npz, so inspecting a
-        multi-gigabyte artifact costs O(KB).  Returns the sidecar dictionary.
+        :meth:`load` but never opens any npz, so inspecting a
+        multi-gigabyte artifact costs O(KB).  Returns the sidecar dictionary
+        (for a sharded artifact it includes the ``shards`` manifest).
         """
         npz_path, sidecar_path = cls._paths(path)
-        if not npz_path.exists():
-            raise ArtifactError(f"model arrays not found: {npz_path}")
         if not sidecar_path.exists():
+            # Preserve the historical monolithic error when both files are
+            # absent: the npz is the artifact's user-facing handle.
+            if not npz_path.exists():
+                raise ArtifactError(f"model arrays not found: {npz_path}")
             raise ArtifactError(f"model sidecar not found: {sidecar_path}")
         try:
             sidecar = json.loads(sidecar_path.read_text())
@@ -270,70 +357,219 @@ class RHCHMEModel:
                 f"(this library reads version {SCHEMA_VERSION}); refusing to "
                 "guess at a foreign layout — re-export the model with a "
                 "matching library version")
+        for shard_path in cls.shard_paths(path, sidecar).values():
+            if not shard_path.exists():
+                raise ArtifactError(f"model arrays not found: {shard_path}")
         return sidecar
 
-    def save(self, path) -> Path:
-        """Write the artifact to ``path`` (compressed npz + JSON sidecar).
+    @classmethod
+    def shard_paths(cls, path, sidecar: dict) -> dict[str, Path]:
+        """Map each array file of an artifact to its absolute path.
 
-        ``path`` may omit the ``.npz`` suffix; the sidecar lands next to the
-        npz with a ``.json`` suffix.  Returns the npz path actually written.
+        Keys are type names plus :data:`GLOBAL_SHARD` for a per-type sharded
+        artifact, or the single key ``"monolithic"`` for the default layout.
+        Shard file names in the manifest are relative to the sidecar.
         """
-        npz_path, sidecar_path = self._paths(path)
+        npz_path, sidecar_path = cls._paths(path)
+        manifest = sidecar.get("shards")
+        if not manifest:
+            return {"monolithic": npz_path}
+        if manifest.get("layout") != "per-type":
+            raise ArtifactError(
+                f"unknown shard layout {manifest.get('layout')!r} "
+                f"(this library reads {SHARD_LAYOUTS[1]!r})")
+        directory = sidecar_path.parent
+        paths = {GLOBAL_SHARD: directory / manifest[GLOBAL_SHARD]}
+        for name, filename in manifest["types"].items():
+            paths[name] = directory / filename
+        return paths
+
+    def _type_arrays(self, info: TypeInfo) -> dict[str, np.ndarray]:
+        arrays = {f"membership::{info.name}": self.membership[info.name],
+                  f"labels::{info.name}": self.labels[info.name]}
+        if info.name in self.features:
+            arrays[f"features::{info.name}"] = self.features[info.name]
+        return arrays
+
+    def _global_arrays(self) -> dict[str, np.ndarray]:
         arrays: dict[str, np.ndarray] = {"association": self.association}
         if self.error_matrix is not None:
             arrays["error_matrix"] = self.error_matrix
-        for info in self.types:
-            arrays[f"membership::{info.name}"] = self.membership[info.name]
-            arrays[f"labels::{info.name}"] = self.labels[info.name]
-            if info.name in self.features:
-                arrays[f"features::{info.name}"] = self.features[info.name]
+        return arrays
+
+    @classmethod
+    def _remove_stale_layout(cls, path, keep: set[Path]) -> None:
+        """Delete array files of a previous save at ``path`` (any layout).
+
+        Re-exporting over an existing artifact must not leave a stale
+        monolithic npz next to fresh shards (or vice versa): a later load
+        would see whichever layout the new sidecar names, but humans and
+        sync tools would see both.  Files in ``keep`` — the ones the new
+        save is about to (atomically) rewrite — are left in place, so a
+        same-layout re-export never has a window with missing files.
+        """
+        npz_path, sidecar_path = cls._paths(path)
+        if not sidecar_path.exists():
+            return
+        try:
+            old_sidecar = json.loads(sidecar_path.read_text())
+        except json.JSONDecodeError:
+            return
+        if not isinstance(old_sidecar, dict):
+            return
+        try:
+            old_files = cls.shard_paths(path, old_sidecar).values()
+        except (ArtifactError, KeyError, TypeError):
+            return
+        for stale in old_files:
+            if stale != npz_path and stale not in keep:
+                stale.unlink(missing_ok=True)
+
+    def save(self, path, *, shards: str | None = None) -> Path:
+        """Write the artifact to ``path`` (compressed npz + JSON sidecar).
+
+        ``path`` may omit the ``.npz`` suffix; the sidecar lands next to the
+        npz with a ``.json`` suffix.  Returns the artifact handle (the npz
+        path) — every later ``load``/``predict`` call takes this same path
+        regardless of layout.
+
+        Parameters
+        ----------
+        shards:
+            ``None``/``"monolithic"`` writes every array into one npz.
+            ``"per-type"`` writes one ``<stem>.<type>.npz`` per object type
+            (membership, labels, features) plus ``<stem>.global.npz``
+            (association + error matrix) and records the file map in the
+            sidecar's ``shards`` manifest, so a reader serving queries for
+            one type can load just that type's blocks (see
+            :class:`repro.serve.shards.ShardedModelReader`).
+        """
+        layout = shards or "monolithic"
+        if layout not in SHARD_LAYOUTS:
+            raise ValidationError(
+                f"unknown shard layout {shards!r}; expected one of {SHARD_LAYOUTS}")
+        npz_path, sidecar_path = self._paths(path)
         npz_path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(npz_path, **arrays)
-        sidecar_path.write_text(json.dumps(self.info(), indent=2) + "\n")
+        sidecar = self.info()
+        if layout == "monolithic":
+            self._remove_stale_layout(path, keep={npz_path})
+            arrays = self._global_arrays()
+            for info in self.types:
+                arrays.update(self._type_arrays(info))
+            _write_npz_atomic(npz_path, arrays)
+        else:
+            if GLOBAL_SHARD in self.type_names:
+                # The flat shard-key namespace (type names + the global
+                # shard) cannot represent this artifact unambiguously.
+                raise ValidationError(
+                    f"cannot shard per type: a type is named "
+                    f"{GLOBAL_SHARD!r}, which is the reserved key of the "
+                    "cross-type shard; rename the type or save "
+                    "monolithically")
+            stem = npz_path.stem
+            manifest: dict = {"layout": "per-type",
+                              GLOBAL_SHARD: _shard_stem(stem, GLOBAL_SHARD),
+                              "types": {}}
+            files = {manifest[GLOBAL_SHARD]: self._global_arrays()}
+            for info in self.types:
+                filename = _shard_stem(stem, info.name)
+                if filename in files:  # names collide after sanitisation
+                    filename = _shard_stem(stem, f"type{len(files)}")
+                manifest["types"][info.name] = filename
+                files[filename] = self._type_arrays(info)
+            self._remove_stale_layout(
+                path, keep={npz_path.with_name(name) for name in files})
+            npz_path.unlink(missing_ok=True)  # stale monolithic arrays
+            for filename, arrays in files.items():
+                _write_npz_atomic(npz_path.with_name(filename), arrays)
+            sidecar["shards"] = manifest
+        # Sidecar last and atomically: readers never see a torn JSON, and a
+        # crash mid-save leaves the previous sidecar in place (whose
+        # shape/key checks refuse any half-updated array set loudly).
+        tmp_sidecar = sidecar_path.with_name(sidecar_path.name + ".tmp")
+        tmp_sidecar.write_text(json.dumps(sidecar, indent=2) + "\n")
+        tmp_sidecar.replace(sidecar_path)
         return npz_path
 
     @classmethod
-    def load(cls, path) -> "RHCHMEModel":
-        """Read an artifact written by :meth:`save`.
-
-        Raises :class:`~repro.exceptions.ArtifactError` when either file is
-        missing, the sidecar does not describe an RHCHME model, the
-        artifact's schema version differs from :data:`SCHEMA_VERSION`, or
-        the npz does not hold the arrays the sidecar promises (a sidecar
-        paired with the wrong or truncated npz).
-        """
-        npz_path, _ = cls._paths(path)
-        sidecar = cls.read_metadata(path)
+    def parse_sidecar(cls, sidecar: dict) -> tuple[RHCHMEConfig, tuple[TypeInfo, ...]]:
+        """Reconstruct the config and type metadata from a validated sidecar."""
         try:
             config = RHCHMEConfig(**sidecar["config"])
         except (TypeError, ValueError) as exc:
             raise ArtifactError(
                 f"artifact config cannot be reconstructed: {exc}") from exc
-        types = tuple(TypeInfo(**entry) for entry in sidecar["types"])
+        return config, tuple(TypeInfo(**entry) for entry in sidecar["types"])
+
+    @staticmethod
+    def read_shard(shard_path: Path, keys: list[str]) -> dict[str, np.ndarray]:
+        """Read the named arrays out of one npz file, with artifact errors.
+
+        Raises :class:`~repro.exceptions.ArtifactError` when the file does
+        not hold a promised array (sidecar paired with the wrong npz) or is
+        not a readable npz at all (truncated or corrupt write).
+        """
         try:
-            with np.load(npz_path) as arrays:
-                association = np.array(arrays["association"])
-                error_matrix = (np.array(arrays["error_matrix"])
-                                if sidecar.get("has_error_matrix") else None)
-                features = {}
-                membership = {}
-                labels = {}
-                for info in types:
-                    membership[info.name] = np.array(
-                        arrays[f"membership::{info.name}"])
-                    labels[info.name] = np.asarray(arrays[f"labels::{info.name}"],
-                                                   dtype=np.int64)
-                    if info.n_features is not None:
-                        features[info.name] = np.array(
-                            arrays[f"features::{info.name}"])
+            with np.load(shard_path) as arrays:
+                return {key: np.array(arrays[key]) for key in keys}
         except KeyError as exc:
             raise ArtifactError(
-                f"model arrays at {npz_path} do not match the sidecar "
+                f"model arrays at {shard_path} do not match the sidecar "
                 f"(missing {exc}); the npz and json files do not describe "
                 "the same model") from exc
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(
+                f"corrupt model arrays at {shard_path}: {exc}") from exc
+
+    @classmethod
+    def load(cls, path) -> "RHCHMEModel":
+        """Read an artifact written by :meth:`save` (either layout).
+
+        Raises :class:`~repro.exceptions.ArtifactError` when an array file
+        or the sidecar is missing, the sidecar does not describe an RHCHME
+        model, the artifact's schema version differs from
+        :data:`SCHEMA_VERSION`, or an npz does not hold the arrays the
+        sidecar promises (a sidecar paired with the wrong or truncated npz).
+        A per-type sharded artifact is reassembled into the exact same model
+        a monolithic save round-trips to.
+        """
+        sidecar = cls.read_metadata(path)
+        config, types = cls.parse_sidecar(sidecar)
+        shard_paths = cls.shard_paths(path, sidecar)
+        has_error = bool(sidecar.get("has_error_matrix"))
+        sharded = "monolithic" not in shard_paths
+
+        def type_keys(info: TypeInfo) -> list[str]:
+            keys = [f"membership::{info.name}", f"labels::{info.name}"]
+            if info.n_features is not None:
+                keys.append(f"features::{info.name}")
+            return keys
+
+        global_keys = ["association"] + (["error_matrix"] if has_error else [])
+        if sharded:
+            arrays = cls.read_shard(shard_paths[GLOBAL_SHARD], global_keys)
+            for info in types:
+                arrays.update(cls.read_shard(shard_paths[info.name],
+                                             type_keys(info)))
+        else:
+            keys = list(global_keys)
+            for info in types:
+                keys.extend(type_keys(info))
+            arrays = cls.read_shard(shard_paths["monolithic"], keys)
+
+        features = {}
+        membership = {}
+        labels = {}
+        for info in types:
+            membership[info.name] = arrays[f"membership::{info.name}"]
+            labels[info.name] = np.asarray(arrays[f"labels::{info.name}"],
+                                           dtype=np.int64)
+            if info.n_features is not None:
+                features[info.name] = arrays[f"features::{info.name}"]
         return cls(config=config, types=types, features=features,
                    membership=membership, labels=labels,
-                   association=association, error_matrix=error_matrix,
+                   association=arrays["association"],
+                   error_matrix=arrays.get("error_matrix"),
                    backend=sidecar.get("backend", "dense"),
                    schema_version=int(sidecar["schema_version"]),
                    library_version=str(sidecar.get("library_version", "unknown")))

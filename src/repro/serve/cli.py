@@ -8,9 +8,16 @@ Three subcommands cover the fit→persist→serve lifecycle::
     python -m repro.serve info     --model model.npz
 
 ``fit-save`` fits RHCHME on a registered synthetic dataset preset and writes
-the artifact; ``predict`` loads an artifact and batch-predicts a ``.npy`` /
-``.npz`` query matrix, writing hard labels and soft membership scores;
-``info`` prints the artifact's sidecar metadata without loading the arrays.
+the artifact (``--shards per-type`` for the sharded layout); ``predict``
+loads an artifact and batch-predicts a ``.npy`` / ``.npz`` query matrix,
+writing hard labels and soft membership scores (``--json`` for a
+machine-readable result document on stdout); ``info`` prints the artifact's
+sidecar metadata — including its shard layout — without loading the arrays.
+
+Every failure path surfaces as a one-line ``[serve] error: ...`` on stderr
+and a non-zero exit code; library errors (including
+:class:`~repro.exceptions.ArtifactError` for missing/corrupt/foreign
+artifacts) never escape as tracebacks.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from ..core.config import RHCHMEConfig
 from ..core.rhchme import RHCHME
 from ..data.datasets import list_datasets, make_dataset
 from ..exceptions import ReproError
-from .artifact import RHCHMEModel
+from .artifact import RHCHMEModel, SHARD_LAYOUTS
 from .predictor import BatchPredictor
 
 __all__ = ["main"]
@@ -53,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="top-k sparsification of the subspace member affinity")
     fit.add_argument("--no-subspace", action="store_true",
                      help="disable the subspace ensemble member (faster fits)")
+    fit.add_argument("--shards", default="monolithic",
+                     choices=list(SHARD_LAYOUTS),
+                     help="artifact layout: one npz, or one npz per object "
+                          "type (enables lazy partial loads when serving)")
 
     predict = commands.add_parser(
         "predict", help="batch-predict new objects against a saved artifact")
@@ -64,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--output", type=Path, default=None,
                          help="write labels + membership to this .npz")
     predict.add_argument("--batch-size", type=int, default=256)
+    predict.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON result document "
+                              "(labels + timings) instead of the human log")
 
     info = commands.add_parser("info", help="print artifact metadata")
     info.add_argument("--model", required=True, type=Path)
@@ -97,26 +111,51 @@ def _cmd_fit_save(args: argparse.Namespace) -> int:
           f"({result.n_iterations} iterations, converged={result.converged}, "
           f"backend={result.extras['backend']})")
     artifact = result.to_model(data, model.config)
-    written = artifact.save(args.output)
-    print(f"[serve] wrote {written} (+ {written.with_suffix('.json').name})")
+    written = artifact.save(args.output, shards=args.shards)
+    if args.shards == "per-type":
+        shard_files = RHCHMEModel.shard_paths(
+            written, RHCHMEModel.read_metadata(written))
+        print(f"[serve] wrote {len(shard_files)} per-type shards "
+              f"({', '.join(sorted(p.name for p in shard_files.values()))}) "
+              f"+ {written.with_suffix('.json').name}")
+    else:
+        print(f"[serve] wrote {written} (+ {written.with_suffix('.json').name})")
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     queries = _load_queries(args.queries)
-    predictor = BatchPredictor(default_batch_size=args.batch_size)
+    predictor = BatchPredictor(default_batch_size=args.batch_size,
+                               lazy_shards=True)
     prediction = predictor.predict(args.model, args.type_name, queries)
     stats = predictor.stats
+    counts = np.bincount(prediction.labels,
+                         minlength=prediction.membership.shape[1])
+    if args.output is not None:
+        np.savez_compressed(args.output, labels=prediction.labels,
+                            membership=prediction.membership)
+    if args.json:
+        # Machine-readable result document: labels plus timings, one JSON
+        # object on stdout and nothing else.
+        print(json.dumps({
+            "model": str(args.model),
+            "type": args.type_name,
+            "n_queries": prediction.n_queries,
+            "n_batches": prediction.n_batches,
+            "batch_size": args.batch_size,
+            "seconds": round(stats.last_latency_seconds, 6),
+            "objects_per_second": round(stats.objects_per_second, 3),
+            "labels": prediction.labels.tolist(),
+            "label_histogram": counts.tolist(),
+            "output": str(args.output) if args.output is not None else None,
+        }, indent=2))
+        return 0
     print(f"[serve] predicted {prediction.n_queries} {args.type_name!r} objects "
           f"in {stats.last_latency_seconds:.4f}s "
           f"({stats.objects_per_second:.0f} objects/s, "
           f"{prediction.n_batches} batches)")
-    counts = np.bincount(prediction.labels,
-                         minlength=prediction.membership.shape[1])
     print(f"[serve] label histogram: {counts.tolist()}")
     if args.output is not None:
-        np.savez_compressed(args.output, labels=prediction.labels,
-                            membership=prediction.membership)
         print(f"[serve] wrote {args.output}")
     return 0
 
@@ -124,7 +163,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     # Metadata lives in the JSON sidecar; validating and printing it never
     # decompresses the (potentially huge) arrays.
-    print(json.dumps(RHCHMEModel.read_metadata(args.model), indent=2))
+    metadata = RHCHMEModel.read_metadata(args.model)
+    shards = metadata.get("shards")
+    # Computed convenience key so scripts need not infer the layout from
+    # the presence of the manifest.
+    metadata["layout"] = shards["layout"] if shards else "monolithic"
+    print(json.dumps(metadata, indent=2))
     return 0
 
 

@@ -1,19 +1,25 @@
 """The batch-serving front-end: cached models, validation, counters.
 
 :class:`BatchPredictor` is the process-level entry point a serving loop
-talks to.  It keeps an LRU cache of loaded :class:`RHCHMEModel` artifacts
-keyed by their resolved path (reloading a several-hundred-megabyte npz per
-request would dominate latency), validates every request's type name and
-feature dimensionality before any numerics run, and maintains simple
+talks to.  It keeps an LRU cache of loaded model artifacts keyed by their
+resolved path (reloading a several-hundred-megabyte npz per request would
+dominate latency), validates every request's type name and feature
+dimensionality before any numerics run, and maintains simple
 latency/throughput counters (requests, objects, wall-clock seconds, cache
-hits/misses) that a scraper can export.
+hits/evictions/misses) that a scraper can export.
 
-The predictor is deliberately synchronous and single-threaded — one
-predictor per worker process; share nothing.
+The predictor is thread-safe: the model cache and the counters are guarded
+by one lock, so it can sit behind the :mod:`repro.runtime` worker pool —
+the numerical predict itself runs outside the lock and the underlying
+artifacts are immutable, so concurrent predicts against the same model do
+not serialise.  With ``lazy_shards=True`` a per-type sharded artifact is
+opened through :class:`repro.serve.shards.ShardedModelReader`, so a process
+serving one type never decompresses the other types' blocks.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -21,6 +27,7 @@ from dataclasses import dataclass, field
 from .._validation import check_positive_int
 from .artifact import RHCHMEModel
 from .extension import Prediction
+from .shards import open_model
 
 __all__ = ["ServingStats", "BatchPredictor"]
 
@@ -34,6 +41,7 @@ class ServingStats:
     seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     last_latency_seconds: float = 0.0
     per_type_objects: dict[str, int] = field(default_factory=dict)
 
@@ -51,6 +59,7 @@ class ServingStats:
             "objects_per_second": round(self.objects_per_second, 3),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "last_latency_seconds": round(self.last_latency_seconds, 6),
             "per_type_objects": dict(self.per_type_objects),
         }
@@ -66,48 +75,101 @@ class BatchPredictor:
         used artifact is evicted when a new one would exceed the bound.
     default_batch_size:
         Micro-batch size used when a request does not specify one.
+    lazy_shards:
+        Open per-type sharded artifacts lazily (only queried types' shards
+        are read from disk); monolithic artifacts always load eagerly.
     """
 
     def __init__(self, *, cache_size: int = 4,
-                 default_batch_size: int = 256) -> None:
+                 default_batch_size: int = 256,
+                 lazy_shards: bool = False) -> None:
         self.cache_size = check_positive_int(cache_size, name="cache_size")
         self.default_batch_size = check_positive_int(default_batch_size,
                                                      name="default_batch_size")
-        self._models: OrderedDict[str, RHCHMEModel] = OrderedDict()
+        self.lazy_shards = bool(lazy_shards)
+        self._models: OrderedDict[str, object] = OrderedDict()
+        # RLock: public methods that take the lock may call each other.
+        self._lock = threading.RLock()
+        # Per-key locks serialising cold loads: a burst of first requests
+        # for one model decompresses it once (single-flight) without the
+        # load blocking cache hits for *other* models behind the global
+        # lock — the global lock only ever guards dictionary operations.
+        self._load_locks: dict[str, threading.Lock] = {}
         self.stats = ServingStats()
 
     # ------------------------------------------------------------ model cache
-    def get_model(self, path) -> RHCHMEModel:
+    def get_model(self, path):
         """Return the artifact at ``path``, loading it on first use (LRU).
 
         Cache keys are canonical resolved paths, so different spellings of
         the same artifact (``model``, ``model.npz``, ``./model.npz``) share
-        one cache entry.
+        one cache entry.  Cold loads are single-flight per key and do not
+        hold the global cache lock, so a multi-second load of one model
+        never stalls cache hits for the models already resident.
         """
         key = str(RHCHMEModel.resolve_path(path))
-        model = self._models.get(key)
-        if model is not None:
-            self._models.move_to_end(key)
-            self.stats.cache_hits += 1
-            return model
-        model = RHCHMEModel.load(path)
-        self.stats.cache_misses += 1
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self._models.move_to_end(key)
+                self.stats.cache_hits += 1
+                return model
+            load_lock = self._load_locks.setdefault(key, threading.Lock())
+        with load_lock:
+            with self._lock:
+                model = self._models.get(key)
+                if model is not None:  # loaded while we waited on the lock
+                    self._models.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    return model
+            model = open_model(path, lazy=self.lazy_shards)
+            with self._lock:
+                self.stats.cache_misses += 1
+                self._store_locked(key, model)
+                self._load_locks.pop(key, None)
+        return model
+
+    def peek_model(self, path):
+        """Return the cached model for ``path`` without loading or counting.
+
+        ``None`` when the artifact is not resident; never touches the disk
+        and does not update the LRU order or the hit/miss counters.
+        """
+        with self._lock:
+            return self._models.get(str(RHCHMEModel.resolve_path(path)))
+
+    def put_model(self, path, model) -> None:
+        """Insert (or hot-swap) a loaded model under ``path``'s cache key.
+
+        Used by the runtime's ``refresh()`` to publish a refitted artifact
+        atomically: requests already executing keep their reference to the
+        old immutable model and finish normally; every request that resolves
+        the path after this call sees the new one.
+        """
+        key = str(RHCHMEModel.resolve_path(path))
+        with self._lock:
+            self._models.pop(key, None)
+            self._store_locked(key, model)
+
+    def _store_locked(self, key: str, model) -> None:
         self._models[key] = model
         while len(self._models) > self.cache_size:
             self._models.popitem(last=False)
-        return model
+            self.stats.cache_evictions += 1
 
     def evict(self, path=None) -> None:
         """Drop one cached model (or the whole cache with ``path=None``)."""
-        if path is None:
-            self._models.clear()
-        else:
-            self._models.pop(str(RHCHMEModel.resolve_path(path)), None)
+        with self._lock:
+            if path is None:
+                self._models.clear()
+            else:
+                self._models.pop(str(RHCHMEModel.resolve_path(path)), None)
 
     @property
     def cached_models(self) -> list[str]:
         """Paths of the currently cached models, least recently used first."""
-        return list(self._models)
+        with self._lock:
+            return list(self._models)
 
     # -------------------------------------------------------------- prediction
     def predict(self, path, type_name: str, X_new, *,
@@ -125,10 +187,12 @@ class BatchPredictor:
         start = time.perf_counter()
         prediction = model.predict(type_name, X_new, batch_size=batch_size)
         elapsed = time.perf_counter() - start
-        self.stats.requests += 1
-        self.stats.objects += prediction.n_queries
-        self.stats.seconds += elapsed
-        self.stats.last_latency_seconds = elapsed
-        self.stats.per_type_objects[type_name] = (
-            self.stats.per_type_objects.get(type_name, 0) + prediction.n_queries)
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.objects += prediction.n_queries
+            self.stats.seconds += elapsed
+            self.stats.last_latency_seconds = elapsed
+            self.stats.per_type_objects[type_name] = (
+                self.stats.per_type_objects.get(type_name, 0)
+                + prediction.n_queries)
         return prediction

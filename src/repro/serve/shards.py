@@ -1,0 +1,234 @@
+"""Lazy, per-type access to sharded model artifacts.
+
+A monolithic :class:`~repro.serve.artifact.RHCHMEModel` load decompresses
+every array of every type.  For a serving process that only ever answers
+queries for one object type that is pure waste: the out-of-sample extension
+needs nothing beyond that type's training features and membership block —
+not the association matrix, not the error matrix, not any other type.
+
+:class:`ShardedModelReader` fronts an artifact written with
+``save(path, shards="per-type")`` and loads shards *on demand*: the first
+predict for a type reads exactly that type's npz; the global shard (S and
+E_R) is never touched by prediction at all.  Every load is recorded in
+:attr:`shard_loads`, so tests and benchmarks can assert partial-load claims
+with manifest accounting instead of trusting timings.
+
+The reader is thread-safe (shard loads and index builds are single-flight
+under a lock) and exposes the same ``predict``/``type_info`` surface as the
+eager model, so :class:`repro.serve.BatchPredictor` and the runtime serve
+through either interchangeably.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..exceptions import ArtifactError, ValidationError
+from ..graph.neighbors import QueryIndex
+from ..linalg.backend import resolve_backend
+from .artifact import GLOBAL_SHARD, RHCHMEModel, TypeInfo, check_query_features
+from .extension import Prediction, out_of_sample_predict
+
+__all__ = ["ShardedModelReader", "open_model"]
+
+
+class ShardedModelReader:
+    """Serve out-of-sample predictions from a per-type sharded artifact.
+
+    Parameters
+    ----------
+    path:
+        The artifact handle (the same ``model.npz`` path the monolithic API
+        uses); its sidecar must carry a ``per-type`` shards manifest —
+        a monolithic artifact is refused with
+        :class:`~repro.exceptions.ArtifactError` (load it eagerly instead).
+
+    Attributes
+    ----------
+    shard_loads:
+        Mapping from shard key (type name or ``"global"``) to how many times
+        its file was opened; stays at one per shard for the lifetime of the
+        reader unless :meth:`evict` drops it.
+    """
+
+    def __init__(self, path) -> None:
+        self._sidecar = RHCHMEModel.read_metadata(path)
+        if not self._sidecar.get("shards"):
+            raise ArtifactError(
+                f"artifact at {path} is monolithic, not sharded; load it with "
+                "RHCHMEModel.load or re-export with save(shards='per-type')")
+        self._path = RHCHMEModel.resolve_path(path)
+        self._shard_paths = RHCHMEModel.shard_paths(path, self._sidecar)
+        self.config, self.types = RHCHMEModel.parse_sidecar(self._sidecar)
+        self._lock = threading.Lock()
+        self._type_arrays: dict[str, dict[str, np.ndarray]] = {}
+        self._global_arrays: dict[str, np.ndarray] | None = None
+        self._query_indexes: dict[str, QueryIndex] = {}
+        self.shard_loads: dict[str, int] = {}
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def type_names(self) -> list[str]:
+        """Names of the captured object types in block order."""
+        return [t.name for t in self.types]
+
+    def type_info(self, name: str) -> TypeInfo:
+        """Return the :class:`TypeInfo` of the named type (metadata only)."""
+        for info in self.types:
+            if info.name == name:
+                return info
+        raise ValidationError(
+            f"unknown object type {name!r}; known types: {self.type_names}")
+
+    @property
+    def loaded_types(self) -> list[str]:
+        """Type names whose shards are currently resident, in load order."""
+        return list(self._type_arrays)
+
+    def accounting(self) -> dict:
+        """Manifest accounting snapshot for partial-load assertions."""
+        return {
+            "n_types": len(self.types),
+            "n_shards_on_disk": len(self._shard_paths),
+            "loaded_types": self.loaded_types,
+            "global_loaded": self._global_arrays is not None,
+            "shard_loads": dict(self.shard_loads),
+        }
+
+    def info(self) -> dict:
+        """The artifact's sidecar metadata (includes the shards manifest)."""
+        return dict(self._sidecar)
+
+    # ----------------------------------------------------------- lazy loading
+    def _count_load(self, key: str) -> None:
+        self.shard_loads[key] = self.shard_loads.get(key, 0) + 1
+
+    def _arrays_for(self, info: TypeInfo) -> dict[str, np.ndarray]:
+        arrays = self._type_arrays.get(info.name)
+        if arrays is None:
+            with self._lock:
+                arrays = self._type_arrays.get(info.name)
+                if arrays is None:
+                    keys = [f"membership::{info.name}", f"labels::{info.name}"]
+                    if info.n_features is not None:
+                        keys.append(f"features::{info.name}")
+                    arrays = RHCHMEModel.read_shard(
+                        self._shard_paths[info.name], keys)
+                    self._type_arrays[info.name] = arrays
+                    self._count_load(info.name)
+        return arrays
+
+    def _global(self) -> dict[str, np.ndarray]:
+        if self._global_arrays is None:
+            with self._lock:
+                if self._global_arrays is None:
+                    keys = ["association"]
+                    if self._sidecar.get("has_error_matrix"):
+                        keys.append("error_matrix")
+                    self._global_arrays = RHCHMEModel.read_shard(
+                        self._shard_paths[GLOBAL_SHARD], keys)
+                    self._count_load(GLOBAL_SHARD)
+        return self._global_arrays
+
+    def features(self, type_name: str) -> np.ndarray:
+        """Training features of one type (loads that type's shard)."""
+        info = self.type_info(type_name)
+        arrays = self._arrays_for(info)
+        try:
+            return arrays[f"features::{type_name}"]
+        except KeyError:
+            raise ValidationError(
+                f"type {type_name!r} was fitted without features") from None
+
+    def membership(self, type_name: str) -> np.ndarray:
+        """Fitted membership block of one type (loads that type's shard)."""
+        return self._arrays_for(self.type_info(type_name))[
+            f"membership::{type_name}"]
+
+    def labels(self, type_name: str) -> np.ndarray:
+        """Fitted hard labels of one type (loads that type's shard)."""
+        return np.asarray(
+            self._arrays_for(self.type_info(type_name))[f"labels::{type_name}"],
+            dtype=np.int64)
+
+    @property
+    def association(self) -> np.ndarray:
+        """The fitted association matrix ``S`` (loads the global shard)."""
+        return self._global()["association"]
+
+    def query_index(self, type_name: str) -> QueryIndex:
+        """Cached neighbour-search index of one type (single-flight build)."""
+        index = self._query_indexes.get(type_name)
+        if index is None:
+            features = self.features(type_name)
+            with self._lock:
+                index = self._query_indexes.get(type_name)
+                if index is None:
+                    index = QueryIndex(features)
+                    self._query_indexes[type_name] = index
+        return index
+
+    def preload(self) -> None:
+        """Make every shard resident now.
+
+        Used before an in-place artifact rewrite (e.g. a runtime refresh):
+        once resident, the reader never touches the disk again, so the
+        rewrite cannot race its remaining lazy loads.
+        """
+        for info in self.types:
+            self._arrays_for(info)
+            if info.n_features is not None:
+                self.query_index(info.name)
+        self._global()
+
+    def evict(self, type_name: str | None = None) -> None:
+        """Drop one type's resident shard (or all shards with ``None``)."""
+        with self._lock:
+            if type_name is None:
+                self._type_arrays.clear()
+                self._query_indexes.clear()
+                self._global_arrays = None
+            else:
+                self._type_arrays.pop(type_name, None)
+                self._query_indexes.pop(type_name, None)
+
+    # ------------------------------------------------------------- prediction
+    def predict(self, type_name: str, X_new, *, batch_size: int = 256,
+                backend: str | None = None) -> Prediction:
+        """Assign new objects of ``type_name`` out of sample.
+
+        Identical numerics to :meth:`RHCHMEModel.predict` — the same
+        blocks feed the same extension — but only ``type_name``'s shard is
+        ever read from disk.
+        """
+        info = self.type_info(type_name)
+        X_new = check_query_features(info, X_new)
+        resolved = resolve_backend(self.config.backend if backend is None
+                                   else backend, n_objects=info.n_objects)
+        arrays = self._arrays_for(info)
+        return out_of_sample_predict(
+            arrays[f"features::{type_name}"],
+            arrays[f"membership::{type_name}"], X_new,
+            p=self.config.p, weighting=self.config.weighting,
+            backend=resolved, batch_size=batch_size,
+            index=self.query_index(type_name))
+
+    def to_model(self) -> RHCHMEModel:
+        """Load every shard and return the equivalent eager model."""
+        return RHCHMEModel.load(self._path)
+
+
+def open_model(path, *, lazy: bool = False):
+    """Open an artifact as an eager model or, when possible, a lazy reader.
+
+    With ``lazy=True`` a per-type sharded artifact is opened as a
+    :class:`ShardedModelReader` (only queried types' shards are read); a
+    monolithic artifact falls back to the eager
+    :class:`~repro.serve.artifact.RHCHMEModel`.  Both returned objects share
+    the ``predict``/``type_info``/``type_names`` serving surface.
+    """
+    if lazy and RHCHMEModel.read_metadata(path).get("shards"):
+        return ShardedModelReader(path)
+    return RHCHMEModel.load(path)

@@ -106,3 +106,59 @@ class TestRHCHMEFit:
         assert result.fit_seconds > 0
         assert result.ensemble_seconds > 0
         assert result.fit_seconds >= result.ensemble_seconds
+
+
+class TestWarmStart:
+    """The warm-start entry point (used by repro.runtime's refresh)."""
+
+    def test_warm_start_from_own_state_converges_immediately(
+            self, small_dataset):
+        cold = RHCHME(max_iter=30, random_state=0,
+                      track_metrics_every=0).fit(small_dataset)
+        warm = RHCHME(max_iter=30, random_state=0,
+                      track_metrics_every=0).fit(small_dataset,
+                                                 warm_start=cold.state)
+        assert warm.extras["warm_start"] is True
+        assert warm.n_iterations <= cold.n_iterations
+        for name in cold.labels:
+            agreement = np.mean(warm.labels[name] == cold.labels[name])
+            assert agreement >= 0.9
+
+    def test_warm_start_accepts_membership_block_mapping(self, small_dataset):
+        cold = RHCHME(max_iter=10, random_state=0,
+                      track_metrics_every=0).fit(small_dataset)
+        blocks = {object_type.name: cold.state.membership_block(index)
+                  for index, object_type in enumerate(small_dataset.types)}
+        warm = RHCHME(max_iter=10, random_state=0,
+                      track_metrics_every=0).fit(small_dataset,
+                                                 warm_start=blocks)
+        assert warm.extras["warm_start"] is True
+        assert set(warm.labels) == set(cold.labels)
+
+    def test_warm_start_does_not_mutate_callers_state(self, small_dataset):
+        cold = RHCHME(max_iter=5, random_state=0,
+                      track_metrics_every=0).fit(small_dataset)
+        G_before = cold.state.G.copy()
+        RHCHME(max_iter=5, random_state=0,
+               track_metrics_every=0).fit(small_dataset,
+                                          warm_start=cold.state)
+        np.testing.assert_array_equal(cold.state.G, G_before)
+
+    def test_mismatched_state_rejected(self, small_dataset, tiny_dataset):
+        cold = RHCHME(max_iter=3, random_state=0,
+                      track_metrics_every=0).fit(tiny_dataset)
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError, match="does not match"):
+            RHCHME(max_iter=3).fit(small_dataset, warm_start=cold.state)
+
+    def test_missing_block_rejected(self, tiny_dataset):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError, match="missing"):
+            RHCHME(max_iter=3).fit(
+                tiny_dataset,
+                warm_start={"documents": np.ones((20, 2))})
+
+    def test_invalid_warm_start_type_rejected(self, tiny_dataset):
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError, match="warm_start"):
+            RHCHME(max_iter=3).fit(tiny_dataset, warm_start=42)

@@ -1,0 +1,189 @@
+"""Tests for incremental artifact refresh (repro.runtime.refresh).
+
+The acceptance bar mirrors the serving extension's: a warm-start refresh on
+a grown dataset must agree with a cold full refit on at least 90% of
+objects, and the hot-swap path must publish the refreshed model without
+disturbing requests already in flight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RHCHME
+from repro.exceptions import ValidationError
+from repro.metrics import cluster_alignment
+from repro.runtime import RuntimeServer, refresh_model, warm_start_blocks
+
+_WAIT = 30.0
+
+
+def _agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Label agreement after aligning arbitrary cluster numberings."""
+    mapping = cluster_alignment(labels_a, labels_b)
+    return float(np.mean(mapping[labels_b] == labels_a))
+
+
+class TestWarmStartBlocks:
+    def test_old_rows_preserved_and_new_rows_seeded(self, runtime_artifact,
+                                                    grown_dataset):
+        blocks = warm_start_blocks(runtime_artifact, grown_dataset)
+        old = runtime_artifact.membership["points"]
+        assert blocks["points"].shape == (120, 3)
+        np.testing.assert_array_equal(blocks["points"][:90], old)
+        assert blocks["anchors"].shape == runtime_artifact.membership[
+            "anchors"].shape
+        # seeded rows are informative: most new objects should already lean
+        # towards their eventual cluster, not the uniform distribution
+        seeded = blocks["points"][90:]
+        assert np.all(seeded >= 0)
+        assert (seeded.max(axis=1) > 1.2 * seeded.min(axis=1)).mean() > 0.5
+
+    def test_ungrown_dataset_is_identity(self, runtime_artifact,
+                                         runtime_dataset):
+        blocks = warm_start_blocks(runtime_artifact, runtime_dataset)
+        for name, block in runtime_artifact.membership.items():
+            np.testing.assert_array_equal(blocks[name], block)
+
+
+class TestRefreshValidation:
+    def test_shrunk_type_rejected(self, runtime_artifact, blobs_factory):
+        with pytest.raises(ValidationError, match="shrank"):
+            refresh_model(runtime_artifact, blobs_factory(60))
+
+    def test_changed_prefix_rejected(self, runtime_artifact, blobs_factory):
+        tampered = blobs_factory(120)
+        tampered.get_type("points").features[0, 0] += 1.0
+        with pytest.raises(ValidationError, match="prefix"):
+            refresh_model(runtime_artifact, tampered)
+
+    def test_mismatched_types_rejected(self, runtime_artifact, blob_dataset):
+        # blob_dataset has the same type names but different object counts
+        # *and* different features; the prefix check must catch it.
+        with pytest.raises(ValidationError):
+            refresh_model(runtime_artifact, blob_dataset)
+
+    def test_config_overrides_are_validated(self, runtime_artifact,
+                                            grown_dataset):
+        with pytest.raises(Exception):
+            refresh_model(runtime_artifact, grown_dataset, max_iter=-3)
+
+
+class TestRefreshAgreement:
+    @pytest.fixture(scope="class")
+    def refreshed_and_cold(self, runtime_artifact, grown_dataset):
+        outcome = refresh_model(runtime_artifact, grown_dataset)
+        cold = RHCHME(max_iter=25, random_state=0, use_subspace_member=False,
+                      track_metrics_every=0).fit(grown_dataset)
+        return outcome, cold
+
+    def test_refresh_agrees_with_cold_refit_on_90_percent(
+            self, refreshed_and_cold):
+        outcome, cold = refreshed_and_cold
+        agreement = _agreement(outcome.model.labels["points"],
+                               cold.labels["points"])
+        assert agreement >= 0.9
+
+    def test_refresh_predictions_agree_with_cold_predictions(
+            self, refreshed_and_cold, grown_dataset):
+        outcome, cold_result = refreshed_and_cold
+        cold_model = cold_result.to_model(
+            grown_dataset,
+            RHCHME(max_iter=25, random_state=0, use_subspace_member=False,
+                   track_metrics_every=0).config)
+        rng = np.random.default_rng(3)
+        reference = grown_dataset.get_type("points").features
+        queries = reference[rng.integers(0, reference.shape[0], 60)] + 0.05
+        warm = outcome.model.predict("points", queries)
+        cold = cold_model.predict("points", queries)
+        mapping = cluster_alignment(outcome.model.labels["points"],
+                                    cold_result.labels["points"])
+        assert np.mean(mapping[cold.labels] == warm.labels) >= 0.9
+
+    def test_outcome_accounting(self, refreshed_and_cold):
+        outcome, _ = refreshed_and_cold
+        assert outcome.grown == {"points": 30, "anchors": 0}
+        assert outcome.n_new_objects == 30
+        assert outcome.result.extras["warm_start"] is True
+        assert outcome.model.type_info("points").n_objects == 120
+
+
+class TestServerRefresh:
+    def test_hot_swap_serves_new_model_and_keeps_old_futures(
+            self, runtime_artifact, grown_dataset, tmp_path):
+        path = runtime_artifact.save(tmp_path / "model.npz",
+                                     shards="per-type")
+        queries = grown_dataset.get_type("points").features[90:]
+        with RuntimeServer(workers="thread", n_workers=2, max_batch_size=8,
+                           max_delay_seconds=0.002) as runtime:
+            before = runtime.submit(path, "points", queries)
+            outcome = runtime.refresh(path, grown_dataset, max_iter=10)
+            after = runtime.submit(path, "points", queries)
+            # both generations answer; the in-flight future is not dropped
+            assert before.result(timeout=_WAIT).n_queries == 30
+            assert after.result(timeout=_WAIT).n_queries == 30
+            assert runtime.stats.refreshes == 1
+            # the refreshed artifact was persisted in the same shard layout
+            meta = outcome.model.read_metadata(path)
+            assert meta["shards"]["layout"] == "per-type"
+            assert meta["types"][0]["n_objects"] == 120
+            # the swapped-in cached model is the refreshed one
+            cached = runtime.predictor.get_model(path)
+            assert cached is outcome.model
+
+    def test_process_workers_reload_after_refresh(self, runtime_artifact,
+                                                  grown_dataset, tmp_path):
+        # Process workers cache models in their own address space; the
+        # per-task generation stamp must force them to re-read a refreshed
+        # artifact instead of serving the stale one forever.
+        path = runtime_artifact.save(tmp_path / "model.npz")
+        queries = grown_dataset.get_type("points").features[:8]
+        with RuntimeServer(workers="process", n_workers=2, max_batch_size=8,
+                           max_delay_seconds=0.01) as runtime:
+            runtime.predict(path, "points", queries, timeout=_WAIT * 2)
+            outcome = runtime.refresh(path, grown_dataset, max_iter=8)
+            served = runtime.predict(path, "points", queries,
+                                     timeout=_WAIT * 2)
+            direct = outcome.model.predict("points", queries)
+            np.testing.assert_allclose(served.membership, direct.membership,
+                                       rtol=1e-10)
+
+    def test_refresh_without_save_keeps_disk_artifact(self, runtime_artifact,
+                                                      grown_dataset,
+                                                      tmp_path):
+        path = runtime_artifact.save(tmp_path / "model.npz")
+        with RuntimeServer(workers="serial", max_batch_size=8,
+                           max_delay_seconds=0.002) as runtime:
+            runtime.refresh(path, grown_dataset, save=False, max_iter=5)
+            meta = runtime_artifact.read_metadata(path)
+            assert meta["types"][0]["n_objects"] == 90  # disk untouched
+            cached = runtime.predictor.get_model(path)
+            assert cached.type_info("points").n_objects == 120  # cache swapped
+
+    def test_refresh_without_save_rejected_for_process_workers(
+            self, runtime_artifact, grown_dataset, tmp_path):
+        # Process workers serve from disk; a cache-only refresh would leave
+        # them on the stale generation while claiming a completed swap.
+        path = runtime_artifact.save(tmp_path / "model.npz")
+        with RuntimeServer(workers="process", n_workers=1, max_batch_size=8,
+                           max_delay_seconds=0.01) as runtime:
+            with pytest.raises(ValidationError, match="save=False"):
+                runtime.refresh(path, grown_dataset, save=False, max_iter=3)
+
+    def test_refresh_preloads_cached_lazy_reader(self, runtime_artifact,
+                                                 grown_dataset, tmp_path):
+        # The cached reader must become fully resident before the files are
+        # rewritten, so in-flight requests never read mid-rewrite shards.
+        path = runtime_artifact.save(tmp_path / "model.npz",
+                                     shards="per-type")
+        with RuntimeServer(workers="serial", max_batch_size=8,
+                           max_delay_seconds=0.002) as runtime:
+            queries = grown_dataset.get_type("points").features[:4]
+            runtime.predict(path, "points", queries, timeout=_WAIT)
+            reader = runtime.predictor.peek_model(path)
+            assert reader.accounting()["loaded_types"] == ["points"]
+            runtime.refresh(path, grown_dataset, max_iter=3)
+            accounting = reader.accounting()
+            assert sorted(accounting["loaded_types"]) == ["anchors", "points"]
+            assert accounting["global_loaded"]

@@ -92,3 +92,112 @@ class TestInfo:
         completed = run_cli("info", "--model", tmp_path / "absent.npz")
         assert completed.returncode == 1
         assert "not found" in completed.stderr
+
+
+class TestJsonOutput:
+    def test_predict_json_is_machine_readable(self, cli_artifact):
+        tmp, model_path, _ = cli_artifact
+        data = make_dataset("multi5-small", random_state=1)
+        queries_path = tmp / "json_queries.npy"
+        np.save(queries_path, data.get_type("documents").features[:6])
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "documents", "--queries", queries_path,
+                            "--json", "--batch-size", "4")
+        assert completed.returncode == 0, completed.stderr
+        document = json.loads(completed.stdout)  # stdout is pure JSON
+        assert document["type"] == "documents"
+        assert document["n_queries"] == 6
+        assert len(document["labels"]) == 6
+        assert document["seconds"] > 0
+        assert document["objects_per_second"] > 0
+        assert sum(document["label_histogram"]) == 6
+        assert document["output"] is None
+
+    def test_predict_json_with_output_file(self, cli_artifact):
+        tmp, model_path, _ = cli_artifact
+        queries_path = tmp / "json_queries.npy"
+        if not queries_path.exists():
+            data = make_dataset("multi5-small", random_state=1)
+            np.save(queries_path, data.get_type("documents").features[:6])
+        out_path = tmp / "json_predictions.npz"
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "documents", "--queries", queries_path,
+                            "--json", "--output", out_path)
+        assert completed.returncode == 0, completed.stderr
+        document = json.loads(completed.stdout)
+        assert document["output"] == str(out_path)
+        with np.load(out_path) as arrays:
+            np.testing.assert_array_equal(arrays["labels"],
+                                          np.asarray(document["labels"]))
+
+
+class TestShardedCli:
+    @pytest.fixture(scope="class")
+    def sharded_artifact(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli-sharded")
+        model_path = tmp / "model.npz"
+        completed = run_cli("fit-save", "--dataset", "multi5-small",
+                            "--output", model_path, "--max-iter", "3",
+                            "--no-subspace", "--shards", "per-type")
+        assert completed.returncode == 0, completed.stderr
+        return tmp, model_path
+
+    def test_fit_save_writes_per_type_shards(self, sharded_artifact):
+        tmp, model_path = sharded_artifact
+        names = sorted(f.name for f in tmp.iterdir())
+        assert names == ["model.concepts.npz", "model.documents.npz",
+                         "model.global.npz", "model.json", "model.terms.npz"]
+
+    def test_info_reports_shard_layout(self, sharded_artifact):
+        _, model_path = sharded_artifact
+        completed = run_cli("info", "--model", model_path)
+        assert completed.returncode == 0, completed.stderr
+        info = json.loads(completed.stdout)
+        assert info["layout"] == "per-type"
+        assert sorted(info["shards"]["types"]) == ["concepts", "documents",
+                                                   "terms"]
+
+    def test_info_reports_monolithic_layout(self, cli_artifact):
+        _, model_path, _ = cli_artifact
+        completed = run_cli("info", "--model", model_path)
+        info = json.loads(completed.stdout)
+        assert info["layout"] == "monolithic"
+
+    def test_predict_serves_from_shards(self, sharded_artifact):
+        tmp, model_path = sharded_artifact
+        data = make_dataset("multi5-small", random_state=1)
+        queries_path = tmp / "queries.npy"
+        np.save(queries_path, data.get_type("documents").features[:5])
+        completed = run_cli("predict", "--model", model_path,
+                            "--type", "documents", "--queries", queries_path,
+                            "--json")
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout)["n_queries"] == 5
+
+
+class TestArtifactErrorExit:
+    def test_corrupt_sidecar_exits_nonzero_without_traceback(self,
+                                                             tmp_path):
+        model_path = tmp_path / "model.npz"
+        model_path.write_bytes(b"whatever")
+        model_path.with_suffix(".json").write_text("{broken")
+        completed = run_cli("info", "--model", model_path)
+        assert completed.returncode == 1
+        assert "error" in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_corrupt_arrays_exit_nonzero_without_traceback(self,
+                                                           cli_artifact,
+                                                           tmp_path):
+        tmp, model_path, _ = cli_artifact
+        broken = tmp_path / "broken.npz"
+        broken.write_bytes(b"not an npz")
+        broken.with_suffix(".json").write_text(
+            model_path.with_suffix(".json").read_text())
+        queries_path = tmp_path / "queries.npy"
+        np.save(queries_path, np.ones((2, 3)))
+        completed = run_cli("predict", "--model", broken,
+                            "--type", "documents", "--queries", queries_path)
+        assert completed.returncode == 1
+        assert "corrupt" in completed.stderr
+        assert "Traceback" not in completed.stderr

@@ -109,3 +109,64 @@ class TestSplitValidation:
     def test_unknown_type_rejected(self, blob_dataset):
         with pytest.raises(ValidationError):
             holdout_split(blob_dataset, "nope", fraction=0.2)
+
+
+_SPLIT_SNIPPET = """\
+import sys
+import numpy as np
+from repro.serve import holdout_split
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+
+seed, out_path = int(sys.argv[1]), sys.argv[2]
+rng = np.random.default_rng(0)
+points = ObjectType("points", n_objects=40, n_clusters=3,
+                    features=rng.random((40, 4)))
+anchors = ObjectType("anchors", n_objects=12, n_clusters=3,
+                     features=rng.random((12, 4)))
+data = MultiTypeRelationalData(
+    [points, anchors], [Relation("points", "anchors", rng.random((40, 12)))])
+split = holdout_split(data, "points", fraction=0.25, random_state=seed)
+np.savez(out_path, query_indices=split.query_indices,
+         train_indices=split.train_indices,
+         query_features=split.query_features)
+"""
+
+
+class TestCrossProcessDeterminism:
+    """A fixed seed must choose identical splits in separate interpreters.
+
+    The runtime's refresh workflow assumes that a split computed in a
+    training process and recomputed in a serving process selects the same
+    objects; this pins the np.random.default_rng permutation contract.
+    """
+
+    def _split_in_subprocess(self, seed, out_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        completed = subprocess.run(
+            [sys.executable, "-c", _SPLIT_SNIPPET, str(seed), str(out_path)],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(repo_src), "PATH": "/usr/bin:/bin"})
+        assert completed.returncode == 0, completed.stderr
+        with np.load(out_path) as arrays:
+            return {name: np.array(arrays[name]) for name in arrays.files}
+
+    def test_same_seed_same_split_across_processes(self, tmp_path):
+        run_a = self._split_in_subprocess(11, tmp_path / "a.npz")
+        run_b = self._split_in_subprocess(11, tmp_path / "b.npz")
+        np.testing.assert_array_equal(run_a["query_indices"],
+                                      run_b["query_indices"])
+        np.testing.assert_array_equal(run_a["train_indices"],
+                                      run_b["train_indices"])
+        np.testing.assert_array_equal(run_a["query_features"],
+                                      run_b["query_features"])
+
+    def test_different_seed_different_split(self, tmp_path):
+        run_a = self._split_in_subprocess(11, tmp_path / "a.npz")
+        run_b = self._split_in_subprocess(12, tmp_path / "b.npz")
+        assert not np.array_equal(run_a["query_indices"],
+                                  run_b["query_indices"])

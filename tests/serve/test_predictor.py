@@ -112,3 +112,94 @@ class TestRequestValidation:
         np.testing.assert_array_equal(served.labels, direct.labels)
         np.testing.assert_allclose(served.membership, direct.membership,
                                    rtol=1e-12, atol=1e-15)
+
+
+class TestLRUEvictionOrder:
+    """Eviction must follow recency of *use*, not insertion order."""
+
+    def test_eviction_follows_recency_of_use(self, blob_artifact, queries,
+                                             tmp_path):
+        paths = {name: blob_artifact.save(tmp_path / f"{name}.npz")
+                 for name in ("a", "b", "c")}
+        keys = {name: str(RHCHMEModel.resolve_path(path))
+                for name, path in paths.items()}
+        predictor = BatchPredictor(cache_size=2)
+        predictor.predict(paths["a"], "points", queries[:2])
+        predictor.predict(paths["b"], "points", queries[:2])
+        # touch "a" so "b" becomes the least recently used entry
+        predictor.predict(paths["a"], "points", queries[:2])
+        predictor.predict(paths["c"], "points", queries[:2])  # evicts "b"
+        assert predictor.cached_models == [keys["a"], keys["c"]]
+        assert predictor.stats.cache_evictions == 1
+        # "b" must now reload (miss), "a" and "c" must not
+        predictor.predict(paths["a"], "points", queries[:2])
+        predictor.predict(paths["b"], "points", queries[:2])
+        assert predictor.stats.cache_misses == 4
+        assert predictor.stats.cache_hits == 2
+
+    def test_put_model_replaces_without_eviction(self, blob_artifact,
+                                                 tmp_path):
+        path = blob_artifact.save(tmp_path / "model.npz")
+        predictor = BatchPredictor(cache_size=1)
+        predictor.get_model(path)
+        predictor.put_model(path, blob_artifact)
+        assert predictor.cached_models == [
+            str(RHCHMEModel.resolve_path(path))]
+        assert predictor.get_model(path) is blob_artifact
+        assert predictor.stats.cache_evictions == 0
+
+
+class TestThreadSafety:
+    """Counters and the LRU cache must stay exact under a worker pool."""
+
+    def test_concurrent_predicts_count_exactly(self, model_path, queries):
+        import threading
+
+        predictor = BatchPredictor()
+        n_threads, n_calls = 4, 12
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                for _ in range(n_calls):
+                    predictor.predict(model_path, "points", queries[:3])
+            except Exception as exc:  # noqa: BLE001 - rethrown below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        stats = predictor.stats
+        assert stats.requests == n_threads * n_calls
+        assert stats.objects == n_threads * n_calls * 3
+        assert stats.cache_misses == 1  # single-flight load
+        assert stats.cache_hits == n_threads * n_calls - 1
+
+    def test_concurrent_mixed_models_keep_cache_bounded(self, blob_artifact,
+                                                        queries, tmp_path):
+        import threading
+
+        paths = [blob_artifact.save(tmp_path / f"m{i}.npz") for i in range(3)]
+        predictor = BatchPredictor(cache_size=2)
+        errors: list[Exception] = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(9):
+                    predictor.predict(paths[(i + offset) % 3], "points",
+                                      queries[:2])
+            except Exception as exc:  # noqa: BLE001 - rethrown below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(predictor.cached_models) <= 2
+        assert predictor.stats.requests == 27
