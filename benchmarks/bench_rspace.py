@@ -1,0 +1,286 @@
+"""Dense-vs-sparse R-space benchmark for the RHCHME fit loop.
+
+PR 1 sparsified the graph pipeline (p-NN affinities, ensemble Laplacian);
+this benchmark tracks the other half: the R-space — CSR relation matrix
+``R``, row-sparse error matrix ``E_R`` and the factored S / G / E_R updates
+and objective of :mod:`repro.core.rspace` that never materialise the
+``G S Gᵀ`` product.  Two measurements per size N:
+
+* **fit** — wall clock of a full iteration-capped ``RHCHME.fit`` per
+  backend on the same sparse relational dataset (CSR relation blocks, a
+  small fraction of corrupted rows for the error matrix to absorb — the
+  paper's robust setting, and the regime where a row-sparse E_R is the
+  honest representation).  The gated metric is the full-fit speedup at the
+  largest N: **sparse must be ≥ 3× dense** (``--check`` turns a miss into a
+  non-zero exit for CI).
+* **R-space memory** — peak bytes of the R-space stage alone (R assembly,
+  state initialisation, one S update, one E_R update, one objective
+  evaluation), measured with :mod:`tracemalloc` in a separate untimed pass.
+  Dense allocates the ``O(N²)`` R and E_R blocks; sparse must stay at
+  ``O(nnz + N·c + k·N)`` for ``k`` surviving error rows — the report
+  records the growth exponent of the sparse peak vs N (sublinear in N²
+  means < 2) and the stored-row fraction of E_R.
+
+Both backends run the same objective: final objectives are compared at
+``rtol=1e-6`` inside the run and a mismatch fails the benchmark outright —
+a speedup over a *different* optimisation would be meaningless.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rspace.py            # full run
+    PYTHONPATH=src python benchmarks/bench_rspace.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_rspace.py --check    # gate ≥3×
+
+Writes ``BENCH_rspace.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import RHCHME  # noqa: E402
+from repro.core.objective import evaluate_objective  # noqa: E402
+from repro.core.state import initialize_state  # noqa: E402
+from repro.core.updates import update_association, update_error_matrix  # noqa: E402
+from repro.linalg.backend import is_sparse  # noqa: E402
+from repro.linalg.rowsparse import RowSparseMatrix  # noqa: E402
+from repro.relational.dataset import MultiTypeRelationalData  # noqa: E402
+from repro.relational.types import ObjectType, Relation  # noqa: E402
+
+DEFAULT_SIZES = (750, 1500, 3000)
+SMOKE_SIZES = (400, 1200)
+LAM = 250.0
+BETA = 50.0
+MAX_ITER = 8
+ERROR_ROW_TOL = 1e-2
+PARITY_RTOL = 1e-6
+
+
+def make_sparse_relational(n_total: int, *, n_features: int = 10,
+                           n_clusters: int = 5, row_nnz: float = 12.0,
+                           corrupt_fraction: float = 0.01,
+                           seed: int = 0) -> MultiTypeRelationalData:
+    """Two-type dataset with a CSR relation block and corrupted samples.
+
+    The relation is a sparse non-negative co-occurrence matrix carrying the
+    planted co-cluster structure, with ``O(row_nnz)`` expected non-zeros per
+    row *independent of N* — the bounded-degree regime of real relational
+    data (a document touches a bounded number of terms however large the
+    corpus), which is what makes ``O(nnz)`` genuinely subquadratic.
+    ``corrupt_fraction`` of the first type's objects have their relation
+    rows replaced by dense noise — exactly the sample-wise corruption the
+    L2,1 error matrix is built to absorb, and what keeps its row-sparse
+    representation at ``O(k)`` stored rows.
+    """
+    rng = np.random.default_rng(seed)
+    n_a = max((2 * n_total) // 3, 2)
+    n_b = max(n_total - n_a, 2)
+    n_clusters = max(1, min(n_clusters, n_a, n_b))
+    relation_density = min(row_nnz / n_b, 0.25)
+    types = []
+    assignments = {}
+    for name, n_objects in (("rows", n_a), ("cols", n_b)):
+        centers = rng.normal(scale=4.0, size=(n_clusters, n_features))
+        labels = rng.integers(0, n_clusters, size=n_objects)
+        features = centers[labels] + rng.normal(size=(n_objects, n_features))
+        assignments[name] = labels
+        types.append(ObjectType(name, n_objects=n_objects,
+                                n_clusters=n_clusters,
+                                features=features, labels=labels))
+    co_cluster = (assignments["rows"][:, None] == assignments["cols"][None, :])
+    mask = co_cluster & (rng.random((n_a, n_b)) < 4 * relation_density)
+    mask |= rng.random((n_a, n_b)) < relation_density
+    matrix = np.where(mask, rng.random((n_a, n_b)), 0.0)
+    corrupted = rng.choice(n_a, size=max(1, int(corrupt_fraction * n_a)),
+                           replace=False)
+    matrix[corrupted] = 2.0 * rng.random((corrupted.size, n_b))
+    relation = Relation("rows", "cols", sp.csr_array(matrix))
+    return MultiTypeRelationalData(types, [relation])
+
+
+def _model(backend: str, seed: int) -> RHCHME:
+    return RHCHME(backend=backend, max_iter=MAX_ITER, init="random",
+                  use_subspace_member=False, track_metrics_every=0,
+                  error_row_tol=ERROR_ROW_TOL, lam=LAM, beta=BETA,
+                  random_state=seed)
+
+
+def time_fit(data: MultiTypeRelationalData, *, backend: str, seed: int) -> dict:
+    """Time one full (iteration-capped) fit and describe its E_R."""
+    model = _model(backend, seed)
+    start = time.perf_counter()
+    result = model.fit(data)
+    seconds = time.perf_counter() - start
+    E_R = result.state.E_R
+    if isinstance(E_R, RowSparseMatrix):
+        stored = E_R.n_stored_rows
+        representation = "row-sparse"
+    else:
+        stored = int(np.count_nonzero(np.any(E_R != 0.0, axis=1)))
+        representation = "ndarray"
+    return {
+        "backend": backend,
+        "fit_seconds": round(seconds, 6),
+        "ensemble_seconds": round(result.ensemble_seconds, 6),
+        "n_iterations": result.n_iterations,
+        "final_objective": float(result.trace.objectives[-1]),
+        "error_rows_stored": stored,
+        "error_rows_fraction": round(stored / E_R.shape[0], 6),
+        "error_matrix_representation": representation,
+        "labels": result.labels,
+    }
+
+
+def measure_rspace_memory(data: MultiTypeRelationalData, *, backend: str,
+                          seed: int) -> dict:
+    """Peak bytes of the R-space stage alone (untimed tracemalloc pass)."""
+    tracemalloc.start()
+    R = data.inter_type_matrix(normalize=True, backend=backend)
+    state = initialize_state(data, R, init="random", random_state=seed)
+    state.S = update_association(R, state)
+    state.E_R = update_error_matrix(R, state, beta=BETA,
+                                    row_tol=ERROR_ROW_TOL)
+    # Zero sparse Laplacian for both backends: the graph side has its own
+    # benchmark (bench_backend.py); only R-space allocations count here.
+    zero_L = sp.csr_array(R.shape, dtype=np.float64)
+    evaluate_objective(R, state.G, state.S, state.E_R, zero_L,
+                       lam=LAM, beta=BETA)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    nnz = int(R.nnz) if is_sparse(R) else int(np.count_nonzero(R))
+    return {
+        "backend": backend,
+        "peak_rspace_bytes": int(peak_bytes),
+        "r_nnz": nnz,
+        "r_density": round(nnz / float(R.shape[0] * R.shape[1]), 6),
+        "r_representation": "csr" if is_sparse(R) else "ndarray",
+    }
+
+
+def _labels_agreement(a: dict, b: dict) -> float:
+    """Fraction of objects on which two fits' hard labels agree."""
+    total = matched = 0
+    for name in a:
+        total += a[name].size
+        matched += int(np.sum(a[name] == b[name]))
+    return matched / max(total, 1)
+
+
+def run(sizes, *, seed: int) -> dict:
+    results = []
+    for n_total in sizes:
+        data = make_sparse_relational(n_total, seed=seed)
+        entry = {"n_total": int(n_total), "max_iter": MAX_ITER,
+                 "error_row_tol": ERROR_ROW_TOL}
+        fits = {}
+        for backend in ("dense", "sparse"):
+            print(f"[bench] N={n_total} fit backend={backend} ...", flush=True)
+            fits[backend] = time_fit(data, backend=backend, seed=seed)
+            entry[f"fit_{backend}"] = {k: v for k, v in fits[backend].items()
+                                       if k != "labels"}
+            entry[f"memory_{backend}"] = measure_rspace_memory(
+                data, backend=backend, seed=seed)
+        dense_obj = fits["dense"]["final_objective"]
+        sparse_obj = fits["sparse"]["final_objective"]
+        parity_gap = abs(dense_obj - sparse_obj) / max(abs(dense_obj), 1e-30)
+        if parity_gap > PARITY_RTOL:
+            raise SystemExit(
+                f"[bench] FAIL: dense/sparse objective parity broken at "
+                f"N={n_total} (relative gap {parity_gap:.3e} > {PARITY_RTOL})")
+        entry["objective_parity_gap"] = float(parity_gap)
+        entry["labels_agreement"] = round(_labels_agreement(
+            fits["dense"]["labels"], fits["sparse"]["labels"]), 6)
+        entry["speedup_fit"] = round(
+            fits["dense"]["fit_seconds"] / fits["sparse"]["fit_seconds"], 3)
+        entry["memory_ratio_dense_over_sparse"] = round(
+            entry["memory_dense"]["peak_rspace_bytes"]
+            / max(entry["memory_sparse"]["peak_rspace_bytes"], 1), 3)
+        results.append(entry)
+        print(f"[bench] N={n_total}: fit speedup ×{entry['speedup_fit']}, "
+              f"R-space memory ratio ×{entry['memory_ratio_dense_over_sparse']}, "
+              f"E_R rows {entry['fit_sparse']['error_rows_fraction']:.1%}",
+              flush=True)
+
+    largest = results[-1]
+    # Growth exponent of the sparse R-space peak vs N (log-log slope between
+    # the smallest and largest size): sublinear in N² means < 2.
+    mem_exponent = None
+    if len(results) >= 2:
+        n0, n1 = results[0]["n_total"], largest["n_total"]
+        m0 = results[0]["memory_sparse"]["peak_rspace_bytes"]
+        m1 = largest["memory_sparse"]["peak_rspace_bytes"]
+        if m0 > 0 and m1 > 0 and n1 > n0:
+            mem_exponent = round(float(np.log(m1 / m0) / np.log(n1 / n0)), 3)
+    return {
+        "benchmark": "rhchme-rspace",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": [int(n) for n in sizes],
+        "lam": LAM,
+        "beta": BETA,
+        "max_iter": MAX_ITER,
+        "error_row_tol": ERROR_ROW_TOL,
+        "results": results,
+        "summary": {
+            "largest_n": largest["n_total"],
+            "speedup_fit_at_largest": largest["speedup_fit"],
+            "meets_3x_target": bool(largest["speedup_fit"] >= 3.0),
+            "rspace_memory_ratio_at_largest":
+                largest["memory_ratio_dense_over_sparse"],
+            "sparse_peak_memory_growth_exponent_vs_n": mem_exponent,
+            "sparse_memory_sublinear_in_n_squared": (
+                bool(mem_exponent < 2.0) if mem_exponent is not None else None),
+            "error_rows_fraction_at_largest":
+                largest["fit_sparse"]["error_rows_fraction"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"quick CI run on sizes {SMOKE_SIZES}")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the ≥3× fit speedup holds "
+                             "at the largest size")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_rspace.json")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+    report = run(sorted(sizes), seed=args.seed)
+    report["smoke"] = bool(args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(f"[bench] wrote {args.output}")
+    print(f"[bench] largest N={summary['largest_n']}: "
+          f"fit speedup ×{summary['speedup_fit_at_largest']} "
+          f"(target ≥3: {'PASS' if summary['meets_3x_target'] else 'MISS'}), "
+          f"R-space memory ratio ×{summary['rspace_memory_ratio_at_largest']}, "
+          f"sparse peak-memory exponent vs N: "
+          f"{summary['sparse_peak_memory_growth_exponent_vs_n']}")
+    if args.check and not summary["meets_3x_target"]:
+        print("[bench] FAIL: sparse R-space fit speedup below the 3x gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,8 @@ def as_float_array(values, *, name: str = "array", ndim: int | None = None,
             matrix = values.tocsr().astype(np.float64)
             if ndim is not None and ndim != 2:
                 raise ShapeError(f"{name}: sparse input is always 2-D, expected {ndim}-D")
+            if not np.all(np.isfinite(matrix.data)):
+                raise ValidationError(f"{name} contains NaN or infinite entries")
             return matrix
         values = values.toarray()
     array = np.asarray(values, dtype=np.float64)

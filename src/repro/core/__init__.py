@@ -13,6 +13,8 @@ normalisation), and the sample-wise sparse error matrix E_R (Eq. 27), with
 * :mod:`repro.core.config` — :class:`RHCHMEConfig`, every tunable in one place.
 * :mod:`repro.core.objective` — objective evaluation and its decomposition.
 * :mod:`repro.core.updates` — the three update rules.
+* :mod:`repro.core.rspace` — factored sparse-backend kernels for every
+  R-space quantity (the ``G S Gᵀ`` product is never materialised).
 * :mod:`repro.core.state` — factorisation state (G, S, E_R) and initialisation.
 * :mod:`repro.core.convergence` — iteration history bookkeeping.
 * :mod:`repro.core.rhchme` — the :class:`RHCHME` estimator (Algorithm 2).

@@ -79,6 +79,18 @@ class RHCHMEConfig:
         unset, whose affinity is then dense in substance.  Both backends
         produce the same labels and objective trace up to floating-point
         noise.
+    error_row_tol:
+        Relative survival threshold of the row-sparse error matrix under the
+        sparse backend: after the ``(β D + I)⁻¹`` shrinkage (Eq. 27), rows of
+        ``E_R`` whose L2 norm is at most ``error_row_tol`` times the RMS row
+        norm of ``R`` are treated as exactly zero and never materialised.
+        The default ``1e-8`` only drops numerically dead rows (exact up to
+        floating point — dense/sparse parity is test-enforced); raising it
+        to ``1e-3``–``1e-2`` keeps only genuinely corrupted samples' rows,
+        which is what bounds E_R memory at ``O(k·n)`` for ``k`` corrupted
+        objects and makes the sparse R-space fit ``O(nnz)`` end to end.
+        The dense backend applies the same rule (zeroing instead of
+        skipping), so both backends optimise the same objective.
     subspace_topk:
         Optional top-k thresholding of the (inherently dense) subspace-member
         affinity: keep only the k strongest similarities per row, united
@@ -111,6 +123,7 @@ class RHCHMEConfig:
     track_metrics_every: int = 1
     zeta: float = 1e-10
     backend: str = "auto"
+    error_row_tol: float = 1e-8
     subspace_topk: int | None = None
 
     def __post_init__(self) -> None:
@@ -129,6 +142,12 @@ class RHCHMEConfig:
         if self.track_metrics_every < 0:
             raise ValueError("track_metrics_every must be >= 0")
         check_backend(self.backend)
+        check_positive_float(self.error_row_tol, name="error_row_tol",
+                             minimum=0.0, inclusive=True)
+        if self.error_row_tol >= 1.0:
+            raise ValueError(
+                f"error_row_tol is relative to R's RMS row norm and must be "
+                f"< 1, got {self.error_row_tol}")
         if self.subspace_topk is not None:
             check_positive_int(self.subspace_topk, name="subspace_topk")
         object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))

@@ -67,6 +67,11 @@ class TraceRecorder:
         return np.array([r.metrics.get(name, np.nan) for r in self._records],
                         dtype=np.float64)
 
+    def terms_series(self, name: str) -> np.ndarray:
+        """Array of one objective term across iterations (NaN where absent)."""
+        return np.array([r.terms.get(name, np.nan) for r in self._records],
+                        dtype=np.float64)
+
     def last_relative_decrease(self) -> float:
         """Relative objective decrease between the last two records.
 

@@ -4,6 +4,12 @@ Keeping the objective evaluation separate from the update rules allows the
 tests to assert the monotone-decrease property proved in the paper's
 Theorem 1 and lets the convergence recorder log the contribution of each
 term (reconstruction, sparsity, graph smoothness).
+
+The evaluation is representation-agnostic: ``R`` may be dense or scipy
+sparse and ``E_R`` dense or row-sparse.  Under the sparse representations
+the reconstruction term ``‖R − G S Gᵀ − E_R‖²_F`` is expanded into pairwise
+Frobenius inner products (see :func:`repro.core.rspace.reconstruction_error`)
+so the dense ``G S Gᵀ`` product is never materialised.
 """
 
 from __future__ import annotations
@@ -11,8 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..linalg.norms import frobenius_norm, l21_norm, trace_quadratic
+from ..linalg.rowsparse import RowSparseMatrix
+from . import rspace
 
 __all__ = ["ObjectiveBreakdown", "evaluate_objective"]
 
@@ -41,17 +50,24 @@ class ObjectiveBreakdown:
         return self.reconstruction + self.error_sparsity + self.graph_smoothness
 
 
-def evaluate_objective(R: np.ndarray, G: np.ndarray, S: np.ndarray,
-                       E_R: np.ndarray, L, *, lam: float,
+def evaluate_objective(R, G: np.ndarray, S: np.ndarray,
+                       E_R, L, *, lam: float,
                        beta: float) -> ObjectiveBreakdown:
     """Evaluate the three terms of Eq. 15 at the given factors.
 
     ``L`` may be dense or scipy sparse; the smoothness term only needs the
     product ``L @ G`` (see :func:`repro.linalg.norms.trace_quadratic`), so a
-    sparse ensemble Laplacian is never densified.
+    sparse ensemble Laplacian is never densified.  Likewise ``R`` may be
+    dense or CSR and ``E_R`` dense or a
+    :class:`~repro.linalg.rowsparse.RowSparseMatrix`; any sparse operand
+    routes the reconstruction term through the factored expansion instead
+    of the dense residual.
     """
-    residual = R - G @ S @ G.T - E_R
-    reconstruction = frobenius_norm(residual) ** 2
+    if sp.issparse(R) or isinstance(E_R, RowSparseMatrix):
+        reconstruction = rspace.reconstruction_error(R, G, S, E_R)
+    else:
+        residual = R - G @ S @ G.T - E_R
+        reconstruction = frobenius_norm(residual) ** 2
     error_sparsity = beta * l21_norm(E_R)
     graph_smoothness = lam * trace_quadratic(G, L)
     return ObjectiveBreakdown(reconstruction=float(reconstruction),

@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from ..exceptions import NotFittedError, ValidationError
+from ..linalg.rowsparse import RowSparseMatrix
 from ..manifold.ensemble import HeterogeneousManifoldEnsemble
 from ..metrics.fscore import clustering_fscore
 from ..metrics.nmi import normalized_mutual_information
@@ -127,8 +128,6 @@ class RHCHME:
         config = self.config
         start = time.perf_counter()
 
-        R = data.inter_type_matrix(normalize=config.normalize_relations)
-
         ensemble_start = time.perf_counter()
         ensemble = HeterogeneousManifoldEnsemble(
             alpha=config.alpha,
@@ -148,6 +147,13 @@ class RHCHME:
         backend = ensemble.resolved_backend_
         ensemble_seconds = time.perf_counter() - ensemble_start
 
+        # R follows the backend the ensemble resolved, so the whole fit —
+        # graph side and R-space — shares one representation: CSR relations,
+        # row-sparse E_R and factored G S Gᵀ products under "sparse", plain
+        # arrays under "dense".
+        R = data.inter_type_matrix(normalize=config.normalize_relations,
+                                   backend=backend)
+
         # L is fixed for the whole fit; split it into (L+, L-) once instead of
         # re-splitting inside every membership update.
         L_parts = split_parts(L)
@@ -157,6 +163,15 @@ class RHCHME:
                                      random_state=config.random_state)
         else:
             state = self._coerce_warm_start(warm_start, data)
+            if backend == "sparse" and isinstance(state.E_R, np.ndarray) \
+                    and not np.any(state.E_R):
+                # Warm starts built without a backend in sight (e.g. a
+                # refresh of a use_error_matrix=False model) default E_R to
+                # dense zeros; under the sparse backend that block would
+                # drag O(n²) memory and per-iteration work through the
+                # whole refit for nothing — represent it row-sparse like a
+                # cold sparse initialisation does.
+                state.E_R = RowSparseMatrix.zeros(state.E_R.shape)
         trace = TraceRecorder()
         state.S = update_association(R, state)
         self._record(trace, data, R, L, state)
@@ -169,7 +184,8 @@ class RHCHME:
                                         parts=L_parts)
             if config.use_error_matrix:
                 state.E_R = update_error_matrix(R, state, beta=config.beta,
-                                                zeta=config.zeta)
+                                                zeta=config.zeta,
+                                                row_tol=config.error_row_tol)
             state.iteration = iteration
             self._record(trace, data, R, L, state)
             decrease = trace.last_relative_decrease()

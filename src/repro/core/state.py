@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import (as_float_array, check_non_negative,
                            check_positive_float, check_random_state)
@@ -21,6 +22,7 @@ from ..cluster.kmeans import KMeans
 from ..exceptions import ShapeError, ValidationError
 from ..linalg.blocks import BlockSpec, block_diagonal
 from ..linalg.normalize import row_normalize_l1
+from ..linalg.rowsparse import RowSparseMatrix
 from ..relational.dataset import MultiTypeRelationalData
 
 __all__ = ["FactorizationState", "initialize_state",
@@ -38,14 +40,17 @@ class FactorizationState:
     S:
         ``(c, c)`` association matrix.
     E_R:
-        ``(n, n)`` sample-wise sparse error matrix.
+        ``(n, n)`` sample-wise sparse error matrix — a dense array under the
+        dense backend, a :class:`~repro.linalg.rowsparse.RowSparseMatrix`
+        (only the rows surviving the L2,1 shrinkage are materialised) under
+        the sparse backend.
     object_spec, cluster_spec:
         Block partitions of objects and clusters by type.
     """
 
     G: np.ndarray
     S: np.ndarray
-    E_R: np.ndarray
+    E_R: np.ndarray | RowSparseMatrix
     object_spec: BlockSpec
     cluster_spec: BlockSpec
     iteration: int = 0
@@ -71,7 +76,7 @@ class FactorizationState:
                                   extras=dict(self.extras))
 
 
-def initialize_membership_blocks(data: MultiTypeRelationalData, R: np.ndarray, *,
+def initialize_membership_blocks(data: MultiTypeRelationalData, R, *,
                                  init: str = "kmeans", smoothing: float = 0.2,
                                  random_state=None) -> list[np.ndarray]:
     """Initialise each type's membership block.
@@ -80,7 +85,8 @@ def initialize_membership_blocks(data: MultiTypeRelationalData, R: np.ndarray, *
     inter-type matrix R (its relational profile), which is how the paper's
     Algorithm 2 obtains G0.  ``init="random"`` draws uniform positive blocks.
     Both variants end with strictly positive, row-ℓ1-normalised blocks so the
-    multiplicative updates are well defined.
+    multiplicative updates are well defined.  ``R`` may be dense or CSR;
+    sparse profiles are densified one type at a time for the k-means pass.
     """
     rng = check_random_state(random_state)
     object_spec = data.object_block_spec()
@@ -91,6 +97,12 @@ def initialize_membership_blocks(data: MultiTypeRelationalData, R: np.ndarray, *
             block = rng.uniform(0.1, 1.0, size=(n_objects, n_clusters))
         else:
             profile = R[object_spec.slice(index), :]
+            if sp.issparse(profile):
+                # k-means runs on the dense per-type slice so both backends
+                # cluster bit-identical profiles; the ``(n_k, n)`` transient
+                # exists only during initialisation (use ``init="random"`` or
+                # a warm start for a strictly O(nnz) memory profile).
+                profile = profile.toarray()
             seed = int(rng.integers(0, 2**31 - 1))
             if n_clusters >= n_objects:
                 labels = np.arange(n_objects) % n_clusters
@@ -130,6 +142,12 @@ def warm_start_state(data: MultiTypeRelationalData,
     association, error_matrix:
         Optional warm starts for ``S`` and ``E_R`` (zeros when omitted;
         ``S`` is recomputed from ``G`` at the start of the fit anyway).
+        ``E_R`` may be a dense array or a
+        :class:`~repro.linalg.rowsparse.RowSparseMatrix`; when omitted the
+        all-zero E_R is represented row-sparse (no stored rows), so a
+        warm start never allocates an ``O(n²)`` zero block — the first
+        error-matrix update of the fit re-establishes the backend's
+        representation either way.
     smoothing:
         Fraction of uniform mass mixed into each row after ℓ1
         normalisation.  The multiplicative updates cannot move an entry off
@@ -173,7 +191,13 @@ def warm_start_state(data: MultiTypeRelationalData,
                 f"{(n_clusters, n_clusters)}")
         association = association.copy()
     if error_matrix is None:
-        error_matrix = np.zeros((n_objects, n_objects))
+        error_matrix = RowSparseMatrix.zeros((n_objects, n_objects))
+    elif isinstance(error_matrix, RowSparseMatrix):
+        if error_matrix.shape != (n_objects, n_objects):
+            raise ShapeError(
+                f"error_matrix has shape {error_matrix.shape}, expected "
+                f"{(n_objects, n_objects)}")
+        error_matrix = error_matrix.copy()
     else:
         error_matrix = as_float_array(error_matrix, name="error_matrix", ndim=2)
         if error_matrix.shape != (n_objects, n_objects):
@@ -186,10 +210,16 @@ def warm_start_state(data: MultiTypeRelationalData,
                               cluster_spec=cluster_spec)
 
 
-def initialize_state(data: MultiTypeRelationalData, R: np.ndarray, *,
+def initialize_state(data: MultiTypeRelationalData, R, *,
                      init: str = "kmeans", smoothing: float = 0.2,
                      random_state=None) -> FactorizationState:
-    """Build the initial factorisation state for Algorithm 2."""
+    """Build the initial factorisation state for Algorithm 2.
+
+    The error matrix starts at zero in the representation matching ``R``:
+    a dense array for a dense ``R``, an empty (no stored rows)
+    :class:`~repro.linalg.rowsparse.RowSparseMatrix` for a CSR ``R`` — the
+    sparse backend never allocates the ``O(n²)`` zero block.
+    """
     object_spec = data.object_block_spec()
     cluster_spec = data.cluster_block_spec()
     blocks = initialize_membership_blocks(data, R, init=init, smoothing=smoothing,
@@ -198,6 +228,7 @@ def initialize_state(data: MultiTypeRelationalData, R: np.ndarray, *,
     n_objects = object_spec.total
     n_clusters = cluster_spec.total
     S = np.zeros((n_clusters, n_clusters))
-    E_R = np.zeros((n_objects, n_objects))
+    E_R = (RowSparseMatrix.zeros((n_objects, n_objects)) if sp.issparse(R)
+           else np.zeros((n_objects, n_objects)))
     return FactorizationState(G=G, S=S, E_R=E_R, object_spec=object_spec,
                               cluster_spec=cluster_spec)

@@ -3,22 +3,39 @@
 The objective is minimised by alternating three subproblem solutions while
 the other variables are held fixed:
 
-* ``S`` — closed form ``(GᵀG)⁻¹ Gᵀ (R − E_R) G (GᵀG)⁻¹`` (Eq. 18).
+* ``S`` — closed form ``(GᵀG)⁺ Gᵀ (R − E_R) G (GᵀG)⁺`` (Eq. 18), with the
+  gram inverse routed through the guarded pseudo-inverse of
+  :func:`repro.linalg.safe.gram_pinv` so an emptied cluster (a zero column
+  of G, hence a singular gram) zeroes its association row instead of
+  blowing the fit up.
 * ``G`` — a multiplicative update derived from the KKT conditions (Eq. 21),
   using positive/negative part splits of L, A and B to keep G non-negative,
   followed by row-ℓ1 normalisation (Eq. 22).
 * ``E_R`` — the L2,1-regularised least squares solution
   ``(β D + I)⁻¹ (R − G S Gᵀ)`` (Eq. 27) with the diagonal reweighting matrix
   D of Eq. 25, computed row-wise because ``β D + I`` is diagonal.
+
+Every rule accepts the relation matrix ``R`` as a dense array or a scipy
+CSR matrix and the error matrix ``E_R`` as a dense array or a
+:class:`repro.linalg.rowsparse.RowSparseMatrix`.  Under the sparse
+representations the residual ``R − G S Gᵀ`` is never densified: the
+``G S Gᵀ`` product stays factored and is only evaluated against the sparse
+pattern of ``R``/``E_R`` (see :mod:`repro.core.rspace`), and the E_R update
+returns a row-sparse matrix holding only the rows whose L2 norm survives
+the ``(β D + I)⁻¹`` shrinkage.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..linalg.normalize import row_normalize_l1
+from ..linalg.norms import frobenius_norm, row_l2_norms
 from ..linalg.parts import split_parts
-from ..linalg.safe import safe_divide, safe_inverse
+from ..linalg.rowsparse import RowSparseMatrix
+from ..linalg.safe import gram_pinv, safe_divide
+from . import rspace
 from .state import FactorizationState
 
 __all__ = [
@@ -48,11 +65,19 @@ def apply_block_structure(G: np.ndarray, state: FactorizationState) -> np.ndarra
     return masked
 
 
-def update_association(R: np.ndarray, state: FactorizationState) -> np.ndarray:
-    """Closed-form S update (Eq. 18) with a ridge-regularised (GᵀG)⁻¹."""
+def update_association(R, state: FactorizationState) -> np.ndarray:
+    """Closed-form S update (Eq. 18) through a guarded gram pseudo-inverse.
+
+    ``R`` may be dense or CSR and ``E_R`` dense or row-sparse; the core
+    ``Gᵀ (R − E_R) G`` is assembled from skinny products either way.  The
+    pseudo-inverse zeroes the gram's null directions, so a cluster that
+    emptied mid-iteration (zero G column → singular GᵀG) receives zero
+    association mass instead of ``O(1/ridge)`` garbage.
+    """
     G, E_R = state.G, state.E_R
-    gram_inverse = safe_inverse(G.T @ G)
-    S = gram_inverse @ G.T @ (R - E_R) @ G @ gram_inverse
+    gram_inverse = gram_pinv(G.T @ G)
+    core = rspace.association_core(R, E_R, G)
+    S = gram_inverse @ core @ gram_inverse
     # The association matrix of the paper has zero diagonal blocks (cluster
     # associations only exist across types); impose that structure to match.
     masked = S.copy()
@@ -62,14 +87,16 @@ def update_association(R: np.ndarray, state: FactorizationState) -> np.ndarray:
     return masked
 
 
-def update_membership(R: np.ndarray, L, state: FactorizationState,
+def update_membership(R, L, state: FactorizationState,
                       *, lam: float, parts=None) -> np.ndarray:
     """Multiplicative G update (Eq. 21) followed by row-ℓ1 normalisation (Eq. 22).
 
     ``L`` may be a dense array or a scipy sparse matrix: the positive/negative
     split of a sparse Laplacian stays sparse and both ``L⁺ @ G`` and
     ``L⁻ @ G`` are skinny dense products, so the sparse backend never
-    materialises an ``(n, n)`` dense intermediate here.
+    materialises an ``(n, n)`` dense intermediate here.  The same holds for
+    the relation side: with a CSR ``R`` and a row-sparse ``E_R`` the
+    numerator term ``(R − E_R) G Sᵀ`` is built from ``O(nnz·c)`` products.
 
     ``parts`` optionally supplies a precomputed ``(L⁺, L⁻)`` pair.  L is
     loop-invariant across the fit iterations, so callers iterating this
@@ -77,7 +104,7 @@ def update_membership(R: np.ndarray, L, state: FactorizationState,
     the O(n²) (dense) or O(nnz) (sparse) split every iteration.
     """
     G, S, E_R = state.G, state.S, state.E_R
-    A = (R - E_R) @ G @ S.T
+    A = rspace.project_relations(R, E_R, G) @ S.T
     B = S.T @ (G.T @ G) @ S
     L_pos, L_neg = parts if parts is not None else split_parts(L)
     A_pos, A_neg = split_parts(A)
@@ -94,28 +121,81 @@ def update_membership(R: np.ndarray, L, state: FactorizationState,
     return row_normalize_l1(updated)
 
 
-def l21_reweighting_diagonal(residual: np.ndarray, *, zeta: float = 1e-10) -> np.ndarray:
+def l21_reweighting_diagonal(residual, *, zeta: float = 1e-10) -> np.ndarray:
     """Diagonal of the L2,1 reweighting matrix D (Eq. 25).
 
     ``D_ii = 1 / (2 ‖q_i‖₂)`` where ``q_i`` is the i-th row of the residual
     ``Q = R − G S Gᵀ``; rows with zero norm are regularised with the small
-    perturbation ζ as described under Eq. 27.
+    perturbation ζ as described under Eq. 27.  ``residual`` may be a full
+    matrix (any representation) or a precomputed vector of row norms.  The
+    denominator is floored at machine epsilon scale so all-zero residual
+    rows stay finite even with ``zeta=0`` — without the floor they turn
+    into ``inf`` diagonals whose downstream products NaN out under
+    ``beta > 0``.
     """
-    row_norms = np.sqrt(np.sum(residual * residual, axis=1) + zeta)
-    return 1.0 / (2.0 * row_norms)
+    if isinstance(residual, np.ndarray) and residual.ndim == 1:
+        row_norms_sq = residual * residual
+    else:
+        norms = row_l2_norms(residual)
+        row_norms_sq = norms * norms
+    row_norms = np.sqrt(row_norms_sq + zeta)
+    return 1.0 / np.maximum(2.0 * row_norms, _EPS)
 
 
-def update_error_matrix(R: np.ndarray, state: FactorizationState, *, beta: float,
-                        zeta: float = 1e-10) -> np.ndarray:
-    """Sparse error matrix update (Eq. 27).
+def _shrinkage_scale(row_norms: np.ndarray, *, beta: float,
+                     zeta: float) -> np.ndarray:
+    """Row scaling ``(β D + I)⁻¹`` of Eq. 27 from residual row norms."""
+    diag = l21_reweighting_diagonal(row_norms, zeta=zeta)
+    return 1.0 / (beta * diag + 1.0)
+
+
+def _row_survival_floor(R, row_tol: float) -> float:
+    """Absolute shrunk-row-norm floor implied by the relative ``row_tol``.
+
+    Anchored to the RMS row norm of ``R`` (the natural scale of the
+    residual): a row whose shrunk L2 norm is at most ``row_tol`` times a
+    typical R row carries no signal worth a dense row.
+    """
+    if row_tol <= 0.0:
+        return 0.0
+    return row_tol * frobenius_norm(R) / np.sqrt(max(R.shape[0], 1))
+
+
+def update_error_matrix(R, state: FactorizationState, *, beta: float,
+                        zeta: float = 1e-10, row_tol: float = 0.0):
+    """Sample-wise sparse error matrix update (Eq. 27).
 
     ``E_R = (β D + I)⁻¹ (R − G S Gᵀ)`` where ``β D + I`` is diagonal, so the
     inverse is an element-wise row scaling: rows of the residual with small
     norm are shrunk strongly (treated as noise-free) while rows with large
     norm — the corrupted samples — absorb most of their residual into E_R.
+
+    With a dense ``R`` the result is dense (rows whose shrunk norm falls at
+    or below the ``row_tol`` floor are zeroed).  With a CSR ``R`` the
+    residual is never densified: its row norms come from the factored
+    expansion of :func:`repro.core.rspace.residual_row_norms` and only the
+    surviving rows are materialised, returned as a
+    :class:`~repro.linalg.rowsparse.RowSparseMatrix`.
+
+    Parameters
+    ----------
+    row_tol:
+        Relative survival threshold: rows whose *shrunk* L2 norm is at most
+        ``row_tol`` times the RMS row norm of ``R`` are treated as exactly
+        zero.  ``0`` (default) keeps every row with a strictly positive
+        shrunk norm — exact up to floating point.
     """
     G, S = state.G, state.S
+    floor = _row_survival_floor(R, row_tol)
+    if sp.issparse(R):
+        M = rspace.factored_product(G, S)
+        norms = rspace.residual_row_norms(R, G, S, M=M)
+        scale = _shrinkage_scale(norms, beta=beta, zeta=zeta)
+        rows = np.flatnonzero(scale * norms > floor)
+        values = scale[rows, None] * rspace.residual_rows(R, G, S, rows, M=M)
+        return RowSparseMatrix(rows, values, R.shape)
     residual = R - G @ S @ G.T
-    diag = l21_reweighting_diagonal(residual, zeta=zeta)
-    scale = 1.0 / (beta * diag + 1.0)
+    norms = row_l2_norms(residual)
+    scale = _shrinkage_scale(norms, beta=beta, zeta=zeta)
+    scale[scale * norms <= floor] = 0.0
     return residual * scale[:, None]

@@ -16,6 +16,8 @@ The module groups small, well-tested numerical primitives:
 * :mod:`repro.linalg.safe` — numerically safe inverses and divisions.
 * :mod:`repro.linalg.backend` — dense/sparse compute-backend selection and
   conversion helpers used to thread scipy.sparse through the pipeline.
+* :mod:`repro.linalg.rowsparse` — the row-sparse matrix representation the
+  sample-wise error matrix E_R uses under the sparse backend.
 """
 
 from .backend import (
@@ -57,13 +59,16 @@ from .projections import (
     project_nonnegative_zero_diagonal,
     project_simplex_rows,
 )
-from .safe import safe_divide, safe_inverse, safe_sqrt, stable_pinv
+from .rowsparse import RowSparseMatrix, as_dense_matrix
+from .safe import gram_pinv, safe_divide, safe_inverse, safe_sqrt, stable_pinv
 
 __all__ = [
     "AUTO_SPARSE_THRESHOLD",
     "BACKENDS",
     "BlockSpec",
+    "RowSparseMatrix",
     "as_csr",
+    "as_dense_matrix",
     "check_backend",
     "is_sparse",
     "resolve_backend",
@@ -75,6 +80,7 @@ __all__ = [
     "extract_blocks",
     "extract_diagonal_blocks",
     "frobenius_norm",
+    "gram_pinv",
     "l1_norm",
     "l21_norm",
     "l2_norm",

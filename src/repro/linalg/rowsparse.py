@@ -1,0 +1,199 @@
+"""Row-sparse matrices: few materialised rows, zeros everywhere else.
+
+The L2,1-regularised error matrix ``E_R`` of RHCHME (Eq. 27) is *sample-wise*
+sparse: the ``(β D + I)⁻¹`` shrinkage drives the rows of well-explained
+objects towards zero while corrupted objects keep a whole (dense) row of
+residual.  A general-purpose CSR matrix is the wrong container for that
+shape — the surviving rows are dense, so per-entry indexing triples the
+memory — and a dense array wastes ``O(n²)`` on zeros.
+:class:`RowSparseMatrix` stores exactly what the structure has: the sorted
+indices of the surviving rows and one dense ``(k, n)`` value block.
+
+The class implements only the operations the RHCHME update loop and the
+serving stack need (products with skinny dense matrices, row norms, inner
+products with CSR operands), each without materialising the ``(n, n)``
+dense form.  ``to_dense``/``__array__`` exist for interop and tests, not
+for hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["RowSparseMatrix", "as_dense_matrix"]
+
+
+class RowSparseMatrix:
+    """A matrix with dense values on a few rows and zeros on all others.
+
+    Parameters
+    ----------
+    rows:
+        Strictly increasing indices of the materialised (non-zero) rows.
+    values:
+        ``(len(rows), shape[1])`` dense block holding those rows' values.
+    shape:
+        Logical ``(n_rows, n_cols)`` shape of the full matrix.
+    """
+
+    __slots__ = ("rows", "values", "shape")
+
+    def __init__(self, rows, values, shape) -> None:
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64)
+        n_rows, n_cols = (int(shape[0]), int(shape[1]))
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {values.shape}")
+        if values.shape != (rows.size, n_cols):
+            raise ValueError(
+                f"values have shape {values.shape}, expected "
+                f"{(rows.size, n_cols)} for {rows.size} rows of width {n_cols}")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError(
+                    f"row indices must lie in [0, {n_rows}), got range "
+                    f"[{rows.min()}, {rows.max()}]")
+            if np.any(np.diff(rows) <= 0):
+                raise ValueError("row indices must be strictly increasing")
+        self.rows = rows
+        self.values = values
+        self.shape = (n_rows, n_cols)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def zeros(cls, shape) -> "RowSparseMatrix":
+        """The all-zero matrix of the given shape (no rows materialised)."""
+        return cls(np.empty(0, dtype=np.int64),
+                   np.empty((0, int(shape[1]))), shape)
+
+    @classmethod
+    def from_dense(cls, matrix, *, tol: float = 0.0) -> "RowSparseMatrix":
+        """Compress a dense matrix, keeping rows with L2 norm above ``tol``.
+
+        ``tol=0`` keeps every row that has any non-zero entry — an exact
+        representation for matrices that are already row-sparse in substance
+        (an all-zero ``E_R`` compresses to nothing).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+        norms = np.sqrt(np.einsum("ij,ij->i", matrix, matrix))
+        rows = np.flatnonzero(norms > tol)
+        return cls(rows, matrix[rows].copy(), matrix.shape)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def n_stored_rows(self) -> int:
+        """Number of materialised rows."""
+        return int(self.rows.size)
+
+    @property
+    def nnz(self) -> int:
+        """Entries actually held in memory (stored rows × columns)."""
+        return int(self.values.size)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no row is materialised (the all-zero matrix)."""
+        return self.rows.size == 0
+
+    # ------------------------------------------------------------- conversions
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full dense ``(n_rows, n_cols)`` array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if self.rows.size:
+            dense[self.rows] = self.values
+        return dense
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        dense = self.to_dense()
+        return dense if dtype is None else dense.astype(dtype)
+
+    def copy(self) -> "RowSparseMatrix":
+        """Independent copy (indices and values)."""
+        return RowSparseMatrix(self.rows.copy(), self.values.copy(), self.shape)
+
+    # --------------------------------------------------------------- operators
+    def __matmul__(self, other) -> np.ndarray:
+        """``self @ other`` with a dense operand, returning a dense array.
+
+        Only the stored rows contribute, so the cost is ``O(k · n · m)`` for
+        ``k`` stored rows and an ``(n, m)`` operand — the result is skinny
+        whenever the operand is.
+        """
+        other = np.asarray(other, dtype=np.float64)
+        out_shape = ((self.shape[0],) if other.ndim == 1
+                     else (self.shape[0], other.shape[-1]))
+        out = np.zeros(out_shape, dtype=np.float64)
+        if self.rows.size:
+            out[self.rows] = self.values @ other
+        return out
+
+    def t_matmul(self, other) -> np.ndarray:
+        """``self.T @ other`` with a dense operand, returning a dense array.
+
+        Uses only the operand rows the stored rows touch:
+        ``selfᵀ X = valuesᵀ X[rows]``.
+        """
+        other = np.asarray(other, dtype=np.float64)
+        return self.values.T @ other[self.rows]
+
+    def inner(self, other) -> float:
+        """Frobenius inner product ``Σᵢⱼ selfᵢⱼ otherᵢⱼ``.
+
+        ``other`` may be dense, scipy sparse or another row-sparse matrix;
+        only the stored rows are ever touched.
+        """
+        if self.rows.size == 0:
+            return 0.0
+        if isinstance(other, RowSparseMatrix):
+            shared, mine, theirs = np.intersect1d(
+                self.rows, other.rows, assume_unique=True, return_indices=True)
+            if shared.size == 0:
+                return 0.0
+            return float(np.sum(self.values[mine] * other.values[theirs]))
+        if sp.issparse(other):
+            rows_csr = sp.csr_array(other)[self.rows]
+            return float(rows_csr.multiply(self.values).sum())
+        other = np.asarray(other, dtype=np.float64)
+        return float(np.sum(self.values * other[self.rows]))
+
+    # ------------------------------------------------------------------- norms
+    def stored_row_norms(self) -> np.ndarray:
+        """L2 norms of the stored rows (length ``n_stored_rows``)."""
+        return np.sqrt(np.einsum("ij,ij->i", self.values, self.values))
+
+    def row_norms(self) -> np.ndarray:
+        """L2 norm of every row of the full matrix (zeros for absent rows)."""
+        norms = np.zeros(self.shape[0], dtype=np.float64)
+        if self.rows.size:
+            norms[self.rows] = self.stored_row_norms()
+        return norms
+
+    def frobenius_squared(self) -> float:
+        """Squared Frobenius norm ``‖·‖²_F``."""
+        return float(np.sum(self.values * self.values))
+
+    def l21_norm(self) -> float:
+        """L2,1 norm — the sum of row L2 norms (Eq. 14)."""
+        return float(np.sum(self.stored_row_norms()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (f"RowSparseMatrix(shape={self.shape}, "
+                f"stored_rows={self.n_stored_rows})")
+
+
+def as_dense_matrix(matrix) -> np.ndarray:
+    """Densify any of the solver's matrix representations.
+
+    Accepts dense arrays (returned as float64 views/copies), scipy sparse
+    matrices and :class:`RowSparseMatrix`.  The explicit escape hatch for
+    code paths that are dense anyway — hot sparse paths should dispatch on
+    the representation instead of calling this.
+    """
+    if isinstance(matrix, RowSparseMatrix):
+        return matrix.to_dense()
+    if sp.issparse(matrix):
+        return matrix.toarray().astype(np.float64, copy=False)
+    return np.asarray(matrix, dtype=np.float64)

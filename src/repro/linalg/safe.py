@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["safe_inverse", "safe_divide", "safe_sqrt", "stable_pinv"]
+__all__ = ["safe_inverse", "safe_divide", "safe_sqrt", "stable_pinv",
+           "gram_pinv"]
 
 _EPS = 1e-12
 
@@ -36,6 +37,30 @@ def safe_inverse(matrix: np.ndarray, *, ridge: float = 1e-10) -> np.ndarray:
 def stable_pinv(matrix: np.ndarray, *, rcond: float = 1e-10) -> np.ndarray:
     """Moore–Penrose pseudo-inverse with a conservative cutoff."""
     return np.linalg.pinv(np.asarray(matrix, dtype=np.float64), rcond=rcond)
+
+
+def gram_pinv(gram: np.ndarray, *, rcond: float = 1e-10) -> np.ndarray:
+    """Guarded pseudo-inverse of a symmetric PSD gram matrix ``GᵀG``.
+
+    A ridge-regularised solve (``safe_inverse``) keeps a singular gram
+    invertible but answers with ``O(1/ridge)`` entries along the null
+    directions — when a cluster empties mid-iteration (a zero column of G)
+    that turns the closed-form S update into a blow-up.  The eigendecomposed
+    pseudo-inverse instead *zeroes* the null directions: eigenvalues below
+    ``rcond`` times the largest are treated as exact zeros, so an empty
+    cluster simply receives no association mass.  For well-conditioned grams
+    the result matches the plain inverse to machine precision.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise ValueError(f"expected a square gram matrix, got shape {gram.shape}")
+    # eigh on the symmetrised matrix: the gram is symmetric in exact
+    # arithmetic and eigh is both faster and more stable than SVD here.
+    eigenvalues, eigenvectors = np.linalg.eigh((gram + gram.T) / 2.0)
+    cutoff = rcond * max(float(eigenvalues[-1]), 0.0)
+    inverted = np.where(eigenvalues > cutoff, 1.0 / np.where(
+        eigenvalues > cutoff, eigenvalues, 1.0), 0.0)
+    return (eigenvectors * inverted) @ eigenvectors.T
 
 
 def safe_divide(numerator: np.ndarray, denominator: np.ndarray,

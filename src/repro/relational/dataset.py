@@ -17,9 +17,13 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
+from .._validation import ensure_dense
 from ..exceptions import ValidationError
+from ..linalg.backend import resolve_backend
 from ..linalg.blocks import BlockSpec, block_diagonal, block_offdiagonal
+from ..linalg.norms import frobenius_norm
 from .types import ObjectType, Relation
 
 __all__ = ["MultiTypeRelationalData"]
@@ -164,23 +168,67 @@ class MultiTypeRelationalData:
         return BlockSpec(tuple(t.n_clusters for t in self._types))
 
     # -------------------------------------------------------- matrix assembly
-    def inter_type_matrix(self, *, normalize: bool = False) -> np.ndarray:
+    def inter_type_matrix(self, *, normalize: bool = False,
+                          backend: str = "dense"):
         """Assemble the symmetric inter-type relationship matrix ``R``.
 
         With ``normalize=True`` each relation block is scaled to unit
         Frobenius norm (then multiplied by its relation weight) so that types
         with very different co-occurrence magnitudes contribute comparably.
+
+        ``backend`` selects the representation: ``"dense"`` (default, the
+        seed behaviour) returns a numpy array, ``"sparse"`` a CSR matrix
+        assembled directly from the relation blocks' non-zeros — ``O(nnz)``
+        memory with no ``(n, n)`` intermediate, the entry point of the
+        sparse R-space pipeline.  ``"auto"`` resolves by total object count
+        (see :func:`repro.linalg.backend.resolve_backend`).  Both
+        representations hold identical values.
         """
+        backend = resolve_backend(backend, n_objects=self.n_objects_total)
         spec = self.object_block_spec()
+        if backend == "sparse":
+            return self._inter_type_matrix_sparse(spec, normalize=normalize)
         blocks: dict[tuple[int, int], np.ndarray] = {}
         for (row, col), relation in self._relations.items():
-            matrix = relation.matrix
+            matrix = ensure_dense(relation.matrix)
             if normalize:
                 norm = float(np.linalg.norm(matrix))
                 if norm > 0:
                     matrix = matrix / norm
             blocks[(row, col)] = matrix * relation.weight
         return block_offdiagonal(spec, spec, blocks, symmetric=True)
+
+    def _inter_type_matrix_sparse(self, spec: BlockSpec, *,
+                                  normalize: bool) -> sp.csr_array:
+        """CSR assembly of ``R``: each block contributes its non-zeros twice
+        (once per orientation), offset into the global block layout."""
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        for (row, col), relation in self._relations.items():
+            block = sp.coo_array(relation.matrix)
+            scale = relation.weight
+            if normalize:
+                norm = frobenius_norm(relation.matrix)
+                if norm > 0:
+                    scale = scale / norm
+            row_offset = spec.offsets[row]
+            col_offset = spec.offsets[col]
+            block_rows = block.row.astype(np.int64) + row_offset
+            block_cols = block.col.astype(np.int64) + col_offset
+            values = block.data.astype(np.float64) * scale
+            rows.extend([block_rows, block_cols])
+            cols.extend([block_cols, block_rows])
+            data.extend([values, values])
+        n = spec.total
+        if not data:
+            return sp.csr_array((n, n), dtype=np.float64)
+        matrix = sp.coo_array(
+            (np.concatenate(data),
+             (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n)).tocsr()
+        matrix.sum_duplicates()
+        return matrix
 
     def intra_type_matrix(self, affinities: Mapping[str, np.ndarray]) -> np.ndarray:
         """Assemble the block-diagonal intra-type matrix ``W``.

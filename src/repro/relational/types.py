@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import as_float_array, check_labels, check_non_negative, check_positive_int
 from ..exceptions import ValidationError
@@ -86,7 +87,11 @@ class Relation:
         type and the columns index the target type.
     matrix:
         Non-negative ``(n_source, n_target)`` co-occurrence matrix (e.g.
-        tf-idf weights of terms in documents).
+        tf-idf weights of terms in documents).  May be a dense array or a
+        scipy sparse matrix; sparse input is kept as CSR end to end so that
+        large, sparse relational data never pays an ``O(n_source·n_target)``
+        densification (the sparse compute backend assembles ``R`` directly
+        from these blocks).
     weight:
         Optional relative importance of this relation; HOCC methods that
         weight relations (SRC's ν_ij) multiply the matrix by it.
@@ -104,7 +109,7 @@ class Relation:
             raise ValidationError(
                 f"relation must connect two different types, got {self.source!r} twice")
         self.matrix = as_float_array(self.matrix, name=f"R[{self.source},{self.target}]",
-                                     ndim=2)
+                                     ndim=2, allow_sparse=True)
         check_non_negative(self.matrix, name=f"R[{self.source},{self.target}]")
         self.weight = float(self.weight)
         if self.weight <= 0:
@@ -116,7 +121,14 @@ class Relation:
         """Shape of the co-occurrence matrix."""
         return self.matrix.shape
 
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the co-occurrence matrix is stored as a scipy CSR matrix."""
+        return sp.issparse(self.matrix)
+
     def transposed(self) -> "Relation":
         """Return the reverse relation with the transposed matrix."""
+        matrix = (self.matrix.T.tocsr(copy=True) if self.is_sparse
+                  else self.matrix.T.copy())
         return Relation(source=self.target, target=self.source,
-                        matrix=self.matrix.T.copy(), weight=self.weight)
+                        matrix=matrix, weight=self.weight)

@@ -36,6 +36,7 @@ from ..core.config import RHCHMEConfig
 from ..core.rhchme import RHCHME, RHCHMEResult
 from ..core.state import warm_start_state
 from ..exceptions import ValidationError
+from ..linalg.rowsparse import RowSparseMatrix
 from ..relational.dataset import MultiTypeRelationalData
 from ..serve.artifact import RHCHMEModel
 
@@ -135,9 +136,15 @@ def warm_start_blocks(model: RHCHMEModel, data: MultiTypeRelationalData, *,
     return blocks
 
 
-def _embed_error_matrix(model: RHCHMEModel,
-                        data: MultiTypeRelationalData) -> np.ndarray | None:
-    """Scatter the old E_R into the grown block layout (zeros for new rows)."""
+def _embed_error_matrix(model: RHCHMEModel, data: MultiTypeRelationalData
+                        ) -> np.ndarray | RowSparseMatrix | None:
+    """Scatter the old E_R into the grown block layout (zeros for new rows).
+
+    A row-sparse E_R stays row-sparse: its surviving row indices are
+    remapped into the grown layout and the value block gains zero columns
+    at the new objects' positions — the ``O(n²)`` dense scatter of the
+    dense path never happens for sparse-backend artifacts.
+    """
     if model.error_matrix is None:
         return None
     old_sizes = [info.n_objects for info in model.types]
@@ -148,7 +155,14 @@ def _embed_error_matrix(model: RHCHMEModel,
         old_positions.append(offset + np.arange(n_old))
         offset += n_new
     index = np.concatenate(old_positions)
-    E_R = np.zeros((sum(new_sizes), sum(new_sizes)))
+    n_total = sum(new_sizes)
+    if isinstance(model.error_matrix, RowSparseMatrix):
+        old = model.error_matrix
+        values = np.zeros((old.n_stored_rows, n_total))
+        values[:, index] = old.values
+        # ``index`` is strictly increasing, so the remapped rows stay sorted.
+        return RowSparseMatrix(index[old.rows], values, (n_total, n_total))
+    E_R = np.zeros((n_total, n_total))
     E_R[np.ix_(index, index)] = model.error_matrix
     return E_R
 

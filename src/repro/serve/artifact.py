@@ -46,15 +46,30 @@ from ..exceptions import ArtifactError, ValidationError
 from ..graph.neighbors import QueryIndex
 from ..linalg.blocks import BlockSpec, block_diagonal
 from ..linalg.backend import resolve_backend
+from ..linalg.rowsparse import RowSparseMatrix
 from .extension import Prediction, out_of_sample_predict
 
-__all__ = ["SCHEMA_VERSION", "SHARD_LAYOUTS", "TypeInfo", "RHCHMEModel",
-           "load_model"]
+__all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "SHARD_LAYOUTS",
+           "TypeInfo", "RHCHMEModel", "load_model", "error_matrix_npz_keys"]
 
 #: Version stamp of the on-disk artifact layout.  Bump whenever the npz key
 #: set or the sidecar structure changes incompatibly; ``load`` refuses
-#: mismatched artifacts outright.
-SCHEMA_VERSION = 1
+#: artifacts outside :data:`SUPPORTED_SCHEMA_VERSIONS` outright.
+#:
+#: Version history:
+#:
+#: * 1 — original layout; the error matrix, when present, is one dense
+#:   ``error_matrix`` array.
+#: * 2 — adds the ``row-sparse`` error-matrix layout
+#:   (``error_matrix_rows``/``error_matrix_values`` keys plus the
+#:   ``error_matrix_layout`` sidecar field) and the ``error_row_tol``
+#:   config knob.  Version-1 artifacts still load; version-2 artifacts are
+#:   refused by version-1 readers with a clean schema error rather than a
+#:   misleading corruption message.
+SCHEMA_VERSION = 2
+
+#: Schema versions this library can read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 _FORMAT = "rhchme-model"
 
@@ -63,6 +78,32 @@ SHARD_LAYOUTS = ("monolithic", "per-type")
 
 #: Manifest key of the cross-type shard (association + error matrix).
 GLOBAL_SHARD = "global"
+
+#: Sidecar values of ``error_matrix_layout`` (absent on pre-row-sparse
+#: artifacts, which are all dense).
+ERROR_MATRIX_LAYOUTS = ("dense", "row-sparse")
+
+
+def error_matrix_npz_keys(sidecar: dict) -> list[str]:
+    """npz keys holding the error matrix described by a validated sidecar.
+
+    A dense layout stores one ``error_matrix`` array; the row-sparse layout
+    stores the surviving row indices and their dense value block
+    (``error_matrix_rows``/``error_matrix_values``) — for the typical
+    all-zero or few-corrupted-rows E_R that is O(k·n) on disk and at load
+    time instead of the O(n²) a densified zero block costs.  Returns an
+    empty list when the artifact has no error matrix.
+    """
+    if not sidecar.get("has_error_matrix"):
+        return []
+    layout = sidecar.get("error_matrix_layout", "dense")
+    if layout == "row-sparse":
+        return ["error_matrix_rows", "error_matrix_values"]
+    if layout != "dense":
+        raise ArtifactError(
+            f"unknown error-matrix layout {layout!r} "
+            f"(this library reads {list(ERROR_MATRIX_LAYOUTS)})")
+    return ["error_matrix"]
 
 
 def _shard_stem(stem: str, label: str) -> str:
@@ -144,7 +185,10 @@ class RHCHMEModel:
         The fitted association matrix ``S``.
     error_matrix:
         The fitted sample-wise error matrix ``E_R`` (``None`` when the fit
-        disabled it).
+        disabled it).  A dense array for dense-backend fits, a
+        :class:`~repro.linalg.rowsparse.RowSparseMatrix` for sparse-backend
+        fits — the artifact keeps whichever representation the fit produced
+        and round-trips it through ``save``/``load`` without densifying.
     backend:
         The concrete backend the fit resolved to (``"dense"``/``"sparse"``).
     """
@@ -155,7 +199,7 @@ class RHCHMEModel:
     membership: dict[str, np.ndarray]
     labels: dict[str, np.ndarray]
     association: np.ndarray
-    error_matrix: np.ndarray | None
+    error_matrix: np.ndarray | RowSparseMatrix | None
     backend: str = "dense"
     schema_version: int = SCHEMA_VERSION
     library_version: str = _library_version
@@ -236,7 +280,12 @@ class RHCHMEModel:
                 state.membership_block(index))
             labels[object_type.name] = np.asarray(
                 result.labels[object_type.name], dtype=np.int64).copy()
-        error_matrix = np.array(state.E_R) if config.use_error_matrix else None
+        if not config.use_error_matrix:
+            error_matrix = None
+        elif isinstance(state.E_R, RowSparseMatrix):
+            error_matrix = state.E_R.copy()
+        else:
+            error_matrix = np.array(state.E_R)
         return cls(config=config, types=tuple(types), features=features,
                    membership=membership, labels=labels,
                    association=np.array(state.S),
@@ -262,23 +311,46 @@ class RHCHMEModel:
         object_spec = BlockSpec(tuple(t.n_objects for t in self.types))
         cluster_spec = BlockSpec(tuple(t.n_clusters for t in self.types))
         G = block_diagonal([self.membership[t.name] for t in self.types])
-        E_R = (self.error_matrix.copy() if self.error_matrix is not None
-               else np.zeros((object_spec.total, object_spec.total)))
+        if self.error_matrix is None:
+            E_R = np.zeros((object_spec.total, object_spec.total))
+        else:
+            E_R = self.error_matrix.copy()  # keeps its representation
         return FactorizationState(G=G, S=self.association.copy(), E_R=E_R,
                                   object_spec=object_spec,
                                   cluster_spec=cluster_spec)
 
+    def _error_matrix_layout(self) -> str | None:
+        """On-disk layout of the error matrix (``None`` when absent).
+
+        Row-sparse fits and all-zero dense blocks persist compactly
+        (indices + surviving rows); only a genuinely dense non-zero E_R
+        pays for an ``(n, n)`` array — so a load never rematerialises an
+        O(n²) zero block the fit itself never held.
+        """
+        if self.error_matrix is None:
+            return None
+        if isinstance(self.error_matrix, RowSparseMatrix):
+            return "row-sparse"
+        return "dense" if np.any(self.error_matrix) else "row-sparse"
+
     def info(self) -> dict:
         """Plain-dictionary summary (used by the ``info`` CLI subcommand)."""
-        return {
+        info = {
             "format": _FORMAT,
-            "schema_version": self.schema_version,
+            # Always the *writer's* schema: a model loaded from an older
+            # artifact re-saves in the current layout, so stamping the old
+            # version would misdescribe the bytes on disk.
+            "schema_version": SCHEMA_VERSION,
             "library_version": self.library_version,
             "backend": self.backend,
             "config": self._config_dict(),
             "types": [asdict(t) for t in self.types],
             "has_error_matrix": self.error_matrix is not None,
         }
+        layout = self._error_matrix_layout()
+        if layout is not None:
+            info["error_matrix_layout"] = layout
+        return info
 
     # ------------------------------------------------------------- prediction
     def predict(self, type_name: str, X_new, *, batch_size: int = 256,
@@ -351,10 +423,11 @@ class RHCHMEModel:
                 f"{sidecar_path} is not an RHCHME model sidecar "
                 f"(format={sidecar.get('format')!r})")
         version = sidecar.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ArtifactError(
                 f"unsupported artifact schema version {version!r} "
-                f"(this library reads version {SCHEMA_VERSION}); refusing to "
+                f"(this library reads versions "
+                f"{list(SUPPORTED_SCHEMA_VERSIONS)}); refusing to "
                 "guess at a foreign layout — re-export the model with a "
                 "matching library version")
         for shard_path in cls.shard_paths(path, sidecar).values():
@@ -393,7 +466,15 @@ class RHCHMEModel:
 
     def _global_arrays(self) -> dict[str, np.ndarray]:
         arrays: dict[str, np.ndarray] = {"association": self.association}
-        if self.error_matrix is not None:
+        layout = self._error_matrix_layout()
+        if layout == "row-sparse":
+            if isinstance(self.error_matrix, RowSparseMatrix):
+                compact = self.error_matrix
+            else:  # all-zero dense block: nothing survives
+                compact = RowSparseMatrix.zeros(self.error_matrix.shape)
+            arrays["error_matrix_rows"] = compact.rows
+            arrays["error_matrix_values"] = compact.values
+        elif layout == "dense":
             arrays["error_matrix"] = self.error_matrix
         return arrays
 
@@ -536,7 +617,6 @@ class RHCHMEModel:
         sidecar = cls.read_metadata(path)
         config, types = cls.parse_sidecar(sidecar)
         shard_paths = cls.shard_paths(path, sidecar)
-        has_error = bool(sidecar.get("has_error_matrix"))
         sharded = "monolithic" not in shard_paths
 
         def type_keys(info: TypeInfo) -> list[str]:
@@ -545,7 +625,7 @@ class RHCHMEModel:
                 keys.append(f"features::{info.name}")
             return keys
 
-        global_keys = ["association"] + (["error_matrix"] if has_error else [])
+        global_keys = ["association"] + error_matrix_npz_keys(sidecar)
         if sharded:
             arrays = cls.read_shard(shard_paths[GLOBAL_SHARD], global_keys)
             for info in types:
@@ -566,10 +646,18 @@ class RHCHMEModel:
                                            dtype=np.int64)
             if info.n_features is not None:
                 features[info.name] = arrays[f"features::{info.name}"]
+
+        if "error_matrix_rows" in arrays:
+            n_total = sum(info.n_objects for info in types)
+            error_matrix = RowSparseMatrix(arrays["error_matrix_rows"],
+                                           arrays["error_matrix_values"],
+                                           (n_total, n_total))
+        else:
+            error_matrix = arrays.get("error_matrix")
         return cls(config=config, types=types, features=features,
                    membership=membership, labels=labels,
                    association=arrays["association"],
-                   error_matrix=arrays.get("error_matrix"),
+                   error_matrix=error_matrix,
                    backend=sidecar.get("backend", "dense"),
                    schema_version=int(sidecar["schema_version"]),
                    library_version=str(sidecar.get("library_version", "unknown")))

@@ -28,7 +28,8 @@ import numpy as np
 from ..exceptions import ArtifactError, ValidationError
 from ..graph.neighbors import QueryIndex
 from ..linalg.backend import resolve_backend
-from .artifact import GLOBAL_SHARD, RHCHMEModel, TypeInfo, check_query_features
+from .artifact import (GLOBAL_SHARD, RHCHMEModel, TypeInfo,
+                       check_query_features, error_matrix_npz_keys)
 from .extension import Prediction, out_of_sample_predict
 
 __all__ = ["ShardedModelReader", "open_model"]
@@ -124,9 +125,7 @@ class ShardedModelReader:
         if self._global_arrays is None:
             with self._lock:
                 if self._global_arrays is None:
-                    keys = ["association"]
-                    if self._sidecar.get("has_error_matrix"):
-                        keys.append("error_matrix")
+                    keys = ["association"] + error_matrix_npz_keys(self._sidecar)
                     self._global_arrays = RHCHMEModel.read_shard(
                         self._shard_paths[GLOBAL_SHARD], keys)
                     self._count_load(GLOBAL_SHARD)

@@ -1,0 +1,132 @@
+"""Tests for repro.core.rspace (factored sparse-backend R-space kernels).
+
+Every kernel is checked against the dense formula it replaces on random
+block-structured problems: the factored path must agree to floating-point
+noise without ever building the ``(n, n)`` residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import rspace
+from repro.linalg.rowsparse import RowSparseMatrix
+
+
+@pytest.fixture
+def problem(rng):
+    """Random sparse R plus factor matrices of a small two-type problem."""
+    n, c = 30, 6
+    dense_R = rng.random((n, n))
+    dense_R[dense_R < 0.7] = 0.0
+    dense_R = (dense_R + dense_R.T) / 2.0
+    np.fill_diagonal(dense_R, 0.0)
+    R = sp.csr_array(dense_R)
+    G = np.abs(rng.normal(size=(n, c)))
+    S = rng.normal(size=(c, c))
+    E_dense = np.zeros((n, n))
+    stored = np.array([2, 11, 23])
+    E_dense[stored] = rng.normal(size=(3, n))
+    E = RowSparseMatrix(stored, E_dense[stored], (n, n))
+    return dense_R, R, G, S, E_dense, E
+
+
+class TestPatternKernels:
+    def test_pattern_row_inner_matches_dense(self, problem):
+        dense_R, R, G, S, _, _ = problem
+        M = rspace.factored_product(G, S)
+        expected = np.sum(dense_R * (G @ S @ G.T), axis=1)
+        np.testing.assert_allclose(rspace.pattern_row_inner(R, M, G), expected)
+
+    def test_pattern_inner_matches_dense(self, problem):
+        dense_R, R, G, S, _, _ = problem
+        M = rspace.factored_product(G, S)
+        np.testing.assert_allclose(rspace.pattern_inner(R, M, G),
+                                   float(np.sum(dense_R * (G @ S @ G.T))))
+
+    def test_empty_pattern(self):
+        R = sp.csr_array((5, 5), dtype=np.float64)
+        M = np.ones((5, 2))
+        G = np.ones((5, 2))
+        np.testing.assert_array_equal(rspace.pattern_row_inner(R, M, G),
+                                      np.zeros(5))
+
+
+class TestResidualKernels:
+    def test_residual_row_norms_match_dense(self, problem):
+        dense_R, R, G, S, _, _ = problem
+        expected = np.linalg.norm(dense_R - G @ S @ G.T, axis=1)
+        np.testing.assert_allclose(rspace.residual_row_norms(R, G, S),
+                                   expected, rtol=1e-9, atol=1e-12)
+
+    def test_residual_rows_match_dense(self, problem):
+        dense_R, R, G, S, _, _ = problem
+        rows = np.array([0, 7, 29])
+        expected = (dense_R - G @ S @ G.T)[rows]
+        np.testing.assert_allclose(rspace.residual_rows(R, G, S, rows),
+                                   expected, rtol=1e-9, atol=1e-12)
+
+    def test_residual_rows_empty_selection(self, problem):
+        _, R, G, S, _, _ = problem
+        out = rspace.residual_rows(R, G, S, np.empty(0, dtype=np.int64))
+        assert out.shape == (0, R.shape[1])
+
+
+class TestProjectRelations:
+    def test_sparse_r_row_sparse_e(self, problem):
+        dense_R, R, G, _, E_dense, E = problem
+        expected = (dense_R - E_dense) @ G
+        np.testing.assert_allclose(rspace.project_relations(R, E, G), expected)
+
+    def test_sparse_r_none_e(self, problem):
+        dense_R, R, G, _, _, _ = problem
+        np.testing.assert_allclose(rspace.project_relations(R, None, G),
+                                   dense_R @ G)
+
+    def test_dense_r_row_sparse_e(self, problem):
+        dense_R, _, G, _, E_dense, E = problem
+        np.testing.assert_allclose(rspace.project_relations(dense_R, E, G),
+                                   (dense_R - E_dense) @ G)
+
+    def test_dense_r_dense_e(self, problem):
+        dense_R, _, G, _, E_dense, _ = problem
+        np.testing.assert_allclose(
+            rspace.project_relations(dense_R, E_dense, G),
+            (dense_R - E_dense) @ G)
+
+    def test_association_core(self, problem):
+        dense_R, R, G, _, E_dense, E = problem
+        np.testing.assert_allclose(rspace.association_core(R, E, G),
+                                   G.T @ (dense_R - E_dense) @ G)
+
+
+class TestReconstructionError:
+    def _dense_value(self, dense_R, G, S, E_dense):
+        return float(np.linalg.norm(dense_R - G @ S @ G.T - E_dense) ** 2)
+
+    @pytest.mark.parametrize("sparse_r", [True, False])
+    @pytest.mark.parametrize("e_kind", ["row-sparse", "dense", "none"])
+    def test_matches_dense_formula(self, problem, sparse_r, e_kind):
+        dense_R, R, G, S, E_dense, E = problem
+        R_arg = R if sparse_r else dense_R
+        if e_kind == "row-sparse":
+            E_arg, E_ref = E, E_dense
+        elif e_kind == "dense":
+            E_arg, E_ref = E_dense, E_dense
+        else:
+            E_arg, E_ref = None, np.zeros_like(E_dense)
+        expected = self._dense_value(dense_R, G, S, E_ref)
+        np.testing.assert_allclose(
+            rspace.reconstruction_error(R_arg, G, S, E_arg), expected,
+            rtol=1e-9)
+
+    def test_exact_reconstruction_is_near_zero(self, rng):
+        n, c = 20, 4
+        G = np.abs(rng.normal(size=(n, c)))
+        S = rng.normal(size=(c, c))
+        product = G @ S @ G.T
+        R = sp.csr_array(product)
+        value = rspace.reconstruction_error(R, G, S, None)
+        assert value < 1e-9 * float(np.sum(product * product))

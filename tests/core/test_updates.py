@@ -205,3 +205,162 @@ class TestMembershipUpdateBackends:
         dense = update_membership(R, L, state.copy(), lam=250.0)
         sparse = update_membership(R, sp.csr_array(L), state.copy(), lam=250.0)
         np.testing.assert_allclose(sparse, dense, atol=1e-12)
+
+
+class TestEmptyClusterRegression:
+    """update_association must survive a cluster emptying mid-iteration.
+
+    An (almost) empty cluster is a (near-)zero column of G, so GᵀG is
+    singular; the ridge-regularised solve formerly answered with
+    ``O(1/ridge)`` entries along the null direction and the fit blew up.
+    The guarded pseudo-inverse (repro.linalg.safe.gram_pinv) zeroes the
+    null direction instead.
+    """
+
+    def test_bounded_with_exactly_empty_cluster(self, prepared):
+        _, R, _, state = prepared
+        state.G = state.G.copy()
+        state.G[:, 0] = 0.0
+        S = update_association(R, state)
+        assert np.all(np.isfinite(S))
+        np.testing.assert_allclose(S[0, :], 0.0, atol=1e-10)
+        np.testing.assert_allclose(S[:, 0], 0.0, atol=1e-10)
+
+    def test_bounded_with_nearly_empty_cluster(self, prepared):
+        # The dangerous regime: the column is not exactly zero, so the
+        # gram is singular only numerically and nothing cancels exactly.
+        _, R, _, state = prepared
+        healthy = update_association(R, state)
+        state.G = state.G.copy()
+        state.G[:, 0] *= 1e-15
+        S = update_association(R, state)
+        assert np.all(np.isfinite(S))
+        bound = 10.0 * max(np.max(np.abs(healthy)), 1.0)
+        assert np.max(np.abs(S)) < bound
+        np.testing.assert_allclose(S[0, :], 0.0, atol=1e-8)
+
+    def test_fit_survives_warm_start_with_empty_cluster(self, tiny_dataset):
+        from repro.core.rhchme import RHCHME
+        from repro.core.state import initialize_state
+        R = tiny_dataset.inter_type_matrix(normalize=True)
+        state = initialize_state(tiny_dataset, R, random_state=0)
+        state.G[:, 0] = 0.0  # empty the first documents cluster outright
+        result = RHCHME(max_iter=5, random_state=0,
+                        track_metrics_every=0).fit(tiny_dataset,
+                                                   warm_start=state)
+        assert np.all(np.isfinite(result.trace.objectives))
+        assert np.all(np.isfinite(result.state.G))
+        assert np.all(np.isfinite(np.asarray(result.state.E_R)))
+
+    def test_gram_pinv_matches_inverse_when_well_conditioned(self, rng):
+        from repro.linalg.safe import gram_pinv
+        G = rng.normal(size=(30, 5))
+        gram = G.T @ G
+        np.testing.assert_allclose(gram_pinv(gram), np.linalg.inv(gram),
+                                   rtol=1e-8, atol=1e-10)
+
+
+class TestZeroResidualRegression:
+    """All-zero residual rows must never produce NaNs in the E_R update."""
+
+    def _exact_state(self, prepared):
+        # Make the residual exactly zero by construction: R := G S Gᵀ.
+        _, R, _, state = prepared
+        state = state.copy()
+        R_exact = state.G @ state.S @ state.G.T
+        return R_exact, state
+
+    def test_reweighting_finite_without_zeta(self):
+        diag = l21_reweighting_diagonal(np.zeros((4, 4)), zeta=0.0)
+        assert np.all(np.isfinite(diag))
+
+    def test_reweighting_accepts_row_norm_vector(self, rng):
+        residual = rng.normal(size=(6, 9))
+        norms = np.linalg.norm(residual, axis=1)
+        np.testing.assert_allclose(l21_reweighting_diagonal(norms),
+                                   l21_reweighting_diagonal(residual))
+
+    @pytest.mark.parametrize("beta", [0.0, 10.0])
+    def test_exact_residual_yields_finite_zero_error(self, prepared, beta):
+        R_exact, state = self._exact_state(prepared)
+        E = update_error_matrix(R_exact, state, beta=beta, zeta=0.0)
+        assert np.all(np.isfinite(E))
+        np.testing.assert_allclose(E, 0.0, atol=1e-10)
+
+    def test_sparse_path_drops_exact_rows_entirely(self, prepared):
+        import scipy.sparse as sp
+        R_exact, state = self._exact_state(prepared)
+        E = update_error_matrix(sp.csr_array(R_exact), state,
+                                beta=10.0, zeta=0.0, row_tol=1e-8)
+        assert E.n_stored_rows == 0
+
+    def test_fit_on_exactly_reconstructable_data_stays_finite(self):
+        # A perfectly block-structured relation: the factorisation can
+        # reconstruct it (almost) exactly, so residual rows shrink to ~0 —
+        # the regime that used to NaN under beta > 0 without the floor.
+        from repro.core.rhchme import RHCHME
+        from repro.relational.dataset import MultiTypeRelationalData
+        from repro.relational.types import ObjectType, Relation
+        n_a, n_b = 24, 16
+        labels_a = np.repeat([0, 1], n_a // 2)
+        labels_b = np.repeat([0, 1], n_b // 2)
+        matrix = (labels_a[:, None] == labels_b[None, :]).astype(float)
+        data = MultiTypeRelationalData(
+            [ObjectType("a", n_objects=n_a, n_clusters=2, features=matrix,
+                        labels=labels_a),
+             ObjectType("b", n_objects=n_b, n_clusters=2, features=matrix.T,
+                        labels=labels_b)],
+            [Relation("a", "b", matrix)])
+        result = RHCHME(max_iter=10, random_state=0, beta=50.0, zeta=1e-10,
+                        track_metrics_every=0).fit(data)
+        assert np.all(np.isfinite(result.trace.objectives))
+        assert np.all(np.isfinite(np.asarray(result.state.E_R)))
+
+
+class TestSparseUpdateParity:
+    """Each update rule must agree across R / E_R representations."""
+
+    @pytest.fixture
+    def sparse_prepared(self, prepared):
+        import scipy.sparse as sp
+        data, R, L, state = prepared
+        state = state.copy()
+        state.E_R = update_error_matrix(R, state, beta=10.0)
+        sparse_state = state.copy()
+        from repro.linalg.rowsparse import RowSparseMatrix
+        sparse_state.E_R = RowSparseMatrix.from_dense(state.E_R)
+        return R, sp.csr_array(R), L, state, sparse_state
+
+    def test_association_update(self, sparse_prepared):
+        R, R_csr, _, state, sparse_state = sparse_prepared
+        dense = update_association(R, state)
+        sparse = update_association(R_csr, sparse_state)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-9, atol=1e-12)
+
+    def test_membership_update(self, sparse_prepared):
+        R, R_csr, L, state, sparse_state = sparse_prepared
+        dense = update_membership(R, L, state, lam=250.0)
+        sparse = update_membership(R_csr, L, sparse_state, lam=250.0)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-9, atol=1e-12)
+
+    def test_error_matrix_update(self, sparse_prepared):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        R, R_csr, _, state, sparse_state = sparse_prepared
+        dense = update_error_matrix(R, state, beta=10.0)
+        sparse = update_error_matrix(R_csr, sparse_state, beta=10.0)
+        assert isinstance(sparse, RowSparseMatrix)
+        np.testing.assert_allclose(sparse.to_dense(), dense,
+                                   rtol=1e-8, atol=1e-11)
+
+    def test_objective_evaluation(self, sparse_prepared):
+        R, R_csr, L, state, sparse_state = sparse_prepared
+        dense = evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                   lam=250.0, beta=10.0)
+        sparse = evaluate_objective(R_csr, sparse_state.G, sparse_state.S,
+                                    sparse_state.E_R, L, lam=250.0, beta=10.0)
+        np.testing.assert_allclose(sparse.reconstruction, dense.reconstruction,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(sparse.error_sparsity, dense.error_sparsity,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(sparse.graph_smoothness,
+                                   dense.graph_smoothness, rtol=1e-12)

@@ -1,0 +1,131 @@
+"""Tests for repro.linalg.rowsparse (the row-sparse E_R representation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.norms import frobenius_norm, l21_norm, row_l2_norms
+from repro.linalg.rowsparse import RowSparseMatrix, as_dense_matrix
+
+
+@pytest.fixture
+def example(rng):
+    """A (8, 5) matrix with three non-zero rows, in both representations."""
+    dense = np.zeros((8, 5))
+    rows = np.array([1, 4, 6])
+    values = rng.normal(size=(3, 5))
+    dense[rows] = values
+    return RowSparseMatrix(rows, values, dense.shape), dense
+
+
+class TestConstruction:
+    def test_round_trips_to_dense(self, example):
+        matrix, dense = example
+        np.testing.assert_array_equal(matrix.to_dense(), dense)
+        np.testing.assert_array_equal(np.asarray(matrix), dense)
+
+    def test_from_dense_drops_zero_rows(self, example):
+        _, dense = example
+        compressed = RowSparseMatrix.from_dense(dense)
+        assert compressed.n_stored_rows == 3
+        np.testing.assert_array_equal(compressed.to_dense(), dense)
+
+    def test_from_dense_tolerance_drops_small_rows(self, example):
+        _, dense = example
+        tiny = dense.copy()
+        tiny[0] = 1e-12
+        compressed = RowSparseMatrix.from_dense(tiny, tol=1e-6)
+        assert 0 not in compressed.rows
+
+    def test_zeros_has_no_rows(self):
+        matrix = RowSparseMatrix.zeros((6, 4))
+        assert matrix.is_zero
+        assert matrix.nnz == 0
+        np.testing.assert_array_equal(matrix.to_dense(), np.zeros((6, 4)))
+
+    def test_copy_is_independent(self, example):
+        matrix, _ = example
+        clone = matrix.copy()
+        clone.values[0, 0] += 1.0
+        assert matrix.values[0, 0] != clone.values[0, 0]
+
+    def test_rejects_unsorted_rows(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RowSparseMatrix([3, 1], np.ones((2, 4)), (5, 4))
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError, match="row indices"):
+            RowSparseMatrix([7], np.ones((1, 4)), (5, 4))
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValueError, match="values"):
+            RowSparseMatrix([1], np.ones((2, 4)), (5, 4))
+
+
+class TestOperations:
+    def test_matmul_matches_dense(self, example, rng):
+        matrix, dense = example
+        other = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(matrix @ other, dense @ other)
+
+    def test_matmul_vector(self, example, rng):
+        matrix, dense = example
+        vector = rng.normal(size=5)
+        np.testing.assert_allclose(matrix @ vector, dense @ vector)
+
+    def test_t_matmul_matches_dense(self, example, rng):
+        matrix, dense = example
+        other = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(matrix.t_matmul(other), dense.T @ other)
+
+    def test_inner_with_dense(self, example, rng):
+        matrix, dense = example
+        other = rng.normal(size=dense.shape)
+        np.testing.assert_allclose(matrix.inner(other),
+                                   float(np.sum(dense * other)))
+
+    def test_inner_with_csr(self, example, rng):
+        matrix, dense = example
+        other = rng.normal(size=dense.shape)
+        other[other < 0.4] = 0.0
+        np.testing.assert_allclose(matrix.inner(sp.csr_array(other)),
+                                   float(np.sum(dense * other)))
+
+    def test_inner_with_row_sparse(self, example, rng):
+        matrix, dense = example
+        other_dense = np.zeros_like(dense)
+        other_dense[[0, 4]] = rng.normal(size=(2, 5))
+        other = RowSparseMatrix.from_dense(other_dense)
+        np.testing.assert_allclose(matrix.inner(other),
+                                   float(np.sum(dense * other_dense)))
+
+    def test_empty_inner_is_zero(self):
+        empty = RowSparseMatrix.zeros((4, 4))
+        assert empty.inner(np.ones((4, 4))) == 0.0
+
+
+class TestNorms:
+    def test_row_norms_match_dense(self, example):
+        matrix, dense = example
+        np.testing.assert_allclose(matrix.row_norms(),
+                                   np.linalg.norm(dense, axis=1))
+        np.testing.assert_allclose(row_l2_norms(matrix),
+                                   np.linalg.norm(dense, axis=1))
+
+    def test_frobenius_and_l21_match_dense(self, example):
+        matrix, dense = example
+        np.testing.assert_allclose(frobenius_norm(matrix),
+                                   np.linalg.norm(dense))
+        np.testing.assert_allclose(l21_norm(matrix),
+                                   float(np.sum(np.linalg.norm(dense, axis=1))))
+
+
+class TestAsDenseMatrix:
+    def test_handles_every_representation(self, example):
+        matrix, dense = example
+        np.testing.assert_array_equal(as_dense_matrix(matrix), dense)
+        np.testing.assert_array_equal(as_dense_matrix(dense), dense)
+        np.testing.assert_array_equal(as_dense_matrix(sp.csr_array(dense)),
+                                      dense)

@@ -74,3 +74,37 @@ class TestRelation:
     def test_empty_names_rejected(self):
         with pytest.raises(ValidationError):
             Relation("", "terms", np.ones((2, 2)))
+
+
+class TestSparseRelation:
+    def test_sparse_matrix_kept_as_csr(self):
+        import scipy.sparse as sp
+        matrix = sp.csr_array(np.array([[0.0, 1.0], [2.0, 0.0], [0.0, 0.0]]))
+        relation = Relation("a", "b", matrix)
+        assert relation.is_sparse
+        assert sp.issparse(relation.matrix)
+        assert relation.shape == (3, 2)
+
+    def test_sparse_transposed_round_trip(self):
+        import scipy.sparse as sp
+        matrix = sp.csr_array(np.array([[0.0, 1.0], [2.0, 0.0], [0.0, 3.0]]))
+        reverse = Relation("a", "b", matrix).transposed()
+        assert reverse.source == "b"
+        np.testing.assert_array_equal(reverse.matrix.toarray(),
+                                      matrix.toarray().T)
+
+    def test_sparse_nan_rejected_like_dense(self):
+        # Sparse input must get the same finiteness validation dense input
+        # does; a NaN would otherwise propagate silently into the fit.
+        import scipy.sparse as sp
+        from repro.exceptions import ValidationError
+        bad = sp.csr_array(np.array([[0.0, np.nan], [1.0, 0.0]]))
+        with pytest.raises(ValidationError, match="NaN"):
+            Relation("a", "b", bad)
+
+    def test_sparse_negative_rejected(self):
+        import scipy.sparse as sp
+        from repro.exceptions import ValidationError
+        bad = sp.csr_array(np.array([[0.0, -1.0], [1.0, 0.0]]))
+        with pytest.raises(ValidationError, match="non-negative"):
+            Relation("a", "b", bad)

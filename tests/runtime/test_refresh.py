@@ -187,3 +187,60 @@ class TestServerRefresh:
             accounting = reader.accounting()
             assert sorted(accounting["loaded_types"]) == ["anchors", "points"]
             assert accounting["global_loaded"]
+
+
+class TestSparseErrorMatrixRefresh:
+    """Warm-start refresh through a sparse-backend artifact's row-sparse E_R.
+
+    The artifact must round-trip E_R without densifying, the embed step must
+    keep it row-sparse in the grown layout, and the refreshed fit must still
+    agree with a cold refit — the same bar the dense path meets.
+    """
+
+    @pytest.fixture(scope="class")
+    def sparse_artifact(self, blobs_factory, tmp_path_factory):
+        from repro.serve import RHCHMEModel
+        data = blobs_factory(90)
+        model = RHCHME(max_iter=25, random_state=0, use_subspace_member=False,
+                       track_metrics_every=0, backend="sparse")
+        model.fit(data)
+        path = model.export_model(data).save(
+            tmp_path_factory.mktemp("sparse-er") / "model.npz")
+        return RHCHMEModel.load(path)
+
+    def test_artifact_round_trips_row_sparse(self, sparse_artifact):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        assert isinstance(sparse_artifact.error_matrix, RowSparseMatrix)
+
+    def test_embed_keeps_error_matrix_row_sparse(self, sparse_artifact,
+                                                 grown_dataset):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        from repro.runtime.refresh import _embed_error_matrix
+        embedded = _embed_error_matrix(sparse_artifact, grown_dataset)
+        assert isinstance(embedded, RowSparseMatrix)
+        assert embedded.shape == (grown_dataset.n_objects_total,
+                                  grown_dataset.n_objects_total)
+        # old rows land at their remapped positions with identical values
+        old = sparse_artifact.error_matrix
+        n_new_points = (grown_dataset.get_type("points").n_objects
+                        - sparse_artifact.type_info("points").n_objects)
+        dense_old = old.to_dense()
+        dense_new = embedded.to_dense()
+        n_old_points = sparse_artifact.type_info("points").n_objects
+        np.testing.assert_array_equal(
+            dense_new[:n_old_points, :n_old_points],
+            dense_old[:n_old_points, :n_old_points])
+        assert np.all(dense_new[n_old_points:n_old_points + n_new_points] == 0)
+
+    def test_refresh_agrees_with_cold_refit(self, sparse_artifact,
+                                            grown_dataset):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        outcome = refresh_model(sparse_artifact, grown_dataset)
+        assert outcome.result.extras["warm_start"] is True
+        assert outcome.grown == {"points": 30, "anchors": 0}
+        assert isinstance(outcome.model.error_matrix, RowSparseMatrix)
+        cold = RHCHME(sparse_artifact.config).fit(grown_dataset)
+        for name in outcome.model.labels:
+            agreement = _agreement(cold.labels[name],
+                                   outcome.model.labels[name])
+            assert agreement >= 0.9, (name, agreement)

@@ -174,3 +174,127 @@ class TestModelInterface:
         assert artifact == artifact
         assert artifact != loaded
         assert hash(artifact) is not None
+
+
+class TestErrorMatrixPersistence:
+    """Compact persistence of all-zero and row-sparse error matrices.
+
+    A dense all-zero E_R used to be persisted as a dense array — small on
+    disk after compression, but densified back to O(N²) memory on every
+    load.  All-zero and row-sparse blocks now persist as surviving rows
+    only and reconstruct without ever allocating the (n, n) block.
+    """
+
+    @pytest.fixture
+    def sparse_fit_artifact(self, blob_split):
+        from repro.core import RHCHME
+        model = RHCHME(max_iter=15, random_state=0, use_subspace_member=False,
+                       track_metrics_every=0, backend="sparse",
+                       error_row_tol=1e-2)
+        model.fit(blob_split.train)
+        return model.export_model(blob_split.train)
+
+    def test_dense_nonzero_error_matrix_keeps_dense_layout(self, saved):
+        artifact, path = saved
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["error_matrix_layout"] == "dense"
+        loaded = RHCHMEModel.load(path)
+        assert isinstance(loaded.error_matrix, np.ndarray)
+
+    def test_all_zero_dense_error_matrix_compacts(self, blob_artifact,
+                                                  tmp_path):
+        import dataclasses
+        from repro.linalg.rowsparse import RowSparseMatrix
+        n = sum(info.n_objects for info in blob_artifact.types)
+        zeroed = dataclasses.replace(blob_artifact,
+                                     error_matrix=np.zeros((n, n)))
+        path = zeroed.save(tmp_path / "zero.npz")
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["error_matrix_layout"] == "row-sparse"
+        loaded = RHCHMEModel.load(path)
+        assert isinstance(loaded.error_matrix, RowSparseMatrix)
+        assert loaded.error_matrix.is_zero
+        assert loaded.error_matrix.shape == (n, n)
+        # reconstruction stays compact end to end
+        assert isinstance(loaded.state().E_R, RowSparseMatrix)
+        np.testing.assert_array_equal(np.asarray(loaded.error_matrix),
+                                      np.zeros((n, n)))
+
+    def test_row_sparse_round_trip_exact(self, sparse_fit_artifact, tmp_path):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        assert isinstance(sparse_fit_artifact.error_matrix, RowSparseMatrix)
+        path = sparse_fit_artifact.save(tmp_path / "model.npz")
+        loaded = RHCHMEModel.load(path)
+        assert isinstance(loaded.error_matrix, RowSparseMatrix)
+        np.testing.assert_array_equal(loaded.error_matrix.rows,
+                                      sparse_fit_artifact.error_matrix.rows)
+        np.testing.assert_array_equal(loaded.error_matrix.values,
+                                      sparse_fit_artifact.error_matrix.values)
+
+    def test_row_sparse_round_trip_through_shards(self, sparse_fit_artifact,
+                                                  tmp_path):
+        from repro.linalg.rowsparse import RowSparseMatrix
+        path = sparse_fit_artifact.save(tmp_path / "model.npz",
+                                        shards="per-type")
+        loaded = RHCHMEModel.load(path)
+        assert isinstance(loaded.error_matrix, RowSparseMatrix)
+        np.testing.assert_array_equal(
+            np.asarray(loaded.error_matrix),
+            np.asarray(sparse_fit_artifact.error_matrix))
+
+    def test_global_shard_stays_compact(self, sparse_fit_artifact, tmp_path):
+        # The row-sparse global shard must not dominate the artifact: with
+        # few surviving rows it stays a small fraction of total bytes even
+        # with use_error_matrix=True, keeping single-type partial reads
+        # cheap relative to the whole.
+        path = sparse_fit_artifact.save(tmp_path / "model.npz",
+                                        shards="per-type")
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        manifest = sidecar["shards"]
+        directory = path.parent
+        global_bytes = (directory / manifest["global"]).stat().st_size
+        type_bytes = sum((directory / name).stat().st_size
+                         for name in manifest["types"].values())
+        assert global_bytes < 0.5 * type_bytes
+
+    def test_lazy_reader_reads_row_sparse_global_shard(self,
+                                                       sparse_fit_artifact,
+                                                       tmp_path):
+        from repro.serve.shards import ShardedModelReader
+        path = sparse_fit_artifact.save(tmp_path / "model.npz",
+                                        shards="per-type")
+        reader = ShardedModelReader(path)
+        np.testing.assert_array_equal(reader.association,
+                                      sparse_fit_artifact.association)
+        assert reader.shard_loads == {"global": 1}
+
+    def test_legacy_dense_sidecar_without_layout_field_loads(self, saved):
+        # Artifacts written before the layout field existed are all dense;
+        # a missing field must keep reading them.
+        artifact, path = saved
+        sidecar_path = path.with_suffix(".json")
+        sidecar = json.loads(sidecar_path.read_text())
+        sidecar.pop("error_matrix_layout")
+        sidecar_path.write_text(json.dumps(sidecar))
+        loaded = RHCHMEModel.load(path)
+        np.testing.assert_array_equal(loaded.error_matrix,
+                                      artifact.error_matrix)
+
+    def test_version1_dense_artifact_still_loads(self, saved):
+        # A true pre-row-sparse artifact: schema version 1, no layout field,
+        # no error_row_tol knob in the config.  It must keep loading.
+        artifact, path = saved
+        sidecar_path = path.with_suffix(".json")
+        sidecar = json.loads(sidecar_path.read_text())
+        sidecar["schema_version"] = 1
+        sidecar.pop("error_matrix_layout")
+        sidecar["config"].pop("error_row_tol")
+        sidecar_path.write_text(json.dumps(sidecar))
+        loaded = RHCHMEModel.load(path)
+        assert loaded.schema_version == 1
+        np.testing.assert_array_equal(loaded.error_matrix,
+                                      artifact.error_matrix)
+        # re-saving writes the current schema, not the stale stamp
+        repath = loaded.save(path.parent / "resaved.npz")
+        residecar = json.loads(repath.with_suffix(".json").read_text())
+        assert residecar["schema_version"] == SCHEMA_VERSION

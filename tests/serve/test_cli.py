@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.data import make_dataset
+from repro.serve import SCHEMA_VERSION
 
 REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -84,7 +85,7 @@ class TestInfo:
         assert completed.returncode == 0, completed.stderr
         info = json.loads(completed.stdout)
         assert info["format"] == "rhchme-model"
-        assert info["schema_version"] == 1
+        assert info["schema_version"] == SCHEMA_VERSION
         assert [t["name"] for t in info["types"]] == ["documents", "terms",
                                                       "concepts"]
 

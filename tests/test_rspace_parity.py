@@ -1,0 +1,135 @@
+"""Dense / sparse R-space parity for the full RHCHME pipeline.
+
+PR 1's parity suite (``test_backend_parity.py``) pinned the graph side;
+with R-space now sparse-capable — CSR relations, row-sparse E_R, factored
+``G S Gᵀ`` — the same contract must hold end to end: fits with
+``backend="dense"``, ``"sparse"`` and ``"auto"`` on the same dataset and
+seed must produce identical hard labels and objective trajectories that
+agree to floating-point noise, with ``use_error_matrix=True`` exercising
+the sparse E_R update every iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import RHCHME
+from repro.data.datasets import make_dataset
+from repro.linalg.rowsparse import RowSparseMatrix
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import Relation
+
+MAX_ITER = 15
+SEED = 0
+
+
+def _fit(data, backend: str, **overrides):
+    return RHCHME(max_iter=MAX_ITER, random_state=SEED, backend=backend,
+                  **overrides).fit(data)
+
+
+@pytest.fixture(scope="module")
+def multi5_small():
+    return make_dataset("multi5-small", random_state=SEED)
+
+
+@pytest.fixture(scope="module")
+def fits(multi5_small):
+    return {backend: _fit(multi5_small, backend)
+            for backend in ("dense", "sparse", "auto")}
+
+
+class TestFullFitParity:
+    def test_error_matrix_runs_in_every_fit(self, fits):
+        # The contract below is only meaningful if the E_R update actually
+        # participates (use_error_matrix defaults to True).
+        for result in fits.values():
+            assert result.trace.terms_series("error_sparsity")[-1] > 0
+
+    def test_sparse_fit_uses_row_sparse_error_matrix(self, fits):
+        assert isinstance(fits["sparse"].state.E_R, RowSparseMatrix)
+        assert isinstance(fits["dense"].state.E_R, np.ndarray)
+
+    @pytest.mark.parametrize("backend", ["sparse", "auto"])
+    def test_identical_labels(self, fits, backend):
+        for type_name in fits["dense"].labels:
+            np.testing.assert_array_equal(fits[backend].labels[type_name],
+                                          fits["dense"].labels[type_name])
+
+    @pytest.mark.parametrize("backend", ["sparse", "auto"])
+    def test_objective_trajectory_parity(self, fits, backend):
+        dense_trace = np.asarray(fits["dense"].trace.objectives)
+        other_trace = np.asarray(fits[backend].trace.objectives)
+        assert dense_trace.shape == other_trace.shape
+        np.testing.assert_allclose(other_trace, dense_trace, rtol=1e-8)
+
+    def test_per_term_trajectory_parity(self, fits):
+        for term in ("reconstruction", "error_sparsity", "graph_smoothness"):
+            np.testing.assert_allclose(
+                fits["sparse"].trace.terms_series(term),
+                fits["dense"].trace.terms_series(term),
+                rtol=1e-7, atol=1e-12)
+
+    def test_error_matrices_numerically_equal(self, fits):
+        np.testing.assert_allclose(np.asarray(fits["sparse"].state.E_R),
+                                   fits["dense"].state.E_R,
+                                   rtol=1e-7, atol=1e-10)
+
+    def test_final_membership_matrices_close(self, fits):
+        np.testing.assert_allclose(fits["sparse"].state.G,
+                                   fits["dense"].state.G,
+                                   rtol=1e-8, atol=1e-10)
+
+
+class TestCsrRelationInput:
+    """Relations supplied as scipy CSR must behave exactly like dense ones."""
+
+    @pytest.fixture(scope="class")
+    def paired_datasets(self, multi5_small):
+        sparse_relations = [
+            Relation(rel.source, rel.target, sp.csr_array(rel.matrix),
+                     weight=rel.weight)
+            for rel in multi5_small.relations]
+        sparse_data = MultiTypeRelationalData(multi5_small.types,
+                                              sparse_relations)
+        return multi5_small, sparse_data
+
+    def test_inter_type_matrix_values_match(self, paired_datasets):
+        dense_data, sparse_data = paired_datasets
+        for normalize in (False, True):
+            expected = dense_data.inter_type_matrix(normalize=normalize)
+            R_sparse = sparse_data.inter_type_matrix(normalize=normalize,
+                                                     backend="sparse")
+            assert sp.issparse(R_sparse)
+            np.testing.assert_allclose(R_sparse.toarray(), expected,
+                                       atol=1e-12)
+            np.testing.assert_allclose(
+                sparse_data.inter_type_matrix(normalize=normalize), expected,
+                atol=1e-12)
+
+    def test_fits_agree_across_relation_storage(self, paired_datasets):
+        dense_data, sparse_data = paired_datasets
+        from_dense = _fit(dense_data, "sparse")
+        from_sparse = _fit(sparse_data, "sparse")
+        np.testing.assert_allclose(from_sparse.trace.objectives,
+                                   from_dense.trace.objectives, rtol=1e-9)
+        for type_name in from_dense.labels:
+            np.testing.assert_array_equal(from_sparse.labels[type_name],
+                                          from_dense.labels[type_name])
+
+
+class TestErrorRowTolParity:
+    """A non-zero survival threshold must mean the same thing on both backends."""
+
+    def test_backends_drop_the_same_rows(self, multi5_small):
+        dense = _fit(multi5_small, "dense", error_row_tol=1e-2)
+        sparse = _fit(multi5_small, "sparse", error_row_tol=1e-2)
+        np.testing.assert_allclose(np.asarray(sparse.trace.objectives),
+                                   np.asarray(dense.trace.objectives),
+                                   rtol=1e-8)
+        dense_alive = np.flatnonzero(np.any(dense.state.E_R != 0.0, axis=1))
+        np.testing.assert_array_equal(sparse.state.E_R.rows, dense_alive)
+        np.testing.assert_allclose(np.asarray(sparse.state.E_R),
+                                   dense.state.E_R, rtol=1e-7, atol=1e-10)
