@@ -39,19 +39,15 @@ Writes ``BENCH_backend.json`` (see ``--output``).
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import sys
 import time
 import tracemalloc
-from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import (bootstrap_sys_path, emit_report, environment_metadata,
+                    make_parser, select_sizes)
+
+bootstrap_sys_path()
 
 from repro.core import RHCHME  # noqa: E402
 from repro.core.objective import evaluate_objective  # noqa: E402
@@ -214,8 +210,7 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
             mem_exponent = round(float(np.log(m1 / m0) / np.log(n1 / n0)), 3)
     return {
         "benchmark": "rhchme-backend",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **environment_metadata(),
         "sizes": [int(n) for n in sizes],
         "p": int(p),
         "lam": LAM,
@@ -233,29 +228,22 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sizes", type=int, nargs="+", default=None,
-                        help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
+    parser = make_parser(
+        __doc__, "BENCH_backend.json",
+        sizes_help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
     parser.add_argument("--p", type=int, default=5, help="p-NN neighbour count")
     parser.add_argument("--iters", type=int, default=10,
                         help="membership/objective rounds per pipeline timing")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--smoke", action="store_true",
-                        help=f"quick CI run on sizes {SMOKE_SIZES}")
     parser.add_argument("--with-fit", action="store_true",
                         help="also time full RHCHME fits (slower)")
     parser.add_argument("--fit-max-iter", type=int, default=5)
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_backend.json")
     args = parser.parse_args(argv)
 
-    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
-    report = run(sorted(sizes), p=args.p, n_iters=args.iters, seed=args.seed,
+    sizes = select_sizes(args, DEFAULT_SIZES, SMOKE_SIZES)
+    report = run(sizes, p=args.p, n_iters=args.iters, seed=args.seed,
                  with_fit=args.with_fit, fit_max_iter=args.fit_max_iter)
-    report["smoke"] = bool(args.smoke)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    emit_report(report, args)
     summary = report["summary"]
-    print(f"[bench] wrote {args.output}")
     print(f"[bench] largest N={summary['largest_n']}: "
           f"pipeline speedup ×{summary['speedup_pipeline_at_largest']} "
           f"(target ≥3: {'PASS' if summary['meets_3x_target'] else 'MISS'}), "

@@ -36,20 +36,16 @@ Writes ``BENCH_rspace.json`` (see ``--output``).
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import sys
 import time
 import tracemalloc
-from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import (bootstrap_sys_path, emit_report, environment_metadata,
+                    gate, make_parser, select_sizes)
+
+bootstrap_sys_path()
 
 from repro.core import RHCHME  # noqa: E402
 from repro.core.objective import evaluate_objective  # noqa: E402
@@ -226,8 +222,7 @@ def run(sizes, *, seed: int) -> dict:
             mem_exponent = round(float(np.log(m1 / m0) / np.log(n1 / n0)), 3)
     return {
         "benchmark": "rhchme-rspace",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **environment_metadata(),
         "sizes": [int(n) for n in sizes],
         "lam": LAM,
         "beta": BETA,
@@ -250,35 +245,26 @@ def run(sizes, *, seed: int) -> dict:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sizes", type=int, nargs="+", default=None,
-                        help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--smoke", action="store_true",
-                        help=f"quick CI run on sizes {SMOKE_SIZES}")
-    parser.add_argument("--check", action="store_true",
-                        help="exit non-zero unless the ≥3× fit speedup holds "
-                             "at the largest size")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_rspace.json")
+    parser = make_parser(
+        __doc__, "BENCH_rspace.json",
+        sizes_help=f"total object counts to benchmark (default {DEFAULT_SIZES})",
+        with_check="exit non-zero unless the ≥3× fit speedup holds "
+                   "at the largest size")
     args = parser.parse_args(argv)
 
-    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
-    report = run(sorted(sizes), seed=args.seed)
-    report["smoke"] = bool(args.smoke)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    sizes = select_sizes(args, DEFAULT_SIZES, SMOKE_SIZES)
+    report = run(sizes, seed=args.seed)
+    emit_report(report, args)
     summary = report["summary"]
-    print(f"[bench] wrote {args.output}")
     print(f"[bench] largest N={summary['largest_n']}: "
           f"fit speedup ×{summary['speedup_fit_at_largest']} "
           f"(target ≥3: {'PASS' if summary['meets_3x_target'] else 'MISS'}), "
           f"R-space memory ratio ×{summary['rspace_memory_ratio_at_largest']}, "
           f"sparse peak-memory exponent vs N: "
           f"{summary['sparse_peak_memory_growth_exponent_vs_n']}")
-    if args.check and not summary["meets_3x_target"]:
-        print("[bench] FAIL: sparse R-space fit speedup below the 3x gate",
-              file=sys.stderr)
-        return 1
+    if args.check:
+        return gate(summary["meets_3x_target"],
+                    "sparse R-space fit speedup below the 3x gate")
     return 0
 
 

@@ -28,20 +28,15 @@ Writes ``BENCH_runtime.json`` (see ``--output``).
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-if str(REPO_ROOT / "benchmarks") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from common import (bootstrap_sys_path, emit_report, environment_metadata,
+                    make_parser, resolve_workdir, select_sizes)
+
+bootstrap_sys_path()
 
 from bench_backend import make_synthetic  # noqa: E402
 from bench_serve import QUERY_TYPE, fit_and_save, make_queries  # noqa: E402
@@ -165,8 +160,7 @@ def run(sizes, *, n_requests: int, n_workers: int, max_batch_size: int,
     coalesce_only = by_frontend["runtime-serial"]["objects_per_second"]
     return {
         "benchmark": "rhchme-runtime",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **environment_metadata(),
         "sizes": [int(n) for n in sizes],
         "results": results,
         "summary": {
@@ -184,9 +178,10 @@ def run(sizes, *, n_requests: int, n_workers: int, max_batch_size: int,
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sizes", type=int, nargs="+", default=None,
-                        help=f"training object counts (default {DEFAULT_SIZES})")
+    parser = make_parser(
+        __doc__, "BENCH_runtime.json",
+        sizes_help=f"training object counts (default {DEFAULT_SIZES})",
+        with_workdir=True)
     parser.add_argument("--requests", type=int, default=2000,
                         help="batch-1 requests replayed per size")
     parser.add_argument("--workers", type=int, default=4,
@@ -195,31 +190,18 @@ def main(argv=None) -> int:
     parser.add_argument("--max-delay-ms", type=float, default=2.0,
                         help="micro-batch deadline in milliseconds")
     parser.add_argument("--fit-max-iter", type=int, default=5)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--smoke", action="store_true",
-                        help=f"quick CI run on sizes {SMOKE_SIZES}")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_runtime.json")
-    parser.add_argument("--workdir", type=Path, default=None,
-                        help="where model artifacts are written "
-                             "(default: next to --output)")
     args = parser.parse_args(argv)
 
-    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke
-                                           else DEFAULT_SIZES)
+    sizes = select_sizes(args, DEFAULT_SIZES, SMOKE_SIZES)
     n_requests = (min(args.requests, 500) if args.smoke
                   and args.requests == 2000 else args.requests)
-    workdir = args.workdir if args.workdir else args.output.parent
-    workdir.mkdir(parents=True, exist_ok=True)
-    report = run(sorted(sizes), n_requests=n_requests,
+    report = run(sizes, n_requests=n_requests,
                  n_workers=args.workers, max_batch_size=args.max_batch_size,
                  max_delay_seconds=args.max_delay_ms / 1000.0,
                  seed=args.seed, fit_max_iter=args.fit_max_iter,
-                 workdir=workdir)
-    report["smoke"] = bool(args.smoke)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+                 workdir=resolve_workdir(args))
+    emit_report(report, args)
     summary = report["summary"]
-    print(f"[bench] wrote {args.output}")
     print(f"[bench] largest N={summary['largest_n']}: runtime-thread "
           f"{summary['runtime_thread_objects_per_second']:,.0f} objects/s = "
           f"×{summary['microbatch_throughput_ratio']} the serial batch-1 "

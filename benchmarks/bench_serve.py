@@ -26,20 +26,15 @@ Writes ``BENCH_serve.json`` (see ``--output``).
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-if str(REPO_ROOT / "benchmarks") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from common import (bootstrap_sys_path, emit_report, environment_metadata,
+                    make_parser, resolve_workdir, select_sizes)
+
+bootstrap_sys_path()
 
 from bench_backend import make_synthetic  # noqa: E402
 from repro.core import RHCHME  # noqa: E402
@@ -133,8 +128,7 @@ def run(sizes, *, n_queries: int, batch_sizes, seed: int, repeats: int,
                     and t["batch_size"] == smallest_batch)
     return {
         "benchmark": "rhchme-serve",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **environment_metadata(),
         "sizes": [int(n) for n in sizes],
         "batch_sizes": [int(b) for b in batch_sizes],
         "results": results,
@@ -151,9 +145,10 @@ def run(sizes, *, n_queries: int, batch_sizes, seed: int, repeats: int,
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sizes", type=int, nargs="+", default=None,
-                        help=f"training object counts (default {DEFAULT_SIZES})")
+    parser = make_parser(
+        __doc__, "BENCH_serve.json",
+        sizes_help=f"training object counts (default {DEFAULT_SIZES})",
+        with_workdir=True)
     parser.add_argument("--queries", type=int, default=2000,
                         help="number of out-of-sample queries per size")
     parser.add_argument("--batch-sizes", type=int, nargs="+",
@@ -161,29 +156,17 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed passes over the query stream")
     parser.add_argument("--fit-max-iter", type=int, default=5)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--smoke", action="store_true",
-                        help=f"quick CI run on sizes {SMOKE_SIZES}")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_serve.json")
-    parser.add_argument("--workdir", type=Path, default=None,
-                        help="where model artifacts are written "
-                             "(default: next to --output)")
     args = parser.parse_args(argv)
 
-    sizes = args.sizes if args.sizes else (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+    sizes = select_sizes(args, DEFAULT_SIZES, SMOKE_SIZES)
     n_queries = min(args.queries, 500) if args.smoke and args.queries == 2000 \
         else args.queries
-    workdir = args.workdir if args.workdir else args.output.parent
-    workdir.mkdir(parents=True, exist_ok=True)
-    report = run(sorted(sizes), n_queries=n_queries,
+    report = run(sizes, n_queries=n_queries,
                  batch_sizes=sorted(args.batch_sizes), seed=args.seed,
                  repeats=args.repeats, fit_max_iter=args.fit_max_iter,
-                 workdir=workdir)
-    report["smoke"] = bool(args.smoke)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
+                 workdir=resolve_workdir(args))
+    emit_report(report, args)
     summary = report["summary"]
-    print(f"[bench] wrote {args.output}")
     print(f"[bench] largest N={summary['largest_n']}: peak "
           f"{summary['peak_objects_per_second']:,.0f} objects/s "
           f"(batch={summary['peak_at_batch_size']}, "

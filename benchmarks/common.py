@@ -1,0 +1,105 @@
+"""Shared plumbing for the benchmark runners.
+
+Every runner in this directory follows the same shape: a standard argument
+set (``--sizes`` / ``--seed`` / ``--smoke`` / ``--output``, optionally
+``--check`` and ``--workdir``), a ``src`` tree inserted on ``sys.path`` so
+the scripts run straight from a checkout, environment metadata stamped into
+the report, and a JSON report written next to the repository root.  That
+boilerplate lives here once; the runners keep only their measurement code
+and their runner-specific flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bootstrap_sys_path() -> None:
+    """Make ``repro`` (and sibling benchmark modules) importable.
+
+    Call before importing anything from ``repro`` in a runner executed as a
+    script (``python benchmarks/bench_x.py``).
+    """
+    for path in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+        if str(path) not in sys.path:
+            sys.path.insert(0, str(path))
+
+
+def make_parser(doc: str | None, default_output: str, *,
+                sizes_help: str = "total object counts to benchmark",
+                with_check: str | None = None,
+                with_workdir: bool = False) -> argparse.ArgumentParser:
+    """Parser with the flags every runner shares.
+
+    Parameters
+    ----------
+    doc:
+        The runner's module docstring; its first line becomes the
+        description.
+    default_output:
+        File name of the JSON report (written under the repository root).
+    with_check:
+        When given, adds a ``--check`` flag with this help text (the runner
+        decides what the gate means and returns a non-zero exit on a miss).
+    with_workdir:
+        Adds the ``--workdir`` flag used by runners that write artifacts.
+    """
+    description = doc.splitlines()[0] if doc else None
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help=sizes_help)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI run on the runner's smoke sizes")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / default_output)
+    if with_check is not None:
+        parser.add_argument("--check", action="store_true", help=with_check)
+    if with_workdir:
+        parser.add_argument("--workdir", type=Path, default=None,
+                            help="where model artifacts are written "
+                                 "(default: next to --output)")
+    return parser
+
+
+def select_sizes(args: argparse.Namespace, default_sizes, smoke_sizes) -> list[int]:
+    """The size sweep implied by ``--sizes`` / ``--smoke`` (sorted)."""
+    if args.sizes:
+        return sorted(int(n) for n in args.sizes)
+    return sorted(int(n) for n in (smoke_sizes if args.smoke else default_sizes))
+
+
+def environment_metadata() -> dict:
+    """Interpreter / machine fields stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def emit_report(report: dict, args: argparse.Namespace) -> None:
+    """Stamp the smoke flag, write the JSON report and announce the path."""
+    report["smoke"] = bool(getattr(args, "smoke", False))
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.output}")
+
+
+def resolve_workdir(args: argparse.Namespace) -> Path:
+    """The artifact directory implied by ``--workdir`` (created if needed)."""
+    workdir = args.workdir if args.workdir else args.output.parent
+    workdir.mkdir(parents=True, exist_ok=True)
+    return workdir
+
+
+def gate(passed: bool, message: str) -> int:
+    """Exit code for a ``--check`` gate, printing the failure to stderr."""
+    if passed:
+        return 0
+    print(f"[bench] FAIL: {message}", file=sys.stderr)
+    return 1

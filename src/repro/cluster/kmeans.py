@@ -4,6 +4,14 @@ Used to initialise the cluster membership matrix ``G`` of the HOCC methods
 (Algorithm 2 of the paper initialises G with k-means) and as the final
 assignment step of spectral clustering and of the DRCC baseline.  Implemented
 here because the execution environment has no scikit-learn.
+
+``X`` may be a dense array or a scipy CSR matrix.  The sparse path never
+densifies the sample matrix: distances are evaluated through the expansion
+``‖x − c‖² = ‖x‖² − 2 x·c + ‖c‖²`` (the same formula the dense assignment
+step uses), so one Lloyd iteration costs ``O(nnz·k)`` time and ``O(n + k·d)``
+additional memory — this is what keeps the RHCHME ``init="kmeans"``
+initialisation ``O(nnz)`` under the sparse backend, where each type's
+relational profile is a CSR row block.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from .._validation import (
     as_float_array,
@@ -30,7 +39,8 @@ class KMeansResult:
     labels:
         Cluster index per sample.
     centers:
-        ``(n_clusters, d)`` centroid matrix.
+        ``(n_clusters, d)`` centroid matrix (always dense — there are only
+        ``k`` of them, and means of sparse rows are dense in substance).
     inertia:
         Sum of squared distances of samples to their assigned centroid.
     n_iterations:
@@ -43,14 +53,35 @@ class KMeansResult:
     n_iterations: int
 
 
-def _plus_plus_init(X: np.ndarray, n_clusters: int,
+def _row_sq_norms(X) -> np.ndarray:
+    """Per-row squared L2 norms for a dense or CSR sample matrix."""
+    if sp.issparse(X):
+        squared = X.multiply(X)
+        return np.asarray(squared.sum(axis=1)).ravel()
+    return np.sum(X * X, axis=1)
+
+
+def _dense_row(X, index: int) -> np.ndarray:
+    """One sample as a dense vector (centroids are always dense)."""
+    if sp.issparse(X):
+        return np.asarray(X[[index]].toarray()).ravel()
+    return np.asarray(X[index], dtype=np.float64)
+
+
+def _plus_plus_init(X, x_sq: np.ndarray, n_clusters: int,
                     rng: np.random.Generator) -> np.ndarray:
     """k-means++ seeding: spread initial centroids proportionally to D²."""
     n_samples = X.shape[0]
+    sparse = sp.issparse(X)
     centers = np.empty((n_clusters, X.shape[1]), dtype=np.float64)
     first = int(rng.integers(n_samples))
-    centers[0] = X[first]
-    closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+    centers[0] = _dense_row(X, first)
+    if sparse:
+        closest_sq = np.maximum(
+            x_sq - 2.0 * np.asarray(X @ centers[0]).ravel()
+            + float(centers[0] @ centers[0]), 0.0)
+    else:
+        closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
     for index in range(1, n_clusters):
         total = float(closest_sq.sum())
         if total <= 0.0:
@@ -60,20 +91,36 @@ def _plus_plus_init(X: np.ndarray, n_clusters: int,
         else:
             probabilities = closest_sq / total
             choice = int(rng.choice(n_samples, p=probabilities))
-        centers[index] = X[choice]
-        distance_sq = np.sum((X - centers[index]) ** 2, axis=1)
+        centers[index] = _dense_row(X, choice)
+        if sparse:
+            distance_sq = np.maximum(
+                x_sq - 2.0 * np.asarray(X @ centers[index]).ravel()
+                + float(centers[index] @ centers[index]), 0.0)
+        else:
+            distance_sq = np.sum((X - centers[index]) ** 2, axis=1)
         np.minimum(closest_sq, distance_sq, out=closest_sq)
     return centers
 
 
-def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _assign(X, x_sq: np.ndarray,
+            centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Return (labels, squared distance to assigned centroid) for each sample."""
-    x_sq = np.sum(X * X, axis=1)[:, None]
     c_sq = np.sum(centers * centers, axis=1)[None, :]
-    distances = x_sq + c_sq - 2.0 * (X @ centers.T)
+    cross = X @ centers.T
+    if sp.issparse(X):  # pragma: no cover - sp.csr @ dense returns ndarray
+        cross = np.asarray(cross)
+    distances = x_sq[:, None] + c_sq - 2.0 * cross
     np.maximum(distances, 0.0, out=distances)
     labels = np.argmin(distances, axis=1)
     return labels, distances[np.arange(X.shape[0]), labels]
+
+
+def _cluster_mean(X, member_mask: np.ndarray) -> np.ndarray:
+    """Mean of the masked rows (dense vector), without densifying sparse X."""
+    if sp.issparse(X):
+        total = np.asarray(X[member_mask].sum(axis=0)).ravel()
+        return total / float(np.count_nonzero(member_mask))
+    return X[member_mask].mean(axis=0)
 
 
 class KMeans:
@@ -101,53 +148,60 @@ class KMeans:
         self.tol = float(tol)
         self.random_state = random_state
 
-    def fit(self, X: np.ndarray) -> KMeansResult:
-        """Cluster the rows of ``X`` and return the best restart."""
-        X = as_float_array(X, name="X", ndim=2)
+    def fit(self, X) -> KMeansResult:
+        """Cluster the rows of ``X`` (dense or CSR) and return the best restart."""
+        if sp.issparse(X):
+            # Same finiteness validation as the dense branch, CSR preserved.
+            X = sp.csr_array(as_float_array(X, name="X", ndim=2,
+                                            allow_sparse=True))
+        else:
+            X = as_float_array(X, name="X", ndim=2)
         n_samples = X.shape[0]
         if self.n_clusters > n_samples:
             raise ValueError(
                 f"n_clusters ({self.n_clusters}) exceeds number of samples ({n_samples})")
         rng = check_random_state(self.random_state)
+        x_sq = _row_sq_norms(X)
         best: KMeansResult | None = None
         for _ in range(self.n_init):
-            result = self._single_run(X, rng)
+            result = self._single_run(X, x_sq, rng)
             if best is None or result.inertia < best.inertia:
                 best = result
         assert best is not None
         return best
 
-    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+    def fit_predict(self, X) -> np.ndarray:
         """Cluster the rows of ``X`` and return only the labels."""
         return self.fit(X).labels
 
-    def _single_run(self, X: np.ndarray, rng: np.random.Generator) -> KMeansResult:
-        centers = _plus_plus_init(X, self.n_clusters, rng)
-        labels, distances = _assign(X, centers)
+    def _single_run(self, X, x_sq: np.ndarray,
+                    rng: np.random.Generator) -> KMeansResult:
+        centers = _plus_plus_init(X, x_sq, self.n_clusters, rng)
+        labels, distances = _assign(X, x_sq, centers)
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
             new_centers = np.empty_like(centers)
             for cluster in range(self.n_clusters):
-                members = X[labels == cluster]
-                if members.shape[0] == 0:
+                members = labels == cluster
+                if not np.any(members):
                     # Re-seed an empty cluster at the point farthest from its
                     # centroid to keep exactly n_clusters non-empty groups.
                     farthest = int(np.argmax(distances))
-                    new_centers[cluster] = X[farthest]
+                    new_centers[cluster] = _dense_row(X, farthest)
                     distances[farthest] = 0.0
                 else:
-                    new_centers[cluster] = members.mean(axis=0)
+                    new_centers[cluster] = _cluster_mean(X, members)
             shift = float(np.linalg.norm(new_centers - centers))
             scale = max(float(np.linalg.norm(centers)), 1e-12)
             centers = new_centers
-            labels, distances = _assign(X, centers)
+            labels, distances = _assign(X, x_sq, centers)
             if shift / scale < self.tol:
                 break
         return KMeansResult(labels=labels.astype(np.int64), centers=centers,
                             inertia=float(distances.sum()), n_iterations=iteration)
 
 
-def kmeans(X: np.ndarray, n_clusters: int, *, n_init: int = 5,
+def kmeans(X, n_clusters: int, *, n_init: int = 5,
            max_iter: int = 100, random_state=None) -> np.ndarray:
     """Functional wrapper returning only the label vector."""
     model = KMeans(n_clusters, n_init=n_init, max_iter=max_iter,

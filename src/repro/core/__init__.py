@@ -10,22 +10,34 @@ matrix S (Eq. 18), the cluster membership matrix G (Eq. 21 + row-ℓ1
 normalisation), and the sample-wise sparse error matrix E_R (Eq. 27), with
 ``L`` the heterogeneous manifold ensemble of Eq. 12.
 
+The solver core is *blocked*: G lives as per-type membership blocks, L as
+per-type Laplacian blocks, R and E_R as per-pair cross-type blocks, and the
+updates run as per-type / per-pair kernels (optionally threaded across a
+``RHCHMEConfig(n_jobs=...)`` worker pool).  The global stacked matrices are
+compatibility adapters, never hot-path storage.
+
 * :mod:`repro.core.config` — :class:`RHCHMEConfig`, every tunable in one place.
-* :mod:`repro.core.objective` — objective evaluation and its decomposition.
-* :mod:`repro.core.updates` — the three update rules.
+* :mod:`repro.core.objective` — objective evaluation and its decomposition
+  (global and blockwise).
+* :mod:`repro.core.updates` — the three update rules (global and blockwise).
 * :mod:`repro.core.rspace` — factored sparse-backend kernels for every
-  R-space quantity (the ``G S Gᵀ`` product is never materialised).
-* :mod:`repro.core.state` — factorisation state (G, S, E_R) and initialisation.
+  R-space quantity (the ``G S Gᵀ`` product is never materialised),
+  including the per-pair kernels of the blocked core.
+* :mod:`repro.core.state` — blocked factorisation state and initialisation.
+* :mod:`repro.core.parallel` — the per-type/per-pair thread pool.
 * :mod:`repro.core.convergence` — iteration history bookkeeping.
 * :mod:`repro.core.rhchme` — the :class:`RHCHME` estimator (Algorithm 2).
 """
 
 from .config import RHCHMEConfig
 from .convergence import IterationRecord, TraceRecorder
-from .objective import ObjectiveBreakdown, evaluate_objective
+from .objective import ObjectiveBreakdown, evaluate_objective, evaluate_objective_blocks
+from .parallel import TypeWorkPool
 from .rhchme import RHCHME, RHCHMEResult
 from .state import FactorizationState, initialize_state
-from .updates import update_association, update_error_matrix, update_membership
+from .updates import (update_association, update_association_blocks,
+                      update_error_matrix, update_error_matrix_blocks,
+                      update_membership, update_membership_blocks)
 
 __all__ = [
     "FactorizationState",
@@ -35,9 +47,14 @@ __all__ = [
     "RHCHMEConfig",
     "RHCHMEResult",
     "TraceRecorder",
+    "TypeWorkPool",
     "evaluate_objective",
+    "evaluate_objective_blocks",
     "initialize_state",
     "update_association",
+    "update_association_blocks",
     "update_error_matrix",
+    "update_error_matrix_blocks",
     "update_membership",
+    "update_membership_blocks",
 ]

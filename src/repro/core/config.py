@@ -100,6 +100,14 @@ class RHCHMEConfig:
         ``use_subspace_member=True``.  ``None`` (default) keeps the exact
         dense affinity; ``k >= n - 1`` is exact as well (only a zero row
         minimum can be dropped), so parity degrades gracefully.
+    n_jobs:
+        Worker threads for the blocked solver core.  The per-type G updates
+        and the per-pair S / E_R / objective terms are independent given the
+        other factors, so they fan out across a thread pool (numpy/scipy
+        release the GIL inside the underlying kernels).  ``1`` (default)
+        runs serially with zero pool overhead; ``-1`` uses every available
+        CPU.  The value never changes the optimisation — only which thread
+        computes each block — so results are identical for every setting.
     """
 
     lam: float = 250.0
@@ -125,6 +133,7 @@ class RHCHMEConfig:
     backend: str = "auto"
     error_row_tol: float = 1e-8
     subspace_topk: int | None = None
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         check_positive_float(self.lam, name="lam", minimum=0.0, inclusive=True)
@@ -150,6 +159,11 @@ class RHCHMEConfig:
                 f"< 1, got {self.error_row_tol}")
         if self.subspace_topk is not None:
             check_positive_int(self.subspace_topk, name="subspace_topk")
+        if not isinstance(self.n_jobs, int) or isinstance(self.n_jobs, bool) \
+                or (self.n_jobs < 1 and self.n_jobs != -1):
+            raise ValueError(
+                f"n_jobs must be a positive int or -1 (all CPUs), got "
+                f"{self.n_jobs!r}")
         object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))
 
     def with_overrides(self, **overrides: Any) -> "RHCHMEConfig":

@@ -38,10 +38,19 @@ class IterationRecord:
 
 
 class TraceRecorder:
-    """Accumulates :class:`IterationRecord` entries during optimisation."""
+    """Accumulates :class:`IterationRecord` entries during optimisation.
+
+    Besides the per-iteration objective records, the recorder keeps a
+    per-phase wall-clock account (:meth:`add_timing` / :attr:`timings`):
+    the solver charges each S / G / E_R update and each objective
+    evaluation to its named bucket, so a benchmark regression can be
+    localised to one update family without re-profiling the fit.
+    """
 
     def __init__(self) -> None:
         self._records: list[IterationRecord] = []
+        self._timings: dict[str, float] = {}
+        self._timing_counts: dict[str, int] = {}
 
     def record(self, iteration: int, objective: float,
                terms: Mapping[str, float] | None = None,
@@ -51,6 +60,21 @@ class TraceRecorder:
                                 terms=dict(terms or {}), metrics=dict(metrics or {}))
         self._records.append(entry)
         return entry
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall clock to the named phase bucket."""
+        self._timings[name] = self._timings.get(name, 0.0) + float(seconds)
+        self._timing_counts[name] = self._timing_counts.get(name, 0) + 1
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Accumulated wall-clock seconds per phase (copy)."""
+        return dict(self._timings)
+
+    @property
+    def timing_counts(self) -> dict[str, int]:
+        """How many times each phase was charged (copy)."""
+        return dict(self._timing_counts)
 
     @property
     def records(self) -> list[IterationRecord]:

@@ -23,7 +23,8 @@ from ..linalg.norms import frobenius_norm, l21_norm, trace_quadratic
 from ..linalg.rowsparse import RowSparseMatrix
 from . import rspace
 
-__all__ = ["ObjectiveBreakdown", "evaluate_objective"]
+__all__ = ["ObjectiveBreakdown", "evaluate_objective",
+           "evaluate_objective_blocks"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +74,60 @@ def evaluate_objective(R, G: np.ndarray, S: np.ndarray,
     return ObjectiveBreakdown(reconstruction=float(reconstruction),
                               error_sparsity=float(error_sparsity),
                               graph_smoothness=float(graph_smoothness))
+
+
+def evaluate_objective_blocks(R_pairs, state, L_blocks, *, lam: float,
+                              beta: float, pairs=None,
+                              pool=None) -> ObjectiveBreakdown:
+    """Blockwise evaluation of Eq. 15 — no global matrix is ever assembled.
+
+    Every term decomposes over the block structure: the reconstruction is a
+    sum of per-pair residual norms ``‖R_tu − G_t S_tu G_uᵀ − E_tu‖²_F``
+    (the diagonal blocks are structural zeros), the smoothness a sum of
+    per-type traces ``tr(G_tᵀ L_t G_t)``, and the L2,1 term reads the
+    global E_R representation directly.  Pair and type tasks are
+    independent and fan out across ``pool``.
+
+    Parameters
+    ----------
+    R_pairs:
+        Mapping from ordered type-index pairs to relation blocks.
+    state:
+        A blocked :class:`~repro.core.state.FactorizationState`.
+    L_blocks:
+        Per-type ensemble Laplacian blocks (dense or CSR).
+    pairs:
+        Active ordered pairs (defaults to the keys of ``R_pairs``).
+    """
+    from .updates import _error_block, _map  # local: avoids an import cycle
+
+    if pairs is None:
+        pairs = sorted(R_pairs)
+    G = state.G_blocks
+    S = state.S
+    object_spec = state.object_spec
+    cluster_spec = state.cluster_spec
+
+    def one_pair(pair) -> float:
+        t, u = pair
+        S_tu = S[cluster_spec.slice(t), cluster_spec.slice(u)]
+        E_tu = _error_block(state.E_R, object_spec, t, u)
+        return rspace.pair_reconstruction_error(R_pairs.get(pair), G[t],
+                                                S_tu, G[u], E_tu)
+
+    def one_type(t: int) -> float:
+        return trace_quadratic(G[t], L_blocks[t])
+
+    def one_task(task):
+        kind, payload = task
+        return one_pair(payload) if kind == "pair" else one_type(payload)
+
+    tasks = ([("pair", pair) for pair in pairs]
+             + [("smooth", t) for t in range(object_spec.n_types)])
+    results = _map(pool, one_task, tasks)
+    reconstruction = float(sum(results[:len(pairs)]))
+    smoothness = float(sum(results[len(pairs):]))
+    error_sparsity = beta * l21_norm(state.E_R)
+    return ObjectiveBreakdown(reconstruction=reconstruction,
+                              error_sparsity=float(error_sparsity),
+                              graph_smoothness=lam * smoothness)

@@ -38,6 +38,9 @@ __all__ = [
     "reconstruction_error",
     "project_relations",
     "association_core",
+    "pair_residual_sq_row_norms",
+    "pair_residual_rows",
+    "pair_reconstruction_error",
 ]
 
 #: Row-count chunk for gather-heavy pattern evaluations; bounds the transient
@@ -127,13 +130,21 @@ def residual_rows(R: sp.csr_array, G: np.ndarray, S: np.ndarray,
 def project_relations(R, E_R, G: np.ndarray) -> np.ndarray:
     """The skinny projection ``(R − E_R) G`` shared by the S and G updates.
 
-    ``R`` may be dense or CSR; ``E_R`` may be dense, row-sparse or ``None``
-    (treated as zero).  The result is always a dense ``(n, c)`` array and no
-    ``(n, n)`` intermediate is formed for sparse operands.
+    ``R`` may be dense, CSR or ``None`` (a structurally absent relation
+    block, treated as zero); ``E_R`` may be dense, row-sparse or ``None``.
+    The result is always a dense ``(n, c)`` array and no ``(n, n)``
+    intermediate is formed for sparse operands.  The operands need not be
+    square: the blockwise solver calls this per relation pair with
+    ``R_{tu}`` and ``G_u``.
     """
-    RG = R @ G
-    if sp.issparse(R):
-        RG = np.asarray(RG)
+    if R is None:
+        if E_R is None:
+            raise ValueError("project_relations needs at least one operand")
+        RG = np.zeros((E_R.shape[0], G.shape[1]), dtype=np.float64)
+    else:
+        RG = R @ G
+        if sp.issparse(R):
+            RG = np.asarray(RG)
     if E_R is None:
         return RG
     if isinstance(E_R, RowSparseMatrix):
@@ -146,6 +157,113 @@ def project_relations(R, E_R, G: np.ndarray) -> np.ndarray:
 def association_core(R, E_R, G: np.ndarray) -> np.ndarray:
     """The ``c × c`` core ``Gᵀ (R − E_R) G`` of the closed-form S update."""
     return G.T @ project_relations(R, E_R, G)
+
+
+# --------------------------------------------------------------- pair kernels
+#
+# The blocked solver never assembles the global R, E_R or G S Gᵀ: every
+# R-space quantity decomposes over the ``(t, u)`` relation pairs, with the
+# pair's reconstruction ``G_t S_{tu} G_uᵀ`` kept factored as ``M G_uᵀ``
+# (``M = G_t S_{tu}``).  The kernels below are the per-pair counterparts of
+# the square kernels above; ``R_tu`` may be dense, CSR or ``None`` (an
+# absent relation block).
+
+
+def pair_residual_sq_row_norms(R_tu, G_t: np.ndarray, S_tu: np.ndarray,
+                               G_u: np.ndarray, *,
+                               M: np.ndarray | None = None,
+                               P_u: np.ndarray | None = None) -> np.ndarray:
+    """Squared row norms of the pair residual ``R_tu − G_t S_tu G_uᵀ``.
+
+    Returned unsummed and unsquare-rooted so the error-matrix update can
+    accumulate them across a type's relation pairs before taking the row
+    norm of the type's full residual rows.  Never densifies a CSR ``R_tu``.
+    """
+    if M is None:
+        M = G_t @ S_tu
+    if P_u is None:
+        P_u = G_u.T @ G_u
+    gram_diag = np.einsum("ij,ij->i", M @ P_u, M)
+    if R_tu is None:
+        return gram_diag
+    if sp.issparse(R_tu):
+        R_tu = sp.csr_array(R_tu)
+        data_sq = R_tu.data * R_tu.data
+        row_sq = np.add.reduceat(np.concatenate([data_sq, [0.0]]),
+                                 R_tu.indptr[:-1])
+        row_sq[np.diff(R_tu.indptr) == 0] = 0.0
+        cross = pattern_row_inner(R_tu, M, G_u)
+        return row_sq - 2.0 * cross + gram_diag
+    residual = R_tu - M @ G_u.T
+    return np.einsum("ij,ij->i", residual, residual)
+
+
+def pair_residual_rows(R_tu, G_t: np.ndarray, S_tu: np.ndarray,
+                       G_u: np.ndarray, rows: np.ndarray, *,
+                       M: np.ndarray | None = None) -> np.ndarray:
+    """Materialise the pair-residual rows ``(R_tu − G_t S_tu G_uᵀ)[rows]``."""
+    if M is None:
+        M = G_t @ S_tu
+    rows = np.asarray(rows, dtype=np.int64)
+    n_cols = G_u.shape[0]
+    if rows.size == 0:
+        return np.empty((0, n_cols), dtype=np.float64)
+    reconstruction = M[rows] @ G_u.T
+    if R_tu is None:
+        return -reconstruction
+    if sp.issparse(R_tu):
+        return sp.csr_array(R_tu)[rows].toarray() - reconstruction
+    return R_tu[rows] - reconstruction
+
+
+def pair_reconstruction_error(R_tu, G_t: np.ndarray, S_tu: np.ndarray,
+                              G_u: np.ndarray, E_tu) -> float:
+    """``‖R_tu − G_t S_tu G_uᵀ − E_tu‖²_F`` for one relation pair.
+
+    Expands the square into pairwise Frobenius inner products whenever any
+    operand is sparse, exactly like :func:`reconstruction_error` does for
+    the global matrices; with all-dense operands the residual is formed
+    directly.  ``E_tu`` may be dense, row-sparse or ``None``.
+    """
+    sparse_R = sp.issparse(R_tu)
+    if not sparse_R and R_tu is not None and not isinstance(E_tu, RowSparseMatrix):
+        M = G_t @ S_tu
+        residual = R_tu - M @ G_u.T
+        if E_tu is not None:
+            residual = residual - E_tu
+        return float(np.sum(residual * residual))
+
+    M = G_t @ S_tu
+    P_u = G_u.T @ G_u
+    gsgt_sq = float(np.sum((M @ P_u) * M))
+    if R_tu is None:
+        total = gsgt_sq
+    elif sparse_R:
+        R_tu = sp.csr_array(R_tu)
+        total = (float(np.sum(R_tu.data * R_tu.data))
+                 - 2.0 * pattern_inner(R_tu, M, G_u) + gsgt_sq)
+    else:
+        total = (float(np.sum(R_tu * R_tu))
+                 - 2.0 * float(np.sum((R_tu @ G_u) * M)) + gsgt_sq)
+
+    if E_tu is None:
+        return float(max(total, 0.0))
+    if isinstance(E_tu, RowSparseMatrix):
+        e_sq = E_tu.frobenius_squared()
+        r_dot_e = 0.0 if R_tu is None else E_tu.inner(R_tu)
+        e_dot_gsgt = float(np.sum((E_tu.values @ G_u) * M[E_tu.rows]))
+    else:
+        E_tu = np.asarray(E_tu, dtype=np.float64)
+        e_sq = float(np.sum(E_tu * E_tu))
+        if R_tu is None:
+            r_dot_e = 0.0
+        elif sparse_R:
+            r_dot_e = float(R_tu.multiply(E_tu).sum())
+        else:
+            r_dot_e = float(np.sum(R_tu * E_tu))
+        e_dot_gsgt = float(np.sum((E_tu @ G_u) * M))
+    total += e_sq - 2.0 * r_dot_e + 2.0 * e_dot_gsgt
+    return float(max(total, 0.0))
 
 
 def reconstruction_error(R, G: np.ndarray, S: np.ndarray, E_R) -> float:

@@ -1,16 +1,25 @@
-"""Factorisation state (G, S, E_R) and its initialisation.
+"""Factorisation state (per-type G blocks, S, E_R) and its initialisation.
 
 Algorithm 2 of the paper initialises the cluster membership matrix G with
 k-means on each type's relational profile (its rows of R), the association
 matrix S from the first S-update, and the sparse error matrix E_R with zeros.
-The state object also records the block structure so per-type blocks of G
-can be extracted for label assignment.
+
+The state is stored *blocked*: G lives as one ``(n_t, c_t)`` membership
+block per object type (``G_blocks``), never as the globally stacked
+``(n, c)`` matrix — the global form is block diagonal by construction, so
+the stacked representation inflates memory and every update's work by the
+number of types while the off-diagonal zeros carry no information.  The
+:attr:`FactorizationState.G` property assembles (and its setter splits) the
+global matrix on demand, so baselines and tests that reason about the
+stacked form keep working; the solver's hot path only ever touches the
+blocks.  ``S`` stays a single ``(c, c)`` array (it is tiny — cluster space)
+and ``E_R`` keeps its global dense / row-sparse representation, which the
+blockwise kernels slice into per-pair views for free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -20,7 +29,7 @@ from .._validation import (as_float_array, check_non_negative,
 from ..cluster.assignments import labels_to_membership
 from ..cluster.kmeans import KMeans
 from ..exceptions import ShapeError, ValidationError
-from ..linalg.blocks import BlockSpec, block_diagonal
+from ..linalg.blocks import BlockSpec, block_diagonal, extract_factor_blocks
 from ..linalg.normalize import row_normalize_l1
 from ..linalg.rowsparse import RowSparseMatrix
 from ..relational.dataset import MultiTypeRelationalData
@@ -29,16 +38,16 @@ __all__ = ["FactorizationState", "initialize_state",
            "initialize_membership_blocks", "warm_start_state"]
 
 
-@dataclass
 class FactorizationState:
     """Mutable state of the alternating optimisation.
 
     Attributes
     ----------
-    G:
-        ``(n, c)`` block-diagonal cluster membership matrix (rows ℓ1-normalised).
+    G_blocks:
+        Per-type membership blocks ``G_t`` of shape ``(n_t, c_t)`` (rows
+        ℓ1-normalised) — the authoritative storage of G.
     S:
-        ``(c, c)`` association matrix.
+        ``(c, c)`` association matrix (zero diagonal blocks).
     E_R:
         ``(n, n)`` sample-wise sparse error matrix — a dense array under the
         dense backend, a :class:`~repro.linalg.rowsparse.RowSparseMatrix`
@@ -46,20 +55,67 @@ class FactorizationState:
         the sparse backend.
     object_spec, cluster_spec:
         Block partitions of objects and clusters by type.
+
+    Construct with either ``G_blocks`` (the native form) or a globally
+    stacked ``G`` (split into blocks on entry; entries outside the diagonal
+    blocks are structural zeros and are discarded).  Reading :attr:`G`
+    assembles a fresh stacked matrix; assigning to it splits the assignment
+    back into blocks — note that *in-place* mutation of the assembled array
+    therefore does not write through to the state.
     """
 
-    G: np.ndarray
-    S: np.ndarray
-    E_R: np.ndarray | RowSparseMatrix
-    object_spec: BlockSpec
-    cluster_spec: BlockSpec
-    iteration: int = 0
-    extras: dict = field(default_factory=dict)
+    def __init__(self, G: np.ndarray | None = None,
+                 S: np.ndarray | None = None,
+                 E_R: np.ndarray | RowSparseMatrix | None = None,
+                 object_spec: BlockSpec | None = None,
+                 cluster_spec: BlockSpec | None = None,
+                 iteration: int = 0,
+                 extras: dict | None = None, *,
+                 G_blocks: Sequence[np.ndarray] | None = None) -> None:
+        if object_spec is None or cluster_spec is None:
+            raise ValidationError(
+                "FactorizationState needs both an object_spec and a cluster_spec")
+        self.object_spec = object_spec
+        self.cluster_spec = cluster_spec
+        if G_blocks is not None:
+            blocks = [np.asarray(block, dtype=np.float64) for block in G_blocks]
+            expected = list(zip(object_spec.sizes, cluster_spec.sizes))
+            if [block.shape for block in blocks] != expected:
+                raise ShapeError(
+                    f"G_blocks have shapes {[b.shape for b in blocks]}, "
+                    f"expected {expected}")
+            self.G_blocks = blocks
+        elif G is not None:
+            self.G_blocks = extract_factor_blocks(G, object_spec, cluster_spec)
+        else:
+            raise ValidationError(
+                "FactorizationState needs either G or G_blocks")
+        self.S = S
+        self.E_R = E_R
+        self.iteration = iteration
+        self.extras = dict(extras) if extras else {}
+
+    # ------------------------------------------------------- global adapters
+    @property
+    def G(self) -> np.ndarray:
+        """The globally stacked block-diagonal ``(n, c)`` membership matrix.
+
+        Assembled fresh on every read — a compatibility adapter for code
+        that reasons about the stacked form, not a hot-path accessor.
+        """
+        return block_diagonal(self.G_blocks)
+
+    @G.setter
+    def G(self, value: np.ndarray) -> None:
+        self.G_blocks = extract_factor_blocks(value, self.object_spec,
+                                              self.cluster_spec)
 
     def membership_block(self, type_index: int) -> np.ndarray:
         """Return the G block (objects × clusters) of one type."""
-        return self.G[self.object_spec.slice(type_index),
-                      self.cluster_spec.slice(type_index)]
+        if not 0 <= type_index < len(self.G_blocks):
+            raise IndexError(
+                f"type index {type_index} out of range [0, {len(self.G_blocks)})")
+        return self.G_blocks[type_index]
 
     def labels_for_type(self, type_index: int) -> np.ndarray:
         """Hard labels of one type (argmax over its own cluster columns)."""
@@ -68,12 +124,46 @@ class FactorizationState:
 
     def copy(self) -> "FactorizationState":
         """Deep copy of the numeric state (block specs are immutable)."""
-        return FactorizationState(G=self.G.copy(), S=self.S.copy(),
-                                  E_R=self.E_R.copy(),
-                                  object_spec=self.object_spec,
-                                  cluster_spec=self.cluster_spec,
-                                  iteration=self.iteration,
-                                  extras=dict(self.extras))
+        return FactorizationState(
+            G_blocks=[block.copy() for block in self.G_blocks],
+            S=None if self.S is None else self.S.copy(),
+            E_R=None if self.E_R is None else self.E_R.copy(),
+            object_spec=self.object_spec,
+            cluster_spec=self.cluster_spec,
+            iteration=self.iteration,
+            extras=dict(self.extras))
+
+
+def _relational_profile(R, object_spec: BlockSpec, index: int):
+    """Type ``index``'s rows of R (its relational profile), dense or CSR.
+
+    ``R`` is either a global ``(n, n)`` matrix or a mapping of per-pair
+    relation blocks keyed by ordered type-index pairs (the blocked solver's
+    representation); in the blocked case the profile is stitched from the
+    type's row blocks without ever assembling the global matrix.
+    """
+    if not isinstance(R, Mapping):
+        return R[object_spec.slice(index), :]
+    use_sparse = any(sp.issparse(block) for block in R.values())
+    pieces = []
+    for other in range(object_spec.n_types):
+        block = R.get((index, other))
+        if block is None:
+            shape = (object_spec.sizes[index], object_spec.sizes[other])
+            pieces.append(sp.csr_array(shape, dtype=np.float64) if use_sparse
+                          else np.zeros(shape))
+        else:
+            pieces.append(block)
+    if use_sparse:
+        return sp.csr_array(sp.hstack(pieces, format="csr"))
+    return np.hstack(pieces)
+
+
+def _relations_are_sparse(R) -> bool:
+    """Whether ``R`` (global matrix or pair-block mapping) is CSR-backed."""
+    if isinstance(R, Mapping):
+        return any(sp.issparse(block) for block in R.values())
+    return sp.issparse(R)
 
 
 def initialize_membership_blocks(data: MultiTypeRelationalData, R, *,
@@ -85,8 +175,11 @@ def initialize_membership_blocks(data: MultiTypeRelationalData, R, *,
     inter-type matrix R (its relational profile), which is how the paper's
     Algorithm 2 obtains G0.  ``init="random"`` draws uniform positive blocks.
     Both variants end with strictly positive, row-ℓ1-normalised blocks so the
-    multiplicative updates are well defined.  ``R`` may be dense or CSR;
-    sparse profiles are densified one type at a time for the k-means pass.
+    multiplicative updates are well defined.  ``R`` may be a dense array, a
+    CSR matrix or a mapping of per-pair relation blocks; sparse profiles are
+    clustered directly in CSR form (:class:`~repro.cluster.kmeans.KMeans`
+    evaluates distances through the ``‖x‖² − 2 x·c + ‖c‖²`` expansion), so
+    the initialisation stays ``O(nnz)`` — no per-type dense transient.
     """
     rng = check_random_state(random_state)
     object_spec = data.object_block_spec()
@@ -96,13 +189,7 @@ def initialize_membership_blocks(data: MultiTypeRelationalData, R, *,
         if init == "random":
             block = rng.uniform(0.1, 1.0, size=(n_objects, n_clusters))
         else:
-            profile = R[object_spec.slice(index), :]
-            if sp.issparse(profile):
-                # k-means runs on the dense per-type slice so both backends
-                # cluster bit-identical profiles; the ``(n_k, n)`` transient
-                # exists only during initialisation (use ``init="random"`` or
-                # a warm start for a strictly O(nnz) memory profile).
-                profile = profile.toarray()
+            profile = _relational_profile(R, object_spec, index)
             seed = int(rng.integers(0, 2**31 - 1))
             if n_clusters >= n_objects:
                 labels = np.arange(n_objects) % n_clusters
@@ -128,7 +215,8 @@ def warm_start_state(data: MultiTypeRelationalData,
     blocks of a previously fitted model, extended with rows for newly
     arrived objects — assembles them into an initial state so
     :meth:`repro.core.RHCHME.fit` refines an informed iterate instead of a
-    cold k-means initialisation.
+    cold k-means initialisation.  The blocks are adopted as the state's
+    native per-type storage; no global matrix is stacked.
 
     Parameters
     ----------
@@ -205,7 +293,7 @@ def warm_start_state(data: MultiTypeRelationalData,
                 f"error_matrix has shape {error_matrix.shape}, expected "
                 f"{(n_objects, n_objects)}")
         error_matrix = error_matrix.copy()
-    return FactorizationState(G=block_diagonal(prepared), S=association,
+    return FactorizationState(G_blocks=prepared, S=association,
                               E_R=error_matrix, object_spec=object_spec,
                               cluster_spec=cluster_spec)
 
@@ -215,20 +303,23 @@ def initialize_state(data: MultiTypeRelationalData, R, *,
                      random_state=None) -> FactorizationState:
     """Build the initial factorisation state for Algorithm 2.
 
-    The error matrix starts at zero in the representation matching ``R``:
-    a dense array for a dense ``R``, an empty (no stored rows)
-    :class:`~repro.linalg.rowsparse.RowSparseMatrix` for a CSR ``R`` — the
-    sparse backend never allocates the ``O(n²)`` zero block.
+    ``R`` may be a global inter-type matrix (dense or CSR) or the blocked
+    solver's mapping of per-pair relation blocks.  The error matrix starts
+    at zero in the representation matching ``R``: a dense array for dense
+    relations, an empty (no stored rows)
+    :class:`~repro.linalg.rowsparse.RowSparseMatrix` for CSR relations —
+    the sparse backend never allocates the ``O(n²)`` zero block.
     """
     object_spec = data.object_block_spec()
     cluster_spec = data.cluster_block_spec()
     blocks = initialize_membership_blocks(data, R, init=init, smoothing=smoothing,
                                           random_state=random_state)
-    G = block_diagonal(blocks)
     n_objects = object_spec.total
     n_clusters = cluster_spec.total
     S = np.zeros((n_clusters, n_clusters))
-    E_R = (RowSparseMatrix.zeros((n_objects, n_objects)) if sp.issparse(R)
+    E_R = (RowSparseMatrix.zeros((n_objects, n_objects))
+           if _relations_are_sparse(R)
            else np.zeros((n_objects, n_objects)))
-    return FactorizationState(G=G, S=S, E_R=E_R, object_spec=object_spec,
+    return FactorizationState(G_blocks=blocks, S=S, E_R=E_R,
+                              object_spec=object_spec,
                               cluster_spec=cluster_spec)

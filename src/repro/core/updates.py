@@ -42,6 +42,10 @@ __all__ = [
     "update_association",
     "update_membership",
     "update_error_matrix",
+    "update_association_blocks",
+    "update_membership_blocks",
+    "update_error_matrix_blocks",
+    "active_relation_pairs",
     "l21_reweighting_diagonal",
     "apply_block_structure",
 ]
@@ -199,3 +203,253 @@ def update_error_matrix(R, state: FactorizationState, *, beta: float,
     scale = _shrinkage_scale(norms, beta=beta, zeta=zeta)
     scale[scale * norms <= floor] = 0.0
     return residual * scale[:, None]
+
+
+# ----------------------------------------------------------- blockwise kernels
+#
+# The blocked solver core works on the structure Algorithm 2 already has:
+# G is block diagonal by type, S has zero diagonal blocks, R and E_R only
+# live on cross-type blocks, and L only couples objects within a type.  The
+# kernels below are the per-type / per-pair counterparts of the global
+# update rules above — algebraically identical (the global updates reduce
+# to them exactly because the off-block entries are structural zeros), but
+# without the ``n_types×`` memory and work inflation of the stacked
+# matrices, and with every independent task fan-out-able across a
+# :class:`repro.core.parallel.TypeWorkPool`.
+
+
+def _map(pool, fn, items):
+    """Ordered map through an optional :class:`TypeWorkPool` (serial if None)."""
+    if pool is None:
+        return [fn(item) for item in items]
+    return pool.map(fn, items)
+
+
+def _error_block(E_R, object_spec, t: int, u: int):
+    """The ``(t, u)`` block of the global error matrix, as a view.
+
+    ``None`` stays ``None``; a dense E_R yields an ndarray view, a
+    row-sparse one a :class:`RowSparseMatrix` sharing the value storage.
+    """
+    if E_R is None:
+        return None
+    rows = object_spec.slice(t)
+    cols = object_spec.slice(u)
+    if isinstance(E_R, RowSparseMatrix):
+        return E_R.block(rows, cols)
+    return E_R[rows, cols]
+
+
+def active_relation_pairs(R_pairs, E_R, object_spec) -> list[tuple[int, int]]:
+    """Ordered type pairs the blocked updates must visit.
+
+    A pair is active when a relation block exists or the (warm-start) error
+    matrix carries mass on its block.  Activity is closed under the update
+    rules — a pair with zero relation, zero error and zero association
+    stays exactly zero through S, G and E_R updates — so the set is
+    computed once per fit and reused every iteration.
+    """
+    active = set(R_pairs)
+    if E_R is not None:
+        for t in range(object_spec.n_types):
+            for u in range(object_spec.n_types):
+                if t == u or (t, u) in active:
+                    continue
+                block = _error_block(E_R, object_spec, t, u)
+                if isinstance(block, RowSparseMatrix):
+                    if block.rows.size and np.any(block.values):
+                        active.add((t, u))
+                elif np.any(block):
+                    active.add((t, u))
+    return sorted(active)
+
+
+def update_association_blocks(R_pairs, state: FactorizationState, *,
+                              pairs=None, pool=None) -> np.ndarray:
+    """Blockwise closed-form S update (Eq. 18).
+
+    ``GᵀG`` is block diagonal, so its pseudo-inverse is the block diagonal
+    of the per-type gram pseudo-inverses and the update decomposes per
+    ordered pair: ``S_tu = (G_tᵀG_t)⁺ G_tᵀ (R_tu − E_tu) G_u (G_uᵀG_u)⁺``.
+    The diagonal blocks of S are structurally zero — the paper's masking
+    step disappears instead of being re-imposed.  ``R_pairs`` maps ordered
+    type-index pairs to relation blocks (dense or CSR); pairs absent from
+    both ``R_pairs`` and ``pairs`` contribute nothing.
+    """
+    if pairs is None:
+        pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
+    G = state.G_blocks
+    cluster_spec = state.cluster_spec
+    object_spec = state.object_spec
+    pinvs = [gram_pinv(block.T @ block) for block in G]
+
+    def one_pair(pair):
+        t, u = pair
+        E_tu = _error_block(state.E_R, object_spec, t, u)
+        core = G[t].T @ rspace.project_relations(R_pairs.get(pair), E_tu, G[u])
+        return pinvs[t] @ core @ pinvs[u]
+
+    S = np.zeros((cluster_spec.total, cluster_spec.total))
+    for (t, u), block in zip(pairs, _map(pool, one_pair, pairs)):
+        S[cluster_spec.slice(t), cluster_spec.slice(u)] = block
+    return S
+
+
+def update_membership_blocks(R_pairs, L_parts, state: FactorizationState, *,
+                             lam: float, pairs=None,
+                             pool=None) -> list[np.ndarray]:
+    """Blockwise multiplicative G update (Eq. 21–22), one task per type.
+
+    For type ``t`` the relevant rows of the global update's A and B terms
+    are ``A_t = Σ_u (R_tu − E_tu) G_u S_tuᵀ`` and
+    ``B_t = Σ_u S_utᵀ (G_uᵀ G_u) S_ut`` — only that type's rows/blocks are
+    ever formed, and the block mask of the global rule is structural here.
+    ``L_parts`` supplies the per-type ``(L_t⁺, L_t⁻)`` splits (loop-invariant,
+    computed once per fit).  Types are independent given the other factors,
+    so they thread across ``pool``.
+    """
+    if pairs is None:
+        pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
+    G = state.G_blocks
+    S = state.S
+    cluster_spec = state.cluster_spec
+    object_spec = state.object_spec
+    grams = [block.T @ block for block in G]
+    by_source: dict[int, list[int]] = {}
+    by_target: dict[int, list[int]] = {}
+    for t, u in pairs:
+        by_source.setdefault(t, []).append(u)
+        by_target.setdefault(u, []).append(t)
+
+    def s_block(t: int, u: int) -> np.ndarray:
+        return S[cluster_spec.slice(t), cluster_spec.slice(u)]
+
+    def one_type(t: int) -> np.ndarray:
+        block = G[t]
+        A = np.zeros_like(block)
+        for u in by_source.get(t, ()):
+            E_tu = _error_block(state.E_R, object_spec, t, u)
+            A += rspace.project_relations(R_pairs.get((t, u)), E_tu,
+                                          G[u]) @ s_block(t, u).T
+        B = np.zeros((block.shape[1], block.shape[1]))
+        for u in by_target.get(t, ()):
+            S_ut = s_block(u, t)
+            B += S_ut.T @ grams[u] @ S_ut
+        L_pos, L_neg = L_parts[t]
+        A_pos, A_neg = split_parts(A)
+        B_pos, B_neg = split_parts(B)
+        numerator = lam * (L_neg @ block) + A_pos + block @ B_neg
+        denominator = lam * (L_pos @ block) + A_neg + block @ B_pos
+        ratio = safe_divide(numerator, denominator, eps=_EPS)
+        return row_normalize_l1(block * np.sqrt(ratio))
+
+    return _map(pool, one_type, range(object_spec.n_types))
+
+
+def _pair_frobenius_sq(R_pairs, pairs) -> float:
+    """``‖R‖²_F`` accumulated from the ordered relation blocks."""
+    total = 0.0
+    for pair in pairs:
+        block = R_pairs.get(pair)
+        if block is not None:
+            total += frobenius_norm(block) ** 2
+    return total
+
+
+def update_error_matrix_blocks(R_pairs, state: FactorizationState, *,
+                               beta: float, zeta: float = 1e-10,
+                               row_tol: float = 0.0, pairs=None,
+                               pool=None, sparse: bool | None = None):
+    """Blockwise sample-wise sparse error matrix update (Eq. 25–27).
+
+    The L2,1 row norm of object ``i`` of type ``t`` spans every cross-type
+    block of its row, so the task unit is a *type*: accumulate the squared
+    residual row norms over the type's relation pairs, shrink, and
+    materialise only the surviving rows (sparse relations) or scale the
+    type's residual blocks in place (dense).  The global residual
+    ``R − G S Gᵀ`` is never assembled — per pair the reconstruction stays
+    factored as ``(G_t S_tu) G_uᵀ``.
+
+    Returns the global representation the rest of the pipeline speaks: a
+    :class:`RowSparseMatrix` when the relations are CSR (or ``sparse=True``),
+    a dense array otherwise.
+    """
+    if pairs is None:
+        pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
+    if sparse is None:
+        # The relations' representation decides (matching the global rule's
+        # dispatch on R); only a relation-free dataset falls back to the
+        # current E_R representation.
+        if R_pairs:
+            sparse = any(sp.issparse(block) for block in R_pairs.values())
+        else:
+            sparse = isinstance(state.E_R, RowSparseMatrix)
+    G = state.G_blocks
+    S = state.S
+    object_spec = state.object_spec
+    cluster_spec = state.cluster_spec
+    n_total = object_spec.total
+    floor = 0.0
+    if row_tol > 0.0:
+        floor = row_tol * np.sqrt(_pair_frobenius_sq(R_pairs, pairs)
+                                  / max(n_total, 1))
+    by_source: dict[int, list[int]] = {}
+    for t, u in pairs:
+        by_source.setdefault(t, []).append(u)
+
+    E_dense = None if sparse else np.zeros((n_total, n_total))
+
+    def one_type(t: int):
+        targets = by_source.get(t, ())
+        n_t = object_spec.sizes[t]
+        if not targets:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty((0, n_total))) if sparse else None
+        s_blocks = {u: S[cluster_spec.slice(t), cluster_spec.slice(u)]
+                    for u in targets}
+        if sparse:
+            factored = {u: G[t] @ s_blocks[u] for u in targets}
+            sq = np.zeros(n_t)
+            for u in targets:
+                sq += rspace.pair_residual_sq_row_norms(
+                    R_pairs.get((t, u)), G[t], s_blocks[u], G[u],
+                    M=factored[u])
+            norms = np.sqrt(np.maximum(sq, 0.0))
+            scale = _shrinkage_scale(norms, beta=beta, zeta=zeta)
+            rows = np.flatnonzero(scale * norms > floor)
+            values = np.zeros((rows.size, n_total))
+            for u in targets:
+                values[:, object_spec.slice(u)] = scale[rows, None] * (
+                    rspace.pair_residual_rows(R_pairs.get((t, u)), G[t],
+                                              s_blocks[u], G[u], rows,
+                                              M=factored[u]))
+            return rows + object_spec.offsets[t], values
+        residuals = {}
+        sq = np.zeros(n_t)
+        for u in targets:
+            reconstruction = (G[t] @ s_blocks[u]) @ G[u].T
+            block = R_pairs.get((t, u))
+            if block is None:
+                residual = -reconstruction
+            else:
+                if sp.issparse(block):
+                    block = block.toarray()
+                residual = block - reconstruction
+            residuals[u] = residual
+            sq += np.einsum("ij,ij->i", residual, residual)
+        norms = np.sqrt(np.maximum(sq, 0.0))
+        scale = _shrinkage_scale(norms, beta=beta, zeta=zeta)
+        scale[scale * norms <= floor] = 0.0
+        t_rows = object_spec.slice(t)
+        for u in targets:
+            E_dense[t_rows, object_spec.slice(u)] = (
+                residuals[u] * scale[:, None])
+        return None
+
+    results = _map(pool, one_type, range(object_spec.n_types))
+    if not sparse:
+        return E_dense
+    rows = np.concatenate([result[0] for result in results])
+    values = (np.vstack([result[1] for result in results])
+              if rows.size else np.empty((0, n_total)))
+    return RowSparseMatrix(rows, values, (n_total, n_total))

@@ -30,6 +30,7 @@ __all__ = [
     "block_offdiagonal",
     "extract_blocks",
     "extract_diagonal_blocks",
+    "extract_factor_blocks",
 ]
 
 
@@ -155,6 +156,29 @@ def block_offdiagonal(spec_rows: BlockSpec, spec_cols: BlockSpec,
 def extract_diagonal_blocks(matrix: np.ndarray, spec: BlockSpec) -> list[np.ndarray]:
     """Return copies of the diagonal blocks of a square block matrix."""
     return [np.array(spec.block(matrix, k, k)) for k in range(spec.n_types)]
+
+
+def extract_factor_blocks(matrix: np.ndarray, spec_rows: BlockSpec,
+                          spec_cols: BlockSpec) -> list[np.ndarray]:
+    """Return copies of the diagonal blocks of a rectangular factor matrix.
+
+    The cluster membership matrix ``G`` pairs an object partition (rows)
+    with a cluster partition (columns); its structural non-zeros are the
+    ``(k, k)`` blocks.  Entries outside those blocks are discarded — this is
+    the inverse of :func:`block_diagonal` for factor matrices, and the
+    conversion the blocked solver state uses to accept a globally stacked G.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if spec_rows.n_types != spec_cols.n_types:
+        raise ValueError(
+            f"row partition has {spec_rows.n_types} blocks, column partition "
+            f"{spec_cols.n_types}")
+    if matrix.shape != (spec_rows.total, spec_cols.total):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match specs "
+            f"({spec_rows.total}, {spec_cols.total})")
+    return [np.array(matrix[spec_rows.slice(k), spec_cols.slice(k)])
+            for k in range(spec_rows.n_types)]
 
 
 def extract_blocks(matrix: np.ndarray, spec_rows: BlockSpec,

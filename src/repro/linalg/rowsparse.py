@@ -114,6 +114,23 @@ class RowSparseMatrix:
         """Independent copy (indices and values)."""
         return RowSparseMatrix(self.rows.copy(), self.values.copy(), self.shape)
 
+    def block(self, rows: slice, cols: slice) -> "RowSparseMatrix":
+        """The sub-matrix covered by contiguous row/column spans, as views.
+
+        Because the stored row indices are sorted, the rows falling inside a
+        contiguous span form a contiguous run — the returned matrix shares
+        the underlying value storage (no copy), which is what lets the
+        blockwise solver kernels slice a global ``E_R`` into per-pair blocks
+        for free every iteration.
+        """
+        row_start, row_stop, _ = rows.indices(self.shape[0])
+        col_start, col_stop, _ = cols.indices(self.shape[1])
+        lo = int(np.searchsorted(self.rows, row_start, side="left"))
+        hi = int(np.searchsorted(self.rows, row_stop, side="left"))
+        return RowSparseMatrix(self.rows[lo:hi] - row_start,
+                               self.values[lo:hi, col_start:col_stop],
+                               (row_stop - row_start, col_stop - col_start))
+
     # --------------------------------------------------------------- operators
     def __matmul__(self, other) -> np.ndarray:
         """``self @ other`` with a dense operand, returning a dense array.

@@ -189,13 +189,15 @@ class HeterogeneousManifoldEnsemble:
         return _TypeLaplacians(name=name, subspace=subspace_laplacian,
                                pnn=pnn_laplacian, combined=combined)
 
-    def build(self, data: MultiTypeRelationalData):
-        """Assemble the full block-diagonal ensemble Laplacian ``L``.
+    def build_blocks(self, data: MultiTypeRelationalData) -> list:
+        """Build the per-type ensemble Laplacian blocks ``L_t`` (Eq. 12).
 
-        Returns a dense array or a CSR sparse matrix depending on the
-        (resolved) backend; either representation is accepted by the solver's
-        update rules and objective evaluation.  The concrete backend used is
-        recorded on ``resolved_backend_``.
+        The global regulariser L is block diagonal by construction — it
+        only couples objects within one type — so the blocked solver never
+        assembles it: each type's combined Laplacian is returned on its
+        own, in the resolved backend's representation (dense array or CSR).
+        The concrete backend used is recorded on ``resolved_backend_`` and
+        the per-type members on ``members_``.
         """
         backend = self.resolve(data.n_objects_total)
         self.resolved_backend_ = backend
@@ -206,7 +208,18 @@ class HeterogeneousManifoldEnsemble:
                                          object_type.n_objects, backend=backend)
             self.members_.append(member)
             blocks.append(member.combined)
-        return block_diagonal(blocks)
+        return blocks
+
+    def build(self, data: MultiTypeRelationalData):
+        """Assemble the full block-diagonal ensemble Laplacian ``L``.
+
+        Returns a dense array or a CSR sparse matrix depending on the
+        (resolved) backend; either representation is accepted by the global
+        update rules and objective evaluation.  The blocked solver core
+        uses :meth:`build_blocks` instead and never pays for the stacked
+        ``(n, n)`` assembly.
+        """
+        return block_diagonal(self.build_blocks(data))
 
 
 def build_type_laplacians(data: MultiTypeRelationalData, *, p: int = 5,

@@ -32,7 +32,9 @@ def clustering_fscore(labels_true, labels_pred) -> float:
         f_values = np.divide(2.0 * precisions * recalls, denominator,
                              out=np.zeros_like(denominator), where=denominator > 0)
         score += (class_sizes[j] / n_total) * float(f_values.max())
-    return float(score)
+    # The class weights sum to 1 only up to floating point; a perfect
+    # clustering can otherwise accumulate to 1 + O(eps) and escape [0, 1].
+    return float(min(score, 1.0))
 
 
 def pairwise_precision_recall(labels_true, labels_pred) -> tuple[float, float]:

@@ -168,6 +168,41 @@ class MultiTypeRelationalData:
         return BlockSpec(tuple(t.n_clusters for t in self._types))
 
     # -------------------------------------------------------- matrix assembly
+    def relation_blocks(self, *, normalize: bool = False,
+                        backend: str = "dense") -> dict:
+        """Per-pair relation blocks ``R_tu`` in both orientations.
+
+        This is the blocked solver's view of R: a mapping from ordered
+        type-index pairs ``(t, u)`` to the ``(n_t, n_u)`` relation block,
+        with every observed relation present in both orientations
+        (``R_ut = R_tuᵀ``) and unrelated pairs absent.  No global ``(n, n)``
+        matrix is assembled — :meth:`inter_type_matrix` stays as the
+        stacked-form adapter for code that needs one.
+
+        ``normalize`` and ``backend`` have the same semantics as
+        :meth:`inter_type_matrix`: blocks are scaled by ``weight`` (divided
+        by their Frobenius norm first when normalising), and ``backend``
+        selects dense arrays or CSR matrices (``"auto"`` resolves by total
+        object count).
+        """
+        backend = resolve_backend(backend, n_objects=self.n_objects_total)
+        blocks: dict[tuple[int, int], np.ndarray | sp.csr_array] = {}
+        for (row, col), relation in self._relations.items():
+            scale = relation.weight
+            if normalize:
+                norm = frobenius_norm(relation.matrix)
+                if norm > 0:
+                    scale = scale / norm
+            if backend == "sparse":
+                block = sp.csr_array(relation.matrix, dtype=np.float64) * scale
+                transposed = sp.csr_array(block.T)
+            else:
+                block = ensure_dense(relation.matrix) * scale
+                transposed = block.T
+            blocks[(row, col)] = block
+            blocks[(col, row)] = transposed
+        return blocks
+
     def inter_type_matrix(self, *, normalize: bool = False,
                           backend: str = "dense"):
         """Assemble the symmetric inter-type relationship matrix ``R``.

@@ -14,6 +14,11 @@ refit from the fitted artifact's own factorisation state:
   ``E_R`` is embedded at the old objects' positions in the grown block
   layout.
 
+The per-type blocks built here are adopted by the blocked solver state
+as-is (``FactorizationState`` stores G per type) — the refresh never
+stacks a global membership matrix, so a warm start costs the grown blocks
+and nothing more.
+
 The refit then runs Algorithm 2 as usual (see
 ``RHCHME.fit(data, warm_start=...)``), typically converging in a fraction
 of the cold iteration count while agreeing with a cold refit on the vast

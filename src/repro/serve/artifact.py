@@ -44,7 +44,7 @@ from ..core.config import RHCHMEConfig
 from ..core.state import FactorizationState
 from ..exceptions import ArtifactError, ValidationError
 from ..graph.neighbors import QueryIndex
-from ..linalg.blocks import BlockSpec, block_diagonal
+from ..linalg.blocks import BlockSpec
 from ..linalg.backend import resolve_backend
 from ..linalg.rowsparse import RowSparseMatrix
 from .extension import Prediction, out_of_sample_predict
@@ -307,16 +307,22 @@ class RHCHMEModel:
             f"unknown object type {name!r}; known types: {self.type_names}")
 
     def state(self) -> FactorizationState:
-        """Reconstruct the full factorisation state from the stored blocks."""
+        """Reconstruct the blocked factorisation state from the stored blocks.
+
+        The artifact already stores G per type, which is exactly the
+        solver's native representation — the blocks are copied straight in
+        (the state is mutable; the artifact stays immutable) and no global
+        stacked matrix is assembled.
+        """
         object_spec = BlockSpec(tuple(t.n_objects for t in self.types))
         cluster_spec = BlockSpec(tuple(t.n_clusters for t in self.types))
-        G = block_diagonal([self.membership[t.name] for t in self.types])
+        blocks = [np.array(self.membership[t.name]) for t in self.types]
         if self.error_matrix is None:
-            E_R = np.zeros((object_spec.total, object_spec.total))
+            E_R = RowSparseMatrix.zeros((object_spec.total, object_spec.total))
         else:
             E_R = self.error_matrix.copy()  # keeps its representation
-        return FactorizationState(G=G, S=self.association.copy(), E_R=E_R,
-                                  object_spec=object_spec,
+        return FactorizationState(G_blocks=blocks, S=self.association.copy(),
+                                  E_R=E_R, object_spec=object_spec,
                                   cluster_spec=cluster_spec)
 
     def _error_matrix_layout(self) -> str | None:
@@ -354,7 +360,8 @@ class RHCHMEModel:
 
     # ------------------------------------------------------------- prediction
     def predict(self, type_name: str, X_new, *, batch_size: int = 256,
-                backend: str | None = None) -> Prediction:
+                backend: str | None = None,
+                n_jobs: int | None = None) -> Prediction:
         """Assign new objects of ``type_name`` out of sample.
 
         Computes the queries' p-NN affinities to the type's training objects
@@ -363,6 +370,10 @@ class RHCHMEModel:
         :func:`repro.serve.extension.out_of_sample_predict`.  ``backend``
         overrides the fitted config's knob (useful for benchmarking); by
         default the config's backend is resolved against the training size.
+        ``n_jobs`` threads the micro-batches (``-1`` = all CPUs); it
+        defaults to the in-memory config's knob, which is always ``1`` for
+        loaded artifacts — n_jobs is a runtime knob and is deliberately not
+        persisted, so serving processes opt into parallelism here.
         """
         info = self.type_info(type_name)
         X_new = check_query_features(info, X_new)
@@ -372,12 +383,19 @@ class RHCHMEModel:
         return out_of_sample_predict(
             self.features[type_name], self.membership[type_name], X_new,
             p=self.config.p, weighting=self.config.weighting,
-            backend=resolved, batch_size=batch_size, index=index)
+            backend=resolved, batch_size=batch_size, index=index,
+            n_jobs=self.config.n_jobs if n_jobs is None else n_jobs)
 
     # ------------------------------------------------------------ persistence
     def _config_dict(self) -> dict:
         config = asdict(self.config)
         config["weighting"] = self.config.weighting.value
+        # n_jobs is a runtime execution knob (how many threads compute the
+        # blocks), not a model parameter: it never changes the fitted
+        # factors or predictions.  Keeping it out of the sidecar means the
+        # artifact layout is unchanged and pre-n_jobs readers still load
+        # current artifacts; loaded models default to serial execution.
+        config.pop("n_jobs", None)
         return config
 
     @staticmethod

@@ -33,6 +33,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .._validation import as_float_array, check_positive_int
+from ..core.parallel import TypeWorkPool
 from ..exceptions import ShapeError
 from ..graph.neighbors import QueryIndex
 from ..graph.weights import WeightingScheme, compute_edge_weights_query
@@ -75,7 +76,8 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
                           sigma: float = 1.0, backend: str = "auto",
                           batch_size: int = 256,
                           algorithm: str = "auto",
-                          index: QueryIndex | None = None) -> Prediction:
+                          index: QueryIndex | None = None,
+                          n_jobs: int = 1) -> Prediction:
     """Assign new objects of one type using a fitted membership block.
 
     Parameters
@@ -107,6 +109,12 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
         serving many requests against the same model (e.g.
         :class:`repro.serve.BatchPredictor`) pass a cached index so the
         KD-tree is not rebuilt per call.
+    n_jobs:
+        Worker threads for the micro-batches.  Batches are independent
+        (each writes its own slice of the score matrix) and the underlying
+        neighbour search and matrix kernels release the GIL, so large query
+        sets fan out across cores; ``1`` (default) keeps the serial loop,
+        ``-1`` uses every CPU.  Results are identical for every setting.
 
     Notes
     -----
@@ -145,9 +153,9 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
 
     n_queries = queries.shape[0]
     scores = np.empty((n_queries, membership_block.shape[1]), dtype=np.float64)
-    n_batches = 0
-    for start in range(0, n_queries, batch_size):
-        stop = min(start + batch_size, n_queries)
+
+    def one_batch(span: tuple[int, int]) -> None:
+        start, stop = span
         batch = queries[start:stop]
         neighbours = index.query(batch, p)
         n_batch = batch.shape[0]
@@ -167,7 +175,12 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
         else:
             scores[start:stop] = np.einsum("qp,qpc->qc", weights,
                                            membership_block[neighbours])
-        n_batches += 1
+
+    spans = [(start, min(start + batch_size, n_queries))
+             for start in range(0, n_queries, batch_size)]
+    with TypeWorkPool(n_jobs) as pool:
+        pool.map(one_batch, spans)
+    n_batches = len(spans)
 
     membership = row_normalize_l1(scores, copy=False)
     labels = np.argmax(membership, axis=1).astype(np.int64)

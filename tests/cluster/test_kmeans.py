@@ -80,3 +80,48 @@ class TestKMeans:
             KMeans(0)
         with pytest.raises(Exception):
             KMeans(2, n_init=0)
+
+
+class TestSparseInput:
+    """CSR samples cluster without densifying (the O(nnz) init path)."""
+
+    def _sparse_profile(self, seed=0, n=60, d=40, k=3):
+        import scipy.sparse as sp
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, size=n)
+        dense = np.zeros((n, d))
+        for cluster in range(k):
+            cols = rng.choice(d, size=6, replace=False)
+            members = labels == cluster
+            dense[np.ix_(members, cols)] = 1.0 + rng.random(
+                (int(members.sum()), cols.size))
+        return sp.csr_array(dense), dense, labels
+
+    def test_sparse_matches_dense_labels(self):
+        sparse, dense, _ = self._sparse_profile()
+        from_sparse = KMeans(3, random_state=0).fit_predict(sparse)
+        from_dense = KMeans(3, random_state=0).fit_predict(dense)
+        np.testing.assert_array_equal(from_sparse, from_dense)
+
+    def test_sparse_recovers_planted_clusters(self):
+        sparse, _, truth = self._sparse_profile(seed=3)
+        result = KMeans(3, random_state=0).fit(sparse)
+        from repro.metrics.nmi import normalized_mutual_information
+        assert normalized_mutual_information(truth, result.labels) > 0.95
+
+    def test_sparse_inertia_matches_dense(self):
+        sparse, dense, _ = self._sparse_profile(seed=1)
+        import pytest as _pytest
+        sparse_fit = KMeans(3, random_state=0).fit(sparse)
+        dense_fit = KMeans(3, random_state=0).fit(dense)
+        assert sparse_fit.inertia == _pytest.approx(dense_fit.inertia,
+                                                    rel=1e-9)
+
+    def test_sparse_nan_rejected(self):
+        import scipy.sparse as sp
+        import pytest as _pytest
+        from repro.exceptions import ValidationError
+        bad = np.ones((6, 4))
+        bad[2, 1] = np.nan
+        with _pytest.raises(ValidationError):
+            KMeans(2, random_state=0).fit(sp.csr_array(bad))

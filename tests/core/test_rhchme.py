@@ -162,3 +162,29 @@ class TestWarmStart:
         from repro.exceptions import ValidationError
         with pytest.raises(ValidationError, match="warm_start"):
             RHCHME(max_iter=3).fit(tiny_dataset, warm_start=42)
+
+
+class TestUpdateTimers:
+    """Per-update wall-clock buckets (S / G / E_R / objective)."""
+
+    def test_extras_break_down_the_iteration_loop(self, small_dataset):
+        result = RHCHME(max_iter=4, random_state=0).fit(small_dataset)
+        timings = result.extras["update_seconds"]
+        assert set(timings) == {"s_update", "g_update", "e_update",
+                                "objective"}
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        counts = result.trace.timing_counts
+        iters = result.n_iterations
+        # One pre-loop S solve doubles as iteration 1's S step (the
+        # duplicate-update fix), so S is charged once per iteration total.
+        assert counts["s_update"] == iters
+        assert counts["g_update"] == iters
+        assert counts["e_update"] == iters
+        assert counts["objective"] == iters + 1
+
+    def test_error_bucket_absent_when_disabled(self, small_dataset):
+        result = RHCHME(max_iter=3, random_state=0,
+                        use_error_matrix=False).fit(small_dataset)
+        timings = result.extras["update_seconds"]
+        assert "e_update" not in timings
+        assert {"s_update", "g_update", "objective"} <= set(timings)

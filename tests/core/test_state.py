@@ -70,5 +70,7 @@ class TestInitializeState:
         R = tiny_dataset.inter_type_matrix()
         state = initialize_state(tiny_dataset, R, random_state=0)
         clone = state.copy()
-        clone.G[:] = 0.0
+        for block in clone.G_blocks:
+            block[:] = 0.0
         assert state.G.sum() > 0
+        assert clone.G.sum() == 0.0

@@ -219,8 +219,9 @@ class TestEmptyClusterRegression:
 
     def test_bounded_with_exactly_empty_cluster(self, prepared):
         _, R, _, state = prepared
-        state.G = state.G.copy()
-        state.G[:, 0] = 0.0
+        G = state.G
+        G[:, 0] = 0.0
+        state.G = G  # reading assembles a copy; write back through the setter
         S = update_association(R, state)
         assert np.all(np.isfinite(S))
         np.testing.assert_allclose(S[0, :], 0.0, atol=1e-10)
@@ -231,8 +232,9 @@ class TestEmptyClusterRegression:
         # gram is singular only numerically and nothing cancels exactly.
         _, R, _, state = prepared
         healthy = update_association(R, state)
-        state.G = state.G.copy()
-        state.G[:, 0] *= 1e-15
+        G = state.G
+        G[:, 0] *= 1e-15
+        state.G = G  # write the mutated copy back through the setter
         S = update_association(R, state)
         assert np.all(np.isfinite(S))
         bound = 10.0 * max(np.max(np.abs(healthy)), 1.0)
@@ -244,7 +246,9 @@ class TestEmptyClusterRegression:
         from repro.core.state import initialize_state
         R = tiny_dataset.inter_type_matrix(normalize=True)
         state = initialize_state(tiny_dataset, R, random_state=0)
-        state.G[:, 0] = 0.0  # empty the first documents cluster outright
+        # empty the first documents cluster outright (blocks are the
+        # authoritative storage; the stacked G property is a copy)
+        state.G_blocks[0][:, 0] = 0.0
         result = RHCHME(max_iter=5, random_state=0,
                         track_metrics_every=0).fit(tiny_dataset,
                                                    warm_start=state)
@@ -364,3 +368,46 @@ class TestSparseUpdateParity:
                                    rtol=1e-9)
         np.testing.assert_allclose(sparse.graph_smoothness,
                                    dense.graph_smoothness, rtol=1e-12)
+
+
+class TestBlockwiseDefaultPairs:
+    """Omitting ``pairs`` must still visit warm-start E_R-only blocks."""
+
+    def test_error_only_pair_contributes_to_association(self):
+        import scipy.sparse as sp
+        from repro.core.state import initialize_state
+        from repro.core.updates import (active_relation_pairs,
+                                        update_association_blocks)
+        from repro.linalg.rowsparse import RowSparseMatrix
+        from repro.relational.dataset import MultiTypeRelationalData
+        from repro.relational.types import ObjectType, Relation
+
+        # A chain a-b-c leaves the (a, c) pair with no observed relation.
+        rng = np.random.default_rng(0)
+        types = [ObjectType(name, n_objects=8, n_clusters=2)
+                 for name in ("a", "b", "c")]
+        data = MultiTypeRelationalData(
+            types, [Relation("a", "b", rng.random((8, 8))),
+                    Relation("b", "c", rng.random((8, 8)))])
+        R_pairs = data.relation_blocks(normalize=True)
+        state = initialize_state(data, R_pairs, init="random",
+                                 random_state=0)
+        spec = state.object_spec
+        # Plant warm-start error mass on the unrelated (a, c) block.
+        t, u = 0, 2
+        assert (t, u) not in R_pairs
+        rows = np.array([spec.offsets[t]])
+        values = np.zeros((1, spec.total))
+        values[0, spec.slice(u)] = 1.0
+        state.E_R = RowSparseMatrix(rows, values, (spec.total, spec.total))
+
+        assert (t, u) in active_relation_pairs(R_pairs, state.E_R, spec)
+        S_default = update_association_blocks(R_pairs, state)
+        cspec = state.cluster_spec
+        assert np.abs(S_default[cspec.slice(t), cspec.slice(u)]).sum() > 0
+        # and the default matches an explicit active-pair list
+        explicit = update_association_blocks(
+            R_pairs, state,
+            pairs=active_relation_pairs(R_pairs, state.E_R, spec))
+        np.testing.assert_array_equal(S_default, explicit)
+        assert not sp.issparse(S_default)

@@ -157,3 +157,35 @@ class TestSparseBlockDiagonal:
         result = block_diagonal([zero, sp.csr_array(np.eye(2))])
         assert result.shape == (5, 5)
         assert result.nnz == 2
+
+
+class TestExtractFactorBlocks:
+    def test_roundtrips_with_block_diagonal(self):
+        from repro.linalg.blocks import extract_factor_blocks
+        rng = np.random.default_rng(0)
+        blocks = [rng.random((3, 2)), rng.random((4, 3)), rng.random((2, 1))]
+        stacked = block_diagonal(blocks)
+        rows = BlockSpec((3, 4, 2))
+        cols = BlockSpec((2, 3, 1))
+        recovered = extract_factor_blocks(stacked, rows, cols)
+        assert len(recovered) == 3
+        for original, back in zip(blocks, recovered):
+            np.testing.assert_array_equal(back, original)
+
+    def test_discards_off_block_entries(self):
+        from repro.linalg.blocks import extract_factor_blocks
+        full = np.ones((5, 4))
+        rows = BlockSpec((3, 2))
+        cols = BlockSpec((2, 2))
+        recovered = extract_factor_blocks(full, rows, cols)
+        np.testing.assert_array_equal(recovered[0], np.ones((3, 2)))
+        np.testing.assert_array_equal(recovered[1], np.ones((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        from repro.linalg.blocks import extract_factor_blocks
+        with pytest.raises(ValueError):
+            extract_factor_blocks(np.ones((4, 4)), BlockSpec((3,)),
+                                  BlockSpec((4,)))
+        with pytest.raises(ValueError):
+            extract_factor_blocks(np.ones((4, 4)), BlockSpec((2, 2)),
+                                  BlockSpec((4,)))

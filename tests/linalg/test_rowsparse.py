@@ -129,3 +129,28 @@ class TestAsDenseMatrix:
         np.testing.assert_array_equal(as_dense_matrix(dense), dense)
         np.testing.assert_array_equal(as_dense_matrix(sp.csr_array(dense)),
                                       dense)
+
+
+class TestBlockSlicing:
+    def test_block_matches_dense_slice(self, example):
+        matrix, dense = example
+        n_rows, n_cols = matrix.shape
+        for rows, cols in [(slice(0, n_rows), slice(0, n_cols)),
+                           (slice(1, n_rows - 1), slice(2, n_cols)),
+                           (slice(0, 1), slice(0, 2))]:
+            block = matrix.block(rows, cols)
+            np.testing.assert_array_equal(np.asarray(block),
+                                          dense[rows, cols])
+
+    def test_block_shares_value_storage(self, example):
+        matrix, _ = example
+        block = matrix.block(slice(0, matrix.shape[0]),
+                             slice(0, matrix.shape[1]))
+        if block.values.size:
+            assert np.shares_memory(block.values, matrix.values)
+
+    def test_block_of_zero_matrix_is_zero(self):
+        zero = RowSparseMatrix.zeros((6, 4))
+        block = zero.block(slice(2, 5), slice(1, 3))
+        assert block.shape == (3, 2)
+        assert block.is_zero

@@ -150,3 +150,41 @@ class TestMatrixAssembly:
         text = three_type_data.describe()
         for name in three_type_data.type_names:
             assert name in text
+
+
+class TestRelationBlocks:
+    """The blocked solver's per-pair view of R."""
+
+    def test_both_orientations_present(self, three_type_data):
+        blocks = three_type_data.relation_blocks()
+        for (t, u), block in blocks.items():
+            assert t != u
+            assert (u, t) in blocks
+            np.testing.assert_allclose(blocks[(u, t)],
+                                       np.asarray(block).T)
+
+    def test_matches_global_assembly(self, three_type_data):
+        spec = three_type_data.object_block_spec()
+        for normalize in (False, True):
+            R = three_type_data.inter_type_matrix(normalize=normalize)
+            blocks = three_type_data.relation_blocks(normalize=normalize)
+            for (t, u), block in blocks.items():
+                np.testing.assert_allclose(
+                    np.asarray(block), R[spec.slice(t), spec.slice(u)],
+                    atol=1e-12)
+            # pairs absent from the mapping are zero blocks globally
+            for t in range(three_type_data.n_types):
+                for u in range(three_type_data.n_types):
+                    if t != u and (t, u) not in blocks:
+                        np.testing.assert_allclose(
+                            R[spec.slice(t), spec.slice(u)], 0.0)
+
+    def test_sparse_backend_yields_csr(self, three_type_data):
+        import scipy.sparse as sp
+        blocks = three_type_data.relation_blocks(backend="sparse")
+        dense_blocks = three_type_data.relation_blocks(backend="dense")
+        assert blocks, "expected at least one relation pair"
+        for key, block in blocks.items():
+            assert sp.issparse(block)
+            np.testing.assert_allclose(block.toarray(), dense_blocks[key],
+                                       atol=1e-12)

@@ -1,0 +1,207 @@
+"""Blocked-core ↔ global-kernel parity for the full RHCHME pipeline.
+
+The PR-5 refactor moved ``RHCHME.fit`` onto the blocked solver core:
+per-type G blocks, per-type Laplacians, per-pair relations and blockwise
+S / G / E_R / objective kernels, optionally threaded across ``n_jobs``
+workers.  The global kernels remain (baselines and adapters use them), so
+the contract is checkable directly: a blocked fit must reproduce the
+global-kernel reference loop — same labels, same per-term objective
+trajectory — on every ``backend × n_jobs`` combination, and the thread
+count must never change a single bit of the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RHCHME
+from repro.core.objective import evaluate_objective
+from repro.core.state import initialize_state
+from repro.core.updates import (update_association, update_error_matrix,
+                                update_membership)
+from repro.data.datasets import make_dataset
+from repro.linalg.parts import split_parts
+from repro.manifold.ensemble import HeterogeneousManifoldEnsemble
+from repro.runtime import refresh_model
+
+MAX_ITER = 10
+SEED = 0
+TERMS = ("reconstruction", "error_sparsity", "graph_smoothness")
+
+
+@pytest.fixture(scope="module")
+def multi5_small():
+    return make_dataset("multi5-small", random_state=SEED)
+
+
+@pytest.fixture(scope="module")
+def fits(multi5_small):
+    return {(backend, n_jobs): RHCHME(max_iter=MAX_ITER, random_state=SEED,
+                                      backend=backend, n_jobs=n_jobs
+                                      ).fit(multi5_small)
+            for backend in ("dense", "sparse") for n_jobs in (1, 2)}
+
+
+def _global_reference_trace(data, *, backend: str, config) -> dict:
+    """Drive the global kernels through the blocked fit's exact schedule."""
+    ensemble = HeterogeneousManifoldEnsemble(backend=backend,
+                                             random_state=SEED)
+    L = ensemble.build(data)
+    R = data.inter_type_matrix(normalize=True,
+                               backend=ensemble.resolved_backend_)
+    parts = split_parts(L)
+    state = initialize_state(data, R, init="kmeans", smoothing=0.2,
+                             random_state=SEED)
+    lam, beta = config.lam, config.beta
+    breakdowns = []
+    state.S = update_association(R, state)
+    breakdowns.append(evaluate_objective(R, state.G, state.S, state.E_R, L,
+                                         lam=lam, beta=beta))
+    for iteration in range(1, MAX_ITER + 1):
+        if iteration > 1:
+            state.S = update_association(R, state)
+        state.G = update_membership(R, L, state, lam=lam, parts=parts)
+        state.E_R = update_error_matrix(R, state, beta=beta, zeta=config.zeta,
+                                        row_tol=config.error_row_tol)
+        breakdowns.append(evaluate_objective(R, state.G, state.S, state.E_R,
+                                             L, lam=lam, beta=beta))
+    labels = {object_type.name: state.labels_for_type(index)
+              for index, object_type in enumerate(data.types)}
+    return {
+        "labels": labels,
+        "terms": {term: np.array([getattr(b, term) for b in breakdowns])
+                  for term in TERMS},
+    }
+
+
+class TestBlockedGlobalParity:
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_per_term_trajectories_match_global_kernels(self, multi5_small,
+                                                        fits, backend):
+        blocked = fits[(backend, 1)]
+        reference = _global_reference_trace(
+            multi5_small, backend=backend,
+            config=RHCHME(max_iter=MAX_ITER).config)
+        for term in TERMS:
+            np.testing.assert_allclose(blocked.trace.terms_series(term),
+                                       reference["terms"][term],
+                                       rtol=1e-6, atol=1e-10)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_labels_match_global_kernels(self, multi5_small, fits, backend):
+        blocked = fits[(backend, 1)]
+        reference = _global_reference_trace(
+            multi5_small, backend=backend,
+            config=RHCHME(max_iter=MAX_ITER).config)
+        for name, labels in reference["labels"].items():
+            np.testing.assert_array_equal(blocked.labels[name], labels)
+
+
+class TestNJobsInvariance:
+    """n_jobs only changes which thread computes a block, never the numbers."""
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_trajectories_bit_identical_across_n_jobs(self, fits, backend):
+        serial = fits[(backend, 1)]
+        threaded = fits[(backend, 2)]
+        np.testing.assert_array_equal(serial.trace.objectives,
+                                      threaded.trace.objectives)
+        for term in TERMS:
+            np.testing.assert_array_equal(serial.trace.terms_series(term),
+                                          threaded.trace.terms_series(term))
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_factors_bit_identical_across_n_jobs(self, fits, backend):
+        serial = fits[(backend, 1)]
+        threaded = fits[(backend, 2)]
+        for a, b in zip(serial.state.G_blocks, threaded.state.G_blocks):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(serial.state.S, threaded.state.S)
+        np.testing.assert_array_equal(np.asarray(serial.state.E_R),
+                                      np.asarray(threaded.state.E_R))
+        for name in serial.labels:
+            np.testing.assert_array_equal(serial.labels[name],
+                                          threaded.labels[name])
+
+
+class TestCrossBackendParity:
+    """Dense × n_jobs and sparse × n_jobs all describe one optimisation."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_labels_identical_across_backends(self, fits, n_jobs):
+        dense = fits[("dense", n_jobs)]
+        sparse = fits[("sparse", n_jobs)]
+        for name in dense.labels:
+            np.testing.assert_array_equal(sparse.labels[name],
+                                          dense.labels[name])
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_per_term_trajectories_across_backends(self, fits, n_jobs):
+        dense = fits[("dense", n_jobs)]
+        sparse = fits[("sparse", n_jobs)]
+        for term in TERMS:
+            np.testing.assert_allclose(sparse.trace.terms_series(term),
+                                       dense.trace.terms_series(term),
+                                       rtol=1e-7, atol=1e-12)
+
+
+def _prefix_blobs(n_points: int, *, n_pool: int = 120, n_anchors: int = 36,
+                  n_clusters: int = 3, n_features: int = 6, seed: int = 0):
+    """Two-type blobs whose first ``n_points`` objects are seed-stable.
+
+    All randomness is drawn for the full pool up front, so the smaller
+    dataset is an exact prefix of the larger one — the appended-objects
+    shape ``refresh_model`` validates.
+    """
+    from repro.relational.dataset import MultiTypeRelationalData
+    from repro.relational.types import ObjectType, Relation
+
+    rng = np.random.default_rng(seed)
+    point_labels = np.arange(n_pool) % n_clusters
+    anchor_labels = np.arange(n_anchors) % n_clusters
+    point_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    anchor_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    point_features = point_centers[point_labels] + rng.normal(
+        size=(n_pool, n_features))
+    anchor_features = anchor_centers[anchor_labels] + rng.normal(
+        size=(n_anchors, n_features))
+    co_cluster = point_labels[:, None] == anchor_labels[None, :]
+    matrix = np.where(co_cluster, 1.0, 0.05) + 0.05 * rng.random(
+        (n_pool, n_anchors))
+    points = ObjectType("points", n_objects=n_points, n_clusters=n_clusters,
+                        features=point_features[:n_points],
+                        labels=point_labels[:n_points])
+    anchors = ObjectType("anchors", n_objects=n_anchors,
+                         n_clusters=n_clusters, features=anchor_features,
+                         labels=anchor_labels)
+    return MultiTypeRelationalData(
+        [points, anchors],
+        [Relation("points", "anchors", matrix[:n_points])])
+
+
+class TestWarmStartRefreshThroughBlockedState:
+    """The runtime refresh path must flow through the blocked state intact."""
+
+    def test_refresh_warm_starts_blocked_fit(self):
+        fitted_data = _prefix_blobs(90)
+        grown_data = _prefix_blobs(120)
+        fitted = RHCHME(max_iter=25, random_state=SEED,
+                        use_subspace_member=False, track_metrics_every=0)
+        result = fitted.fit(fitted_data)
+        model = result.to_model(fitted_data, fitted.config)
+        outcome = refresh_model(model, grown_data, max_iter=10, n_jobs=2)
+        assert outcome.n_new_objects == 30
+        refreshed = outcome.result
+        assert refreshed.extras["warm_start"] is True
+        # The refreshed state is blocked: per-type G blocks with the grown
+        # shapes, and the unchanged training objects keep their labels on
+        # the vast majority of objects.
+        for index, object_type in enumerate(grown_data.types):
+            block = refreshed.state.G_blocks[index]
+            assert block.shape == (object_type.n_objects,
+                                   object_type.n_clusters)
+        n_old = fitted_data.get_type("points").n_objects
+        agreement = np.mean(refreshed.labels["points"][:n_old]
+                            == result.labels["points"])
+        assert agreement >= 0.9
