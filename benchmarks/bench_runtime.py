@@ -50,10 +50,12 @@ SMOKE_SIZES = (300,)
 def time_serial_batch1(model_path: Path, queries: np.ndarray) -> dict:
     """The baseline: one BatchPredictor request per object, strictly serial."""
     predictor = BatchPredictor()
-    predictor.predict(model_path, QUERY_TYPE, queries[:1])  # warm the cache
+    predictor.predict(path=model_path, type_name=QUERY_TYPE,
+                      X_new=queries[:1])  # warm the cache
     start = time.perf_counter()
     for row in queries:
-        predictor.predict(model_path, QUERY_TYPE, row[None, :])
+        predictor.predict(path=model_path, type_name=QUERY_TYPE,
+                          X_new=row[None, :])
     seconds = time.perf_counter() - start
     return {
         "frontend": "serial-batch1",
@@ -71,9 +73,11 @@ def time_runtime(model_path: Path, queries: np.ndarray, *, workers: str,
                        max_batch_size=max_batch_size,
                        max_delay_seconds=max_delay_seconds,
                        max_pending=queries.shape[0] + 1) as runtime:
-        runtime.predict(model_path, QUERY_TYPE, queries[:1])  # warm the cache
+        runtime.predict(path=model_path, type_name=QUERY_TYPE,
+                        queries=queries[:1])  # warm the cache
         start = time.perf_counter()
-        futures = [runtime.submit(model_path, QUERY_TYPE, row)
+        futures = [runtime.submit(path=model_path, type_name=QUERY_TYPE,
+                                  queries=row)
                    for row in queries]
         for future in futures:
             future.result(timeout=600)

@@ -91,7 +91,8 @@ def main() -> None:
     with RuntimeServer(workers="thread", n_workers=4, max_batch_size=64,
                        max_delay_seconds=0.002) as runtime:
         start = time.perf_counter()
-        futures = [runtime.submit(path, "points", row) for row in stream]
+        futures = [runtime.submit(path=path, type_name="points", queries=row)
+                   for row in stream]
         labels = np.array([f.result(timeout=60).labels[0] for f in futures])
         runtime_seconds = time.perf_counter() - start
         stats = runtime.stats
@@ -109,10 +110,11 @@ def main() -> None:
 
     # ------------------------------------------------ 4. serial baseline
     predictor = BatchPredictor()
-    predictor.predict(path, "points", stream[:1])  # warm the cache
+    predictor.predict(path=path, type_name="points", X_new=stream[:1])  # warm
     start = time.perf_counter()
     serial_labels = np.array(
-        [predictor.predict(path, "points", row[None, :]).labels[0]
+        [predictor.predict(path=path, type_name="points",
+                           X_new=row[None, :]).labels[0]
          for row in stream])
     serial_seconds = time.perf_counter() - start
     np.testing.assert_array_equal(labels, serial_labels)
@@ -126,9 +128,11 @@ def main() -> None:
     print(f"5. 30 new points arrived: {grown.describe()}")
     with RuntimeServer(workers="thread", n_workers=2, max_batch_size=64,
                        max_delay_seconds=0.002) as runtime:
-        in_flight = runtime.submit(path, "points", stream[:32])
+        in_flight = runtime.submit(path=path, type_name="points",
+                                   queries=stream[:32])
         outcome = runtime.refresh(path, grown, max_iter=10)
-        after = runtime.predict(path, "points", stream[:32], timeout=60)
+        after = runtime.predict(path=path, type_name="points",
+                                queries=stream[:32], timeout=60)
         print(f"   refresh refit {outcome.result.n_iterations} iterations "
               f"(warm start), grew {outcome.grown}, in-flight request "
               f"answered {in_flight.result(timeout=60).n_queries} queries, "

@@ -1,19 +1,65 @@
-"""Exception hierarchy for the :mod:`repro` package.
+"""Exception hierarchy and error taxonomy for the :mod:`repro` package.
 
 All errors raised by the library derive from :class:`ReproError` so that
 callers can catch library failures without masking programming errors
 elsewhere in their own code.
+
+Every error class additionally carries a **stable machine-readable error
+code** (:attr:`ReproError.code`) and a CLI exit code
+(:attr:`ReproError.exit_code`).  The same taxonomy is shared by all three
+error surfaces of the serving stack:
+
+* Python exceptions — ``exc.code`` / :func:`error_code`;
+* the wire schema — :class:`repro.net.schema.ErrorResponse` carries the
+  code, and :func:`exception_for_code` maps it back to the matching
+  exception class on the client side;
+* CLI exit codes — ``python -m repro.serve`` / ``python -m repro.net``
+  exit with ``exc.exit_code`` and print ``error[<code>]`` on stderr.
+
+Codes are append-only: once released, a code keeps its meaning (and its
+exit code) forever, so scripts and monitoring rules written against one
+release keep working on the next.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ShapeError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "DataGenerationError",
+    "ExperimentError",
+    "ArtifactError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "ModelNotFoundError",
+    "ServerClosedError",
+    "ServerDrainingError",
+    "ERROR_CODES",
+    "error_code",
+    "exception_for_code",
+]
 
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
+    #: Stable machine-readable error code of this class of failure.
+    code = "internal"
+    #: Process exit code a CLI maps this failure to.
+    exit_code = 1
+    #: Whether retrying the same request later may succeed (load shedding
+    #: and lifecycle errors are retryable; validation errors are not).
+    retryable = False
+
 
 class ValidationError(ReproError, ValueError):
     """An input matrix, vector or parameter failed validation."""
+
+    code = "invalid_request"
+    exit_code = 2
 
 
 class ShapeError(ValidationError):
@@ -23,6 +69,8 @@ class ShapeError(ValidationError):
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted estimator was called before ``fit``."""
 
+    code = "not_fitted"
+
 
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped before reaching its convergence tolerance."""
@@ -31,13 +79,27 @@ class ConvergenceWarning(UserWarning):
 class DataGenerationError(ReproError):
     """A synthetic data generator received an unsatisfiable specification."""
 
+    code = "data_generation"
+
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
+    code = "experiment"
+
 
 class ArtifactError(ReproError):
     """A persisted model artifact is missing, corrupt or schema-incompatible."""
+
+    code = "artifact_error"
+    exit_code = 3
+
+
+class ModelNotFoundError(ReproError, LookupError):
+    """A request named a model id the serving tier has not registered."""
+
+    code = "model_not_found"
+    exit_code = 4
 
 
 class QueueFullError(ReproError):
@@ -46,3 +108,81 @@ class QueueFullError(ReproError):
     Raised by the micro-batching runtime as explicit backpressure: callers
     should retry later or shed load instead of queueing unboundedly.
     """
+
+    code = "queue_full"
+    exit_code = 5
+    retryable = True
+
+
+class QuotaExceededError(ReproError):
+    """A request exceeded its model's admission quota and was shed.
+
+    Unlike :class:`QueueFullError` (the whole runtime is saturated), this
+    is per-model admission control: other models keep being served.
+    """
+
+    code = "quota_exceeded"
+    exit_code = 6
+    retryable = True
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """A request was submitted to — or still queued in — a closed server.
+
+    Requests still waiting in the micro-batch queue when the runtime shuts
+    down are settled with this error instead of being orphaned; their
+    futures resolve promptly and callers can fail over.
+    """
+
+    code = "server_closed"
+    exit_code = 7
+    retryable = True
+
+
+class ServerDrainingError(ReproError):
+    """A new request was rejected because the server is draining.
+
+    In-flight requests accepted before the drain started still complete;
+    only new admissions are refused (HTTP 503 on the wire).
+    """
+
+    code = "draining"
+    exit_code = 8
+    retryable = True
+
+
+#: code -> exception class, for mapping wire/CLI error codes back to typed
+#: exceptions.  Subclasses sharing a parent's code (e.g. ``ShapeError``)
+#: map to the most general class carrying that code.
+ERROR_CODES: dict[str, type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        ValidationError,
+        NotFittedError,
+        DataGenerationError,
+        ExperimentError,
+        ArtifactError,
+        ModelNotFoundError,
+        QueueFullError,
+        QuotaExceededError,
+        ServerClosedError,
+        ServerDrainingError,
+    )
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable error code of ``exc`` (``"internal"`` for foreign errors)."""
+    return getattr(type(exc), "code", ReproError.code) if isinstance(
+        exc, ReproError) else ReproError.code
+
+
+def exception_for_code(code: str, message: str) -> ReproError:
+    """Instantiate the exception class registered for ``code``.
+
+    Unknown codes (e.g. from a newer server) degrade to the base
+    :class:`ReproError` rather than failing, so old clients survive new
+    error codes — the same forward-compatibility stance as the wire schema.
+    """
+    return ERROR_CODES.get(code, ReproError)(message)

@@ -1,0 +1,71 @@
+"""The network serving tier: HTTP front-end, wire schema, client, loadgen.
+
+``repro.serve`` made a fitted model persistable, ``repro.runtime`` made it
+servable under load in-process; ``repro.net`` puts it on the wire:
+
+* :mod:`repro.net.schema` — the **versioned wire schema**
+  (:class:`PredictRequest` / :class:`PredictResponse` /
+  :class:`ErrorResponse`): one canonical request/response vocabulary that
+  the HTTP tier, the in-process adapters
+  (:meth:`RuntimeServer.serve <repro.runtime.RuntimeServer.serve>`,
+  :meth:`BatchPredictor.serve <repro.serve.BatchPredictor.serve>`) and the
+  CLIs all share;
+* :class:`NetServer` — an asyncio HTTP/1.1 front-end over one shared
+  :class:`~repro.runtime.RuntimeServer` worker pool: multi-model routing
+  by model id, per-model admission quotas (HTTP 429), load shedding from
+  queue backpressure (HTTP 503), graceful drain on SIGTERM, and hot
+  refresh that keeps in-flight requests alive;
+* :class:`NetClient` — a keep-alive stdlib HTTP client that raises the
+  same typed :mod:`repro.exceptions` the server maps onto the wire;
+* :func:`run_closed_loop` — a closed-loop multi-client load generator
+  reporting sustained requests/s and p50/p99 latency;
+* ``python -m repro.net`` — ``serve`` / ``predict`` / ``loadgen`` CLI.
+
+Everything is standard-library asyncio + ``http.client``; no third-party
+HTTP framework is required.
+"""
+
+from .schema import (WIRE_SCHEMA_VERSION, ErrorResponse, PredictRequest,
+                     PredictResponse, http_status_for)
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "ErrorResponse",
+    "PredictRequest",
+    "PredictResponse",
+    "http_status_for",
+    "NetServer",
+    "NetServerHandle",
+    "ModelRoute",
+    "NetClient",
+    "LoadReport",
+    "run_closed_loop",
+]
+
+# The server/client/loadgen modules import repro.runtime, which itself
+# imports this package for the schema types; resolving them lazily keeps
+# that import cycle open (schema has no runtime dependency).
+_LAZY = {
+    "NetServer": "server",
+    "NetServerHandle": "server",
+    "ModelRoute": "server",
+    "NetClient": "client",
+    "LoadReport": "loadgen",
+    "run_closed_loop": "loadgen",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

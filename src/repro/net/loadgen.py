@@ -1,0 +1,147 @@
+"""Closed-loop multi-client load generation against a :class:`NetServer`.
+
+:func:`run_closed_loop` spins up ``n_clients`` threads, each owning one
+keep-alive :class:`~repro.net.client.NetClient` and issuing its next
+request the moment the previous one returns (a *closed loop*: offered
+load adapts to observed service rate, the standard way to measure a
+batching server without coordinated-omission artefacts).  Shed responses
+(429/503 — quota, queue-full, draining) are counted as ``rejected``, not
+errors: load shedding is the server working as designed.
+
+Returns a :class:`LoadReport` with throughput and latency percentiles —
+the measurement half of ``benchmarks/bench_net.py`` and of the CI network
+smoke job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import (QueueFullError, QuotaExceededError, ReproError,
+                          ServerDrainingError)
+from .client import NetClient
+
+__all__ = ["LoadReport", "run_closed_loop"]
+
+_SHED = (QueueFullError, QuotaExceededError, ServerDrainingError)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    n_clients: int
+    requests: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    objects: int = 0
+    seconds: float = 0.0
+    latencies_seconds: list = field(default_factory=list, repr=False)
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.completed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def objects_per_second(self) -> float:
+        return self.objects / self.seconds if self.seconds > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th latency percentile in milliseconds (0.0 if empty)."""
+        if not self.latencies_seconds:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_seconds), q)
+                     * 1000.0)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99.0)
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary summary (latency samples reduced to quantiles)."""
+        return {
+            "n_clients": self.n_clients,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "objects": self.objects,
+            "seconds": round(self.seconds, 6),
+            "requests_per_second": round(self.requests_per_second, 3),
+            "objects_per_second": round(self.objects_per_second, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.percentile_ms(100.0), 3),
+        }
+
+
+def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
+                    queries: np.ndarray, n_clients: int = 4,
+                    requests_per_client: int = 50,
+                    rows_per_request: int = 1,
+                    timeout: float = 120.0) -> LoadReport:
+    """Drive the server with ``n_clients`` closed-loop clients; measure.
+
+    Each client walks ``queries`` round-robin in ``rows_per_request``-row
+    slices, so concurrent clients exercise the micro-batcher's coalescing
+    the way real batch-1 traffic would.  Latency samples are per-request
+    wall clock (request sent → response parsed), pooled across clients.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    n_rows = queries.shape[0]
+    report = LoadReport(n_clients=int(n_clients))
+    lock = threading.Lock()
+    start_event = threading.Event()
+
+    def _client(client_index: int) -> None:
+        latencies: list[float] = []
+        completed = rejected = errors = objects = 0
+        with NetClient(host, port, timeout=timeout) as client:
+            start_event.wait()
+            for i in range(requests_per_client):
+                offset = ((client_index * requests_per_client + i)
+                          * rows_per_request) % n_rows
+                rows = queries[offset:offset + rows_per_request]
+                if rows.shape[0] == 0:  # pragma: no cover - offset < n_rows
+                    rows = queries[:rows_per_request]
+                t0 = time.perf_counter()
+                try:
+                    response = client.predict(model, type_name, rows)
+                except _SHED:
+                    rejected += 1
+                    continue
+                except ReproError:
+                    errors += 1
+                    continue
+                latencies.append(time.perf_counter() - t0)
+                completed += 1
+                objects += response.n_queries
+        with lock:
+            report.latencies_seconds.extend(latencies)
+            report.completed += completed
+            report.rejected += rejected
+            report.errors += errors
+            report.objects += objects
+
+    threads = [threading.Thread(target=_client, args=(index,), daemon=True)
+               for index in range(int(n_clients))]
+    for thread in threads:
+        thread.start()
+    wall_start = time.perf_counter()
+    start_event.set()
+    for thread in threads:
+        thread.join()
+    report.seconds = time.perf_counter() - wall_start
+    report.requests = int(n_clients) * int(requests_per_client)
+    return report

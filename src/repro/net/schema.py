@@ -1,0 +1,377 @@
+"""The versioned serving wire schema (requests, responses, errors).
+
+These dataclasses are the **single canonical request/response types** of
+the serving stack.  Every front-end speaks them:
+
+* in-process — :meth:`repro.serve.BatchPredictor.serve` and
+  :meth:`repro.runtime.RuntimeServer.serve` take a
+  :class:`PredictRequest` and return a :class:`PredictResponse` (arrays
+  stay numpy end to end; nothing is serialised);
+* over HTTP — :class:`repro.net.NetServer` and
+  :class:`repro.net.NetClient` move the same types as JSON documents via
+  ``to_json_dict`` / ``from_json_dict``;
+* the CLIs — ``python -m repro.serve predict --json`` prints a
+  :class:`PredictResponse` document; failures print
+  :class:`ErrorResponse` fields.
+
+Documents are stamped with :data:`WIRE_SCHEMA_VERSION`, mirroring the
+artifact sidecar convention: a reader accepts documents of its own
+version **or older**, tolerates unknown fields (so a newer writer can add
+fields without breaking old readers), and refuses documents stamped with
+a *newer* version than it understands — silently misreading a future
+layout is worse than a clean error.
+
+Error payloads carry the stable machine-readable codes from
+:mod:`repro.exceptions`; :data:`HTTP_STATUS_BY_CODE` maps each code to
+its HTTP status so every layer sheds, retries and alerts on the same
+taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import (ReproError, ValidationError, error_code,
+                          exception_for_code)
+from ..serve.extension import Prediction
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "HTTP_STATUS_BY_CODE",
+    "PredictRequest",
+    "PredictResponse",
+    "ErrorResponse",
+    "http_status_for",
+]
+
+#: Version stamp of the wire document layout.  Bump when a field changes
+#: meaning or a required field is added; adding optional fields is
+#: backward compatible and does not need a bump (readers ignore unknown
+#: fields).
+#:
+#: Version history:
+#:
+#: * 1 — initial layout: ``PredictRequest`` (model / type / queries /
+#:   batch_size / request_id), ``PredictResponse`` (labels / membership /
+#:   n_batches / seconds), ``ErrorResponse`` (code / message /
+#:   retryable).
+WIRE_SCHEMA_VERSION = 1
+
+#: HTTP status each stable error code maps to.  429 = the caller should
+#: back off (per-model admission), 503 = the server is saturated or
+#: shutting down (global), 4xx = the request itself is wrong.
+HTTP_STATUS_BY_CODE = {
+    "invalid_request": 400,
+    "unsupported_schema": 400,
+    "not_found": 404,
+    "model_not_found": 404,
+    "quota_exceeded": 429,
+    "queue_full": 503,
+    "draining": 503,
+    "server_closed": 503,
+    "artifact_error": 500,
+    "not_fitted": 500,
+    "internal": 500,
+}
+
+
+def http_status_for(code: str) -> int:
+    """HTTP status for an error code (500 for unknown/foreign codes)."""
+    return HTTP_STATUS_BY_CODE.get(code, 500)
+
+
+def _check_version(doc: Mapping, *, name: str) -> int:
+    version = doc.get("schema_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ValidationError(
+            f"{name}: schema_version must be a positive integer, "
+            f"got {version!r}")
+    if version > WIRE_SCHEMA_VERSION:
+        raise ValidationError(
+            f"{name}: document has wire schema version {version}, but this "
+            f"library only understands versions <= {WIRE_SCHEMA_VERSION}; "
+            "upgrade the reader instead of misparsing a newer layout")
+    return version
+
+
+def _require(doc: Mapping, key: str, *, name: str):
+    if key not in doc:
+        raise ValidationError(f"{name}: missing required field {key!r}")
+    return doc[key]
+
+
+def _optional_str(doc: Mapping, key: str, *, name: str) -> str | None:
+    value = doc.get(key)
+    if value is not None and not isinstance(value, str):
+        raise ValidationError(f"{name}: {key!r} must be a string or null")
+    return value
+
+
+def _clean_str(value, *, name: str, key: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise ValidationError(f"{name}: {key!r} must be a non-empty string")
+    return value
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One predict request against a served model.
+
+    Attributes
+    ----------
+    model:
+        The model the request targets — a registered model id at the
+        network tier, an artifact path for the in-process adapters.
+    type_name:
+        Object type the queries belong to.
+    queries:
+        ``(n, d)`` float64 query feature matrix (a single vector is
+        accepted and normalised to one row).
+    batch_size:
+        Optional per-request micro-batch size override for the
+        out-of-sample extension.
+    request_id:
+        Optional caller-chosen correlation id, echoed in the response.
+    """
+
+    model: str
+    type_name: str
+    queries: np.ndarray
+    batch_size: int | None = None
+    request_id: str | None = None
+    schema_version: int = WIRE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _clean_str(self.model, name="PredictRequest", key="model")
+        _clean_str(self.type_name, name="PredictRequest", key="type_name")
+        queries = as_float_array(self.queries, name="queries")
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValidationError(
+                f"queries must be 1-D or 2-D, got shape {queries.shape}")
+        object.__setattr__(self, "queries", queries)
+        if self.batch_size is not None:
+            check_positive_int(self.batch_size, name="batch_size")
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The JSON wire document of this request (None fields omitted)."""
+        doc: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "model": self.model,
+            "type": self.type_name,
+            "queries": self.queries.tolist(),
+        }
+        if self.batch_size is not None:
+            doc["batch_size"] = int(self.batch_size)
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping) -> "PredictRequest":
+        """Parse a wire document (ignores unknown fields).
+
+        Raises :class:`~repro.exceptions.ValidationError` on missing or
+        malformed required fields, and on documents stamped with a newer
+        schema version than this library understands.
+        """
+        if not isinstance(doc, Mapping):
+            raise ValidationError(
+                f"PredictRequest: expected a JSON object, got "
+                f"{type(doc).__name__}")
+        version = _check_version(doc, name="PredictRequest")
+        batch_size = doc.get("batch_size")
+        if batch_size is not None and not isinstance(batch_size, int):
+            raise ValidationError(
+                "PredictRequest: 'batch_size' must be an integer or null")
+        return cls(
+            model=_clean_str(_require(doc, "model", name="PredictRequest"),
+                             name="PredictRequest", key="model"),
+            type_name=_clean_str(_require(doc, "type", name="PredictRequest"),
+                                 name="PredictRequest", key="type"),
+            queries=_require(doc, "queries", name="PredictRequest"),
+            batch_size=batch_size,
+            request_id=_optional_str(doc, "request_id",
+                                     name="PredictRequest"),
+            schema_version=version,
+        )
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """The served outcome of one :class:`PredictRequest`."""
+
+    model: str
+    type_name: str
+    labels: np.ndarray
+    membership: np.ndarray
+    n_batches: int
+    seconds: float | None = None
+    request_id: str | None = None
+    schema_version: int = WIRE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "labels",
+                           np.asarray(self.labels, dtype=np.int64))
+        object.__setattr__(self, "membership",
+                           np.asarray(self.membership, dtype=np.float64))
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.labels.shape[0])
+
+    @classmethod
+    def from_prediction(cls, request: PredictRequest,
+                        prediction: Prediction, *,
+                        seconds: float | None = None) -> "PredictResponse":
+        """Wrap a raw :class:`~repro.serve.Prediction` for ``request``."""
+        return cls(model=request.model, type_name=request.type_name,
+                   labels=prediction.labels, membership=prediction.membership,
+                   n_batches=prediction.n_batches, seconds=seconds,
+                   request_id=request.request_id)
+
+    def to_prediction(self) -> Prediction:
+        """The legacy in-process :class:`~repro.serve.Prediction` view."""
+        return Prediction(labels=self.labels, membership=self.membership,
+                          n_batches=self.n_batches)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "model": self.model,
+            "type": self.type_name,
+            "labels": self.labels.tolist(),
+            "membership": self.membership.tolist(),
+            "n_batches": int(self.n_batches),
+        }
+        # json.dumps prints floats with repr (shortest round-trip), so the
+        # float64 membership survives the wire bit-identically.
+        if self.seconds is not None:
+            doc["seconds"] = float(self.seconds)
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping) -> "PredictResponse":
+        """Parse a wire document (ignores unknown fields)."""
+        if not isinstance(doc, Mapping):
+            raise ValidationError(
+                f"PredictResponse: expected a JSON object, got "
+                f"{type(doc).__name__}")
+        version = _check_version(doc, name="PredictResponse")
+        labels = np.asarray(_require(doc, "labels", name="PredictResponse"),
+                            dtype=np.int64)
+        membership = np.asarray(
+            _require(doc, "membership", name="PredictResponse"),
+            dtype=np.float64)
+        if labels.ndim != 1 or membership.ndim != 2 \
+                or membership.shape[0] != labels.shape[0]:
+            raise ValidationError(
+                "PredictResponse: labels must be (n,) and membership "
+                f"(n, c); got {labels.shape} and {membership.shape}")
+        n_batches = doc.get("n_batches", 1)
+        if not isinstance(n_batches, int) or n_batches < 0:
+            raise ValidationError(
+                "PredictResponse: 'n_batches' must be a non-negative integer")
+        seconds = doc.get("seconds")
+        if seconds is not None and not isinstance(seconds, (int, float)):
+            raise ValidationError(
+                "PredictResponse: 'seconds' must be a number or null")
+        return cls(
+            model=_clean_str(_require(doc, "model", name="PredictResponse"),
+                             name="PredictResponse", key="model"),
+            type_name=_clean_str(
+                _require(doc, "type", name="PredictResponse"),
+                name="PredictResponse", key="type"),
+            labels=labels, membership=membership, n_batches=n_batches,
+            seconds=None if seconds is None else float(seconds),
+            request_id=_optional_str(doc, "request_id",
+                                     name="PredictResponse"),
+            schema_version=version,
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed request, carrying its stable machine-readable error code."""
+
+    code: str
+    message: str
+    retryable: bool = False
+    retry_after_seconds: float | None = None
+    request_id: str | None = None
+    schema_version: int = WIRE_SCHEMA_VERSION
+    #: Unknown-code payloads keep the raw code here after ``to_exception``
+    #: degrades them to the base class.
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *,
+                       request_id: str | None = None,
+                       retry_after_seconds: float | None = None
+                       ) -> "ErrorResponse":
+        """Wrap an exception, mapping it onto the shared error taxonomy.
+
+        Foreign (non-:class:`~repro.exceptions.ReproError`) exceptions map
+        to the ``internal`` code with their class name prefixed, so a
+        server never leaks a traceback — only a typed document.
+        """
+        code = error_code(exc)
+        message = str(exc) or type(exc).__name__
+        if not isinstance(exc, ReproError):
+            message = f"{type(exc).__name__}: {message}"
+        return cls(code=code, message=message,
+                   retryable=bool(getattr(exc, "retryable", False)),
+                   retry_after_seconds=retry_after_seconds,
+                   request_id=request_id)
+
+    def to_exception(self) -> ReproError:
+        """The typed exception this document round-trips to client-side."""
+        return exception_for_code(self.code, self.message)
+
+    @property
+    def http_status(self) -> int:
+        return http_status_for(self.code)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "code": self.code,
+            "message": self.message,
+            "retryable": bool(self.retryable),
+        }
+        if self.retry_after_seconds is not None:
+            doc["retry_after_seconds"] = float(self.retry_after_seconds)
+        if self.request_id is not None:
+            doc["request_id"] = self.request_id
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping) -> "ErrorResponse":
+        """Parse a wire document (ignores unknown fields)."""
+        if not isinstance(doc, Mapping):
+            raise ValidationError(
+                f"ErrorResponse: expected a JSON object, got "
+                f"{type(doc).__name__}")
+        version = _check_version(doc, name="ErrorResponse")
+        retry_after = doc.get("retry_after_seconds")
+        return cls(
+            code=_clean_str(_require(doc, "code", name="ErrorResponse"),
+                            name="ErrorResponse", key="code"),
+            message=str(doc.get("message", "")),
+            retryable=bool(doc.get("retryable", False)),
+            retry_after_seconds=(None if retry_after is None
+                                 else float(retry_after)),
+            request_id=_optional_str(doc, "request_id", name="ErrorResponse"),
+            schema_version=version,
+        )

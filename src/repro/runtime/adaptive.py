@@ -1,0 +1,207 @@
+"""Adaptive micro-batch sizing: tune the batching knobs from observed tails.
+
+:class:`~repro.runtime.batching.MicroBatcher`'s ``max_batch_size`` /
+``max_delay_seconds`` are static knobs — the right values depend on the
+model, the query dimensionality and the hardware, and the best trade-off
+moves with the offered load.  :class:`AdaptiveBatchController` closes the
+loop per ``(model, type)`` key with an **AIMD** (additive-increase /
+multiplicative-decrease) rule on the observed batch latency distribution:
+
+* every flushed batch reports its end-to-end latency (oldest queued
+  request → futures settled) into a sliding window;
+* once per window, the controller compares the window's p99 against
+  ``target_p99_seconds``:
+
+  - **under target** → additively grow ``max_batch_size`` (more
+    coalescing, more throughput) and nudge ``max_delay_seconds`` up;
+  - **over target** → multiplicatively cut both, backing out of the
+    latency cliff the same way TCP backs out of congestion.
+
+The sawtooth converges to the largest batch configuration whose tail
+latency still meets the target, without a model of the hardware.
+
+The controller is **pluggable and off by default**: construct one and
+pass it as ``RuntimeServer(batch_policy=...)``; anything implementing the
+:class:`BatchPolicy` protocol (``batch_size`` / ``delay_seconds`` /
+``observe``) can be substituted.  All methods are thread-safe — they are
+called from submitting threads, the batcher's timer thread and worker
+callbacks concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+
+__all__ = ["BatchPolicy", "AdaptiveBatchController"]
+
+
+@runtime_checkable
+class BatchPolicy(Protocol):
+    """What the micro-batcher needs from a batch-sizing policy."""
+
+    def batch_size(self, key: Hashable) -> int:
+        """Current flush-size threshold for ``key``."""
+
+    def delay_seconds(self, key: Hashable) -> float:
+        """Current deadline-flush delay for ``key``."""
+
+    def observe(self, key: Hashable, *, rows: int, seconds: float) -> None:
+        """Record one flushed batch (coalesced rows, end-to-end latency)."""
+
+
+@dataclass
+class _KeyState:
+    """Mutable AIMD state of one (model, type) key."""
+
+    batch_size: float
+    delay_seconds: float
+    latencies: deque = field(default_factory=deque)
+    since_adjust: int = 0
+    observed: int = 0
+    increases: int = 0
+    decreases: int = 0
+    last_p50: float = 0.0
+    last_p99: float = 0.0
+
+
+class AdaptiveBatchController:
+    """AIMD controller tuning per-key batch size and deadline delay.
+
+    Parameters
+    ----------
+    target_p99_seconds:
+        Tail-latency budget per coalesced batch.  The controller grows
+        batches while the observed p99 stays under it and backs off
+        multiplicatively when the budget is breached.
+    min_batch_size, max_batch_size, initial_batch_size:
+        Bounds and starting point of the flush-size threshold.
+    min_delay_seconds, max_delay_seconds, initial_delay_seconds:
+        Bounds and starting point of the deadline-flush delay.
+    increase_step:
+        Additive batch-size increment applied after each in-budget window.
+    delay_increase_seconds:
+        Additive delay increment applied alongside ``increase_step``.
+    decrease_factor:
+        Multiplicative cut (on both knobs) after an over-budget window;
+        must be in (0, 1).
+    window:
+        Observations per adjustment decision (also the sliding-window
+        length the percentiles are computed over).
+    """
+
+    def __init__(self, *, target_p99_seconds: float = 0.05,
+                 min_batch_size: int = 8, max_batch_size: int = 2048,
+                 initial_batch_size: int = 64,
+                 min_delay_seconds: float = 0.0005,
+                 max_delay_seconds: float = 0.02,
+                 initial_delay_seconds: float = 0.002,
+                 increase_step: int = 16,
+                 delay_increase_seconds: float = 0.0005,
+                 decrease_factor: float = 0.5,
+                 window: int = 32) -> None:
+        self.target_p99_seconds = check_positive_float(
+            target_p99_seconds, name="target_p99_seconds")
+        self.min_batch_size = check_positive_int(min_batch_size,
+                                                 name="min_batch_size")
+        self.max_batch_size = check_positive_int(max_batch_size,
+                                                 name="max_batch_size")
+        self.initial_batch_size = check_positive_int(initial_batch_size,
+                                                     name="initial_batch_size")
+        self.min_delay_seconds = check_positive_float(
+            min_delay_seconds, name="min_delay_seconds")
+        self.max_delay_seconds = check_positive_float(
+            max_delay_seconds, name="max_delay_seconds")
+        self.initial_delay_seconds = check_positive_float(
+            initial_delay_seconds, name="initial_delay_seconds")
+        self.increase_step = check_positive_int(increase_step,
+                                                name="increase_step")
+        self.delay_increase_seconds = check_positive_float(
+            delay_increase_seconds, name="delay_increase_seconds")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {decrease_factor}")
+        self.decrease_factor = float(decrease_factor)
+        self.window = check_positive_int(window, name="window")
+        if self.min_batch_size > self.max_batch_size:
+            raise ValueError("min_batch_size exceeds max_batch_size")
+        if self.min_delay_seconds > self.max_delay_seconds:
+            raise ValueError("min_delay_seconds exceeds max_delay_seconds")
+        self._lock = threading.Lock()
+        self._keys: dict[Hashable, _KeyState] = {}
+
+    # ----------------------------------------------------------- policy API
+    def _state_locked(self, key: Hashable) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = _KeyState(
+                batch_size=float(np.clip(self.initial_batch_size,
+                                         self.min_batch_size,
+                                         self.max_batch_size)),
+                delay_seconds=float(np.clip(self.initial_delay_seconds,
+                                            self.min_delay_seconds,
+                                            self.max_delay_seconds)))
+            self._keys[key] = state
+        return state
+
+    def batch_size(self, key: Hashable) -> int:
+        with self._lock:
+            return int(round(self._state_locked(key).batch_size))
+
+    def delay_seconds(self, key: Hashable) -> float:
+        with self._lock:
+            return self._state_locked(key).delay_seconds
+
+    def observe(self, key: Hashable, *, rows: int, seconds: float) -> None:
+        with self._lock:
+            state = self._state_locked(key)
+            state.latencies.append(float(seconds))
+            while len(state.latencies) > self.window:
+                state.latencies.popleft()
+            state.observed += 1
+            state.since_adjust += 1
+            if state.since_adjust < self.window:
+                return
+            state.since_adjust = 0
+            window = np.asarray(state.latencies)
+            state.last_p50 = float(np.percentile(window, 50.0))
+            state.last_p99 = float(np.percentile(window, 99.0))
+            if state.last_p99 > self.target_p99_seconds:
+                state.batch_size = max(self.min_batch_size,
+                                       state.batch_size
+                                       * self.decrease_factor)
+                state.delay_seconds = max(self.min_delay_seconds,
+                                          state.delay_seconds
+                                          * self.decrease_factor)
+                state.decreases += 1
+            else:
+                state.batch_size = min(self.max_batch_size,
+                                       state.batch_size
+                                       + self.increase_step)
+                state.delay_seconds = min(self.max_delay_seconds,
+                                          state.delay_seconds
+                                          + self.delay_increase_seconds)
+                state.increases += 1
+
+    # ----------------------------------------------------------- inspection
+    def snapshot(self) -> dict:
+        """Per-key controller state for metric exporters and ``/v1/stats``."""
+        with self._lock:
+            return {
+                str(key): {
+                    "batch_size": int(round(state.batch_size)),
+                    "delay_seconds": round(state.delay_seconds, 6),
+                    "observed_batches": state.observed,
+                    "increases": state.increases,
+                    "decreases": state.decreases,
+                    "p50_seconds": round(state.last_p50, 6),
+                    "p99_seconds": round(state.last_p99, 6),
+                }
+                for key, state in self._keys.items()
+            }

@@ -22,6 +22,16 @@ rejects further submissions with
 callers shed load or retry, and a stalled worker pool cannot take the
 submitting process down with it.
 
+The static ``max_batch_size`` / ``max_delay_seconds`` knobs can be
+overridden per key by a pluggable :class:`~repro.runtime.adaptive.BatchPolicy`
+(e.g. :class:`~repro.runtime.adaptive.AdaptiveBatchController`), which
+tunes the thresholds from the observed batch latency distribution.
+
+Shutdown never orphans a request: requests still queued when the batcher
+closes (or left behind by a stalled drain) have their futures settled with
+a typed :class:`~repro.exceptions.ServerClosedError` so callers can fail
+over instead of hanging.
+
 The batcher itself never runs numerics; it only moves requests around under
 one lock, so submission stays in the microsecond range.
 """
@@ -37,7 +47,7 @@ from typing import Any, Callable, Hashable
 import numpy as np
 
 from .._validation import check_positive_float, check_positive_int
-from ..exceptions import QueueFullError
+from ..exceptions import QueueFullError, ServerClosedError
 
 __all__ = ["QueuedRequest", "MicroBatcher"]
 
@@ -77,28 +87,45 @@ class MicroBatcher:
     max_pending:
         Upper bound on queued rows across all keys; beyond it ``submit``
         raises :class:`~repro.exceptions.QueueFullError`.
+    policy:
+        Optional :class:`~repro.runtime.adaptive.BatchPolicy` supplying
+        per-key ``batch_size`` / ``delay_seconds`` thresholds that
+        override the static knobs (which remain the fallback when no
+        policy is set).
     """
 
     def __init__(self, on_batch: Callable[[Hashable, list[QueuedRequest]], Any],
                  *, max_batch_size: int = 256,
                  max_delay_seconds: float = 0.002,
-                 max_pending: int = 65536) -> None:
+                 max_pending: int = 65536,
+                 policy=None) -> None:
         self._on_batch = on_batch
         self.max_batch_size = check_positive_int(max_batch_size,
                                                  name="max_batch_size")
         self.max_delay_seconds = check_positive_float(
             max_delay_seconds, name="max_delay_seconds")
         self.max_pending = check_positive_int(max_pending, name="max_pending")
+        self.policy = policy
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queues: dict[Hashable, list[QueuedRequest]] = {}
         self._rows: dict[Hashable, int] = {}
         self._pending_rows = 0
         self._closed = False
-        self._flush_counts = {"size": 0, "deadline": 0, "manual": 0, "close": 0}
+        self._flush_counts = {"size": 0, "deadline": 0, "manual": 0,
+                              "close": 0, "cancelled": 0}
         self._thread = threading.Thread(target=self._run,
                                         name="repro-microbatcher", daemon=True)
         self._thread.start()
+
+    # ------------------------------------------------------------ thresholds
+    def _batch_limit(self, key: Hashable) -> int:
+        return (self.max_batch_size if self.policy is None
+                else max(1, int(self.policy.batch_size(key))))
+
+    def _delay_limit(self, key: Hashable) -> float:
+        return (self.max_delay_seconds if self.policy is None
+                else max(0.0, float(self.policy.delay_seconds(key))))
 
     # ------------------------------------------------------------- submission
     def submit(self, key: Hashable, queries: np.ndarray,
@@ -107,7 +134,7 @@ class MicroBatcher:
 
         Raises :class:`~repro.exceptions.QueueFullError` when accepting the
         request would exceed ``max_pending`` queued rows, and
-        :class:`RuntimeError` after :meth:`close`.
+        :class:`~repro.exceptions.ServerClosedError` after :meth:`close`.
         """
         if future is None:
             future = Future()
@@ -115,7 +142,7 @@ class MicroBatcher:
         batch = None
         with self._wakeup:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise ServerClosedError("MicroBatcher is closed")
             if self._pending_rows + n_rows > self.max_pending:
                 raise QueueFullError(
                     f"micro-batch queue is full ({self._pending_rows} rows "
@@ -125,7 +152,7 @@ class MicroBatcher:
                 QueuedRequest(queries, future, time.monotonic()))
             self._rows[key] = self._rows.get(key, 0) + n_rows
             self._pending_rows += n_rows
-            if self._rows[key] >= self.max_batch_size:
+            if self._rows[key] >= self._batch_limit(key):
                 batch = self._pop_locked(key)
                 self._flush_counts["size"] += 1
             else:
@@ -167,7 +194,7 @@ class MicroBatcher:
                 next_deadline = None
                 for key in list(self._queues):
                     deadline = (self._queues[key][0].enqueued_at
-                                + self.max_delay_seconds)
+                                + self._delay_limit(key))
                     if self._closed or deadline <= now:
                         due.append((key, self._pop_locked(key)))
                         self._flush_counts[
@@ -183,14 +210,41 @@ class MicroBatcher:
                 self._dispatch(key, batch)
 
     # -------------------------------------------------------------- lifecycle
-    def close(self, *, timeout: float = 10.0) -> None:
-        """Stop accepting requests, flush the queue, stop the timer thread."""
+    def close(self, *, timeout: float = 10.0, drain: bool = True) -> None:
+        """Stop accepting requests and stop the timer thread.
+
+        With ``drain=True`` (default) every queued batch is flushed to
+        ``on_batch`` first; with ``drain=False`` queued requests are
+        **cancelled** instead — their futures settle immediately with
+        :class:`~repro.exceptions.ServerClosedError`.
+
+        Either way no request is ever orphaned: if the drain cannot finish
+        within ``timeout`` (e.g. the downstream pool is stalled), whatever
+        is still queued is settled with
+        :class:`~repro.exceptions.ServerClosedError` rather than left
+        hanging on a future nobody will resolve.
+        """
         with self._wakeup:
             if self._closed:
                 return
             self._closed = True
+            if not drain:
+                self._cancel_locked()
             self._wakeup.notify()
         self._thread.join(timeout=timeout)
+        # Settle anything the timer thread did not get to (it may be stuck
+        # dispatching into a stalled pool, or the join timed out first).
+        with self._wakeup:
+            self._cancel_locked()
+
+    def _cancel_locked(self) -> None:
+        for key in list(self._queues):
+            for request in self._pop_locked(key):
+                if not request.future.done():
+                    request.future.set_exception(ServerClosedError(
+                        "request cancelled: the server closed before this "
+                        "request was dispatched"))
+            self._flush_counts["cancelled"] += 1
 
     @property
     def closed(self) -> bool:

@@ -19,18 +19,30 @@ stream can hit:
   dataset and hot-swaps the artifact in the predictor cache without
   dropping in-flight requests (immutable models: running predicts keep
   their reference, later requests see the new one).
+
+The canonical request/response vocabulary is the versioned wire schema of
+:mod:`repro.net.schema`: :meth:`RuntimeServer.serve` /
+:meth:`RuntimeServer.submit_request` take a
+:class:`~repro.net.schema.PredictRequest` and produce a
+:class:`~repro.net.schema.PredictResponse` — the same types the HTTP tier
+(:class:`repro.net.NetServer`) moves as JSON.  The historical
+``(path, type_name, queries)`` entry points remain as thin adapters over
+the schema types (deprecated in their positional form).
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import QueueFullError, ValidationError
+from ..exceptions import QueueFullError, ServerClosedError, ValidationError
+from ..net.schema import PredictRequest, PredictResponse
+from ..serve._legacy import legacy_positional_args
 from ..serve.artifact import RHCHMEModel
 from ..serve.extension import Prediction
 from ..serve.predictor import BatchPredictor
@@ -95,8 +107,9 @@ def _process_predict(path: str, type_name: str, queries: np.ndarray,
     if _WORKER_GENERATIONS.get(path, generation) != generation:
         _WORKER_PREDICTOR.evict(path)
     _WORKER_GENERATIONS[path] = generation
-    return _WORKER_PREDICTOR.predict(path, type_name, queries,
-                                     batch_size=batch_size)
+    request = PredictRequest(model=path, type_name=type_name,
+                             queries=queries, batch_size=batch_size)
+    return _WORKER_PREDICTOR.serve(request).to_prediction()
 
 
 class RuntimeServer:
@@ -120,13 +133,20 @@ class RuntimeServer:
         Forwarded to the underlying :class:`~repro.serve.BatchPredictor`;
         ``lazy_shards=True`` (default here) serves per-type sharded
         artifacts by reading only the shards of the queried types.
+    batch_policy:
+        Optional :class:`~repro.runtime.adaptive.BatchPolicy` (e.g. an
+        :class:`~repro.runtime.adaptive.AdaptiveBatchController`) that
+        tunes ``max_batch_size`` / ``max_delay_seconds`` per (model, type)
+        from the observed batch latency.  ``None`` (default) keeps the
+        static knobs.
     """
 
     def __init__(self, *, workers: str = "thread", n_workers: int | None = None,
                  max_batch_size: int = 256, max_delay_seconds: float = 0.002,
                  max_pending: int = 65536, cache_size: int = 4,
                  default_batch_size: int = 256,
-                 lazy_shards: bool = True) -> None:
+                 lazy_shards: bool = True,
+                 batch_policy=None) -> None:
         if workers not in WORKER_MODES:
             raise ValidationError(
                 f"workers must be one of {WORKER_MODES}, got {workers!r}")
@@ -146,10 +166,12 @@ class RuntimeServer:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
         else:
             self._executor = None
+        self.batch_policy = batch_policy
         self._batcher = MicroBatcher(self._run_batch,
                                      max_batch_size=max_batch_size,
                                      max_delay_seconds=max_delay_seconds,
-                                     max_pending=max_pending)
+                                     max_pending=max_pending,
+                                     policy=batch_policy)
         self._lock = threading.Lock()
         self._stats = RuntimeStats()
         # Raw-path -> resolved cache key; Path.resolve touches the
@@ -167,27 +189,21 @@ class RuntimeServer:
             self._resolved[raw] = key
         return key
 
-    def submit(self, path, type_name: str, queries) -> Future:
-        """Queue a predict request; returns a future of its `Prediction`.
+    def _submit(self, request: PredictRequest) -> Future:
+        """Queue one schema request; returns a future of its `Prediction`.
 
-        ``queries`` may be a single feature vector or an ``(n, d)`` matrix;
-        full validation happens on the coalesced batch (the per-request
-        path stays cheap), so malformed input surfaces through the future,
-        not the submit call.  Raises
-        :class:`~repro.exceptions.QueueFullError` (backpressure) when the
-        bounded queue is at capacity.
+        Raises :class:`~repro.exceptions.ServerClosedError` after
+        :meth:`close` and :class:`~repro.exceptions.QueueFullError`
+        (backpressure) when the bounded queue is at capacity.  Shape and
+        type-name validation against the artifact happens on the coalesced
+        batch, so a model/type mismatch surfaces through the future, not
+        the submit call.
         """
         if self._closed:
-            raise RuntimeError("RuntimeServer is closed")
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        if queries.ndim != 2:
-            raise ValidationError(
-                f"queries must be 1-D or 2-D, got shape {queries.shape}")
-        key = (self._resolve(path), str(type_name))
+            raise ServerClosedError("RuntimeServer is closed")
+        key = (self._resolve(request.model), request.type_name)
         try:
-            future = self._batcher.submit(key, queries)
+            future = self._batcher.submit(key, request.queries)
         except QueueFullError:
             with self._lock:
                 self._stats.rejected += 1
@@ -196,10 +212,65 @@ class RuntimeServer:
             self._stats.submitted += 1
         return future
 
-    def predict(self, path, type_name: str, queries, *,
-                timeout: float | None = None) -> Prediction:
-        """Synchronous convenience wrapper: ``submit(...).result(timeout)``."""
-        return self.submit(path, type_name, queries).result(timeout=timeout)
+    def submit_request(self, request: PredictRequest) -> Future:
+        """Queue a schema request; returns a future of its `PredictResponse`.
+
+        The canonical asynchronous entry point.  The response echoes the
+        request's ``model`` and ``request_id`` and stamps the end-to-end
+        ``seconds`` (submit → futures settled).  ``request.batch_size`` is
+        ignored here — coalesced batches share the server's
+        ``default_batch_size`` (use :class:`~repro.serve.BatchPredictor`
+        directly for per-request batch sizing).
+        """
+        start = time.perf_counter()
+        inner = self._submit(request)
+        outer: Future = Future()
+
+        def _convert(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(PredictResponse.from_prediction(
+                    request, done.result(),
+                    seconds=time.perf_counter() - start))
+
+        inner.add_done_callback(_convert)
+        return outer
+
+    def serve(self, request: PredictRequest, *,
+              timeout: float | None = None) -> PredictResponse:
+        """Serve one schema request synchronously (canonical entry point)."""
+        return self.submit_request(request).result(timeout=timeout)
+
+    def submit(self, *args, **kwargs) -> Future:
+        """Queue a predict request; returns a future of its `Prediction`.
+
+        Legacy adapter over :meth:`submit_request` — builds a
+        :class:`~repro.net.schema.PredictRequest` internally.  Positional
+        ``(path, type_name, queries)`` calls are deprecated (pass keywords
+        or a schema request); see the README migration notes.
+        """
+        path, type_name, queries = legacy_positional_args(
+            "RuntimeServer.submit", ("path", "type_name", "queries"),
+            args, kwargs)
+        return self._submit(PredictRequest(model=str(path),
+                                           type_name=str(type_name),
+                                           queries=queries))
+
+    def predict(self, *args, **kwargs) -> Prediction:
+        """Synchronous legacy wrapper: ``submit(...).result(timeout)``.
+
+        Deprecated in its positional form — the canonical API is
+        :meth:`serve` with a :class:`~repro.net.schema.PredictRequest`.
+        """
+        timeout = kwargs.pop("timeout", None)
+        path, type_name, queries = legacy_positional_args(
+            "RuntimeServer.predict", ("path", "type_name", "queries"),
+            args, kwargs)
+        request = PredictRequest(model=str(path), type_name=str(type_name),
+                                 queries=queries)
+        return self._submit(request).result(timeout=timeout)
 
     def flush(self) -> int:
         """Force every queued request out now (returns flushed batch count)."""
@@ -219,11 +290,12 @@ class RuntimeServer:
                                              stacked.shape[0])
         if self._executor is None:
             try:
-                prediction = self.predictor.predict(path, type_name, stacked)
+                prediction = self._serve_stacked(path, type_name, stacked)
             except BaseException as exc:  # noqa: BLE001 - routed into futures
                 self._fail(batch, exc)
             else:
                 self._settle(batch, prediction)
+            self._observe(key, batch, int(stacked.shape[0]))
             return
         if self.workers == "process":
             worker_future = self._executor.submit(
@@ -232,11 +304,32 @@ class RuntimeServer:
                 self._generations.get(path, 0))
         else:
             worker_future = self._executor.submit(
-                self.predictor.predict, path, type_name, stacked)
+                self._serve_stacked, path, type_name, stacked)
         worker_future.add_done_callback(
-            lambda done: (self._fail(batch, done.exception())
-                          if done.exception() is not None
-                          else self._settle(batch, done.result())))
+            lambda done: self._finish(key, batch, int(stacked.shape[0]), done))
+
+    def _serve_stacked(self, path: str, type_name: str,
+                       stacked: np.ndarray) -> Prediction:
+        request = PredictRequest(model=path, type_name=type_name,
+                                 queries=stacked)
+        return self.predictor.serve(request).to_prediction()
+
+    def _finish(self, key: tuple[str, str], batch: list[QueuedRequest],
+                rows: int, done: Future) -> None:
+        if done.exception() is not None:
+            self._fail(batch, done.exception())
+        else:
+            self._settle(batch, done.result())
+        self._observe(key, batch, rows)
+
+    def _observe(self, key: tuple[str, str], batch: list[QueuedRequest],
+                 rows: int) -> None:
+        # Feed the adaptive controller the latency a caller experienced:
+        # oldest queued request -> futures settled (queueing included).
+        if self.batch_policy is not None:
+            self.batch_policy.observe(
+                key, rows=rows,
+                seconds=time.monotonic() - batch[0].enqueued_at)
 
     def _settle(self, batch: list[QueuedRequest],
                 prediction: Prediction) -> None:
@@ -306,12 +399,20 @@ class RuntimeServer:
         return outcome
 
     # --------------------------------------------------------------- lifecycle
-    def close(self, *, timeout: float = 10.0) -> None:
-        """Flush pending work, stop the batcher and shut the pool down."""
+    def close(self, *, timeout: float = 10.0, drain: bool = True) -> None:
+        """Stop the batcher and shut the pool down.
+
+        With ``drain=True`` (default) queued batches are flushed first;
+        with ``drain=False`` they are cancelled immediately.  Either way,
+        requests still queued when the batcher stops (including those a
+        stalled drain could not flush within ``timeout``) settle with a
+        typed :class:`~repro.exceptions.ServerClosedError` — no future is
+        ever orphaned by shutdown.
+        """
         if self._closed:
             return
         self._closed = True
-        self._batcher.close(timeout=timeout)
+        self._batcher.close(timeout=timeout, drain=drain)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
 

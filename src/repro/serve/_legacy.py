@@ -1,0 +1,59 @@
+"""Deprecation plumbing for the legacy positional serving entry points.
+
+``BatchPredictor.predict`` and ``RuntimeServer.predict``/``submit``
+historically threaded ``(path, type_name, queries)`` positionally.  The
+canonical serving API is now the schema-typed
+:class:`repro.net.schema.PredictRequest` /
+:class:`~repro.net.schema.PredictResponse` pair (``serve`` /
+``submit_request``); the positional forms keep working for one release
+but warn.
+
+Migration path (one release):
+
+* ``predict(path, "points", queries)`` →
+  ``predict(path=path, type_name="points", queries=queries)`` (silent), or
+* ``serve(PredictRequest(model=str(path), type_name="points",
+  queries=queries))`` (canonical).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["legacy_positional_args"]
+
+
+def legacy_positional_args(name: str, params: tuple[str, ...], args: tuple,
+                           kwargs: dict) -> tuple:
+    """Resolve a legacy ``(*args, **kwargs)`` call into ``params`` values.
+
+    Emits a :class:`DeprecationWarning` when any argument arrived
+    positionally; keyword calls stay silent.  Returns the parameter values
+    in ``params`` order.  Unknown or duplicate keywords raise
+    :class:`TypeError` exactly like a plain signature would.
+    """
+    if len(args) > len(params):
+        raise TypeError(
+            f"{name}() takes at most {len(params)} positional arguments "
+            f"({len(args)} given)")
+    if args:
+        warnings.warn(
+            f"passing ({', '.join(params[:len(args)])}) positionally to "
+            f"{name}() is deprecated and will be removed in the next "
+            f"release; pass them as keywords, or use the schema-typed "
+            "serve()/submit_request() with a PredictRequest",
+            DeprecationWarning, stacklevel=3)
+    values = dict(zip(params, args))
+    for key, value in kwargs.items():
+        if key not in params:
+            raise TypeError(f"{name}() got an unexpected keyword argument "
+                            f"{key!r}")
+        if key in values:
+            raise TypeError(f"{name}() got multiple values for argument "
+                            f"{key!r}")
+        values[key] = value
+    missing = [param for param in params if param not in values]
+    if missing:
+        raise TypeError(f"{name}() missing required arguments: "
+                        f"{', '.join(missing)}")
+    return tuple(values[param] for param in params)

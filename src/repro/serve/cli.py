@@ -14,10 +14,18 @@ writing hard labels and soft membership scores (``--json`` for a
 machine-readable result document on stdout); ``info`` prints the artifact's
 sidecar metadata — including its shard layout — without loading the arrays.
 
-Every failure path surfaces as a one-line ``[serve] error: ...`` on stderr
-and a non-zero exit code; library errors (including
-:class:`~repro.exceptions.ArtifactError` for missing/corrupt/foreign
-artifacts) never escape as tracebacks.
+``predict`` is an adapter over the canonical serving schema
+(:class:`repro.net.schema.PredictRequest` /
+:class:`~repro.net.schema.PredictResponse`): the ``--json`` document is
+the wire-schema response (membership elided for stdout brevity — pass
+``--output`` for the arrays) extended with histogram/throughput fields.
+
+Every failure path surfaces as a one-line
+``[serve] error[<code>]: ...`` on stderr — ``<code>`` being the stable
+machine-readable code from :mod:`repro.exceptions` — and the process
+exits with that code's ``exit_code``, so scripts can branch on the same
+taxonomy the wire schema uses (artifact errors, validation errors and
+load shedding all get distinct exit codes; tracebacks never escape).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..core.config import RHCHMEConfig
 from ..core.rhchme import RHCHME
 from ..data.datasets import list_datasets, make_dataset
 from ..exceptions import ReproError
+from ..net.schema import PredictRequest
 from .artifact import RHCHMEModel, SHARD_LAYOUTS
 from .predictor import BatchPredictor
 
@@ -124,36 +133,38 @@ def _cmd_fit_save(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    queries = _load_queries(args.queries)
+    request = PredictRequest(model=str(args.model), type_name=args.type_name,
+                             queries=_load_queries(args.queries),
+                             batch_size=args.batch_size)
     predictor = BatchPredictor(default_batch_size=args.batch_size,
                                lazy_shards=True)
-    prediction = predictor.predict(args.model, args.type_name, queries)
+    response = predictor.serve(request)
     stats = predictor.stats
-    counts = np.bincount(prediction.labels,
-                         minlength=prediction.membership.shape[1])
+    counts = np.bincount(response.labels,
+                         minlength=response.membership.shape[1])
     if args.output is not None:
-        np.savez_compressed(args.output, labels=prediction.labels,
-                            membership=prediction.membership)
+        np.savez_compressed(args.output, labels=response.labels,
+                            membership=response.membership)
     if args.json:
-        # Machine-readable result document: labels plus timings, one JSON
-        # object on stdout and nothing else.
-        print(json.dumps({
-            "model": str(args.model),
-            "type": args.type_name,
-            "n_queries": prediction.n_queries,
-            "n_batches": prediction.n_batches,
+        # Machine-readable result document: the wire-schema response
+        # (membership elided — use --output for the arrays) extended with
+        # histogram/throughput fields.  One JSON object on stdout.
+        document = response.to_json_dict()
+        document.pop("membership")
+        document.update({
+            "n_queries": response.n_queries,
             "batch_size": args.batch_size,
-            "seconds": round(stats.last_latency_seconds, 6),
+            "seconds": round(response.seconds, 6),
             "objects_per_second": round(stats.objects_per_second, 3),
-            "labels": prediction.labels.tolist(),
             "label_histogram": counts.tolist(),
             "output": str(args.output) if args.output is not None else None,
-        }, indent=2))
+        })
+        print(json.dumps(document, indent=2))
         return 0
-    print(f"[serve] predicted {prediction.n_queries} {args.type_name!r} objects "
+    print(f"[serve] predicted {response.n_queries} {args.type_name!r} objects "
           f"in {stats.last_latency_seconds:.4f}s "
           f"({stats.objects_per_second:.0f} objects/s, "
-          f"{prediction.n_batches} batches)")
+          f"{response.n_batches} batches)")
     print(f"[serve] label histogram: {counts.tolist()}")
     if args.output is not None:
         print(f"[serve] wrote {args.output}")
@@ -180,5 +191,7 @@ def main(argv=None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as exc:
-        print(f"[serve] error: {exc}", file=sys.stderr)
-        return 1
+        # Stable taxonomy on both channels: the machine-readable code in
+        # the message and the code's dedicated process exit code.
+        print(f"[serve] error[{exc.code}]: {exc}", file=sys.stderr)
+        return exc.exit_code

@@ -25,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .._validation import check_positive_int
+from ._legacy import legacy_positional_args
 from .artifact import RHCHMEModel
 from .extension import Prediction
 from .shards import open_model
@@ -172,27 +173,53 @@ class BatchPredictor:
             return list(self._models)
 
     # -------------------------------------------------------------- prediction
-    def predict(self, path, type_name: str, X_new, *,
-                batch_size: int | None = None) -> Prediction:
-        """Predict labels for new objects against the model at ``path``.
+    def serve(self, request) -> "PredictResponse":
+        """Serve one :class:`~repro.net.schema.PredictRequest` (canonical).
 
-        Validates the type name and query feature dimensionality against the
-        artifact (raising :class:`~repro.exceptions.ValidationError` on
-        mismatch) before running the out-of-sample extension, and folds the
-        request into the cumulative serving counters.
+        ``request.model`` is the artifact path (resolved through the LRU
+        cache).  Validates the type name and query feature dimensionality
+        against the artifact (raising
+        :class:`~repro.exceptions.ValidationError` on mismatch) before
+        running the out-of-sample extension, folds the request into the
+        cumulative serving counters and returns a
+        :class:`~repro.net.schema.PredictResponse` echoing the request's
+        ``request_id``.
         """
-        model = self.get_model(path)
-        if batch_size is None:
-            batch_size = self.default_batch_size
+        from ..net.schema import PredictResponse
+
+        model = self.get_model(request.model)
+        batch_size = request.batch_size or self.default_batch_size
         start = time.perf_counter()
-        prediction = model.predict(type_name, X_new, batch_size=batch_size)
+        prediction = model.predict(request.type_name, request.queries,
+                                   batch_size=batch_size)
         elapsed = time.perf_counter() - start
         with self._lock:
             self.stats.requests += 1
             self.stats.objects += prediction.n_queries
             self.stats.seconds += elapsed
             self.stats.last_latency_seconds = elapsed
-            self.stats.per_type_objects[type_name] = (
-                self.stats.per_type_objects.get(type_name, 0)
+            self.stats.per_type_objects[request.type_name] = (
+                self.stats.per_type_objects.get(request.type_name, 0)
                 + prediction.n_queries)
-        return prediction
+        return PredictResponse.from_prediction(request, prediction,
+                                               seconds=elapsed)
+
+    def predict(self, *args, **kwargs) -> Prediction:
+        """Predict labels for new objects against the model at ``path``.
+
+        Legacy adapter over :meth:`serve` — builds a
+        :class:`~repro.net.schema.PredictRequest` internally and unwraps
+        the response to a plain :class:`~repro.serve.Prediction`.
+        Positional ``(path, type_name, X_new)`` calls are deprecated (pass
+        keywords, or a schema request to :meth:`serve`); see the README
+        migration notes.
+        """
+        from ..net.schema import PredictRequest
+
+        batch_size = kwargs.pop("batch_size", None)
+        path, type_name, X_new = legacy_positional_args(
+            "BatchPredictor.predict", ("path", "type_name", "X_new"),
+            args, kwargs)
+        request = PredictRequest(model=str(path), type_name=str(type_name),
+                                 queries=X_new, batch_size=batch_size)
+        return self.serve(request).to_prediction()

@@ -1,0 +1,111 @@
+"""Fixtures for the network-tier test suite.
+
+One small fitted artifact on disk (session-scoped; fitting dominates the
+suite's runtime) plus a ``launch`` factory that boots background
+:class:`~repro.net.NetServer` instances and tears them down after each
+test.  The dataset generator is prefix-stable like the runtime suite's:
+``net_dataset`` is an exact prefix of ``net_grown_dataset``, which is the
+contract the warm-start refresh validates.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core import RHCHME
+from repro.net import NetServer
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+
+
+def _blobs_prefix(n_points: int, *, n_pool: int = 90, n_anchors: int = 24,
+                  n_clusters: int = 3, n_features: int = 5,
+                  seed: int = 3) -> MultiTypeRelationalData:
+    rng = np.random.default_rng(seed)
+    point_labels = np.arange(n_pool) % n_clusters
+    anchor_labels = np.arange(n_anchors) % n_clusters
+    point_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    anchor_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    point_features = point_centers[point_labels] + rng.normal(
+        size=(n_pool, n_features))
+    anchor_features = anchor_centers[anchor_labels] + rng.normal(
+        size=(n_anchors, n_features))
+    co_cluster = point_labels[:, None] == anchor_labels[None, :]
+    matrix = np.where(co_cluster, 1.0, 0.05) + 0.05 * rng.random(
+        (n_pool, n_anchors))
+    points = ObjectType("points", n_objects=n_points, n_clusters=n_clusters,
+                        features=point_features[:n_points],
+                        labels=point_labels[:n_points])
+    anchors = ObjectType("anchors", n_objects=n_anchors,
+                         n_clusters=n_clusters, features=anchor_features,
+                         labels=anchor_labels)
+    return MultiTypeRelationalData(
+        [points, anchors],
+        [Relation("points", "anchors", matrix[:n_points])])
+
+
+@pytest.fixture(scope="session")
+def net_dataset() -> MultiTypeRelationalData:
+    return _blobs_prefix(60)
+
+
+@pytest.fixture(scope="session")
+def net_grown_dataset() -> MultiTypeRelationalData:
+    return _blobs_prefix(90)
+
+
+@pytest.fixture(scope="session")
+def net_artifact(net_dataset):
+    model = RHCHME(max_iter=20, random_state=0, use_subspace_member=False,
+                   track_metrics_every=0)
+    model.fit(net_dataset)
+    return model.export_model(net_dataset)
+
+
+@pytest.fixture(scope="session")
+def net_model_path(net_artifact, tmp_path_factory):
+    return net_artifact.save(tmp_path_factory.mktemp("net") / "model.npz")
+
+
+@pytest.fixture
+def cloned_model_path(net_model_path, tmp_path):
+    """A private copy of the artifact for tests that rewrite it (refresh)."""
+    target = tmp_path / "model.npz"
+    shutil.copy(net_model_path, target)
+    shutil.copy(net_model_path.with_suffix(".json"),
+                target.with_suffix(".json"))
+    return target
+
+
+@pytest.fixture(scope="session")
+def net_queries(net_dataset):
+    rng = np.random.default_rng(11)
+    reference = net_dataset.get_type("points").features
+    picks = rng.integers(0, reference.shape[0], size=32)
+    return reference[picks] + 0.05 * rng.normal(
+        size=(32, reference.shape[1]))
+
+
+@pytest.fixture
+def launch(net_model_path):
+    """Factory booting background servers; closes every handle on teardown.
+
+    Defaults: the session artifact routed as model id ``docs``, serial
+    workers (deterministic in-line execution).  Keyword overrides are
+    forwarded to :meth:`NetServer.launch`.
+    """
+    handles = []
+
+    def _launch(**kwargs):
+        kwargs.setdefault("models", {"docs": str(net_model_path)})
+        kwargs.setdefault("workers", "serial")
+        handle = NetServer.launch(**kwargs)
+        handles.append(handle)
+        return handle
+
+    yield _launch
+    for handle in handles:
+        handle.close(drain=False)

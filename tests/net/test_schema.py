@@ -1,0 +1,188 @@
+"""Wire-schema round-trips, version policy and the shared error taxonomy."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (ERROR_CODES, ArtifactError, ModelNotFoundError,
+                              QueueFullError, QuotaExceededError, ReproError,
+                              ServerClosedError, ServerDrainingError,
+                              ValidationError, error_code, exception_for_code)
+from repro.net.schema import (WIRE_SCHEMA_VERSION, ErrorResponse,
+                              PredictRequest, PredictResponse,
+                              http_status_for)
+
+
+def _roundtrip(document: dict) -> dict:
+    """Through real JSON text, as the wire would carry it."""
+    return json.loads(json.dumps(document))
+
+
+# ---------------------------------------------------------------- requests
+def test_predict_request_roundtrip():
+    request = PredictRequest(model="docs", type_name="points",
+                             queries=np.arange(6.0).reshape(2, 3),
+                             batch_size=128, request_id="r-1")
+    parsed = PredictRequest.from_json_dict(_roundtrip(request.to_json_dict()))
+    assert parsed.model == "docs"
+    assert parsed.type_name == "points"
+    assert parsed.batch_size == 128
+    assert parsed.request_id == "r-1"
+    assert parsed.schema_version == WIRE_SCHEMA_VERSION
+    np.testing.assert_array_equal(parsed.queries, request.queries)
+
+
+def test_predict_request_normalises_single_vector():
+    request = PredictRequest(model="m", type_name="t",
+                             queries=np.array([1.0, 2.0, 3.0]))
+    assert request.queries.shape == (1, 3)
+    assert request.n_queries == 1
+
+
+def test_predict_request_optional_fields_omitted_from_wire():
+    doc = PredictRequest(model="m", type_name="t",
+                         queries=np.ones((1, 2))).to_json_dict()
+    assert "batch_size" not in doc
+    assert "request_id" not in doc
+
+
+def test_predict_request_tolerates_unknown_fields():
+    doc = PredictRequest(model="m", type_name="t",
+                         queries=np.ones((1, 2))).to_json_dict()
+    doc["some_future_field"] = {"nested": True}
+    parsed = PredictRequest.from_json_dict(doc)
+    assert parsed.model == "m"
+
+
+@pytest.mark.parametrize("missing", ["model", "type", "queries"])
+def test_predict_request_missing_field_rejected(missing):
+    doc = PredictRequest(model="m", type_name="t",
+                         queries=np.ones((1, 2))).to_json_dict()
+    del doc[missing]
+    with pytest.raises(ValidationError, match=missing):
+        PredictRequest.from_json_dict(doc)
+
+
+def test_predict_request_newer_version_refused():
+    doc = PredictRequest(model="m", type_name="t",
+                         queries=np.ones((1, 2))).to_json_dict()
+    doc["schema_version"] = WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(ValidationError, match="newer"):
+        PredictRequest.from_json_dict(doc)
+
+
+def test_predict_request_rejects_non_mapping():
+    with pytest.raises(ValidationError, match="JSON object"):
+        PredictRequest.from_json_dict(["not", "a", "mapping"])
+
+
+# --------------------------------------------------------------- responses
+def test_predict_response_roundtrip_bit_identical():
+    rng = np.random.default_rng(0)
+    membership = rng.random((5, 3))
+    membership /= membership.sum(axis=1, keepdims=True)
+    response = PredictResponse(model="docs", type_name="points",
+                               labels=np.array([0, 1, 2, 1, 0]),
+                               membership=membership, n_batches=2,
+                               seconds=0.125, request_id="r-9")
+    parsed = PredictResponse.from_json_dict(
+        _roundtrip(response.to_json_dict()))
+    # json.dumps emits shortest-round-trip reprs, so float64 membership
+    # survives the wire bit-identically — the property the HTTP parity
+    # acceptance test leans on.
+    np.testing.assert_array_equal(parsed.membership, membership)
+    np.testing.assert_array_equal(parsed.labels, response.labels)
+    assert parsed.n_batches == 2
+    assert parsed.seconds == 0.125
+    assert parsed.request_id == "r-9"
+
+
+def test_predict_response_newer_version_refused():
+    doc = PredictResponse(model="m", type_name="t", labels=np.zeros(1),
+                          membership=np.ones((1, 2)),
+                          n_batches=1).to_json_dict()
+    doc["schema_version"] = WIRE_SCHEMA_VERSION + 5
+    with pytest.raises(ValidationError, match="newer"):
+        PredictResponse.from_json_dict(doc)
+
+
+def test_predict_response_shape_mismatch_rejected():
+    with pytest.raises(ValidationError, match="labels"):
+        PredictResponse.from_json_dict({
+            "model": "m", "type": "t",
+            "labels": [0, 1], "membership": [[0.5, 0.5]]})
+
+
+# ------------------------------------------------------------------ errors
+def test_error_response_roundtrips_typed_exceptions():
+    original = QuotaExceededError("model 'docs' is at its admission quota")
+    error = ErrorResponse.from_exception(original, request_id="r-2")
+    parsed = ErrorResponse.from_json_dict(_roundtrip(error.to_json_dict()))
+    assert parsed.code == "quota_exceeded"
+    assert parsed.retryable is True
+    assert parsed.request_id == "r-2"
+    revived = parsed.to_exception()
+    assert isinstance(revived, QuotaExceededError)
+    assert "admission quota" in str(revived)
+
+
+def test_error_response_foreign_exception_maps_to_internal():
+    error = ErrorResponse.from_exception(KeyError("boom"))
+    assert error.code == "internal"
+    assert "KeyError" in error.message
+    assert error.http_status == 500
+
+
+def test_error_response_unknown_code_degrades_to_base():
+    parsed = ErrorResponse.from_json_dict(
+        {"code": "code_from_the_future", "message": "??"})
+    revived = parsed.to_exception()
+    assert type(revived) is ReproError
+    assert http_status_for("code_from_the_future") == 500
+
+
+def test_error_response_tolerates_unknown_fields():
+    parsed = ErrorResponse.from_json_dict(
+        {"code": "queue_full", "message": "full", "retryable": True,
+         "new_field": 7})
+    assert isinstance(parsed.to_exception(), QueueFullError)
+
+
+@pytest.mark.parametrize("exc_cls,status", [
+    (ValidationError, 400),
+    (ModelNotFoundError, 404),
+    (QuotaExceededError, 429),
+    (QueueFullError, 503),
+    (ServerDrainingError, 503),
+    (ServerClosedError, 503),
+    (ArtifactError, 500),
+])
+def test_http_status_mapping(exc_cls, status):
+    assert ErrorResponse.from_exception(exc_cls("x")).http_status == status
+
+
+# ---------------------------------------------------------------- taxonomy
+def test_error_codes_registry_consistent():
+    for code, cls in ERROR_CODES.items():
+        assert cls.code == code
+        assert error_code(cls("msg")) == code
+        assert isinstance(exception_for_code(code, "msg"), cls)
+
+
+def test_exit_codes_distinct_per_code():
+    # Scripts branch on the process exit code, so every code with a
+    # dedicated (non-default) exit code must have it to itself; codes
+    # without one share the generic exit 1.
+    dedicated = {cls.code: cls.exit_code for cls in ERROR_CODES.values()
+                 if cls.exit_code != ReproError.exit_code}
+    assert len(set(dedicated.values())) == len(dedicated)
+    assert all(cls.exit_code > 0 for cls in ERROR_CODES.values())
+
+
+def test_server_closed_error_is_runtime_error():
+    # The pre-taxonomy API raised bare RuntimeError on closed servers;
+    # existing `except RuntimeError` callers must keep working.
+    assert issubclass(ServerClosedError, RuntimeError)

@@ -1,0 +1,167 @@
+"""AIMD adaptive batch controller: convergence, bounds, integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import AdaptiveBatchController, BatchPolicy, MicroBatcher
+from repro.runtime.server import RuntimeServer
+
+KEY = ("model.npz", "points")
+
+
+def make_controller(**overrides):
+    kwargs = dict(target_p99_seconds=0.01, min_batch_size=8,
+                  max_batch_size=512, initial_batch_size=16,
+                  min_delay_seconds=0.0005, max_delay_seconds=0.02,
+                  initial_delay_seconds=0.002, increase_step=8,
+                  delay_increase_seconds=0.0005, decrease_factor=0.5,
+                  window=8)
+    kwargs.update(overrides)
+    return AdaptiveBatchController(**kwargs)
+
+
+def feed_window(controller, *, latency, rows=None):
+    """One full observation window at a fixed latency → one adjustment."""
+    for _ in range(controller.window):
+        controller.observe(KEY, rows=rows or controller.batch_size(KEY),
+                           seconds=latency)
+
+
+def test_conforms_to_batch_policy_protocol():
+    assert isinstance(make_controller(), BatchPolicy)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="decrease_factor"):
+        make_controller(decrease_factor=1.5)
+    with pytest.raises(ValueError, match="min_batch_size"):
+        make_controller(min_batch_size=64, max_batch_size=8)
+    with pytest.raises(ValueError, match="min_delay_seconds"):
+        make_controller(min_delay_seconds=0.5, max_delay_seconds=0.01)
+
+
+def test_initial_state_is_the_configured_starting_point():
+    controller = make_controller()
+    assert controller.batch_size(KEY) == 16
+    assert controller.delay_seconds(KEY) == pytest.approx(0.002)
+
+
+def test_additive_increase_under_target():
+    controller = make_controller()
+    feed_window(controller, latency=0.001)  # well under the 10ms target
+    assert controller.batch_size(KEY) == 16 + 8
+    assert controller.delay_seconds(KEY) == pytest.approx(0.0025)
+
+
+def test_multiplicative_decrease_over_target():
+    controller = make_controller()
+    feed_window(controller, latency=0.05)  # 5x over target
+    assert controller.batch_size(KEY) == 8  # 16 * 0.5
+    assert controller.delay_seconds(KEY) == pytest.approx(0.001)
+
+
+def test_no_adjustment_before_a_full_window():
+    controller = make_controller()
+    for _ in range(controller.window - 1):
+        controller.observe(KEY, rows=16, seconds=0.5)
+    assert controller.batch_size(KEY) == 16  # not adjusted yet
+
+
+def test_keys_are_independent():
+    controller = make_controller()
+    other = ("model.npz", "anchors")
+    feed_window(controller, latency=0.05)
+    assert controller.batch_size(KEY) == 8
+    assert controller.batch_size(other) == 16
+
+
+def test_bounds_are_respected():
+    controller = make_controller()
+    for _ in range(20):
+        feed_window(controller, latency=1.0)
+    assert controller.batch_size(KEY) == controller.min_batch_size
+    assert controller.delay_seconds(KEY) == pytest.approx(
+        controller.min_delay_seconds)
+    for _ in range(200):
+        feed_window(controller, latency=1e-6)
+    assert controller.batch_size(KEY) == controller.max_batch_size
+    assert controller.delay_seconds(KEY) == pytest.approx(
+        controller.max_delay_seconds)
+
+
+def test_converges_to_largest_in_budget_batch_on_synthetic_latency():
+    # Synthetic latency model: lat(b) = a + c*b.  The largest batch whose
+    # latency meets the 10ms target is b* = (target - a) / c = 90; the
+    # AIMD sawtooth must settle around it: growing while under, halving
+    # once above, never running away to the cap.
+    a, c = 0.001, 0.0001
+    target = 0.01
+    b_star = (target - a) / c
+    controller = make_controller(target_p99_seconds=target)
+    trajectory = []
+    for _ in range(120):
+        batch = controller.batch_size(KEY)
+        feed_window(controller, latency=a + c * batch, rows=batch)
+        trajectory.append(controller.batch_size(KEY))
+    settled = np.asarray(trajectory[40:])
+    # Sawtooth stays inside [b*/2 - step, b* + step]: one additive step may
+    # overshoot before the multiplicative cut reacts.
+    assert settled.max() <= b_star + controller.increase_step
+    assert settled.min() >= b_star / 2 - controller.increase_step
+    # and it oscillates (both AIMD branches fire) instead of pinning
+    snapshot = controller.snapshot()[str(KEY)]
+    assert snapshot["increases"] > 0
+    assert snapshot["decreases"] > 0
+
+
+def test_snapshot_reports_percentiles_and_counters():
+    controller = make_controller()
+    feed_window(controller, latency=0.004)
+    snapshot = controller.snapshot()
+    state = snapshot[str(KEY)]
+    assert state["observed_batches"] == controller.window
+    assert state["p50_seconds"] == pytest.approx(0.004)
+    assert state["p99_seconds"] == pytest.approx(0.004)
+    assert state["batch_size"] == 24
+
+
+def test_microbatcher_flushes_at_policy_threshold():
+    class FixedPolicy:
+        def batch_size(self, key):
+            return 3
+
+        def delay_seconds(self, key):
+            return 60.0  # deadline never fires in this test
+
+        def observe(self, key, *, rows, seconds):
+            pass
+
+    flushed = []
+    batcher = MicroBatcher(lambda key, batch: flushed.append(batch),
+                           max_batch_size=256, max_delay_seconds=60.0,
+                           policy=FixedPolicy())
+    try:
+        for _ in range(3):
+            batcher.submit(KEY, np.zeros((1, 2)))
+        # The static max_batch_size (256) would still be queueing; the
+        # policy's threshold of 3 triggered the size flush.
+        assert len(flushed) == 1
+        assert sum(request.n_rows for request in flushed[0]) == 3
+    finally:
+        batcher.close(drain=False)
+
+
+def test_runtime_server_feeds_observations_to_policy(runtime_model_path,
+                                                     query_batch):
+    controller = make_controller(window=1)
+    with RuntimeServer(workers="serial", batch_policy=controller,
+                       max_delay_seconds=0.001) as server:
+        for start in (0, 8, 16):
+            server.predict(path=str(runtime_model_path), type_name="points",
+                           queries=query_batch[start:start + 8])
+        snapshot = controller.snapshot()
+    (state,) = snapshot.values()
+    assert state["observed_batches"] == 3
+    assert state["p99_seconds"] > 0

@@ -117,9 +117,11 @@ class TestServerRefresh:
         queries = grown_dataset.get_type("points").features[90:]
         with RuntimeServer(workers="thread", n_workers=2, max_batch_size=8,
                            max_delay_seconds=0.002) as runtime:
-            before = runtime.submit(path, "points", queries)
+            before = runtime.submit(path=path,
+                                    type_name="points", queries=queries)
             outcome = runtime.refresh(path, grown_dataset, max_iter=10)
-            after = runtime.submit(path, "points", queries)
+            after = runtime.submit(path=path,
+                                   type_name="points", queries=queries)
             # both generations answer; the in-flight future is not dropped
             assert before.result(timeout=_WAIT).n_queries == 30
             assert after.result(timeout=_WAIT).n_queries == 30
@@ -141,9 +143,12 @@ class TestServerRefresh:
         queries = grown_dataset.get_type("points").features[:8]
         with RuntimeServer(workers="process", n_workers=2, max_batch_size=8,
                            max_delay_seconds=0.01) as runtime:
-            runtime.predict(path, "points", queries, timeout=_WAIT * 2)
+            runtime.predict(path=path,
+                            type_name="points",
+                            queries=queries, timeout=_WAIT * 2)
             outcome = runtime.refresh(path, grown_dataset, max_iter=8)
-            served = runtime.predict(path, "points", queries,
+            served = runtime.predict(path=path,
+                                     type_name="points", queries=queries,
                                      timeout=_WAIT * 2)
             direct = outcome.model.predict("points", queries)
             np.testing.assert_allclose(served.membership, direct.membership,
@@ -180,7 +185,8 @@ class TestServerRefresh:
         with RuntimeServer(workers="serial", max_batch_size=8,
                            max_delay_seconds=0.002) as runtime:
             queries = grown_dataset.get_type("points").features[:4]
-            runtime.predict(path, "points", queries, timeout=_WAIT)
+            runtime.predict(path=path,
+                            type_name="points", queries=queries, timeout=_WAIT)
             reader = runtime.predictor.peek_model(path)
             assert reader.accounting()["loaded_types"] == ["points"]
             runtime.refresh(path, grown_dataset, max_iter=3)

@@ -25,7 +25,8 @@ class TestCorrectness:
                                                   runtime_model_path,
                                                   runtime_artifact,
                                                   query_batch):
-        futures = [server.submit(runtime_model_path, "points", row)
+        futures = [server.submit(path=runtime_model_path,
+                                 type_name="points", queries=row)
                    for row in query_batch]
         labels = np.array([f.result(timeout=_WAIT).labels[0]
                            for f in futures])
@@ -40,7 +41,8 @@ class TestCorrectness:
                                               runtime_model_path,
                                               runtime_artifact, query_batch):
         chunks = [query_batch[:3], query_batch[3:4], query_batch[4:11]]
-        futures = [server.submit(runtime_model_path, "points", chunk)
+        futures = [server.submit(path=runtime_model_path,
+                                 type_name="points", queries=chunk)
                    for chunk in chunks]
         results = [f.result(timeout=_WAIT) for f in futures]
         assert [r.n_queries for r in results] == [3, 1, 7]
@@ -49,13 +51,15 @@ class TestCorrectness:
             np.concatenate([r.labels for r in results]), direct.labels)
 
     def test_single_vector_request_accepted(self, server, runtime_model_path):
-        prediction = server.predict(runtime_model_path, "points",
-                                    np.zeros(6), timeout=_WAIT)
+        prediction = server.predict(path=runtime_model_path,
+                                    type_name="points",
+                                    queries=np.zeros(6), timeout=_WAIT)
         assert prediction.n_queries == 1
 
     def test_requests_coalesce_into_batches(self, server, runtime_model_path,
                                             query_batch):
-        futures = [server.submit(runtime_model_path, "points", row)
+        futures = [server.submit(path=runtime_model_path,
+                                 type_name="points", queries=row)
                    for row in query_batch]
         for future in futures:
             future.result(timeout=_WAIT)
@@ -70,8 +74,9 @@ class TestCorrectness:
                                             runtime_artifact, query_batch):
         with RuntimeServer(workers="serial", max_batch_size=16,
                            max_delay_seconds=0.005) as runtime:
-            prediction = runtime.predict(sharded_model_path, "points",
-                                         query_batch, timeout=_WAIT)
+            prediction = runtime.predict(path=sharded_model_path,
+                                         type_name="points",
+                                         queries=query_batch, timeout=_WAIT)
             direct = runtime_artifact.predict("points", query_batch)
             np.testing.assert_array_equal(prediction.labels, direct.labels)
             reader = runtime.predictor.get_model(sharded_model_path)
@@ -83,22 +88,26 @@ class TestCorrectness:
 class TestErrorRouting:
     def test_validation_error_lands_in_future(self, server,
                                               runtime_model_path):
-        future = server.submit(runtime_model_path, "points", np.ones((2, 2)))
+        future = server.submit(path=runtime_model_path,
+                               type_name="points", queries=np.ones((2, 2)))
         with pytest.raises(ValidationError, match="features"):
             future.result(timeout=_WAIT)
         assert server.stats.failed >= 1
 
     def test_unknown_type_lands_in_future(self, server, runtime_model_path):
-        future = server.submit(runtime_model_path, "nope", np.ones((1, 6)))
+        future = server.submit(path=runtime_model_path,
+                               type_name="nope", queries=np.ones((1, 6)))
         with pytest.raises(ValidationError, match="unknown object type"):
             future.result(timeout=_WAIT)
 
     def test_failed_batch_does_not_poison_later_requests(
             self, server, runtime_model_path, runtime_artifact, query_batch):
-        bad = server.submit(runtime_model_path, "points", np.ones((1, 3)))
+        bad = server.submit(path=runtime_model_path,
+                            type_name="points", queries=np.ones((1, 3)))
         with pytest.raises(ValidationError):
             bad.result(timeout=_WAIT)
-        good = server.predict(runtime_model_path, "points", query_batch,
+        good = server.predict(path=runtime_model_path,
+                              type_name="points", queries=query_batch,
                               timeout=_WAIT)
         np.testing.assert_array_equal(
             good.labels, runtime_artifact.predict("points", query_batch).labels)
@@ -108,9 +117,11 @@ class TestBackpressure:
     def test_queue_full_raises_and_counts(self, runtime_model_path):
         with RuntimeServer(workers="serial", max_batch_size=10**6,
                            max_delay_seconds=30.0, max_pending=8) as runtime:
-            runtime.submit(runtime_model_path, "points", np.zeros((8, 6)))
+            runtime.submit(path=runtime_model_path,
+                           type_name="points", queries=np.zeros((8, 6)))
             with pytest.raises(QueueFullError):
-                runtime.submit(runtime_model_path, "points", np.zeros((1, 6)))
+                runtime.submit(path=runtime_model_path,
+                               type_name="points", queries=np.zeros((1, 6)))
             assert runtime.stats.rejected == 1
             assert runtime.pending_rows == 8
             runtime.flush()
@@ -129,7 +140,8 @@ class TestConcurrentSubmitters:
                 try:
                     for row_index, row in enumerate(query_batch):
                         prediction = runtime.predict(
-                            runtime_model_path, "points", row, timeout=_WAIT)
+                            path=runtime_model_path, type_name="points",
+                            queries=row, timeout=_WAIT)
                         if prediction.labels[0] != direct.labels[row_index]:
                             raise AssertionError(
                                 f"client {worker_index} row {row_index}: "
@@ -154,7 +166,8 @@ class TestProcessWorkers:
                                                  query_batch):
         with RuntimeServer(workers="process", n_workers=2, max_batch_size=32,
                            max_delay_seconds=0.01) as runtime:
-            futures = [runtime.submit(runtime_model_path, "points", row)
+            futures = [runtime.submit(path=runtime_model_path,
+                                      type_name="points", queries=row)
                        for row in query_batch[:16]]
             labels = np.array([f.result(timeout=_WAIT * 2).labels[0]
                                for f in futures])
@@ -169,10 +182,12 @@ class TestCancelledFutures:
         # the batch run: the surviving request must still get its answer.
         with RuntimeServer(workers="serial", max_batch_size=10**6,
                            max_delay_seconds=30.0) as runtime:
-            doomed = runtime.submit(runtime_model_path, "points",
-                                    query_batch[:1])
-            survivor = runtime.submit(runtime_model_path, "points",
-                                      query_batch[1:3])
+            doomed = runtime.submit(path=runtime_model_path,
+                                    type_name="points",
+                                    queries=query_batch[:1])
+            survivor = runtime.submit(path=runtime_model_path,
+                                      type_name="points",
+                                      queries=query_batch[1:3])
             assert doomed.cancel()
             runtime.flush()
             prediction = survivor.result(timeout=_WAIT)
@@ -188,7 +203,8 @@ class TestLifecycle:
         runtime.close()
         runtime.close()
         with pytest.raises(RuntimeError, match="closed"):
-            runtime.submit(runtime_model_path, "points", np.zeros((1, 6)))
+            runtime.submit(path=runtime_model_path,
+                           type_name="points", queries=np.zeros((1, 6)))
 
     def test_invalid_worker_mode_rejected(self):
         with pytest.raises(ValidationError, match="workers"):

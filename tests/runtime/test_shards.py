@@ -192,8 +192,8 @@ class TestPredictorIntegration:
                                                     runtime_artifact,
                                                     query_batch):
         predictor = BatchPredictor(lazy_shards=True)
-        prediction = predictor.predict(sharded_model_path, "points",
-                                       query_batch)
+        prediction = predictor.predict(path=sharded_model_path,
+                                       type_name="points", X_new=query_batch)
         direct = runtime_artifact.predict("points", query_batch)
         np.testing.assert_array_equal(prediction.labels, direct.labels)
         model = predictor.get_model(sharded_model_path)

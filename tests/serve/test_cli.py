@@ -74,7 +74,8 @@ class TestPredict:
             np.save(queries_path, np.ones((2, 3)))
         completed = run_cli("predict", "--model", model_path,
                             "--type", "nope", "--queries", queries_path)
-        assert completed.returncode == 1
+        assert completed.returncode == 2  # invalid_request exit code
+        assert "error[invalid_request]" in completed.stderr
         assert "unknown object type" in completed.stderr
 
 
@@ -91,7 +92,8 @@ class TestInfo:
 
     def test_info_on_missing_model_fails_cleanly(self, tmp_path):
         completed = run_cli("info", "--model", tmp_path / "absent.npz")
-        assert completed.returncode == 1
+        assert completed.returncode == 3  # artifact_error exit code
+        assert "error[artifact_error]" in completed.stderr
         assert "not found" in completed.stderr
 
 
@@ -183,8 +185,8 @@ class TestArtifactErrorExit:
         model_path.write_bytes(b"whatever")
         model_path.with_suffix(".json").write_text("{broken")
         completed = run_cli("info", "--model", model_path)
-        assert completed.returncode == 1
-        assert "error" in completed.stderr
+        assert completed.returncode == 3  # artifact_error exit code
+        assert "error[artifact_error]" in completed.stderr
         assert "Traceback" not in completed.stderr
 
     def test_corrupt_arrays_exit_nonzero_without_traceback(self,
@@ -199,6 +201,7 @@ class TestArtifactErrorExit:
         np.save(queries_path, np.ones((2, 3)))
         completed = run_cli("predict", "--model", broken,
                             "--type", "documents", "--queries", queries_path)
-        assert completed.returncode == 1
+        assert completed.returncode == 3  # artifact_error exit code
+        assert "error[artifact_error]" in completed.stderr
         assert "corrupt" in completed.stderr
         assert "Traceback" not in completed.stderr

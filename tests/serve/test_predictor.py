@@ -22,8 +22,8 @@ def queries(blob_split):
 class TestModelCache:
     def test_first_load_is_a_miss_then_hits(self, model_path, queries):
         predictor = BatchPredictor()
-        predictor.predict(model_path, "points", queries)
-        predictor.predict(model_path, "points", queries)
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
         assert predictor.stats.cache_misses == 1
         assert predictor.stats.cache_hits == 1
         assert predictor.cached_models == [
@@ -33,8 +33,10 @@ class TestModelCache:
                                                   tmp_path):
         blob_artifact.save(tmp_path / "model.npz")
         predictor = BatchPredictor()
-        predictor.predict(tmp_path / "model", "points", queries)
-        predictor.predict(tmp_path / "model.npz", "points", queries)
+        predictor.predict(path=tmp_path / "model",
+                          type_name="points", X_new=queries)
+        predictor.predict(path=tmp_path / "model.npz",
+                          type_name="points", X_new=queries)
         assert predictor.stats.cache_misses == 1
         assert predictor.stats.cache_hits == 1
         assert len(predictor.cached_models) == 1
@@ -43,19 +45,21 @@ class TestModelCache:
         path_a = blob_artifact.save(tmp_path / "a.npz")
         path_b = blob_artifact.save(tmp_path / "b.npz")
         predictor = BatchPredictor(cache_size=1)
-        predictor.predict(path_a, "points", queries)
-        predictor.predict(path_b, "points", queries)   # evicts a
+        predictor.predict(path=path_a, type_name="points", X_new=queries)
+        predictor.predict(path=path_b,
+                          type_name="points", X_new=queries)   # evicts a
         assert predictor.cached_models == [str(RHCHMEModel.resolve_path(path_b))]
-        predictor.predict(path_a, "points", queries)   # reload -> miss
+        predictor.predict(path=path_a,
+                          type_name="points", X_new=queries)   # reload -> miss
         assert predictor.stats.cache_misses == 3
         assert predictor.stats.cache_hits == 0
 
     def test_explicit_eviction(self, model_path, queries):
         predictor = BatchPredictor()
-        predictor.predict(model_path, "points", queries)
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
         predictor.evict(model_path)
         assert predictor.cached_models == []
-        predictor.predict(model_path, "points", queries)
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
         assert predictor.stats.cache_misses == 2
 
     def test_invalid_cache_size_rejected(self):
@@ -66,8 +70,9 @@ class TestModelCache:
 class TestCounters:
     def test_throughput_counters_accumulate(self, model_path, queries):
         predictor = BatchPredictor()
-        predictor.predict(model_path, "points", queries)
-        predictor.predict(model_path, "points", queries[:5])
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
+        predictor.predict(path=model_path,
+                          type_name="points", X_new=queries[:5])
         stats = predictor.stats
         assert stats.requests == 2
         assert stats.objects == queries.shape[0] + 5
@@ -79,7 +84,7 @@ class TestCounters:
     def test_stats_snapshot_is_json_friendly(self, model_path, queries):
         import json
         predictor = BatchPredictor()
-        predictor.predict(model_path, "points", queries)
+        predictor.predict(path=model_path, type_name="points", X_new=queries)
         snapshot = predictor.stats.as_dict()
         assert json.dumps(snapshot)
         assert snapshot["requests"] == 1
@@ -90,24 +95,27 @@ class TestRequestValidation:
     def test_unknown_type_rejected(self, model_path, queries):
         predictor = BatchPredictor()
         with pytest.raises(ValidationError, match="unknown object type"):
-            predictor.predict(model_path, "nope", queries)
+            predictor.predict(path=model_path, type_name="nope", X_new=queries)
 
     def test_wrong_feature_dimension_rejected(self, model_path):
         predictor = BatchPredictor()
         with pytest.raises(ValidationError, match="features"):
-            predictor.predict(model_path, "points", np.ones((4, 2)))
+            predictor.predict(path=model_path,
+                              type_name="points", X_new=np.ones((4, 2)))
 
     def test_failed_requests_do_not_pollute_counters(self, model_path, queries):
         predictor = BatchPredictor()
         with pytest.raises(ValidationError):
-            predictor.predict(model_path, "points", np.ones((4, 2)))
+            predictor.predict(path=model_path,
+                              type_name="points", X_new=np.ones((4, 2)))
         assert predictor.stats.requests == 0
         assert predictor.stats.objects == 0
 
     def test_results_match_direct_model_predict(self, blob_artifact, model_path,
                                                 queries):
         predictor = BatchPredictor()
-        served = predictor.predict(model_path, "points", queries)
+        served = predictor.predict(path=model_path,
+                                   type_name="points", X_new=queries)
         direct = blob_artifact.predict("points", queries)
         np.testing.assert_array_equal(served.labels, direct.labels)
         np.testing.assert_allclose(served.membership, direct.membership,
@@ -124,16 +132,22 @@ class TestLRUEvictionOrder:
         keys = {name: str(RHCHMEModel.resolve_path(path))
                 for name, path in paths.items()}
         predictor = BatchPredictor(cache_size=2)
-        predictor.predict(paths["a"], "points", queries[:2])
-        predictor.predict(paths["b"], "points", queries[:2])
+        predictor.predict(path=paths["a"],
+                          type_name="points", X_new=queries[:2])
+        predictor.predict(path=paths["b"],
+                          type_name="points", X_new=queries[:2])
         # touch "a" so "b" becomes the least recently used entry
-        predictor.predict(paths["a"], "points", queries[:2])
-        predictor.predict(paths["c"], "points", queries[:2])  # evicts "b"
+        predictor.predict(path=paths["a"],
+                          type_name="points", X_new=queries[:2])
+        predictor.predict(path=paths["c"],
+                          type_name="points", X_new=queries[:2])  # evicts "b"
         assert predictor.cached_models == [keys["a"], keys["c"]]
         assert predictor.stats.cache_evictions == 1
         # "b" must now reload (miss), "a" and "c" must not
-        predictor.predict(paths["a"], "points", queries[:2])
-        predictor.predict(paths["b"], "points", queries[:2])
+        predictor.predict(path=paths["a"],
+                          type_name="points", X_new=queries[:2])
+        predictor.predict(path=paths["b"],
+                          type_name="points", X_new=queries[:2])
         assert predictor.stats.cache_misses == 4
         assert predictor.stats.cache_hits == 2
 
@@ -162,7 +176,8 @@ class TestThreadSafety:
         def worker():
             try:
                 for _ in range(n_calls):
-                    predictor.predict(model_path, "points", queries[:3])
+                    predictor.predict(path=model_path,
+                                      type_name="points", X_new=queries[:3])
             except Exception as exc:  # noqa: BLE001 - rethrown below
                 errors.append(exc)
 
@@ -189,8 +204,8 @@ class TestThreadSafety:
         def worker(offset: int) -> None:
             try:
                 for i in range(9):
-                    predictor.predict(paths[(i + offset) % 3], "points",
-                                      queries[:2])
+                    predictor.predict(path=paths[(i + offset) % 3],
+                                      type_name="points", X_new=queries[:2])
             except Exception as exc:  # noqa: BLE001 - rethrown below
                 errors.append(exc)
 
