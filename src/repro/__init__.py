@@ -51,6 +51,16 @@ Subpackages
     small requests, a pluggable thread/process/serial worker pool with
     explicit backpressure, and incremental artifact refresh from warm
     starts.
+``repro.net``
+    The asyncio HTTP front-end over the runtime: versioned wire schema,
+    multi-model routing with admission control, drain lifecycle, the
+    Prometheus ``/v1/metrics`` exposition, a keep-alive client and a
+    closed-loop load generator.
+``repro.diagnostics``
+    Model health monitoring: fit-time spectral metrics of the ensemble
+    Laplacian blocks, serving-time covariate-drift detection against
+    training fingerprints, and the threshold/hysteresis/cooldown refresh
+    policy that closes the loop into automatic ``refresh()``.
 """
 
 from .core.config import RHCHMEConfig

@@ -108,6 +108,15 @@ class RHCHMEConfig:
         runs serially with zero pool overhead; ``-1`` uses every available
         CPU.  The value never changes the optimisation — only which thread
         computes each block — so results are identical for every setting.
+    diagnostics:
+        Record fit-time health diagnostics (see
+        :class:`repro.diagnostics.SpectralMonitor`): per-type spectral
+        metrics of the ensemble Laplacian blocks plus per-iteration
+        membership-churn trajectories, carried in the fit result's
+        ``extras["diagnostics"]`` and persisted into the artifact
+        sidecar.  Off by default; never changes the optimisation.  Like
+        ``n_jobs`` this is a run-time knob, not a model parameter, and is
+        not persisted in artifacts.
     """
 
     lam: float = 250.0
@@ -134,6 +143,7 @@ class RHCHMEConfig:
     error_row_tol: float = 1e-8
     subspace_topk: int | None = None
     n_jobs: int = 1
+    diagnostics: bool = False
 
     def __post_init__(self) -> None:
         check_positive_float(self.lam, name="lam", minimum=0.0, inclusive=True)
@@ -164,6 +174,9 @@ class RHCHMEConfig:
             raise ValueError(
                 f"n_jobs must be a positive int or -1 (all CPUs), got "
                 f"{self.n_jobs!r}")
+        if not isinstance(self.diagnostics, bool):
+            raise ValueError(
+                f"diagnostics must be a bool, got {self.diagnostics!r}")
         object.__setattr__(self, "weighting", WeightingScheme.coerce(self.weighting))
 
     def with_overrides(self, **overrides: Any) -> "RHCHMEConfig":

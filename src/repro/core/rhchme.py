@@ -195,6 +195,14 @@ class RHCHME:
         # computed once per fit.
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
 
+        monitor = None
+        if config.diagnostics:
+            # One eigensolve per type up front (L is fixed for the whole
+            # fit), then O(n) churn per recorded iterate — see
+            # repro.diagnostics.spectral for the cost contract.
+            from ..diagnostics.spectral import SpectralMonitor
+            monitor = SpectralMonitor([t.name for t in data.types], L_blocks)
+
         trace = TraceRecorder()
         converged = False
         iteration = 0
@@ -205,7 +213,8 @@ class RHCHME:
             # identical matrix (one full wasted S solve per fit).
             state.S = self._timed(trace, "s_update", update_association_blocks,
                                   R_pairs, state, pairs=pairs, pool=pool)
-            self._record(trace, data, R_pairs, L_blocks, state, pairs, pool)
+            self._record(trace, data, R_pairs, L_blocks, state, pairs, pool,
+                         monitor=monitor)
 
             for iteration in range(1, config.max_iter + 1):
                 if iteration > 1:
@@ -226,7 +235,8 @@ class RHCHME:
                                             row_tol=config.error_row_tol,
                                             pairs=pairs, pool=pool)
                 state.iteration = iteration
-                self._record(trace, data, R_pairs, L_blocks, state, pairs, pool)
+                self._record(trace, data, R_pairs, L_blocks, state, pairs, pool,
+                             monitor=monitor)
                 decrease = trace.last_relative_decrease()
                 if 0.0 <= decrease < config.tol:
                     converged = True
@@ -243,6 +253,8 @@ class RHCHME:
                                       "n_jobs": config.n_jobs,
                                       "update_seconds": trace.timings,
                                       "warm_start": warm_start is not None})
+        if monitor is not None:
+            result.extras["diagnostics"] = monitor.summary(trace)
         self.result_ = result
         return result
 
@@ -292,13 +304,15 @@ class RHCHME:
     # -------------------------------------------------------------- internal
     def _record(self, trace: TraceRecorder, data: MultiTypeRelationalData,
                 R_pairs, L_blocks, state: FactorizationState, pairs,
-                pool) -> None:
+                pool, monitor=None) -> None:
         """Record the objective breakdown and optional metrics for one iterate."""
         config = self.config
         breakdown = self._timed(trace, "objective", evaluate_objective_blocks,
                                 R_pairs, state, L_blocks, lam=config.lam,
                                 beta=config.beta, pairs=pairs, pool=pool)
         metrics: dict[str, float] = {}
+        if monitor is not None:
+            metrics.update(monitor.observe(state))
         if config.track_metrics_every and (
                 state.iteration % config.track_metrics_every == 0):
             for index, object_type in enumerate(data.types):

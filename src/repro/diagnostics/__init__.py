@@ -1,0 +1,42 @@
+"""Model health diagnostics: spectral monitors, drift detection, refresh policy.
+
+Three layers watch a model from fit to serving:
+
+``repro.diagnostics.spectral``
+    Fit-time health of the per-type Laplacian blocks ``L_t`` — spectral
+    gap, Fiedler value and Laplacian energy (sparse-safe, with NaN-free
+    sentinels for degenerate types) — plus per-iteration membership-churn
+    trajectories, recorded alongside the objective trace and persisted
+    into the artifact sidecar's ``diagnostics`` section.
+``repro.diagnostics.drift``
+    Serving-time covariate drift: each artifact carries per-type
+    *fingerprints* of its training features (moment sketches, per-feature
+    quantile histograms and a p-NN affinity-mass histogram); a
+    :class:`DriftDetector` scores incoming query batches against them
+    with population-stability-index (PSI) statistics at O(features ·
+    bins) per batch, independent of batch size.
+``repro.diagnostics.policy``
+    The control loop: a :class:`RefreshPolicy` (threshold + hysteresis +
+    cooldown) that :class:`repro.runtime.RuntimeServer` consults to
+    trigger :meth:`~repro.runtime.RuntimeServer.refresh` automatically
+    when drift crosses the bar.
+"""
+
+from .drift import (DriftDetector, DriftScore, FeatureFingerprint,
+                    fingerprint_features, population_stability_index)
+from .policy import RefreshPolicy
+from .spectral import (DIAGNOSTICS_SCHEMA_VERSION, SpectralBlockMetrics,
+                       SpectralMonitor, spectral_block_metrics)
+
+__all__ = [
+    "DIAGNOSTICS_SCHEMA_VERSION",
+    "SpectralBlockMetrics",
+    "SpectralMonitor",
+    "spectral_block_metrics",
+    "FeatureFingerprint",
+    "fingerprint_features",
+    "population_stability_index",
+    "DriftDetector",
+    "DriftScore",
+    "RefreshPolicy",
+]

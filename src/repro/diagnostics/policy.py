@@ -1,0 +1,148 @@
+"""The auto-refresh control loop: threshold + hysteresis + cooldown.
+
+A drift score crossing a threshold once must trigger *one* refresh, not a
+refresh per batch while the score stays high (a refit takes seconds; the
+score only recovers once the refreshed fingerprints publish and the decayed
+window turns over).  :class:`RefreshPolicy` encodes the classic control
+discipline:
+
+* **threshold** — trigger when the score reaches it (with at least
+  ``min_observations`` scored updates behind it, so a single early noisy
+  window cannot fire);
+* **hysteresis** — after a trigger the policy *disarms*; it re-arms only
+  once the score falls below ``threshold · rearm_ratio``, so a score
+  hovering around the threshold cannot re-trigger on every oscillation;
+* **cooldown** — even when re-armed, at least ``cooldown_seconds`` must
+  pass between triggers, bounding refit churn under sustained drift.
+
+The policy is keyed (one independent state per model path), thread-safe,
+and takes an injectable monotonic clock so tests can drive time explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .._validation import check_positive_float, check_positive_int
+
+__all__ = ["RefreshPolicy"]
+
+
+@dataclass
+class _KeyState:
+    """Mutable trigger state of one policy key."""
+
+    armed: bool = True
+    observations: int = 0
+    triggers: int = 0
+    last_score: float | None = None
+    last_trigger_at: float | None = None
+
+
+class RefreshPolicy:
+    """Decide when a drift score should trigger an automatic refresh.
+
+    Parameters
+    ----------
+    threshold:
+        Score at or above which a refresh triggers (PSI convention:
+        0.25 is the classic "population has shifted" bar).
+    rearm_ratio:
+        Fraction of ``threshold`` the score must fall below before the
+        policy re-arms after a trigger; must be in (0, 1].
+    cooldown_seconds:
+        Minimum time between two triggers of the same key.
+    min_observations:
+        Scored updates a key needs before its first trigger.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, *, threshold: float = 0.25, rearm_ratio: float = 0.5,
+                 cooldown_seconds: float = 300.0, min_observations: int = 3,
+                 clock=time.monotonic) -> None:
+        self.threshold = check_positive_float(threshold, name="threshold")
+        if not 0.0 < rearm_ratio <= 1.0:
+            raise ValueError(
+                f"rearm_ratio must be in (0, 1], got {rearm_ratio}")
+        self.rearm_ratio = float(rearm_ratio)
+        self.cooldown_seconds = check_positive_float(
+            cooldown_seconds, name="cooldown_seconds", minimum=0.0,
+            inclusive=True)
+        self.min_observations = check_positive_int(min_observations,
+                                                   name="min_observations")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._keys: dict = {}
+
+    def _state_locked(self, key) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = _KeyState()
+            self._keys[key] = state
+        return state
+
+    def update(self, key, score: float) -> bool:
+        """Fold one drift score in; ``True`` means *trigger a refresh now*.
+
+        Atomic: under concurrent updates of one key at a triggering score,
+        exactly one caller sees ``True`` — the policy disarms in the same
+        locked step that reports the trigger.
+        """
+        score = float(score)
+        now = self._clock()
+        with self._lock:
+            state = self._state_locked(key)
+            state.observations += 1
+            state.last_score = score
+            if not state.armed:
+                if score < self.threshold * self.rearm_ratio:
+                    state.armed = True
+                return False
+            if score < self.threshold:
+                return False
+            if state.observations < self.min_observations:
+                return False
+            if state.last_trigger_at is not None and \
+                    now - state.last_trigger_at < self.cooldown_seconds:
+                return False
+            state.armed = False
+            state.triggers += 1
+            state.last_trigger_at = now
+            return True
+
+    def notify_refresh(self, key) -> None:
+        """Record an out-of-band refresh (manual/timer): disarm + cooldown.
+
+        A model that was just refitted for *any* reason should not be
+        refitted again the moment one more drifted batch lands — the
+        refresh resets the key as if the policy itself had triggered.
+        """
+        with self._lock:
+            state = self._state_locked(key)
+            state.armed = False
+            state.last_trigger_at = self._clock()
+
+    def snapshot(self) -> dict:
+        """Per-key policy state for stats documents and metric exporters."""
+        with self._lock:
+            return {
+                str(key): {
+                    "armed": state.armed,
+                    "observations": state.observations,
+                    "triggers": state.triggers,
+                    "last_score": (None if state.last_score is None
+                                   else round(state.last_score, 6)),
+                }
+                for key, state in self._keys.items()
+            }
+
+    def reset(self, key=None) -> None:
+        """Drop trigger state (one key, or all with ``None``)."""
+        with self._lock:
+            if key is None:
+                self._keys.clear()
+            else:
+                self._keys.pop(key, None)

@@ -1,0 +1,267 @@
+"""Fit-time spectral health metrics of the per-type Laplacian blocks.
+
+The solver builds one Laplacian block ``L_t`` per object type (Eq. 12) and
+keeps it fixed for the whole fit, so its spectrum is a property of the
+*graph the fit optimised against*, not of any iterate: the Fiedler value
+(second-smallest eigenvalue — how well connected the type's manifold
+graph is), the spectral gap above the zero mode, and the Laplacian energy
+``Σ|λ_i − d̄|`` (``d̄ = trace(L)/n``, the mean degree) that summarises how
+far the graph is from a degree-regular one.  A near-zero Fiedler value
+means the p-NN/subspace graph splits into components the regulariser
+cannot smooth across — the classic symptom of a type whose feature space
+no longer matches its relations.
+
+:func:`spectral_block_metrics` computes these once per type, sparse-safe:
+small blocks get an exact dense eigensolve, large dense blocks a partial
+``scipy.linalg.eigvalsh`` subset solve, large sparse blocks a
+shift-invert ``scipy.sparse.linalg.eigsh`` with a dense fallback when
+ARPACK fails to converge.  Degenerate blocks (``n < 3``, an all-zero
+block of a featureless type, a numerically broken solve) yield NaN-free
+*sentinel* metrics — ``degenerate=True`` and zeros — instead of raising,
+so diagnostics can never take a fit down.
+
+:class:`SpectralMonitor` pairs the one-shot spectral metrics with cheap
+per-iteration *membership churn* (the fraction of each type's objects
+whose hard label changed since the previous iterate, O(n) per type) and
+folds both, together with the objective trace, into the JSON document the
+artifact sidecar persists as its ``diagnostics`` section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+__all__ = ["DIAGNOSTICS_SCHEMA_VERSION", "SpectralBlockMetrics",
+           "spectral_block_metrics", "SpectralMonitor"]
+
+#: Version stamp of the artifact sidecar's ``diagnostics`` section.  The
+#: section is additive — readers that do not know it ignore it, so the
+#: artifact schema version itself does not move — but the section carries
+#: its own stamp so future layout changes stay detectable.
+DIAGNOSTICS_SCHEMA_VERSION = 1
+
+#: Blocks up to this order are eigendecomposed exactly (dense ``eigvalsh``).
+DENSE_EIGEN_THRESHOLD = 512
+
+#: Relative tolerance deciding "the Fiedler value is zero" (disconnected).
+_CONNECTIVITY_TOL = 1e-8
+
+
+def _finite(value: float) -> float:
+    """One scalar, NaN/inf collapsed to 0.0 — the sentinels stay NaN-free."""
+    value = float(value)
+    return value if np.isfinite(value) else 0.0
+
+
+@dataclass(frozen=True)
+class SpectralBlockMetrics:
+    """Spectral health summary of one type's Laplacian block.
+
+    Attributes
+    ----------
+    type_name, n_objects:
+        Which block, and its order.
+    fiedler_value:
+        Second-smallest eigenvalue λ₂ (algebraic connectivity).
+    spectral_gap:
+        λ₂ − λ₁ (λ₁ ≈ 0 for a valid Laplacian, so this tracks λ₂).
+    laplacian_energy:
+        ``Σ|λ_i − d̄|`` with ``d̄ = trace(L)/n``; exact when the full
+        spectrum was computed, otherwise the Cauchy–Schwarz bound
+        ``sqrt(n · (‖L‖_F² − n·d̄²))`` (see ``exact``).
+    connected:
+        Whether λ₂ clears the connectivity tolerance (a disconnected
+        graph has a repeated zero eigenvalue).
+    degenerate:
+        Sentinel flag: the block was too small (``n < 3``), identically
+        zero (featureless type) or the eigensolve failed — every metric
+        is a NaN-free zero and means "no signal", not "healthy".
+    exact:
+        Whether the full spectrum (hence exact energy) was computed.
+    """
+
+    type_name: str
+    n_objects: int
+    fiedler_value: float
+    spectral_gap: float
+    laplacian_energy: float
+    connected: bool
+    degenerate: bool
+    exact: bool
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (the sidecar's per-type spectral entry)."""
+        return {
+            "n_objects": int(self.n_objects),
+            "fiedler_value": _finite(self.fiedler_value),
+            "spectral_gap": _finite(self.spectral_gap),
+            "laplacian_energy": _finite(self.laplacian_energy),
+            "connected": bool(self.connected),
+            "degenerate": bool(self.degenerate),
+            "exact": bool(self.exact),
+        }
+
+
+def _sentinel(type_name: str, n: int) -> SpectralBlockMetrics:
+    return SpectralBlockMetrics(type_name=type_name, n_objects=int(n),
+                                fiedler_value=0.0, spectral_gap=0.0,
+                                laplacian_energy=0.0, connected=False,
+                                degenerate=True, exact=False)
+
+
+def _smallest_two_sparse(L: sp.sparray | sp.spmatrix) -> np.ndarray:
+    """The two smallest eigenvalues of a sparse PSD Laplacian.
+
+    Shift-invert around a slightly negative σ: ``L − σI`` is positive
+    definite for any PSD ``L``, so the factorisation cannot hit a singular
+    pivot even when the graph is disconnected (repeated zero eigenvalue).
+    """
+    values = sp.linalg.eigsh(sp.csc_array(L, dtype=np.float64), k=2,
+                             sigma=-1e-3, which="LM",
+                             return_eigenvectors=False)
+    return np.sort(values)
+
+
+def spectral_block_metrics(L, *, type_name: str = "",
+                           dense_threshold: int = DENSE_EIGEN_THRESHOLD
+                           ) -> SpectralBlockMetrics:
+    """Compute the spectral health metrics of one Laplacian block.
+
+    ``L`` may be a dense array or any scipy sparse matrix.  Never raises
+    on degenerate input: blocks of order < 3, all-zero blocks and failed
+    eigensolves return the NaN-free sentinel (``degenerate=True``).
+    """
+    n = int(L.shape[0])
+    if n < 3 or L.shape[0] != L.shape[1]:
+        return _sentinel(type_name, n)
+    sparse = sp.issparse(L)
+    if sparse:
+        trace = float(L.diagonal().sum())
+        frob_sq = float(L.multiply(L).sum())
+    else:
+        L = np.asarray(L, dtype=np.float64)
+        trace = float(np.trace(L))
+        frob_sq = float(np.sum(L * L))
+    if not np.isfinite(trace) or not np.isfinite(frob_sq) or frob_sq <= 0.0:
+        # Featureless types carry an all-zero block; a NaN-poisoned block
+        # has nothing meaningful to report either.
+        return _sentinel(type_name, n)
+    mean_degree = trace / n
+
+    exact = n <= dense_threshold
+    try:
+        if exact:
+            dense = L.toarray() if sparse else L
+            values = scipy.linalg.eigvalsh(np.asarray(dense, dtype=np.float64))
+            smallest_two = values[:2]
+            energy = float(np.sum(np.abs(values - mean_degree)))
+        elif sparse:
+            smallest_two = _smallest_two_sparse(L)
+        else:
+            smallest_two = scipy.linalg.eigvalsh(L, subset_by_index=[0, 1])
+    except Exception:  # noqa: BLE001 - diagnostics must never take a fit down
+        if not exact:
+            try:  # dense fallback for an ARPACK/LAPACK failure
+                dense = np.asarray(L.toarray() if sparse else L,
+                                   dtype=np.float64)
+                smallest_two = scipy.linalg.eigvalsh(dense,
+                                                     subset_by_index=[0, 1])
+            except Exception:  # noqa: BLE001
+                return _sentinel(type_name, n)
+        else:
+            return _sentinel(type_name, n)
+    if not exact:
+        # Cauchy–Schwarz bound on Σ|λ − d̄| from Σ(λ − d̄)² = ‖L‖_F² − n·d̄².
+        centred = max(frob_sq - n * mean_degree * mean_degree, 0.0)
+        energy = float(np.sqrt(n * centred))
+
+    lam1 = max(float(smallest_two[0]), 0.0)  # PSD up to round-off
+    lam2 = max(float(smallest_two[1]), 0.0)
+    gap = max(lam2 - lam1, 0.0)
+    connected = lam2 > _CONNECTIVITY_TOL * max(1.0, abs(mean_degree))
+    return SpectralBlockMetrics(type_name=type_name, n_objects=n,
+                                fiedler_value=_finite(lam2),
+                                spectral_gap=_finite(gap),
+                                laplacian_energy=_finite(energy),
+                                connected=bool(connected), degenerate=False,
+                                exact=exact)
+
+
+class SpectralMonitor:
+    """Fit-time health monitor: one-shot spectra + per-iteration churn.
+
+    Construct it once the ensemble's ``L_t`` blocks exist (they are fixed
+    for the whole fit, so each block is eigendecomposed exactly once —
+    re-solving per iteration would report the same numbers at many times
+    the cost).  Call :meth:`observe` on every recorded iterate; it returns
+    the churn metrics to merge into the trace's metric dict.  After the
+    fit, :meth:`summary` renders the JSON document that
+    :class:`repro.serve.RHCHMEModel` persists in its sidecar.
+    """
+
+    def __init__(self, type_names, L_blocks, *,
+                 dense_threshold: int = DENSE_EIGEN_THRESHOLD) -> None:
+        self.type_names = [str(name) for name in type_names]
+        if len(self.type_names) != len(L_blocks):
+            raise ValueError(
+                f"got {len(self.type_names)} type names for "
+                f"{len(L_blocks)} Laplacian blocks")
+        self.spectral = [spectral_block_metrics(block, type_name=name,
+                                                dense_threshold=dense_threshold)
+                         for name, block in zip(self.type_names, L_blocks)]
+        self.churn: dict[str, list[float]] = {name: []
+                                              for name in self.type_names}
+        self._previous_labels: dict[str, np.ndarray] = {}
+        self.iterations = 0
+
+    def observe(self, state) -> dict[str, float]:
+        """Record one iterate; returns ``{"churn/<type>": fraction}``.
+
+        Churn is the fraction of a type's objects whose hard label moved
+        since the previous recorded iterate (0.0 on the first record) —
+        an O(n) signal that tracks how far the factorisation still is
+        from settling, per type.
+        """
+        metrics: dict[str, float] = {}
+        for index, name in enumerate(self.type_names):
+            labels = state.labels_for_type(index)
+            previous = self._previous_labels.get(name)
+            churn = (0.0 if previous is None
+                     else float(np.mean(labels != previous)))
+            self._previous_labels[name] = labels
+            self.churn[name].append(churn)
+            metrics[f"churn/{name}"] = churn
+        self.iterations += 1
+        return metrics
+
+    def summary(self, trace=None) -> dict:
+        """The JSON document persisted as the sidecar's fit diagnostics.
+
+        When the fit's :class:`~repro.core.convergence.TraceRecorder` is
+        supplied, the objective trajectory and its term decomposition ride
+        along, so the sidecar alone reconstructs the convergence picture.
+        """
+        document = {
+            "spectral": {metrics.type_name: metrics.as_dict()
+                         for metrics in self.spectral},
+            "churn": {name: [_finite(value) for value in series]
+                      for name, series in self.churn.items()},
+            "iterations": int(self.iterations),
+        }
+        if trace is not None:
+            document["objective"] = [_finite(value)
+                                     for value in trace.objectives]
+            terms = {}
+            for name in ("reconstruction", "error_sparsity",
+                         "graph_smoothness"):
+                series = trace.terms_series(name)
+                if series.size and np.all(np.isfinite(series)):
+                    terms[name] = [float(value) for value in series]
+            if terms:
+                document["objective_terms"] = terms
+        return document

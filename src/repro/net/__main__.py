@@ -89,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "observed batch latency (AIMD controller)")
     serve.add_argument("--target-p99-ms", type=float, default=50.0,
                        help="adaptive controller latency target")
+    serve.add_argument("--diagnostics", action="store_true",
+                       help="score served batches for covariate drift "
+                            "against the models' training fingerprints "
+                            "(exported via /v1/metrics and /v1/stats)")
 
     predict = commands.add_parser(
         "predict", help="send one predict request to a running server")
@@ -106,6 +110,8 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--clients", type=int, default=4)
     loadgen.add_argument("--requests-per-client", type=int, default=50)
     loadgen.add_argument("--rows-per-request", type=int, default=1)
+    loadgen.add_argument("--report", type=Path, default=None,
+                         help="also write the summary to this JSON file")
     return parser
 
 
@@ -133,10 +139,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        workers=args.workers, n_workers=args.n_workers,
                        max_batch_size=args.max_batch_size,
                        max_delay_seconds=args.max_delay_ms / 1000.0,
-                       batch_policy=policy)
+                       batch_policy=policy,
+                       diagnostics=args.diagnostics)
     print(f"[net] serving {sorted(models)} on {args.host}:{args.port} "
-          f"(workers={args.workers}, adaptive={bool(policy)}); "
-          "SIGTERM drains and exits")
+          f"(workers={args.workers}, adaptive={bool(policy)}, "
+          f"diagnostics={args.diagnostics}); SIGTERM drains and exits")
     server.serve_forever()
     print("[net] drained; bye")
     return 0
@@ -181,6 +188,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         requests_per_client=args.requests_per_client,
         rows_per_request=args.rows_per_request, timeout=args.timeout)
     print(json.dumps(report.as_dict(), indent=2))
+    if args.report is not None:
+        report.write(args.report)
+        print(f"[net] wrote {args.report}", file=sys.stderr)
     return 0
 
 

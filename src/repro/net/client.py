@@ -56,8 +56,9 @@ class NetClient:
                 self.host, self.port, timeout=self.timeout)
         return self._conn
 
-    def _request(self, method: str, path: str,
-                 document: dict | None = None) -> tuple[int, dict]:
+    def _request_raw(self, method: str, path: str,
+                     document: dict | None = None) -> tuple[int, bytes]:
+        """One HTTP round trip; returns ``(status, raw body bytes)``."""
         body = None
         headers = {"Connection": "keep-alive"}
         if document is not None:
@@ -82,6 +83,11 @@ class NetClient:
                         f"after {attempt + 1} attempt(s): {exc}") from exc
         else:  # pragma: no cover - loop always breaks or raises
             raise ReproError(f"HTTP request failed: {last_exc}")
+        return status, payload
+
+    def _request(self, method: str, path: str,
+                 document: dict | None = None) -> tuple[int, dict]:
+        status, payload = self._request_raw(method, path, document)
         try:
             parsed = json.loads(payload) if payload else {}
         except json.JSONDecodeError as exc:
@@ -144,6 +150,21 @@ class NetClient:
     def stats(self) -> dict:
         """``GET /v1/stats`` — runtime/predictor/per-model/policy counters."""
         return self._get("/v1/stats")
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text exposition, verbatim.
+
+        The one non-JSON endpoint; the decoded text is returned as-is so
+        callers can hand it to a scraper or grep a metric line.
+        """
+        status, payload = self._request_raw("GET", "/v1/metrics")
+        if status != 200:
+            try:
+                document = json.loads(payload) if payload else {}
+            except json.JSONDecodeError:
+                document = {"raw": payload[:200].decode("utf-8", "replace")}
+            self._raise_error(status, document)
+        return payload.decode("utf-8")
 
     def drain(self, *, timeout_seconds: float = 30.0) -> dict:
         """``POST /v1/drain`` — blocks until in-flight requests settled."""

@@ -83,6 +83,20 @@ class LoadReport:
             "max_ms": round(self.percentile_ms(100.0), 3),
         }
 
+    def write(self, path) -> None:
+        """Write :meth:`as_dict` as a JSON artifact (for benches and CI).
+
+        Parent directories are created; the file is valid JSON, newline
+        terminated, so downstream tooling can ``json.load`` it directly.
+        """
+        import json
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.as_dict(), indent=2) + "\n",
+                          encoding="utf-8")
+
 
 def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
                     queries: np.ndarray, n_clients: int = 4,

@@ -47,6 +47,7 @@ from ..exceptions import (ModelNotFoundError, QuotaExceededError,
                           ServerDrainingError, ValidationError)
 from ..runtime.server import RuntimeServer
 from ..serve.artifact import RHCHMEModel
+from . import metrics
 from .schema import (WIRE_SCHEMA_VERSION, ErrorResponse, PredictRequest)
 
 __all__ = ["ModelRoute", "NetServer", "NetServerHandle"]
@@ -69,6 +70,10 @@ class ModelRoute:
     inflight: int = 0
     served: int = 0
     rejected: int = 0
+    # The artifact sidecar's ``diagnostics`` section, stashed at
+    # registration so ``/v1/metrics`` can expose fit-time spectral gauges
+    # without re-reading the sidecar per scrape.
+    diagnostics: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -78,6 +83,7 @@ class ModelRoute:
             "inflight": self.inflight,
             "served": self.served,
             "rejected": self.rejected,
+            "has_diagnostics": self.diagnostics is not None,
         }
 
 
@@ -145,10 +151,12 @@ class NetServer:
             raise ValidationError(
                 f"model id must match {_MODEL_ID.pattern}, got {model_id!r}")
         resolved = str(RHCHMEModel.resolve_path(path))
+        sidecar = RHCHMEModel.read_metadata(resolved)
         if max_inflight is None:
             max_inflight = self.max_inflight_per_model
         route = ModelRoute(model_id=model_id, path=resolved,
-                           max_inflight=max_inflight)
+                           max_inflight=max_inflight,
+                           diagnostics=sidecar.get("diagnostics"))
         self._routes[model_id] = route
         return route
 
@@ -351,12 +359,19 @@ class NetServer:
         return error.http_status, error.to_json_dict()
 
     async def _write_json(self, writer: asyncio.StreamWriter, status: int,
-                          document: dict, *, keep_alive: bool,
+                          document, *, keep_alive: bool,
                           extra: dict | None = None) -> None:
-        body = json.dumps(document).encode("utf-8")
+        # ``document`` is normally a JSON-able dict; a plain string is sent
+        # verbatim as a Prometheus text exposition (``/v1/metrics``).
+        if isinstance(document, str):
+            body = document.encode("utf-8")
+            content_type = metrics.CONTENT_TYPE
+        else:
+            body = json.dumps(document).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -378,8 +393,10 @@ class NetServer:
                 return self._method_not_allowed(method, path)
             return await self._handle_drain(body)
         if method != "GET" and path in ("/v1/models", "/v1/stats",
-                                        "/v1/health"):
+                                        "/v1/health", "/v1/metrics"):
             return self._method_not_allowed(method, path)
+        if path == "/v1/metrics":
+            return 200, metrics.render_prometheus(self), None
         if path == "/v1/models":
             return 200, {"schema_version": WIRE_SCHEMA_VERSION,
                          "models": [route.as_dict() for _, route in

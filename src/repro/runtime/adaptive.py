@@ -191,10 +191,16 @@ class AdaptiveBatchController:
 
     # ----------------------------------------------------------- inspection
     def snapshot(self) -> dict:
-        """Per-key controller state for metric exporters and ``/v1/stats``."""
+        """Per-key controller state for metric exporters and ``/v1/stats``.
+
+        Runtime keys are ``(model_path, type_name)`` tuples; those entries
+        additionally carry ``model`` / ``type`` fields so exporters can
+        label metrics without parsing the stringified key.
+        """
         with self._lock:
-            return {
-                str(key): {
+            document = {}
+            for key, state in self._keys.items():
+                entry = {
                     "batch_size": int(round(state.batch_size)),
                     "delay_seconds": round(state.delay_seconds, 6),
                     "observed_batches": state.observed,
@@ -203,5 +209,8 @@ class AdaptiveBatchController:
                     "p50_seconds": round(state.last_p50, 6),
                     "p99_seconds": round(state.last_p99, 6),
                 }
-                for key, state in self._keys.items()
-            }
+                if isinstance(key, tuple) and len(key) == 2:
+                    entry["model"] = str(key[0])
+                    entry["type"] = str(key[1])
+                document[str(key)] = entry
+            return document

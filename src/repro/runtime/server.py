@@ -67,7 +67,14 @@ class RuntimeStats:
     objects: int = 0
     max_batch_rows: int = 0
     refreshes: int = 0
+    auto_refreshes: int = 0
+    auto_refresh_failures: int = 0
     flush_counts: dict[str, int] = field(default_factory=dict)
+    # Snapshot-only sections, filled by ``RuntimeServer.stats``: the
+    # adaptive batch controller's per-(model, type) state and the drift
+    # detector's per-model windows.  Empty when the feature is off.
+    batch_policy: dict = field(default_factory=dict)
+    drift: dict = field(default_factory=dict)
 
     @property
     def mean_batch_rows(self) -> float:
@@ -85,7 +92,11 @@ class RuntimeStats:
             "max_batch_rows": self.max_batch_rows,
             "mean_batch_rows": round(self.mean_batch_rows, 3),
             "refreshes": self.refreshes,
+            "auto_refreshes": self.auto_refreshes,
+            "auto_refresh_failures": self.auto_refresh_failures,
             "flush_counts": dict(self.flush_counts),
+            "batch_policy": dict(self.batch_policy),
+            "drift": dict(self.drift),
         }
 
 
@@ -139,6 +150,27 @@ class RuntimeServer:
         tunes ``max_batch_size`` / ``max_delay_seconds`` per (model, type)
         from the observed batch latency.  ``None`` (default) keeps the
         static knobs.
+    diagnostics:
+        Score every served batch for covariate drift against the model's
+        training fingerprints (forwarded to
+        :class:`~repro.serve.BatchPredictor`; ``True`` or a detector-option
+        dict enables it).  Requires in-process prediction — rejected under
+        ``workers="process"``, whose predictors live in worker processes
+        where the scores would be invisible to this server.
+    refresh_policy:
+        Optional :class:`~repro.diagnostics.RefreshPolicy` closing the
+        control loop: after each served batch the model's drift score is
+        fed to the policy, and when it triggers the server refits the
+        model via :meth:`refresh` on a background thread — no timer
+        involved.  Implies ``diagnostics`` and requires ``refresh_data``.
+    refresh_data:
+        Where an automatic refresh gets its grown dataset: either a
+        dataset object (single-model deployments) or a callable
+        ``(resolved_path) -> dataset`` (the callable is invoked on the
+        refresh thread, so it may do real ingestion work).
+    refresh_overrides:
+        Config overrides forwarded to :meth:`refresh` by the automatic
+        path (e.g. ``{"max_iter": 10}`` to bound refit cost).
     """
 
     def __init__(self, *, workers: str = "thread", n_workers: int | None = None,
@@ -146,7 +178,11 @@ class RuntimeServer:
                  max_pending: int = 65536, cache_size: int = 4,
                  default_batch_size: int = 256,
                  lazy_shards: bool = True,
-                 batch_policy=None) -> None:
+                 batch_policy=None,
+                 diagnostics: bool | dict = False,
+                 refresh_policy=None,
+                 refresh_data=None,
+                 refresh_overrides: dict | None = None) -> None:
         if workers not in WORKER_MODES:
             raise ValidationError(
                 f"workers must be one of {WORKER_MODES}, got {workers!r}")
@@ -155,9 +191,28 @@ class RuntimeServer:
             n_workers = max(1, min(4, os.cpu_count() or 1))
         self.n_workers = int(n_workers)
         self.lazy_shards = bool(lazy_shards)
+        if refresh_policy is not None:
+            if refresh_data is None:
+                raise ValidationError(
+                    "refresh_policy needs refresh_data (a dataset or a "
+                    "callable path -> dataset) to refit from")
+            if not diagnostics:
+                diagnostics = True  # the policy consumes drift scores
+        if diagnostics and workers == "process":
+            raise ValidationError(
+                "diagnostics/refresh_policy require in-process prediction "
+                "(workers='thread' or 'serial'); process workers score in "
+                "their own processes where this server cannot see it")
+        self.refresh_policy = refresh_policy
+        self._refresh_data_source = refresh_data
+        self._refresh_overrides = dict(refresh_overrides or {})
+        self._auto_lock = threading.Lock()
+        self._auto_refreshing: set[str] = set()
+        self.last_auto_refresh_error: str | None = None
         self.predictor = BatchPredictor(cache_size=cache_size,
                                         default_batch_size=default_batch_size,
-                                        lazy_shards=lazy_shards)
+                                        lazy_shards=lazy_shards,
+                                        diagnostics=diagnostics)
         if workers == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=self.n_workers,
@@ -330,6 +385,48 @@ class RuntimeServer:
             self.batch_policy.observe(
                 key, rows=rows,
                 seconds=time.monotonic() - batch[0].enqueued_at)
+        if self.refresh_policy is not None:
+            self._maybe_auto_refresh(key)
+
+    # ------------------------------------------------------ drift control loop
+    def _maybe_auto_refresh(self, key: tuple[str, str]) -> None:
+        """Consult the refresh policy with the batch's drift score.
+
+        Runs on the serving path, so it must stay O(1): reading the
+        detector's cached score and one policy update.  The refit itself
+        (when triggered) runs on a daemon thread — in-flight and future
+        requests keep being served against the current model until the
+        hot-swap publishes the refreshed one.
+        """
+        path, type_name = key
+        score = self.predictor.drift_score(path, type_name)
+        if score is None or not self.refresh_policy.update(path, score):
+            return
+        with self._auto_lock:
+            if path in self._auto_refreshing:  # single-flight per model
+                return
+            self._auto_refreshing.add(path)
+        threading.Thread(target=self._auto_refresh, args=(path,),
+                         name="repro-auto-refresh", daemon=True).start()
+
+    def _refresh_dataset(self, path: str):
+        source = self._refresh_data_source
+        return source(path) if callable(source) else source
+
+    def _auto_refresh(self, path: str) -> None:
+        try:
+            self.refresh(path, self._refresh_dataset(path),
+                         **self._refresh_overrides)
+        except Exception as exc:  # noqa: BLE001 - background thread boundary
+            self.last_auto_refresh_error = repr(exc)
+            with self._lock:
+                self._stats.auto_refresh_failures += 1
+        else:
+            with self._lock:
+                self._stats.auto_refreshes += 1
+        finally:
+            with self._auto_lock:
+                self._auto_refreshing.discard(path)
 
     def _settle(self, batch: list[QueuedRequest],
                 prediction: Prediction) -> None:
@@ -340,10 +437,13 @@ class RuntimeServer:
             # flight; settling it would raise InvalidStateError and strand
             # every later request of the batch.
             if not request.future.done():
+                mass = (None if prediction.affinity_mass is None
+                        else prediction.affinity_mass[start:stop])
                 request.future.set_result(Prediction(
                     labels=prediction.labels[start:stop],
                     membership=prediction.membership[start:stop],
-                    n_batches=prediction.n_batches))
+                    n_batches=prediction.n_batches,
+                    affinity_mass=mass))
             start = stop
         with self._lock:
             self._stats.completed += len(batch)
@@ -394,6 +494,11 @@ class RuntimeServer:
             self._generations[self._resolve(path)] = (
                 self._generations.get(self._resolve(path), 0) + 1)
         self.predictor.put_model(path, outcome.model)
+        if self.refresh_policy is not None:
+            # Manual and automatic refreshes alike restart the policy's
+            # cooldown, so a just-refreshed model is not re-triggered by
+            # the stale pre-refresh window.
+            self.refresh_policy.notify_refresh(self._resolve(path))
         with self._lock:
             self._stats.refreshes += 1
         return outcome
@@ -425,14 +530,27 @@ class RuntimeServer:
     # -------------------------------------------------------------- inspection
     @property
     def stats(self) -> RuntimeStats:
-        """Snapshot of the runtime counters (flush counts folded in)."""
+        """Snapshot of the runtime counters.
+
+        Flush counts, the adaptive batch controller's per-(model, type)
+        state (when a policy with ``snapshot()`` is installed) and the
+        drift detector's per-model windows (when diagnostics are on) are
+        folded into the snapshot's ``flush_counts`` / ``batch_policy`` /
+        ``drift`` sections.
+        """
         with self._lock:
             snapshot = RuntimeStats(**{
                 name: getattr(self._stats, name)
                 for name in ("submitted", "completed", "failed", "rejected",
                              "batches", "objects", "max_batch_rows",
-                             "refreshes")})
+                             "refreshes", "auto_refreshes",
+                             "auto_refresh_failures")})
         snapshot.flush_counts = self._batcher.flush_counts
+        policy_snapshot = getattr(self.batch_policy, "snapshot", None)
+        if callable(policy_snapshot):
+            snapshot.batch_policy = policy_snapshot()
+        if self.predictor.diagnostics:
+            snapshot.drift = self.predictor.drift_snapshot()
         return snapshot
 
     @property

@@ -191,6 +191,15 @@ class RHCHMEModel:
         and round-trips it through ``save``/``load`` without densifying.
     backend:
         The concrete backend the fit resolved to (``"dense"``/``"sparse"``).
+    diagnostics:
+        The sidecar's JSON ``diagnostics`` section (``None`` on artifacts
+        that predate it): per-type training-feature *fingerprints* for
+        serving-time drift detection (always written by
+        :meth:`from_fit`), plus — when the fit ran with
+        ``config.diagnostics=True`` — the fit-time spectral/churn record
+        under ``"fit"``.  The section is additive and carries its own
+        ``version`` stamp, so the artifact schema version is unchanged
+        and pre-diagnostics readers simply ignore it.
     """
 
     config: RHCHMEConfig
@@ -203,6 +212,7 @@ class RHCHMEModel:
     backend: str = "dense"
     schema_version: int = SCHEMA_VERSION
     library_version: str = _library_version
+    diagnostics: dict | None = None
 
     def __post_init__(self) -> None:
         # Per-type neighbour-search indexes, built lazily on first predict
@@ -286,11 +296,30 @@ class RHCHMEModel:
             error_matrix = state.E_R.copy()
         else:
             error_matrix = np.array(state.E_R)
+        # Every export fingerprints the training features (bounded-sample
+        # sketches — see repro.diagnostics.drift), so any artifact can be
+        # drift-scored at serving time; the fit-time spectral/churn record
+        # rides along only when the fit opted in via config.diagnostics.
+        from ..diagnostics.drift import fingerprint_features
+        from ..diagnostics.spectral import DIAGNOSTICS_SCHEMA_VERSION
+        diagnostics: dict = {"version": DIAGNOSTICS_SCHEMA_VERSION}
+        fingerprints = {
+            name: fingerprint_features(
+                matrix, p=config.p, weighting=config.weighting,
+                random_state=config.random_state,
+                type_name=name).to_json_dict()
+            for name, matrix in features.items()}
+        if fingerprints:
+            diagnostics["fingerprints"] = fingerprints
+        fit_section = result.extras.get("diagnostics")
+        if fit_section:
+            diagnostics["fit"] = fit_section
         return cls(config=config, types=tuple(types), features=features,
                    membership=membership, labels=labels,
                    association=np.array(state.S),
                    error_matrix=error_matrix,
-                   backend=result.extras.get("backend", "dense"))
+                   backend=result.extras.get("backend", "dense"),
+                   diagnostics=diagnostics)
 
     # -------------------------------------------------------------- accessors
     @property
@@ -356,6 +385,8 @@ class RHCHMEModel:
         layout = self._error_matrix_layout()
         if layout is not None:
             info["error_matrix_layout"] = layout
+        if self.diagnostics is not None:
+            info["diagnostics"] = self.diagnostics
         return info
 
     # ------------------------------------------------------------- prediction
@@ -396,6 +427,10 @@ class RHCHMEModel:
         # artifact layout is unchanged and pre-n_jobs readers still load
         # current artifacts; loaded models default to serial execution.
         config.pop("n_jobs", None)
+        # diagnostics is the same kind of run-time knob: whether a fit
+        # recorded health metrics never changes the factors, and the
+        # recorded metrics live in the sidecar's own diagnostics section.
+        config.pop("diagnostics", None)
         return config
 
     @staticmethod
@@ -678,7 +713,8 @@ class RHCHMEModel:
                    error_matrix=error_matrix,
                    backend=sidecar.get("backend", "dense"),
                    schema_version=int(sidecar["schema_version"]),
-                   library_version=str(sidecar.get("library_version", "unknown")))
+                   library_version=str(sidecar.get("library_version", "unknown")),
+                   diagnostics=sidecar.get("diagnostics"))
 
 
 def load_model(path) -> RHCHMEModel:

@@ -73,6 +73,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=list(SHARD_LAYOUTS),
                      help="artifact layout: one npz, or one npz per object "
                           "type (enables lazy partial loads when serving)")
+    fit.add_argument("--diagnostics", action="store_true",
+                     help="record fit-time health diagnostics (per-type "
+                          "spectral metrics + membership churn) into the "
+                          "artifact sidecar")
 
     predict = commands.add_parser(
         "predict", help="batch-predict new objects against a saved artifact")
@@ -110,7 +114,8 @@ def _load_queries(path: Path) -> np.ndarray:
 def _cmd_fit_save(args: argparse.Namespace) -> int:
     config = RHCHMEConfig(max_iter=args.max_iter, random_state=args.random_state,
                           backend=args.backend, subspace_topk=args.subspace_topk,
-                          use_subspace_member=not args.no_subspace)
+                          use_subspace_member=not args.no_subspace,
+                          diagnostics=args.diagnostics)
     data = make_dataset(args.dataset, random_state=args.random_state)
     print(f"[serve] fitting {args.dataset}: {data.describe()}")
     model = RHCHME(config)
@@ -120,6 +125,13 @@ def _cmd_fit_save(args: argparse.Namespace) -> int:
           f"({result.n_iterations} iterations, converged={result.converged}, "
           f"backend={result.extras['backend']})")
     artifact = result.to_model(data, model.config)
+    if args.diagnostics:
+        spectral = (artifact.diagnostics or {}).get("fit", {}).get("spectral", {})
+        for type_name, entry in spectral.items():
+            print(f"[serve] diagnostics {type_name}: "
+                  f"spectral_gap={entry['spectral_gap']:.4g} "
+                  f"laplacian_energy={entry['laplacian_energy']:.4g} "
+                  f"connected={entry['connected']}")
     written = artifact.save(args.output, shards=args.shards)
     if args.shards == "per-type":
         shard_files = RHCHMEModel.shard_paths(
@@ -176,9 +188,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     # decompresses the (potentially huge) arrays.
     metadata = RHCHMEModel.read_metadata(args.model)
     shards = metadata.get("shards")
-    # Computed convenience key so scripts need not infer the layout from
-    # the presence of the manifest.
+    # Computed convenience keys so scripts need not infer the layout from
+    # the manifest or walk the diagnostics section for availability.
     metadata["layout"] = shards["layout"] if shards else "monolithic"
+    diagnostics = metadata.get("diagnostics") or {}
+    metadata["diagnostics_available"] = sorted(
+        key for key in ("fingerprints", "fit") if diagnostics.get(key))
     print(json.dumps(metadata, indent=2))
     return 0
 

@@ -58,11 +58,18 @@ class Prediction:
         ``(n_queries, c_k)`` soft membership scores, rows ℓ1-normalised.
     n_batches:
         Number of micro-batches the queries were processed in.
+    affinity_mass:
+        ``(n_queries,)`` total p-NN affinity weight each query collected
+        from its training neighbours (before the dead-query fallback), or
+        ``None`` when not computed (e.g. responses rebuilt from the wire).
+        A query far from the training manifold collects little mass —
+        the signal :class:`repro.diagnostics.DriftDetector` scores.
     """
 
     labels: np.ndarray
     membership: np.ndarray
     n_batches: int
+    affinity_mass: np.ndarray | None = None
 
     @property
     def n_queries(self) -> int:
@@ -153,6 +160,7 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
 
     n_queries = queries.shape[0]
     scores = np.empty((n_queries, membership_block.shape[1]), dtype=np.float64)
+    affinity_mass = np.empty(n_queries, dtype=np.float64)
 
     def one_batch(span: tuple[int, int]) -> None:
         start, stop = span
@@ -165,6 +173,9 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
                                              weighting, sigma=sigma,
                                              reference_norms=reference_norms)
         weights = weights.reshape(n_batch, p)
+        # Genuine affinity mass, before the dead-query fallback rewrites
+        # the weights: this is the drift-detection signal.
+        affinity_mass[start:stop] = weights.sum(axis=1)
         dead = weights.sum(axis=1) <= _EPS
         if np.any(dead):
             weights[dead] = 1.0
@@ -184,4 +195,5 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
 
     membership = row_normalize_l1(scores, copy=False)
     labels = np.argmax(membership, axis=1).astype(np.int64)
-    return Prediction(labels=labels, membership=membership, n_batches=n_batches)
+    return Prediction(labels=labels, membership=membership,
+                      n_batches=n_batches, affinity_mass=affinity_mass)

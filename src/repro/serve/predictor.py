@@ -25,12 +25,17 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .._validation import check_positive_int
+from ..diagnostics.drift import DriftDetector
 from ._legacy import legacy_positional_args
 from .artifact import RHCHMEModel
 from .extension import Prediction
 from .shards import open_model
 
 __all__ = ["ServingStats", "BatchPredictor"]
+
+# Cache sentinel distinguishing "detector not built yet" from "model has no
+# fingerprints" (stored as None so the probe is not repeated per request).
+_UNSET = object()
 
 
 @dataclass
@@ -79,15 +84,30 @@ class BatchPredictor:
     lazy_shards:
         Open per-type sharded artifacts lazily (only queried types' shards
         are read from disk); monolithic artifacts always load eagerly.
+    diagnostics:
+        Score every served batch against the model's training fingerprints
+        with a :class:`repro.diagnostics.DriftDetector` (one per cached
+        model, built lazily from the artifact sidecar).  ``False``
+        (default) skips scoring entirely; ``True`` enables it with the
+        detector defaults; a dict enables it and is forwarded as detector
+        options (e.g. ``{"min_rows": 32}``).  Scoring is O(batch) counting
+        on histograms already computed at fit time, so the per-request
+        overhead is a few percent at most; models whose artifacts predate
+        fingerprints are silently skipped.
     """
 
     def __init__(self, *, cache_size: int = 4,
                  default_batch_size: int = 256,
-                 lazy_shards: bool = False) -> None:
+                 lazy_shards: bool = False,
+                 diagnostics: bool | dict = False) -> None:
         self.cache_size = check_positive_int(cache_size, name="cache_size")
         self.default_batch_size = check_positive_int(default_batch_size,
                                                      name="default_batch_size")
         self.lazy_shards = bool(lazy_shards)
+        self.diagnostics = isinstance(diagnostics, dict) or bool(diagnostics)
+        self._detector_options: dict = (dict(diagnostics)
+                                        if isinstance(diagnostics, dict) else {})
+        self._detectors: dict[str, DriftDetector | None] = {}
         self._models: OrderedDict[str, object] = OrderedDict()
         # RLock: public methods that take the lock may call each other.
         self._lock = threading.RLock()
@@ -150,6 +170,9 @@ class BatchPredictor:
         key = str(RHCHMEModel.resolve_path(path))
         with self._lock:
             self._models.pop(key, None)
+            # The new model carries fresh fingerprints: drop the old
+            # detector so post-swap batches are scored against them.
+            self._detectors.pop(key, None)
             self._store_locked(key, model)
 
     def _store_locked(self, key: str, model) -> None:
@@ -163,8 +186,11 @@ class BatchPredictor:
         with self._lock:
             if path is None:
                 self._models.clear()
+                self._detectors.clear()
             else:
-                self._models.pop(str(RHCHMEModel.resolve_path(path)), None)
+                key = str(RHCHMEModel.resolve_path(path))
+                self._models.pop(key, None)
+                self._detectors.pop(key, None)
 
     @property
     def cached_models(self) -> list[str]:
@@ -193,6 +219,8 @@ class BatchPredictor:
         prediction = model.predict(request.type_name, request.queries,
                                    batch_size=batch_size)
         elapsed = time.perf_counter() - start
+        if self.diagnostics:
+            self._observe_drift(request, model, prediction)
         with self._lock:
             self.stats.requests += 1
             self.stats.objects += prediction.n_queries
@@ -203,6 +231,48 @@ class BatchPredictor:
                 + prediction.n_queries)
         return PredictResponse.from_prediction(request, prediction,
                                                seconds=elapsed)
+
+    # -------------------------------------------------------- drift scoring
+    def _detector_for(self, key: str, model) -> DriftDetector | None:
+        with self._lock:
+            detector = self._detectors.get(key, _UNSET)
+            if detector is _UNSET:
+                detector = DriftDetector.from_model(model,
+                                                    **self._detector_options)
+                self._detectors[key] = detector
+        return detector
+
+    def _observe_drift(self, request, model, prediction) -> None:
+        key = str(RHCHMEModel.resolve_path(request.model))
+        detector = self._detector_for(key, model)
+        if detector is not None:
+            detector.observe(request.type_name, request.queries,
+                             affinity_mass=prediction.affinity_mass)
+
+    def drift_score(self, path, type_name: str):
+        """Current :class:`~repro.diagnostics.DriftScore` of one type.
+
+        ``None`` when diagnostics are off, the model has not been scored
+        yet, its artifact carries no fingerprints, or the type has not
+        accumulated ``min_rows`` observations.
+        """
+        with self._lock:
+            detector = self._detectors.get(str(RHCHMEModel.resolve_path(path)))
+        if detector is None or detector is _UNSET:
+            return None
+        return detector.score(type_name)
+
+    def drift_snapshot(self) -> dict:
+        """Per-model drift-score snapshot, keyed by resolved artifact path.
+
+        Values are the per-type :meth:`DriftDetector.snapshot` documents of
+        every model that has been scored at least once; models without
+        fingerprints are omitted.
+        """
+        with self._lock:
+            detectors = {key: det for key, det in self._detectors.items()
+                         if det is not None and det is not _UNSET}
+        return {key: det.snapshot() for key, det in detectors.items()}
 
     def predict(self, *args, **kwargs) -> Prediction:
         """Predict labels for new objects against the model at ``path``.

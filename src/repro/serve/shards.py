@@ -102,6 +102,16 @@ class ShardedModelReader:
         """The artifact's sidecar metadata (includes the shards manifest)."""
         return dict(self._sidecar)
 
+    @property
+    def diagnostics(self) -> dict | None:
+        """The sidecar's ``diagnostics`` section (``None`` when absent).
+
+        Metadata-only — reading it never touches an array shard, so a
+        drift detector can be built for a model whose shards are still
+        cold.  Same shape as :attr:`RHCHMEModel.diagnostics`.
+        """
+        return self._sidecar.get("diagnostics")
+
     # ----------------------------------------------------------- lazy loading
     def _count_load(self, key: str) -> None:
         self.shard_loads[key] = self.shard_loads.get(key, 0) + 1

@@ -1,0 +1,160 @@
+"""Unit tests of fingerprints, PSI scoring and the drift detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import (DriftDetector, FeatureFingerprint,
+                               fingerprint_features,
+                               population_stability_index)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(300, 4)) * np.array([1.0, 2.0, 0.5, 3.0])
+
+
+@pytest.fixture(scope="module")
+def fingerprint(reference):
+    return fingerprint_features(reference, p=5, type_name="points")
+
+
+class TestPopulationStabilityIndex:
+    def test_zero_for_matching_distribution(self):
+        proportions = np.full(10, 0.1)
+        counts = np.full(10, 100.0)
+        assert population_stability_index(proportions, counts) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_when_nothing_observed(self):
+        assert population_stability_index(np.full(10, 0.1),
+                                          np.zeros(10)) == 0.0
+
+    def test_grows_with_mass_shift(self):
+        proportions = np.full(10, 0.1)
+        mild = np.array([5, 5, 10, 10, 15, 15, 10, 10, 10, 10], dtype=float)
+        severe = np.array([0, 0, 0, 0, 0, 0, 0, 0, 50, 50], dtype=float)
+        assert population_stability_index(proportions, severe) > \
+            population_stability_index(proportions, mild) > 0.0
+
+    def test_finite_with_empty_bins_on_either_side(self):
+        proportions = np.array([0.5, 0.5, 0.0, 0.0])
+        counts = np.array([0.0, 0.0, 3.0, 3.0])
+        value = population_stability_index(proportions, counts)
+        assert np.isfinite(value) and value > 0.0
+
+
+class TestFingerprint:
+    def test_shapes_and_moments(self, reference, fingerprint):
+        d = reference.shape[1]
+        assert fingerprint.n_features == d
+        assert fingerprint.feature_edges.shape == (d, fingerprint.bins + 1)
+        assert fingerprint.feature_proportions.shape == (d, fingerprint.bins)
+        np.testing.assert_allclose(fingerprint.moments["mean"],
+                                   reference.mean(axis=0))
+        np.testing.assert_allclose(fingerprint.moments["std"],
+                                   reference.std(axis=0))
+        # quantile-binned training proportions are near uniform
+        np.testing.assert_allclose(fingerprint.feature_proportions.sum(axis=1),
+                                   1.0, atol=1e-9)
+        assert fingerprint.has_mass_sketch
+
+    def test_sampling_caps_fingerprint_rows(self):
+        rng = np.random.default_rng(1)
+        big = rng.normal(size=(5000, 3))
+        fp = fingerprint_features(big, sample_size=256)
+        assert fp.n_sampled == 256
+        assert fp.n_reference == 5000
+
+    def test_json_round_trip(self, fingerprint):
+        document = fingerprint.to_json_dict()
+        import json
+        rebuilt = FeatureFingerprint.from_json_dict(
+            json.loads(json.dumps(document)))
+        np.testing.assert_array_equal(rebuilt.feature_edges,
+                                      fingerprint.feature_edges)
+        np.testing.assert_array_equal(rebuilt.mass_proportions,
+                                      fingerprint.mass_proportions)
+        assert rebuilt.type_name == fingerprint.type_name
+        assert rebuilt.p == fingerprint.p
+
+    def test_tiny_type_has_no_mass_sketch_but_no_nans(self):
+        fp = fingerprint_features(np.ones((2, 3)), p=5)
+        assert not fp.has_mass_sketch
+        assert np.all(np.isfinite(fp.feature_edges))
+
+
+class TestDriftDetector:
+    def test_in_distribution_scores_low_drifted_scores_high(self, reference,
+                                                            fingerprint):
+        rng = np.random.default_rng(2)
+        scale = np.array([1.0, 2.0, 0.5, 3.0])
+        fresh = rng.normal(size=(256, 4)) * scale
+
+        detector = DriftDetector({"points": fingerprint}, min_rows=64)
+        low = detector.observe("points", fresh)
+        detector.reset()
+        high = detector.observe("points", fresh + 6.0 * scale)
+        assert low is not None and high is not None
+        assert high.score > 10 * low.score
+        assert high.feature_psi_max >= high.feature_psi_mean
+
+    def test_min_rows_gates_scoring(self, fingerprint):
+        detector = DriftDetector({"points": fingerprint}, min_rows=64)
+        assert detector.observe("points", np.zeros((16, 4))) is None
+        assert detector.score("points") is None
+        # accumulating past the gate starts reporting
+        assert detector.observe("points", np.zeros((64, 4))) is not None
+        assert detector.score("points") is not None
+
+    def test_unknown_type_and_bad_shape_are_ignored(self, fingerprint):
+        detector = DriftDetector({"points": fingerprint}, min_rows=8)
+        assert detector.observe("nope", np.zeros((32, 4))) is None
+        assert detector.observe("points", np.zeros((32, 7))) is None
+        assert detector.snapshot() == {}
+
+    def test_window_decays_after_drift_episode(self, reference, fingerprint):
+        rng = np.random.default_rng(3)
+        scale = np.array([1.0, 2.0, 0.5, 3.0])
+        detector = DriftDetector({"points": fingerprint}, min_rows=64,
+                                 half_life_rows=128)
+        drifted = detector.observe(
+            "points", rng.normal(size=(256, 4)) * scale + 6.0 * scale)
+        recovered = None
+        for _ in range(8):
+            recovered = detector.observe(
+                "points", rng.normal(size=(256, 4)) * scale)
+        assert recovered.score < 0.25 * drifted.score
+
+    def test_affinity_mass_signal_catches_manifold_gap(self, reference,
+                                                       fingerprint):
+        # Queries with in-range marginals but far from the training
+        # manifold: shuffle each feature column independently to break the
+        # joint structure, then verify the mass PSI reacts even though the
+        # per-feature histograms cannot.
+        rng = np.random.default_rng(4)
+        scale = np.array([1.0, 2.0, 0.5, 3.0])
+        fresh = rng.normal(size=(256, 4)) * scale
+        detector = DriftDetector({"points": fingerprint}, min_rows=64)
+        # a plausible affinity mass far below the training sketch
+        low_mass = np.full(256, float(fingerprint.mass_edges[0]) * 0.01)
+        score = detector.observe("points", fresh, affinity_mass=low_mass)
+        assert score.mass_psi > score.feature_psi_mean
+
+    def test_from_model_without_fingerprints_returns_none(self):
+        class Bare:
+            diagnostics = None
+
+        assert DriftDetector.from_model(Bare()) is None
+
+    def test_from_model_reads_sidecar_documents(self, fingerprint):
+        class Carrier:
+            diagnostics = {"version": 1,
+                           "fingerprints": {
+                               "points": fingerprint.to_json_dict()}}
+
+        detector = DriftDetector.from_model(Carrier(), min_rows=16)
+        assert detector is not None
+        assert set(detector.fingerprints) == {"points"}

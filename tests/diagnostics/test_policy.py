@@ -1,0 +1,100 @@
+"""Unit tests of the threshold/hysteresis/cooldown refresh policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import RefreshPolicy
+from repro.exceptions import ValidationError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestRefreshPolicy:
+    def test_triggers_once_above_threshold(self, clock):
+        policy = RefreshPolicy(threshold=0.5, min_observations=1,
+                               cooldown_seconds=60.0, clock=clock)
+        assert policy.update("m", 0.9) is True
+        # still drifted: hysteresis keeps it disarmed, no re-trigger
+        assert policy.update("m", 0.9) is False
+        assert policy.update("m", 0.9) is False
+        snapshot = policy.snapshot()["m"]
+        assert snapshot["triggers"] == 1
+        assert snapshot["armed"] is False
+
+    def test_min_observations_gate(self, clock):
+        policy = RefreshPolicy(threshold=0.5, min_observations=3,
+                               cooldown_seconds=0.001, clock=clock)
+        assert policy.update("m", 0.9) is False
+        assert policy.update("m", 0.9) is False
+        assert policy.update("m", 0.9) is True
+
+    def test_rearm_requires_recovery_below_fraction(self, clock):
+        policy = RefreshPolicy(threshold=0.5, rearm_ratio=0.5,
+                               min_observations=1, cooldown_seconds=1.0,
+                               clock=clock)
+        assert policy.update("m", 0.9) is True
+        clock.advance(10.0)  # cooldown long past
+        # score between rearm level (0.25) and threshold: stays disarmed
+        assert policy.update("m", 0.4) is False
+        assert policy.update("m", 0.9) is False
+        # recovery below threshold * rearm_ratio re-arms
+        assert policy.update("m", 0.2) is False
+        assert policy.update("m", 0.9) is True
+        assert policy.snapshot()["m"]["triggers"] == 2
+
+    def test_cooldown_blocks_rapid_retrigger(self, clock):
+        policy = RefreshPolicy(threshold=0.5, rearm_ratio=0.5,
+                               min_observations=1, cooldown_seconds=30.0,
+                               clock=clock)
+        assert policy.update("m", 0.9) is True
+        clock.advance(1.0)
+        policy.update("m", 0.1)  # re-arms, but cooldown still running
+        assert policy.update("m", 0.9) is False
+        clock.advance(60.0)
+        assert policy.update("m", 0.9) is True
+
+    def test_keys_are_independent(self, clock):
+        policy = RefreshPolicy(threshold=0.5, min_observations=1,
+                               cooldown_seconds=60.0, clock=clock)
+        assert policy.update("a", 0.9) is True
+        assert policy.update("b", 0.9) is True
+        assert policy.update("a", 0.9) is False
+
+    def test_notify_refresh_disarms_and_starts_cooldown(self, clock):
+        policy = RefreshPolicy(threshold=0.5, min_observations=1,
+                               cooldown_seconds=30.0, clock=clock)
+        # an out-of-band (manual) refresh must suppress immediate triggers
+        policy.notify_refresh("m")
+        assert policy.update("m", 0.9) is False
+        clock.advance(60.0)
+        policy.update("m", 0.1)  # recover -> re-arm
+        assert policy.update("m", 0.9) is True
+
+    def test_reset_clears_state(self, clock):
+        policy = RefreshPolicy(threshold=0.5, min_observations=1,
+                               cooldown_seconds=60.0, clock=clock)
+        policy.update("m", 0.9)
+        policy.reset("m")
+        assert policy.snapshot() == {}
+        assert policy.update("m", 0.9) is True
+
+    def test_validation(self):
+        with pytest.raises((ValidationError, ValueError)):
+            RefreshPolicy(threshold=-1.0)
+        with pytest.raises((ValidationError, ValueError)):
+            RefreshPolicy(rearm_ratio=1.5)

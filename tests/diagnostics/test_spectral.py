@@ -1,0 +1,147 @@
+"""Unit tests of the spectral block metrics and the fit-time monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import RHCHME
+from repro.diagnostics import SpectralMonitor, spectral_block_metrics
+
+
+def _path_laplacian(n: int) -> np.ndarray:
+    """Unnormalised Laplacian of the path graph P_n (known spectrum)."""
+    adjacency = np.zeros((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    degree = np.diag(adjacency.sum(axis=1))
+    return degree - adjacency
+
+
+class TestSpectralBlockMetrics:
+    def test_path_graph_fiedler_value_matches_closed_form(self):
+        n = 5
+        metrics = spectral_block_metrics(_path_laplacian(n), type_name="p5")
+        expected = 2.0 * (1.0 - np.cos(np.pi / n))
+        assert metrics.fiedler_value == pytest.approx(expected, rel=1e-9)
+        assert metrics.connected
+        assert not metrics.degenerate
+        assert metrics.exact
+
+    def test_exact_energy_matches_definition(self):
+        L = _path_laplacian(6)
+        metrics = spectral_block_metrics(L)
+        eigenvalues = np.linalg.eigvalsh(L)
+        mean_degree = np.trace(L) / L.shape[0]
+        expected = float(np.sum(np.abs(eigenvalues - mean_degree)))
+        assert metrics.laplacian_energy == pytest.approx(expected, rel=1e-9)
+
+    def test_disconnected_graph_reports_connected_false(self):
+        # Two disjoint path components: lambda_2 = 0.
+        L = np.zeros((6, 6))
+        L[:3, :3] = _path_laplacian(3)
+        L[3:, 3:] = _path_laplacian(3)
+        metrics = spectral_block_metrics(L)
+        assert not metrics.connected
+        assert metrics.fiedler_value == pytest.approx(0.0, abs=1e-10)
+        assert not metrics.degenerate
+
+    def test_sparse_and_dense_agree(self):
+        rng = np.random.default_rng(0)
+        n = 40
+        adjacency = (rng.random((n, n)) < 0.15).astype(float)
+        adjacency = np.triu(adjacency, 1)
+        adjacency = adjacency + adjacency.T
+        L = np.diag(adjacency.sum(axis=1)) - adjacency
+        dense = spectral_block_metrics(L)
+        sparse = spectral_block_metrics(sp.csr_array(L))
+        assert sparse.fiedler_value == pytest.approx(dense.fiedler_value,
+                                                     abs=1e-8)
+        assert sparse.laplacian_energy == pytest.approx(
+            dense.laplacian_energy, rel=1e-8)
+
+    def test_large_sparse_path_uses_eigsh_and_stays_exact_enough(self):
+        # Above the dense threshold the sparse shift-invert path runs;
+        # the path graph's closed form pins the answer.
+        n = 600
+        diagonals = np.full(n, 2.0)
+        diagonals[0] = diagonals[-1] = 1.0
+        L = sp.diags_array(
+            [diagonals, -np.ones(n - 1), -np.ones(n - 1)],
+            offsets=[0, 1, -1], format="csr")
+        metrics = spectral_block_metrics(L, dense_threshold=128)
+        expected = 2.0 * (1.0 - np.cos(np.pi / n))
+        assert metrics.fiedler_value == pytest.approx(expected, rel=1e-6)
+        assert metrics.connected
+        assert not metrics.exact  # energy is the Cauchy-Schwarz bound
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_degenerate_small_types_return_sentinels(self, n):
+        metrics = spectral_block_metrics(np.zeros((n, n)), type_name="tiny")
+        assert metrics.degenerate
+        assert not metrics.connected
+        assert metrics.fiedler_value == 0.0
+        assert metrics.spectral_gap == 0.0
+        assert metrics.laplacian_energy == 0.0
+
+    def test_zero_block_is_degenerate_not_nan(self):
+        metrics = spectral_block_metrics(np.zeros((10, 10)))
+        assert metrics.degenerate
+        document = metrics.as_dict()
+        for value in document.values():
+            if isinstance(value, float):
+                assert np.isfinite(value)
+
+    def test_nan_block_never_leaks_nan(self):
+        L = np.full((8, 8), np.nan)
+        metrics = spectral_block_metrics(L)
+        assert metrics.degenerate
+        assert np.isfinite(metrics.fiedler_value)
+        assert np.isfinite(metrics.laplacian_energy)
+
+
+class TestSpectralMonitorOnFits:
+    def test_fit_records_churn_and_spectral_sections(self, diag_blobs_factory):
+        data = diag_blobs_factory(60)
+        model = RHCHME(max_iter=8, random_state=0, use_subspace_member=False,
+                       track_metrics_every=0, diagnostics=True)
+        result = model.fit(data)
+        document = result.extras["diagnostics"]
+        assert set(document["spectral"]) == {"points", "anchors"}
+        for series in document["churn"].values():
+            assert len(series) == document["iterations"]
+            assert series[0] == 0.0  # no previous labels on first record
+            assert all(0.0 <= value <= 1.0 for value in series)
+        assert len(document["objective"]) == document["iterations"]
+        # objective terms decompose the recorded objective
+        terms = document["objective_terms"]
+        totals = np.sum([terms[name] for name in terms], axis=0)
+        np.testing.assert_allclose(totals, document["objective"], rtol=1e-8)
+
+    def test_diagnostics_off_by_default(self, diag_blobs_factory):
+        data = diag_blobs_factory(60)
+        result = RHCHME(max_iter=5, random_state=0, use_subspace_member=False,
+                        track_metrics_every=0).fit(data)
+        assert "diagnostics" not in result.extras
+
+    def test_diagnostics_do_not_change_the_fit(self, diag_blobs_factory):
+        data = diag_blobs_factory(60)
+        kwargs = dict(max_iter=8, random_state=0, use_subspace_member=False,
+                      track_metrics_every=0)
+        plain = RHCHME(**kwargs).fit(data)
+        monitored = RHCHME(diagnostics=True, **kwargs).fit(data)
+        np.testing.assert_allclose(monitored.trace.objectives,
+                                   plain.trace.objectives, rtol=1e-12)
+        for name in plain.labels:
+            np.testing.assert_array_equal(monitored.labels[name],
+                                          plain.labels[name])
+
+    def test_monitor_handles_degenerate_type_in_ensemble(self):
+        # A 2-object type is below the spectral minimum: the monitor must
+        # report sentinels for it and real metrics for the healthy type.
+        monitor = SpectralMonitor(["big", "tiny"],
+                                  [_path_laplacian(12), np.zeros((2, 2))])
+        by_name = {metrics.type_name: metrics for metrics in monitor.spectral}
+        assert not by_name["big"].degenerate
+        assert by_name["tiny"].degenerate

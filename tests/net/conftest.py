@@ -60,7 +60,7 @@ def net_grown_dataset() -> MultiTypeRelationalData:
 @pytest.fixture(scope="session")
 def net_artifact(net_dataset):
     model = RHCHME(max_iter=20, random_state=0, use_subspace_member=False,
-                   track_metrics_every=0)
+                   track_metrics_every=0, diagnostics=True)
     model.fit(net_dataset)
     return model.export_model(net_dataset)
 
