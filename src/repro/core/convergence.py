@@ -45,12 +45,21 @@ class TraceRecorder:
     the solver charges each S / G / E_R update and each objective
     evaluation to its named bucket, so a benchmark regression can be
     localised to one update family without re-profiling the fit.
+
+    Under ``diagnostics=True`` the solver additionally attaches a
+    hierarchical fit trace (:attr:`span_tree`, a completed
+    :class:`repro.obs.Span` root): the flat buckets answer *how much*
+    each update family cost in total, the span tree answers *where* —
+    per iteration, per family, per kernel task under ``n_jobs``.
     """
 
     def __init__(self) -> None:
         self._records: list[IterationRecord] = []
         self._timings: dict[str, float] = {}
         self._timing_counts: dict[str, int] = {}
+        #: The fit's hierarchical span tree (``None`` unless the solver
+        #: ran with diagnostics enabled).
+        self.span_tree = None
 
     def record(self, iteration: int, objective: float,
                terms: Mapping[str, float] | None = None,

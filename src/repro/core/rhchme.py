@@ -19,12 +19,14 @@ The estimator ties the pieces together:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 import time
 
 import numpy as np
 
 from ..exceptions import NotFittedError, ValidationError
+from ..obs import Span, activate_span, current_span
 from ..linalg.parts import split_parts
 from ..linalg.rowsparse import RowSparseMatrix
 from ..manifold.ensemble import HeterogeneousManifoldEnsemble
@@ -40,6 +42,25 @@ from .updates import (active_relation_pairs, update_association_blocks,
                       update_error_matrix_blocks, update_membership_blocks)
 
 __all__ = ["RHCHME", "RHCHMEResult"]
+
+
+@contextmanager
+def _span_scope(parent, name: str, **attributes):
+    """Open a child span, activate it for the block, finish it on exit.
+
+    A no-op yielding ``None`` when ``parent`` is ``None`` (fit tracing is
+    gated on ``diagnostics=True``), so the solver body reads identically
+    either way.
+    """
+    if parent is None:
+        yield None
+        return
+    span = parent.child(name, **attributes)
+    try:
+        with activate_span(span):
+            yield span
+    finally:
+        span.finish()
 
 
 @dataclass
@@ -196,12 +217,22 @@ class RHCHME:
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
 
         monitor = None
+        fit_span = None
         if config.diagnostics:
             # One eigensolve per type up front (L is fixed for the whole
             # fit), then O(n) churn per recorded iterate — see
             # repro.diagnostics.spectral for the cost contract.
             from ..diagnostics.spectral import SpectralMonitor
             monitor = SpectralMonitor([t.name for t in data.types], L_blocks)
+            # Diagnostics also buys the hierarchical fit trace: one span
+            # tree per fit (per-iteration -> per-family -> per-kernel),
+            # persisted with the spectral summary in the artifact sidecar.
+            fit_span = Span("fit", backend=str(backend),
+                            n_jobs=int(config.n_jobs),
+                            max_iter=int(config.max_iter),
+                            n_types=len(data.types),
+                            warm_start=warm_start is not None,
+                            start=start)
 
         trace = TraceRecorder()
         converged = False
@@ -211,32 +242,36 @@ class RHCHME:
             # not change between recording the initial objective and the
             # first loop pass, so re-solving there would recompute the
             # identical matrix (one full wasted S solve per fit).
-            state.S = self._timed(trace, "s_update", update_association_blocks,
-                                  R_pairs, state, pairs=pairs, pool=pool)
-            self._record(trace, data, R_pairs, L_blocks, state, pairs, pool,
-                         monitor=monitor)
+            with _span_scope(fit_span, "setup"):
+                state.S = self._timed(trace, "s_update",
+                                      update_association_blocks,
+                                      R_pairs, state, pairs=pairs, pool=pool)
+                self._record(trace, data, R_pairs, L_blocks, state, pairs,
+                             pool, monitor=monitor)
 
             for iteration in range(1, config.max_iter + 1):
-                if iteration > 1:
-                    state.S = self._timed(trace, "s_update",
-                                          update_association_blocks,
-                                          R_pairs, state, pairs=pairs,
-                                          pool=pool)
-                state.G_blocks = self._timed(trace, "g_update",
-                                             update_membership_blocks,
-                                             R_pairs, L_parts, state,
-                                             lam=config.lam, pairs=pairs,
-                                             pool=pool)
-                if config.use_error_matrix:
-                    state.E_R = self._timed(trace, "e_update",
-                                            update_error_matrix_blocks,
-                                            R_pairs, state, beta=config.beta,
-                                            zeta=config.zeta,
-                                            row_tol=config.error_row_tol,
-                                            pairs=pairs, pool=pool)
-                state.iteration = iteration
-                self._record(trace, data, R_pairs, L_blocks, state, pairs, pool,
-                             monitor=monitor)
+                with _span_scope(fit_span, "iteration", iteration=iteration):
+                    if iteration > 1:
+                        state.S = self._timed(trace, "s_update",
+                                              update_association_blocks,
+                                              R_pairs, state, pairs=pairs,
+                                              pool=pool)
+                    state.G_blocks = self._timed(trace, "g_update",
+                                                 update_membership_blocks,
+                                                 R_pairs, L_parts, state,
+                                                 lam=config.lam, pairs=pairs,
+                                                 pool=pool)
+                    if config.use_error_matrix:
+                        state.E_R = self._timed(trace, "e_update",
+                                                update_error_matrix_blocks,
+                                                R_pairs, state,
+                                                beta=config.beta,
+                                                zeta=config.zeta,
+                                                row_tol=config.error_row_tol,
+                                                pairs=pairs, pool=pool)
+                    state.iteration = iteration
+                    self._record(trace, data, R_pairs, L_blocks, state, pairs,
+                                 pool, monitor=monitor)
                 decrease = trace.last_relative_decrease()
                 if 0.0 <= decrease < config.tol:
                     converged = True
@@ -255,15 +290,32 @@ class RHCHME:
                                       "warm_start": warm_start is not None})
         if monitor is not None:
             result.extras["diagnostics"] = monitor.summary(trace)
+        if fit_span is not None:
+            fit_span.annotate(converged=converged,
+                              n_iterations=int(iteration))
+            fit_span.finish()
+            trace.span_tree = fit_span
+            result.extras["diagnostics"]["trace"] = fit_span.to_dict()
         self.result_ = result
         return result
 
     @staticmethod
     def _timed(trace: TraceRecorder, bucket: str, fn, *args, **kwargs):
-        """Run one update, charging its wall clock to a trace bucket."""
+        """Run one update, charging its wall clock to a trace bucket.
+
+        When a fit span is active (diagnostics on), the update family
+        additionally becomes a child span, activated for the duration so
+        the blockwise kernels under it can attach their own children.
+        """
+        parent = current_span()
+        span = None if parent is None else parent.child(bucket)
         start = time.perf_counter()
-        result = fn(*args, **kwargs)
-        trace.add_timing(bucket, time.perf_counter() - start)
+        with activate_span(span):
+            result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if span is not None:
+            span.finish()
+        trace.add_timing(bucket, elapsed)
         return result
 
     @staticmethod

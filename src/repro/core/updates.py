@@ -27,6 +27,8 @@ the ``(β D + I)⁻¹`` shrinkage.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -35,6 +37,7 @@ from ..linalg.norms import frobenius_norm, row_l2_norms
 from ..linalg.parts import split_parts
 from ..linalg.rowsparse import RowSparseMatrix
 from ..linalg.safe import gram_pinv, safe_divide
+from ..obs import current_span
 from . import rspace
 from .state import FactorizationState
 
@@ -219,7 +222,26 @@ def update_error_matrix(R, state: FactorizationState, *, beta: float,
 
 
 def _map(pool, fn, items):
-    """Ordered map through an optional :class:`TypeWorkPool` (serial if None)."""
+    """Ordered map through an optional :class:`TypeWorkPool` (serial if None).
+
+    When a fit-trace span is active on the calling thread (the solver
+    activates one per update family under ``diagnostics=True``), every
+    kernel invocation is recorded as a completed child of it — with
+    explicit timestamps, because the pool's worker threads do not inherit
+    the caller's contextvar and :meth:`repro.obs.Span.record` is the
+    thread-safe way in.
+    """
+    parent = current_span()
+    if parent is not None:
+        kernel = fn
+        name = getattr(kernel, "__name__", "kernel")
+
+        def fn(item, _kernel=kernel, _name=name):
+            start = time.perf_counter()
+            result = _kernel(item)
+            parent.record(_name, start, time.perf_counter(), item=str(item))
+            return result
+
     if pool is None:
         return [fn(item) for item in items]
     return pool.map(fn, items)

@@ -1,21 +1,25 @@
 """Command line interface of the network serving tier.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.net serve   --model docs=model.npz [--model ...] \\
-                                --host 127.0.0.1 --port 8080 --adaptive
+                                --host 127.0.0.1 --port 8080 --adaptive \\
+                                --tracing
     python -m repro.net predict --host 127.0.0.1 --port 8080 \\
                                 --model docs --type documents \\
                                 --queries queries.npy [--json]
     python -m repro.net loadgen --host 127.0.0.1 --port 8080 \\
                                 --model docs --type documents \\
                                 --queries queries.npy --clients 8
+    python -m repro.net traces  --host 127.0.0.1 --port 8080 [--limit 3]
 
 ``serve`` boots a :class:`~repro.net.NetServer` over the shared runtime
 (micro-batching worker pool) and blocks until SIGTERM/SIGINT, draining
 in-flight requests before exit.  ``predict`` sends one wire-schema
 request and prints the result; ``loadgen`` runs the closed-loop
-multi-client generator and prints the :class:`~repro.net.LoadReport`.
+multi-client generator and prints the :class:`~repro.net.LoadReport`;
+``traces`` dumps the flight recorder's retained span trees (slowest and
+errored requests) from a server started with ``--tracing``.
 
 Failures follow the shared taxonomy: one ``[net] error[<code>]: ...``
 line on stderr and the code's dedicated process exit code — identical
@@ -32,7 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from ..exceptions import ReproError, ValidationError
-from ..runtime.adaptive import AdaptiveBatchController
+from ..runtime.adaptive import AdaptiveBatchController, PolicyRouter
 from .client import NetClient
 from .loadgen import run_closed_loop
 from .server import NetServer
@@ -93,6 +97,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="score served batches for covariate drift "
                             "against the models' training fingerprints "
                             "(exported via /v1/metrics and /v1/stats)")
+    serve.add_argument("--tracing", action="store_true",
+                       help="build a span tree per request and retain the "
+                            "slowest/errored ones in the flight recorder "
+                            "(GET /v1/traces; stage histograms are always "
+                            "on)")
+
+    traces = commands.add_parser(
+        "traces", help="dump a running server's flight recorder "
+                       "(GET /v1/traces)")
+    traces.add_argument("--host", default="127.0.0.1")
+    traces.add_argument("--port", type=int, required=True)
+    traces.add_argument("--timeout", type=float, default=60.0)
+    traces.add_argument("--limit", type=int, default=None,
+                        help="print only the N slowest retained traces")
 
     predict = commands.add_parser(
         "predict", help="send one predict request to a running server")
@@ -112,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--rows-per-request", type=int, default=1)
     loadgen.add_argument("--report", type=Path, default=None,
                          help="also write the summary to this JSON file")
+    loadgen.add_argument("--trace-ids", action="store_true",
+                         help="stamp deterministic loadgen-<client>-<i> "
+                              "trace ids on every request (look slow ones "
+                              "up in GET /v1/traces)")
     return parser
 
 
@@ -130,20 +152,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     models = dict(_parse_model_spec(spec) for spec in args.models)
     policy = None
     if args.adaptive:
-        policy = AdaptiveBatchController(
+        # One AIMD controller per model (PolicyRouter), so a hot model's
+        # sawtooth never drags other models' batching parameters along.
+        policy = PolicyRouter(lambda: AdaptiveBatchController(
             target_p99_seconds=args.target_p99_ms / 1000.0,
             max_batch_size=args.max_batch_size,
-            max_delay_seconds=args.max_delay_ms / 1000.0)
+            max_delay_seconds=args.max_delay_ms / 1000.0))
     server = NetServer(models=models, host=args.host, port=args.port,
                        max_inflight_per_model=args.max_inflight_per_model,
                        workers=args.workers, n_workers=args.n_workers,
                        max_batch_size=args.max_batch_size,
                        max_delay_seconds=args.max_delay_ms / 1000.0,
                        batch_policy=policy,
-                       diagnostics=args.diagnostics)
+                       diagnostics=args.diagnostics,
+                       tracing=args.tracing)
     print(f"[net] serving {sorted(models)} on {args.host}:{args.port} "
           f"(workers={args.workers}, adaptive={bool(policy)}, "
-          f"diagnostics={args.diagnostics}); SIGTERM drains and exits")
+          f"diagnostics={args.diagnostics}, tracing={args.tracing}); "
+          "SIGTERM drains and exits")
     server.serve_forever()
     print("[net] drained; bye")
     return 0
@@ -186,7 +212,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         args.host, args.port, model=args.model, type_name=args.type_name,
         queries=queries, n_clients=args.clients,
         requests_per_client=args.requests_per_client,
-        rows_per_request=args.rows_per_request, timeout=args.timeout)
+        rows_per_request=args.rows_per_request, timeout=args.timeout,
+        trace_ids=args.trace_ids)
     print(json.dumps(report.as_dict(), indent=2))
     if args.report is not None:
         report.write(args.report)
@@ -194,11 +221,23 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traces(args: argparse.Namespace) -> int:
+    with NetClient(args.host, args.port, timeout=args.timeout) as client:
+        document = client.traces()
+    if args.limit is not None:
+        document["traces"] = document.get("traces", [])[:max(0, args.limit)]
+    print(json.dumps(document, indent=2))
+    if not document.get("tracing"):
+        print("[net] tracing is disabled on the server; start it with "
+              "--tracing to retain span trees", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point of ``python -m repro.net``."""
     args = _build_parser().parse_args(argv)
     handlers = {"serve": _cmd_serve, "predict": _cmd_predict,
-                "loadgen": _cmd_loadgen}
+                "loadgen": _cmd_loadgen, "traces": _cmd_traces}
     try:
         return handlers[args.command](args)
     except KeyboardInterrupt:

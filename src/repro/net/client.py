@@ -111,8 +111,14 @@ class NetClient:
     # -------------------------------------------------------------- endpoints
     def predict(self, model: str, type_name: str, queries, *,
                 batch_size: int | None = None,
-                request_id: str | None = None) -> PredictResponse:
+                request_id: str | None = None,
+                trace_id: str | None = None) -> PredictResponse:
         """Predict ``queries`` of ``type_name`` against a registered model.
+
+        ``trace_id`` propagates the caller's trace context: the server
+        adopts it for the request's span tree (when tracing is on) and
+        echoes it on the response — and on error documents — so a slow or
+        failed request can be looked up in ``GET /v1/traces``.
 
         Raises the typed taxonomy exceptions on failure —
         :class:`~repro.exceptions.ModelNotFoundError` (404),
@@ -123,7 +129,7 @@ class NetClient:
         """
         request = PredictRequest(model=model, type_name=type_name,
                                  queries=queries, batch_size=batch_size,
-                                 request_id=request_id)
+                                 request_id=request_id, trace_id=trace_id)
         return self.serve(request)
 
     def serve(self, request: PredictRequest) -> PredictResponse:
@@ -150,6 +156,15 @@ class NetClient:
     def stats(self) -> dict:
         """``GET /v1/stats`` — runtime/predictor/per-model/policy counters."""
         return self._get("/v1/stats")
+
+    def traces(self) -> dict:
+        """``GET /v1/traces`` — the flight recorder's retained span trees.
+
+        ``{"tracing": false, "traces": []}`` when the runtime was built
+        without ``tracing=True``; otherwise the slowest/errored/latest
+        completed trees as JSON span documents.
+        """
+        return self._get("/v1/traces")
 
     def metrics(self) -> str:
         """``GET /v1/metrics`` — the Prometheus text exposition, verbatim.

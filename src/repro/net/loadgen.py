@@ -42,6 +42,11 @@ class LoadReport:
     objects: int = 0
     seconds: float = 0.0
     latencies_seconds: list = field(default_factory=list, repr=False)
+    # Per-stage latency attribution diffed from the server's stage
+    # histograms over the run window: ``{stage: {count, sum_seconds,
+    # mean_ms}}``.  Empty when the server predates the histograms or the
+    # stats probe failed.
+    stage_breakdown: dict = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -81,6 +86,7 @@ class LoadReport:
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "max_ms": round(self.percentile_ms(100.0), 3),
+            "stage_breakdown": dict(self.stage_breakdown),
         }
 
     def write(self, path) -> None:
@@ -98,17 +104,58 @@ class LoadReport:
                           encoding="utf-8")
 
 
+def _stages_snapshot(host: str, port: int) -> dict | None:
+    """The server's ``runtime.stages`` histogram section (None on failure)."""
+    try:
+        with NetClient(host, port, timeout=10.0) as client:
+            return (client.stats().get("runtime") or {}).get("stages")
+    except Exception:  # noqa: BLE001 - breakdown is best-effort
+        return None
+
+
+def _diff_stages(before: dict | None, after: dict | None) -> dict:
+    """Per-stage deltas over the run window, aggregated across models."""
+    breakdown: dict[str, dict] = {}
+    for model, per_stage in (after or {}).items():
+        for stage, snapshot in per_stage.items():
+            previous = ((before or {}).get(model) or {}).get(stage) or {}
+            count = snapshot.get("count", 0) - previous.get("count", 0)
+            total = (snapshot.get("sum_seconds", 0.0)
+                     - previous.get("sum_seconds", 0.0))
+            if count <= 0:
+                continue
+            entry = breakdown.setdefault(stage,
+                                         {"count": 0, "sum_seconds": 0.0})
+            entry["count"] += count
+            entry["sum_seconds"] += total
+    for entry in breakdown.values():
+        entry["mean_ms"] = round(
+            entry["sum_seconds"] / entry["count"] * 1000.0, 6)
+        entry["sum_seconds"] = round(entry["sum_seconds"], 9)
+    return breakdown
+
+
 def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
                     queries: np.ndarray, n_clients: int = 4,
                     requests_per_client: int = 50,
                     rows_per_request: int = 1,
-                    timeout: float = 120.0) -> LoadReport:
+                    timeout: float = 120.0,
+                    trace_ids: bool = False,
+                    stage_breakdown: bool = True) -> LoadReport:
     """Drive the server with ``n_clients`` closed-loop clients; measure.
 
     Each client walks ``queries`` round-robin in ``rows_per_request``-row
     slices, so concurrent clients exercise the micro-batcher's coalescing
     the way real batch-1 traffic would.  Latency samples are per-request
     wall clock (request sent → response parsed), pooled across clients.
+
+    With ``trace_ids=True`` every request carries a deterministic
+    ``loadgen-<client>-<i>`` trace id, so a slow request surfaced by the
+    report can be looked up in the server's ``GET /v1/traces`` dump by
+    id.  With ``stage_breakdown=True`` (default) the server's stage
+    histograms are snapshotted before and after the run and the report's
+    ``stage_breakdown`` names where the run's latency actually went —
+    queue wait vs numerics vs serialization — per stage.
     """
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim == 1:
@@ -129,9 +176,12 @@ def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
                 rows = queries[offset:offset + rows_per_request]
                 if rows.shape[0] == 0:  # pragma: no cover - offset < n_rows
                     rows = queries[:rows_per_request]
+                trace_id = (f"loadgen-{client_index:03d}-{i:06d}"
+                            if trace_ids else None)
                 t0 = time.perf_counter()
                 try:
-                    response = client.predict(model, type_name, rows)
+                    response = client.predict(model, type_name, rows,
+                                              trace_id=trace_id)
                 except _SHED:
                     rejected += 1
                     continue
@@ -150,6 +200,8 @@ def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
 
     threads = [threading.Thread(target=_client, args=(index,), daemon=True)
                for index in range(int(n_clients))]
+    stages_before = (_stages_snapshot(host, port)
+                     if stage_breakdown else None)
     for thread in threads:
         thread.start()
     wall_start = time.perf_counter()
@@ -158,4 +210,7 @@ def run_closed_loop(host: str, port: int, *, model: str, type_name: str,
         thread.join()
     report.seconds = time.perf_counter() - wall_start
     report.requests = int(n_clients) * int(requests_per_client)
+    if stage_breakdown:
+        report.stage_breakdown = _diff_stages(
+            stages_before, _stages_snapshot(host, port))
     return report

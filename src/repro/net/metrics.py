@@ -15,6 +15,8 @@ where one is routed and the artifact path otherwise.
 
 from __future__ import annotations
 
+from ..obs import BUCKET_BOUNDS
+
 __all__ = ["CONTENT_TYPE", "render_prometheus"]
 
 #: The exposition-format content type ``/v1/metrics`` responds with.
@@ -61,6 +63,32 @@ class _Exposition:
             self._lines.append(f"# HELP {name} {help_text}")
             self._lines.append(f"# TYPE {name} {kind}")
         self._lines.append(f"{name}{_labels(labels or {})} {_number(value)}")
+
+    def histogram(self, name: str, help_text: str, snapshot: dict,
+                  bounds, labels: dict[str, str]) -> None:
+        """Emit one Prometheus histogram series (cumulative buckets).
+
+        ``snapshot`` is a :meth:`repro.obs.LatencyHistogram.snapshot`
+        document — raw per-bucket counts, which are cumulated here into
+        the ``_bucket{le=...}`` convention; the ``+Inf`` bucket equals
+        ``_count`` by construction (it absorbs the overflow bucket).
+        """
+        if name not in self._seen:
+            self._seen.add(name)
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(bounds, snapshot["bucket_counts"]):
+            cumulative += count
+            bucket_labels = _labels({**labels, "le": _number(bound)})
+            self._lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _labels({**labels, "le": "+Inf"})
+        self._lines.append(f"{name}_bucket{inf_labels} "
+                           f"{snapshot['count']}")
+        self._lines.append(f"{name}_sum{_labels(labels)} "
+                           f"{_number(snapshot['sum_seconds'])}")
+        self._lines.append(f"{name}_count{_labels(labels)} "
+                           f"{snapshot['count']}")
 
     def render(self) -> str:
         return "\n".join(self._lines) + "\n"
@@ -154,6 +182,30 @@ def _batch_policy_section(out: _Exposition, snapshot: dict,
                    labels)
 
 
+def _stages_section(out: _Exposition, stages: dict,
+                    routes_by_path: dict[str, str]) -> None:
+    # Runtime-recorded stages are keyed by resolved artifact path, the
+    # front-end's parse/encode stages by public model id; stage names are
+    # disjoint between the two, so mapping paths onto ids here never
+    # collides two series onto one label set.
+    for key, per_stage in (stages or {}).items():
+        model = _model_label(routes_by_path, key)
+        for stage in sorted(per_stage):
+            out.histogram(
+                "repro_stage_duration_seconds",
+                "Per-stage request latency (http.parse, queue.wait, "
+                "batch.assemble, compute.predict, wire.encode).",
+                per_stage[stage], BUCKET_BOUNDS,
+                {"model": model, "stage": stage})
+
+
+def _errors_section(out: _Exposition, errors: dict) -> None:
+    for code, count in sorted((errors or {}).items()):
+        out.sample("repro_request_errors_total", "counter",
+                   "Requests failed or shed, per stable error code.",
+                   count, {"code": code})
+
+
 def _drift_section(out: _Exposition, drift: dict,
                    routes_by_path: dict[str, str]) -> None:
     for path, per_type in (drift or {}).items():
@@ -240,6 +292,8 @@ def render_prometheus(server) -> str:
     _runtime_section(out, runtime_stats.as_dict())
     _predictor_section(out, server.runtime.predictor.stats.as_dict())
     _routes_section(out, routes)
+    _stages_section(out, runtime_stats.stages, routes_by_path)
+    _errors_section(out, runtime_stats.errors)
     _batch_policy_section(out, runtime_stats.batch_policy, routes_by_path)
     _drift_section(out, runtime_stats.drift, routes_by_path)
     _policy_section(out, getattr(server.runtime, "refresh_policy", None),

@@ -58,7 +58,10 @@ __all__ = [
 #: * 1 — initial layout: ``PredictRequest`` (model / type / queries /
 #:   batch_size / request_id), ``PredictResponse`` (labels / membership /
 #:   n_batches / seconds), ``ErrorResponse`` (code / message /
-#:   retryable).
+#:   retryable).  Later additions within version 1 (optional fields, no
+#:   bump needed): ``trace_id`` on all three documents — client-supplied
+#:   or server-assigned, echoed on responses and errors so a wire
+#:   exchange correlates with the server's flight-recorder traces.
 WIRE_SCHEMA_VERSION = 1
 
 #: HTTP status each stable error code maps to.  429 = the caller should
@@ -136,6 +139,12 @@ class PredictRequest:
         out-of-sample extension.
     request_id:
         Optional caller-chosen correlation id, echoed in the response.
+    trace_id:
+        Optional distributed-tracing id.  Client-supplied ids are adopted
+        by the server's tracer; when tracing is enabled server-side and
+        the client sent none, the server assigns one.  Echoed in the
+        response (and on error documents), so a caller can fetch the
+        request's span tree from ``GET /v1/traces``.
     """
 
     model: str
@@ -143,6 +152,7 @@ class PredictRequest:
     queries: np.ndarray
     batch_size: int | None = None
     request_id: str | None = None
+    trace_id: str | None = None
     schema_version: int = WIRE_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -174,6 +184,8 @@ class PredictRequest:
             doc["batch_size"] = int(self.batch_size)
         if self.request_id is not None:
             doc["request_id"] = self.request_id
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         return doc
 
     @classmethod
@@ -202,6 +214,7 @@ class PredictRequest:
             batch_size=batch_size,
             request_id=_optional_str(doc, "request_id",
                                      name="PredictRequest"),
+            trace_id=_optional_str(doc, "trace_id", name="PredictRequest"),
             schema_version=version,
         )
 
@@ -217,6 +230,7 @@ class PredictResponse:
     n_batches: int
     seconds: float | None = None
     request_id: str | None = None
+    trace_id: str | None = None
     schema_version: int = WIRE_SCHEMA_VERSION
 
     def __post_init__(self) -> None:
@@ -232,12 +246,20 @@ class PredictResponse:
     @classmethod
     def from_prediction(cls, request: PredictRequest,
                         prediction: Prediction, *,
-                        seconds: float | None = None) -> "PredictResponse":
-        """Wrap a raw :class:`~repro.serve.Prediction` for ``request``."""
+                        seconds: float | None = None,
+                        trace_id: str | None = None) -> "PredictResponse":
+        """Wrap a raw :class:`~repro.serve.Prediction` for ``request``.
+
+        ``trace_id`` overrides the echo of ``request.trace_id`` — the
+        server passes the id its tracer assigned when the client sent
+        none.
+        """
         return cls(model=request.model, type_name=request.type_name,
                    labels=prediction.labels, membership=prediction.membership,
                    n_batches=prediction.n_batches, seconds=seconds,
-                   request_id=request.request_id)
+                   request_id=request.request_id,
+                   trace_id=trace_id if trace_id is not None
+                   else request.trace_id)
 
     def to_prediction(self) -> Prediction:
         """The legacy in-process :class:`~repro.serve.Prediction` view."""
@@ -259,6 +281,8 @@ class PredictResponse:
             doc["seconds"] = float(self.seconds)
         if self.request_id is not None:
             doc["request_id"] = self.request_id
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         return doc
 
     @classmethod
@@ -297,6 +321,7 @@ class PredictResponse:
             seconds=None if seconds is None else float(seconds),
             request_id=_optional_str(doc, "request_id",
                                      name="PredictResponse"),
+            trace_id=_optional_str(doc, "trace_id", name="PredictResponse"),
             schema_version=version,
         )
 
@@ -310,6 +335,7 @@ class ErrorResponse:
     retryable: bool = False
     retry_after_seconds: float | None = None
     request_id: str | None = None
+    trace_id: str | None = None
     schema_version: int = WIRE_SCHEMA_VERSION
     #: Unknown-code payloads keep the raw code here after ``to_exception``
     #: degrades them to the base class.
@@ -318,13 +344,15 @@ class ErrorResponse:
     @classmethod
     def from_exception(cls, exc: BaseException, *,
                        request_id: str | None = None,
-                       retry_after_seconds: float | None = None
-                       ) -> "ErrorResponse":
+                       retry_after_seconds: float | None = None,
+                       trace_id: str | None = None) -> "ErrorResponse":
         """Wrap an exception, mapping it onto the shared error taxonomy.
 
         Foreign (non-:class:`~repro.exceptions.ReproError`) exceptions map
         to the ``internal`` code with their class name prefixed, so a
         server never leaks a traceback — only a typed document.
+        ``trace_id`` is echoed so failed requests stay correlatable with
+        the server's flight-recorder traces.
         """
         code = error_code(exc)
         message = str(exc) or type(exc).__name__
@@ -333,7 +361,7 @@ class ErrorResponse:
         return cls(code=code, message=message,
                    retryable=bool(getattr(exc, "retryable", False)),
                    retry_after_seconds=retry_after_seconds,
-                   request_id=request_id)
+                   request_id=request_id, trace_id=trace_id)
 
     def to_exception(self) -> ReproError:
         """The typed exception this document round-trips to client-side."""
@@ -354,6 +382,8 @@ class ErrorResponse:
             doc["retry_after_seconds"] = float(self.retry_after_seconds)
         if self.request_id is not None:
             doc["request_id"] = self.request_id
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         return doc
 
     @classmethod
@@ -373,5 +403,6 @@ class ErrorResponse:
             retry_after_seconds=(None if retry_after is None
                                  else float(retry_after)),
             request_id=_optional_str(doc, "request_id", name="ErrorResponse"),
+            trace_id=_optional_str(doc, "trace_id", name="ErrorResponse"),
             schema_version=version,
         )

@@ -41,6 +41,7 @@ import json
 import re
 import signal
 import threading
+import time
 from dataclasses import dataclass, replace
 
 from ..exceptions import (ModelNotFoundError, QuotaExceededError,
@@ -362,10 +363,15 @@ class NetServer:
                           document, *, keep_alive: bool,
                           extra: dict | None = None) -> None:
         # ``document`` is normally a JSON-able dict; a plain string is sent
-        # verbatim as a Prometheus text exposition (``/v1/metrics``).
+        # verbatim as a Prometheus text exposition (``/v1/metrics``), and
+        # ``bytes`` as pre-encoded JSON (the predict path encodes inside
+        # its timed wire.encode stage).
         if isinstance(document, str):
             body = document.encode("utf-8")
             content_type = metrics.CONTENT_TYPE
+        elif isinstance(document, (bytes, bytearray)):
+            body = bytes(document)
+            content_type = "application/json"
         else:
             body = json.dumps(document).encode("utf-8")
             content_type = "application/json"
@@ -393,10 +399,19 @@ class NetServer:
                 return self._method_not_allowed(method, path)
             return await self._handle_drain(body)
         if method != "GET" and path in ("/v1/models", "/v1/stats",
-                                        "/v1/health", "/v1/metrics"):
+                                        "/v1/health", "/v1/metrics",
+                                        "/v1/traces"):
             return self._method_not_allowed(method, path)
         if path == "/v1/metrics":
-            return 200, metrics.render_prometheus(self), None
+            # Rendering walks every histogram bucket under the metrics
+            # lock; keep it off the event loop so a wide scrape never
+            # stalls request admission.
+            rendered = await asyncio.get_running_loop().run_in_executor(
+                None, metrics.render_prometheus, self)
+            return 200, rendered, None
+        if path == "/v1/traces":
+            return 200, {"schema_version": WIRE_SCHEMA_VERSION,
+                         **self.runtime.obs.dump_traces()}, None
         if path == "/v1/models":
             return 200, {"schema_version": WIRE_SCHEMA_VERSION,
                          "models": [route.as_dict() for _, route in
@@ -420,7 +435,7 @@ class NetServer:
     def _stats_document(self) -> dict:
         policy = self.runtime.batch_policy
         snapshot = getattr(policy, "snapshot", None)
-        return {
+        document = {
             "schema_version": WIRE_SCHEMA_VERSION,
             "draining": self._draining,
             "runtime": self.runtime.stats.as_dict(),
@@ -429,6 +444,16 @@ class NetServer:
                        for route in self._routes.values()},
             "batch_policy": snapshot() if callable(snapshot) else None,
         }
+        by_model = getattr(policy, "snapshot_by_model", None)
+        if callable(by_model):
+            # PolicyRouter labels policies by resolved artifact path; key
+            # the public section by registered model ids where routed.
+            ids = {route.path: route.model_id
+                   for route in self._routes.values()}
+            document["batch_policy_by_model"] = {
+                ids.get(label, label): entry
+                for label, entry in by_model().items()}
+        return document
 
     async def _handle_drain(self, body: bytes):
         timeout = 30.0
@@ -446,8 +471,16 @@ class NetServer:
                      "drained": drained, "in_flight": inflight}, None
 
     async def _handle_predict(self, body: bytes):
+        obs = self.runtime.obs
         request_id = None
+        trace_id = None
+        trace = None
         route = None
+        # Errors the runtime already saw (backpressure, batch failures)
+        # are counted by the runtime's own hub; the front-end counts only
+        # the ones it sheds before the hand-off (parse, admission).
+        reached_runtime = False
+        parse_start = time.perf_counter()
         try:
             try:
                 document = json.loads(body)
@@ -455,7 +488,22 @@ class NetServer:
                 raise ValidationError(
                     f"request body is not valid JSON: {exc}") from exc
             request = PredictRequest.from_json_dict(document)
+            parse_end = time.perf_counter()
             request_id = request.request_id
+            trace_id = request.trace_id
+            obs.observe_stage(request.model, "http.parse",
+                              parse_end - parse_start)
+            # The front-end owns the request's span tree: the root opens
+            # at parse begin so http.parse and wire.encode tile the same
+            # timeline as the runtime's queue/compute children.
+            trace = obs.start_request(
+                model=request.model, type_name=request.type_name,
+                trace_id=request.trace_id, request_id=request.request_id,
+                start=parse_start)
+            if trace is not None:
+                trace_id = trace.trace_id
+                trace.record("http.parse", parse_start, parse_end,
+                             bytes=len(body))
             if self._draining:
                 raise ServerDrainingError(
                     "server is draining; no new requests are admitted")
@@ -475,16 +523,30 @@ class NetServer:
                 # The runtime keys batches by artifact path, so aliases of
                 # one artifact coalesce; the response echoes the public id.
                 inner = replace(request, model=route.path)
+                reached_runtime = True
                 response = await asyncio.wrap_future(
-                    self.runtime.submit_request(inner))
+                    self.runtime.submit_request(inner, trace=trace))
             finally:
                 route.inflight -= 1
             route.served += 1
+            encode_start = time.perf_counter()
             document = response.to_json_dict()
             document["model"] = request.model
-            return 200, document, None
+            encoded = json.dumps(document).encode("utf-8")
+            encode_end = time.perf_counter()
+            obs.observe_stage(request.model, "wire.encode",
+                              encode_end - encode_start)
+            if trace is not None:
+                trace.record("wire.encode", encode_start, encode_end,
+                             bytes=len(encoded))
+            obs.finish(trace)
+            return 200, encoded, None
         except BaseException as exc:  # noqa: BLE001 - mapped onto the wire
-            error = ErrorResponse.from_exception(exc, request_id=request_id)
+            error = ErrorResponse.from_exception(exc, request_id=request_id,
+                                                 trace_id=trace_id)
+            if not reached_runtime:
+                obs.count_error(error.code)
+            obs.finish(trace, error=exc)
             extra = {"Retry-After": "1"} if error.http_status in (429, 503) \
                 else None
             return error.http_status, error.to_json_dict(), extra

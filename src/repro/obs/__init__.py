@@ -1,0 +1,54 @@
+"""Zero-dependency tracing and metrics for the whole request path.
+
+The serving stack can say *that* it is slow (end-to-end latency, p99
+percentiles) — this package makes it say *where*: per-stage attribution
+of every request from socket to numerics and back, plus hierarchical
+traces of the fit itself.
+
+* :mod:`repro.obs.spans` — the span model: contextvar-propagated trace
+  trees (``trace_id``/``span_id``/``parent_id``) with explicit-timestamp
+  recording for spans that cross threads;
+* :mod:`repro.obs.histograms` — always-on fixed-bucket stage-latency
+  histograms per ``(model, stage)`` and error counters per stable code,
+  exported as Prometheus *histogram* families on ``GET /v1/metrics``;
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  completed span trees that pins the slowest and every errored request,
+  dumpable via ``GET /v1/traces`` / ``python -m repro.net traces``;
+* :mod:`repro.obs.hub` — :class:`Observability`, the per-server hub the
+  rest of the stack records into.
+
+The named request stages, in timeline order:
+
+========== ================= ==============================================
+stage      recorded by       covers
+========== ================= ==============================================
+``http.parse``      NetServer      JSON decode + wire-schema validation
+``queue.wait``      RuntimeServer  enqueue → the coalesced batch starts computing
+``batch.assemble``  RuntimeServer  stacking member queries into one matrix
+``compute.predict`` BatchPredictor model lookup + out-of-sample numerics
+``wire.encode``     NetServer      response document build + JSON encode
+========== ================= ==============================================
+
+Everything is standard library (``contextvars``, ``bisect``, ``heapq``);
+tracing is off by default and never changes numerics — predictions are
+bit-identical with tracing on.
+"""
+
+from .histograms import BUCKET_BOUNDS, LatencyHistogram, StageMetrics
+from .hub import Observability
+from .recorder import FlightRecorder
+from .spans import (Span, activate_span, current_span, new_span_id,
+                    new_trace_id)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "StageMetrics",
+    "Observability",
+    "FlightRecorder",
+    "Span",
+    "activate_span",
+    "current_span",
+    "new_span_id",
+    "new_trace_id",
+]

@@ -1,0 +1,102 @@
+"""Fixed-bucket stage-latency histograms and error counters.
+
+:class:`StageMetrics` is the always-on half of the observability layer:
+every request contributes one O(1) observation per named stage
+(``http.parse``, ``queue.wait``, ``batch.assemble``, ``compute.predict``,
+``wire.encode``) into a log-spaced fixed-bucket histogram keyed by
+``(model, stage)``.  The buckets are shared across every histogram — 4
+per decade from 10 µs to 100 s — so two models' tails are directly
+comparable and the Prometheus exposition (cumulative ``_bucket{le=...}``
+samples) never re-bins.
+
+An observation is a ``perf_counter`` subtraction, one :func:`bisect` into
+a 29-entry tuple and a locked integer increment — cheap enough to stay on
+by default on the hot path (the ≤2 % tracing-overhead gate in
+``benchmarks/bench_obs.py`` covers histograms *and* spans together).
+
+Error counters ride along: one monotonically increasing counter per
+stable error code (the taxonomy of :mod:`repro.exceptions`), so sheds and
+failures are countable per code without parsing logs.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["BUCKET_BOUNDS", "LatencyHistogram", "StageMetrics"]
+
+#: Shared histogram bucket upper bounds in seconds: 4 log-spaced buckets
+#: per decade across 10 µs … 100 s (values above the last bound land in
+#: the overflow / ``+Inf`` bucket).
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 4.0 - 5.0), 10) for exponent in range(29))
+
+
+class LatencyHistogram:
+    """One fixed-bucket latency histogram (thread-safe, O(1) observe)."""
+
+    __slots__ = ("counts", "total_seconds", "count", "_lock")
+
+    def __init__(self) -> None:
+        # One raw (non-cumulative) count per bound plus the overflow bucket.
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.total_seconds = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        index = bisect_left(BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self.counts[index] += 1
+            self.total_seconds += seconds
+            self.count += 1
+
+    def snapshot(self) -> dict:
+        """Raw bucket counts plus sum/count (cumulation is the renderer's)."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum_seconds": round(self.total_seconds, 9),
+                "bucket_counts": list(self.counts),
+            }
+
+
+class StageMetrics:
+    """Registry of per-``(model, stage)`` histograms and per-code counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
+        self._errors: dict[str, int] = {}
+
+    def observe(self, model: str, stage: str, seconds: float) -> None:
+        """Record one stage latency observation for ``model``."""
+        key = (str(model), str(stage))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(key,
+                                                        LatencyHistogram())
+        histogram.observe(seconds)
+
+    def count_error(self, code: str) -> None:
+        """Increment the counter of one stable error code."""
+        with self._lock:
+            self._errors[str(code)] = self._errors.get(str(code), 0) + 1
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot_stages(self) -> dict:
+        """``{model: {stage: histogram snapshot}}`` (empty before traffic)."""
+        with self._lock:
+            items = list(self._histograms.items())
+        document: dict[str, dict] = {}
+        for (model, stage), histogram in items:
+            document.setdefault(model, {})[stage] = histogram.snapshot()
+        return document
+
+    def snapshot_errors(self) -> dict[str, int]:
+        """Cumulative error counts per stable code."""
+        with self._lock:
+            return dict(self._errors)

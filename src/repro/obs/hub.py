@@ -1,0 +1,116 @@
+"""The per-server observability hub tying spans, histograms and recorder.
+
+One :class:`Observability` instance hangs off each
+:class:`repro.runtime.RuntimeServer` (``server.obs``) and is shared by
+every layer above and below it — the HTTP front-end records parse/encode
+stages into it, the micro-batch dispatch records queue/assemble/compute
+stages, the predictor records the numerics.  Two halves, two costs:
+
+* **stage histograms + error counters** (:class:`~repro.obs.StageMetrics`)
+  are *always on* — O(1) per observation, the data source of the
+  Prometheus histograms on ``GET /v1/metrics`` and of the load
+  generator's per-stage latency breakdown;
+* **span trees + the flight recorder** are gated by the ``tracing``
+  knob (``RuntimeServer(tracing=True)`` or an option dict): off by
+  default, zero allocations on the hot path when off, and when on the
+  completed trees land in a bounded :class:`~repro.obs.FlightRecorder`
+  dumpable via ``GET /v1/traces``.
+
+Tracing never touches numerics — spans only read clocks — so predictions
+are bit-identical with tracing on or off (test-enforced).
+"""
+
+from __future__ import annotations
+
+from .histograms import StageMetrics
+from .recorder import FlightRecorder
+from .spans import Span, new_trace_id
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Stage metrics (always on) plus optional span tracing (gated).
+
+    Parameters
+    ----------
+    tracing:
+        ``False`` (default) — histograms only, no spans are ever created.
+        ``True`` — spans plus a default-sized flight recorder.  A dict
+        enables tracing and configures the recorder:
+        ``{"capacity": 256, "keep_slowest": 8, "keep_errors": 32}``.
+    """
+
+    def __init__(self, *, tracing: bool | dict = False) -> None:
+        options = dict(tracing) if isinstance(tracing, dict) else {}
+        self.tracing = isinstance(tracing, dict) or bool(tracing)
+        self.metrics = StageMetrics()
+        self.recorder = (FlightRecorder(
+            capacity=options.get("capacity", 256),
+            keep_slowest=options.get("keep_slowest", 8),
+            keep_errors=options.get("keep_errors", 32))
+            if self.tracing else None)
+
+    # ------------------------------------------------------- always-on metrics
+    def observe_stage(self, model: str, stage: str, seconds: float) -> None:
+        self.metrics.observe(model, stage, seconds)
+
+    def count_error(self, code: str) -> None:
+        self.metrics.count_error(code)
+
+    # ----------------------------------------------------------------- tracing
+    def start_request(self, *, model: str, type_name: str | None = None,
+                      trace_id: str | None = None,
+                      request_id: str | None = None,
+                      start: float | None = None) -> Span | None:
+        """Open one request's root span (``None`` when tracing is off)."""
+        if not self.tracing:
+            return None
+        attributes: dict = {"model": str(model)}
+        if type_name is not None:
+            attributes["type"] = str(type_name)
+        if request_id is not None:
+            attributes["request_id"] = str(request_id)
+        return Span("request", trace_id=trace_id or new_trace_id(),
+                    start=start, **attributes)
+
+    def start_batch(self, *, model: str, type_name: str,
+                    member_trace_ids: list[str],
+                    start: float | None = None) -> Span | None:
+        """Open the root span of one coalesced batch, linking its members."""
+        if not self.tracing:
+            return None
+        return Span("batch", start=start, model=str(model),
+                    type=str(type_name), n_requests=len(member_trace_ids),
+                    member_trace_ids=list(member_trace_ids))
+
+    def finish(self, span: Span | None, *,
+               error: BaseException | str | None = None) -> None:
+        """Close a root span and hand its tree to the flight recorder."""
+        if span is None:
+            return
+        span.finish(error=error)
+        if self.recorder is not None:
+            self.recorder.add(span)
+
+    # -------------------------------------------------------------- inspection
+    def snapshot(self) -> dict:
+        """JSON-safe hub state for ``stats()`` / ``/v1/stats``."""
+        document = {
+            "tracing": self.tracing,
+            "stages": self.metrics.snapshot_stages(),
+            "errors": self.metrics.snapshot_errors(),
+        }
+        if self.recorder is not None:
+            document["recorder"] = {
+                "recorded": self.recorder.recorded,
+                "capacity": self.recorder.capacity,
+            }
+        return document
+
+    def dump_traces(self) -> dict:
+        """The flight-recorder dump (an empty document when tracing is off)."""
+        if self.recorder is None:
+            return {"tracing": False, "recorded": 0, "retained": 0,
+                    "traces": []}
+        return {"tracing": True, **self.recorder.dump()}

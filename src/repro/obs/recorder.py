@@ -1,0 +1,93 @@
+"""The flight recorder: a bounded ring of completed span trees.
+
+Keeps the raw material a latency investigation needs without unbounded
+memory: the most recent ``capacity`` completed traces ride a ring buffer,
+and two always-keep pools pin the traces worth keeping past eviction —
+the ``keep_slowest`` slowest requests seen so far (a min-heap on root
+duration) and the last ``keep_errors`` errored requests.  A p99
+regression is therefore always explainable from ``GET /v1/traces``: the
+slow outlier is pinned even if a flood of fast requests has long rotated
+it out of the ring.
+
+Traces are serialised to JSON-safe dictionaries (:meth:`Span.to_dict`)
+at :meth:`add` time, so a dump never races the live span objects and the
+recorder holds no references into the serving path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+
+from .spans import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded storage of completed traces with slowest/errored pinning."""
+
+    def __init__(self, *, capacity: int = 256, keep_slowest: int = 8,
+                 keep_errors: int = 32) -> None:
+        self.capacity = max(1, int(capacity))
+        self.keep_slowest = max(0, int(keep_slowest))
+        self.keep_errors = max(0, int(keep_errors))
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._errors: deque[dict] = deque(maxlen=max(1, self.keep_errors))
+        # Min-heap of (duration, insertion sequence, document): the
+        # sequence breaks duration ties so documents are never compared.
+        self._slowest: list[tuple[float, int, dict]] = []
+        self._sequence = 0
+        self.recorded = 0
+
+    def add(self, span: Span) -> dict:
+        """Store one completed root span; returns its serialised tree."""
+        document = span.to_dict()
+        duration = float(document.get("duration_seconds", 0.0))
+        with self._lock:
+            self._sequence += 1
+            self.recorded += 1
+            self._ring.append(document)
+            if span.status == "error" and self.keep_errors:
+                self._errors.append(document)
+            if self.keep_slowest:
+                entry = (duration, self._sequence, document)
+                if len(self._slowest) < self.keep_slowest:
+                    heapq.heappush(self._slowest, entry)
+                elif duration > self._slowest[0][0]:
+                    heapq.heapreplace(self._slowest, entry)
+        return document
+
+    def dump(self) -> dict:
+        """Every retained trace (deduplicated), slowest first.
+
+        The document carries the recorder's bookkeeping alongside the
+        trees, so a reader can tell "no traffic yet" from "everything
+        rotated out of the ring".
+        """
+        with self._lock:
+            pools = (list(self._ring),
+                     [entry[2] for entry in self._slowest],
+                     list(self._errors))
+            recorded = self.recorded
+        seen: set[str] = set()
+        traces: list[dict] = []
+        for pool in pools:
+            for document in pool:
+                span_id = document.get("span_id", "")
+                if span_id in seen:
+                    continue
+                seen.add(span_id)
+                traces.append(document)
+        traces.sort(key=lambda doc: doc.get("duration_seconds", 0.0),
+                    reverse=True)
+        return {
+            "recorded": recorded,
+            "retained": len(traces),
+            "capacity": self.capacity,
+            "keep_slowest": self.keep_slowest,
+            "keep_errors": self.keep_errors,
+            "traces": traces,
+        }

@@ -20,7 +20,7 @@ shards="per-type")`` + :class:`repro.serve.ShardedModelReader`): a runtime
 serving queries for one object type lazily reads only that type's shard.
 """
 
-from .adaptive import AdaptiveBatchController, BatchPolicy
+from .adaptive import AdaptiveBatchController, BatchPolicy, PolicyRouter
 from .batching import MicroBatcher, QueuedRequest
 from .refresh import RefreshOutcome, refresh_model, warm_start_blocks
 from .server import RuntimeServer, RuntimeStats
@@ -28,6 +28,7 @@ from .server import RuntimeServer, RuntimeStats
 __all__ = [
     "AdaptiveBatchController",
     "BatchPolicy",
+    "PolicyRouter",
     "MicroBatcher",
     "QueuedRequest",
     "RefreshOutcome",

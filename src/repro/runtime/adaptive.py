@@ -39,7 +39,7 @@ import numpy as np
 
 from .._validation import check_positive_float, check_positive_int
 
-__all__ = ["BatchPolicy", "AdaptiveBatchController"]
+__all__ = ["BatchPolicy", "AdaptiveBatchController", "PolicyRouter"]
 
 
 @runtime_checkable
@@ -214,3 +214,93 @@ class AdaptiveBatchController:
                     entry["type"] = str(key[1])
                 document[str(key)] = entry
             return document
+
+
+class PolicyRouter:
+    """One batch policy *instance* per model, behind one policy facade.
+
+    A single shared :class:`AdaptiveBatchController` keeps independent
+    AIMD state per ``(model, type)`` key, but its *tuning knobs* (latency
+    target, bounds, window) are global — one hot model with a tight
+    budget drags every other model onto the same sawtooth parameters.
+    The router fixes that: each model (the first element of the runtime's
+    ``(model_path, type_name)`` keys) gets its own policy built by
+    ``factory``, with optional pre-built per-model overrides, while the
+    micro-batcher still sees one :class:`BatchPolicy`.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh policy for a model seen
+        for the first time (default: ``AdaptiveBatchController`` with its
+        defaults).  Pass a lambda to customise the knobs.
+    policies:
+        Optional ``{model_label: policy}`` overrides consulted before the
+        factory; model labels are resolved artifact paths under the
+        runtime (or whatever the batcher keys on).
+    """
+
+    def __init__(self, factory=None, *, policies: dict | None = None) -> None:
+        self._factory = AdaptiveBatchController if factory is None else factory
+        self._policies: dict[str, BatchPolicy] = dict(policies or {})
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _model_label(key: Hashable) -> str:
+        if isinstance(key, tuple) and len(key) == 2:
+            return str(key[0])
+        return str(key)
+
+    def policy_for(self, key: Hashable) -> BatchPolicy:
+        """The model's policy instance (created on first sight)."""
+        label = self._model_label(key)
+        with self._lock:
+            policy = self._policies.get(label)
+            if policy is None:
+                policy = self._factory()
+                self._policies[label] = policy
+            return policy
+
+    # ----------------------------------------------------------- policy API
+    def batch_size(self, key: Hashable) -> int:
+        return self.policy_for(key).batch_size(key)
+
+    def delay_seconds(self, key: Hashable) -> float:
+        return self.policy_for(key).delay_seconds(key)
+
+    def observe(self, key: Hashable, *, rows: int, seconds: float) -> None:
+        self.policy_for(key).observe(key, rows=rows, seconds=seconds)
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def models(self) -> list[str]:
+        """Model labels with a policy instance, sorted."""
+        with self._lock:
+            return sorted(self._policies)
+
+    def snapshot(self) -> dict:
+        """Flat per-key snapshot merged across every model's policy.
+
+        Same shape as :meth:`AdaptiveBatchController.snapshot` (keys are
+        unique across models since each policy only ever sees its own
+        model's keys), so ``/v1/metrics`` exporters work unchanged.
+        """
+        with self._lock:
+            policies = dict(self._policies)
+        document = {}
+        for policy in policies.values():
+            policy_snapshot = getattr(policy, "snapshot", None)
+            if callable(policy_snapshot):
+                document.update(policy_snapshot())
+        return document
+
+    def snapshot_by_model(self) -> dict:
+        """Per-model snapshots, ``{model_label: {key: state}}``."""
+        with self._lock:
+            policies = dict(self._policies)
+        document = {}
+        for label, policy in sorted(policies.items()):
+            policy_snapshot = getattr(policy, "snapshot", None)
+            document[label] = (policy_snapshot()
+                               if callable(policy_snapshot) else {})
+        return document

@@ -54,11 +54,18 @@ __all__ = ["QueuedRequest", "MicroBatcher"]
 
 @dataclass
 class QueuedRequest:
-    """One queued predict request awaiting coalescing."""
+    """One queued predict request awaiting coalescing.
+
+    ``trace`` is the request's open root :class:`repro.obs.Span` when
+    tracing is enabled upstream (``None`` otherwise); the batcher never
+    touches it — it rides along so the dispatch path can record the
+    queue-wait and compute stages against the right tree.
+    """
 
     queries: np.ndarray
     future: Future
     enqueued_at: float
+    trace: object | None = None
 
     @property
     def n_rows(self) -> int:
@@ -129,7 +136,8 @@ class MicroBatcher:
 
     # ------------------------------------------------------------- submission
     def submit(self, key: Hashable, queries: np.ndarray,
-               future: Future | None = None) -> Future:
+               future: Future | None = None, *,
+               trace=None) -> Future:
         """Queue one request and return its future.
 
         Raises :class:`~repro.exceptions.QueueFullError` when accepting the
@@ -149,7 +157,7 @@ class MicroBatcher:
                     f"pending, limit {self.max_pending}); retry later or "
                     "shed load")
             self._queues.setdefault(key, []).append(
-                QueuedRequest(queries, future, time.monotonic()))
+                QueuedRequest(queries, future, time.monotonic(), trace))
             self._rows[key] = self._rows.get(key, 0) + n_rows
             self._pending_rows += n_rows
             if self._rows[key] >= self._batch_limit(key):

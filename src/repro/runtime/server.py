@@ -40,8 +40,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import QueueFullError, ServerClosedError, ValidationError
+from ..exceptions import (QueueFullError, ServerClosedError, ValidationError,
+                          error_code)
 from ..net.schema import PredictRequest, PredictResponse
+from ..obs import Observability, activate_span
 from ..serve._legacy import legacy_positional_args
 from ..serve.artifact import RHCHMEModel
 from ..serve.extension import Prediction
@@ -75,6 +77,12 @@ class RuntimeStats:
     # detector's per-model windows.  Empty when the feature is off.
     batch_policy: dict = field(default_factory=dict)
     drift: dict = field(default_factory=dict)
+    # Observability snapshot: per-(model, stage) latency histograms and
+    # per-code error counters (always collected), plus whether span
+    # tracing is enabled on this server.
+    tracing: bool = False
+    stages: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
 
     @property
     def mean_batch_rows(self) -> float:
@@ -97,6 +105,9 @@ class RuntimeStats:
             "flush_counts": dict(self.flush_counts),
             "batch_policy": dict(self.batch_policy),
             "drift": dict(self.drift),
+            "tracing": self.tracing,
+            "stages": dict(self.stages),
+            "errors": dict(self.errors),
         }
 
 
@@ -171,6 +182,16 @@ class RuntimeServer:
     refresh_overrides:
         Config overrides forwarded to :meth:`refresh` by the automatic
         path (e.g. ``{"max_iter": 10}`` to bound refit cost).
+    tracing:
+        Span tracing for the request path (see :mod:`repro.obs`).
+        ``False`` (default) keeps only the always-on stage histograms;
+        ``True`` (or a flight-recorder option dict such as
+        ``{"capacity": 512, "keep_slowest": 16}``) additionally builds a
+        span tree per request and per coalesced batch and retains the
+        completed trees in a bounded flight recorder
+        (``server.obs.dump_traces()``, or ``GET /v1/traces`` behind
+        :class:`repro.net.NetServer`).  Tracing only reads clocks —
+        predictions are bit-identical with it on or off.
     """
 
     def __init__(self, *, workers: str = "thread", n_workers: int | None = None,
@@ -182,7 +203,8 @@ class RuntimeServer:
                  diagnostics: bool | dict = False,
                  refresh_policy=None,
                  refresh_data=None,
-                 refresh_overrides: dict | None = None) -> None:
+                 refresh_overrides: dict | None = None,
+                 tracing: bool | dict = False) -> None:
         if workers not in WORKER_MODES:
             raise ValidationError(
                 f"workers must be one of {WORKER_MODES}, got {workers!r}")
@@ -209,10 +231,12 @@ class RuntimeServer:
         self._auto_lock = threading.Lock()
         self._auto_refreshing: set[str] = set()
         self.last_auto_refresh_error: str | None = None
+        self.obs = Observability(tracing=tracing)
         self.predictor = BatchPredictor(cache_size=cache_size,
                                         default_batch_size=default_batch_size,
                                         lazy_shards=lazy_shards,
-                                        diagnostics=diagnostics)
+                                        diagnostics=diagnostics,
+                                        obs=self.obs)
         if workers == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=self.n_workers,
@@ -244,7 +268,7 @@ class RuntimeServer:
             self._resolved[raw] = key
         return key
 
-    def _submit(self, request: PredictRequest) -> Future:
+    def _submit(self, request: PredictRequest, trace=None) -> Future:
         """Queue one schema request; returns a future of its `Prediction`.
 
         Raises :class:`~repro.exceptions.ServerClosedError` after
@@ -252,22 +276,32 @@ class RuntimeServer:
         (backpressure) when the bounded queue is at capacity.  Shape and
         type-name validation against the artifact happens on the coalesced
         batch, so a model/type mismatch surfaces through the future, not
-        the submit call.
+        the submit call.  ``trace`` is the request's open root span when
+        tracing is on — it rides the queue so the dispatch path can record
+        queue-wait and compute children against the right tree.
         """
         if self._closed:
+            self.obs.count_error("server_closed")
             raise ServerClosedError("RuntimeServer is closed")
         key = (self._resolve(request.model), request.type_name)
+        if trace is not None:
+            # Spans run on perf_counter; the queue runs on monotonic.
+            # Stash the perf-counter enqueue time so queue.wait can be
+            # recorded as a child with consistent offsets.
+            trace.marks["enqueued"] = time.perf_counter()
         try:
-            future = self._batcher.submit(key, request.queries)
+            future = self._batcher.submit(key, request.queries, trace=trace)
         except QueueFullError:
             with self._lock:
                 self._stats.rejected += 1
+            self.obs.count_error("queue_full")
             raise
         with self._lock:
             self._stats.submitted += 1
         return future
 
-    def submit_request(self, request: PredictRequest) -> Future:
+    def submit_request(self, request: PredictRequest, *,
+                       trace=None) -> Future:
         """Queue a schema request; returns a future of its `PredictResponse`.
 
         The canonical asynchronous entry point.  The response echoes the
@@ -276,19 +310,43 @@ class RuntimeServer:
         ignored here — coalesced batches share the server's
         ``default_batch_size`` (use :class:`~repro.serve.BatchPredictor`
         directly for per-request batch sizing).
+
+        When tracing is enabled and no ``trace`` is passed, this call owns
+        the request's span tree: it opens the root here, finishes it when
+        the future settles, and stamps the response's ``trace_id``.  A
+        caller that already opened a root (the HTTP front-end, which also
+        times parse/encode stages) passes it via ``trace`` and keeps
+        ownership — the runtime only adds children.
         """
         start = time.perf_counter()
-        inner = self._submit(request)
+        owned = trace is None and self.obs.tracing
+        if owned:
+            trace = self.obs.start_request(
+                model=request.model, type_name=request.type_name,
+                trace_id=request.trace_id, request_id=request.request_id,
+                start=start)
+        trace_id = trace.trace_id if trace is not None else None
+        try:
+            inner = self._submit(request, trace=trace)
+        except BaseException as exc:
+            if owned:
+                self.obs.finish(trace, error=exc)
+            raise
         outer: Future = Future()
 
         def _convert(done: Future) -> None:
             exc = done.exception()
             if exc is not None:
+                if owned:
+                    self.obs.finish(trace, error=exc)
                 outer.set_exception(exc)
             else:
+                if owned:
+                    self.obs.finish(trace)
                 outer.set_result(PredictResponse.from_prediction(
                     request, done.result(),
-                    seconds=time.perf_counter() - start))
+                    seconds=time.perf_counter() - start,
+                    trace_id=trace_id))
 
         inner.add_done_callback(_convert)
         return outer
@@ -334,34 +392,107 @@ class RuntimeServer:
     # -------------------------------------------------------------- execution
     def _run_batch(self, key: tuple[str, str], batch: list[QueuedRequest]) -> None:
         path, type_name = key
+        assemble_start = time.perf_counter()
         if len(batch) == 1:
             stacked = batch[0].queries
         else:
             stacked = np.concatenate([request.queries for request in batch])
+        self.obs.observe_stage(path, "batch.assemble",
+                               time.perf_counter() - assemble_start)
         with self._lock:
             self._stats.batches += 1
             self._stats.objects += int(stacked.shape[0])
             self._stats.max_batch_rows = max(self._stats.max_batch_rows,
                                              stacked.shape[0])
+        batch_span = None
+        if self.obs.tracing:
+            traced = [r for r in batch if r.trace is not None]
+            if traced:
+                batch_span = self.obs.start_batch(
+                    model=path, type_name=type_name,
+                    member_trace_ids=[r.trace.trace_id for r in traced],
+                    start=assemble_start)
+                batch_span.record("batch.assemble", assemble_start,
+                                  time.perf_counter(),
+                                  rows=int(stacked.shape[0]),
+                                  n_requests=len(batch))
+                for request in traced:
+                    request.trace.annotate(batch_span_id=batch_span.span_id)
         if self._executor is None:
             try:
-                prediction = self._serve_stacked(path, type_name, stacked)
+                prediction = self._execute(key, batch, stacked, batch_span)
             except BaseException as exc:  # noqa: BLE001 - routed into futures
                 self._fail(batch, exc)
+                self.obs.finish(batch_span, error=exc)
             else:
                 self._settle(batch, prediction)
+                self.obs.finish(batch_span)
             self._observe(key, batch, int(stacked.shape[0]))
             return
         if self.workers == "process":
+            # The predictor lives in the worker process where this hub is
+            # invisible; close queue.wait at the executor hand-off and let
+            # _finish time compute.predict around the round-trip.
+            self._record_queue_wait(path, batch)
+            compute_start = time.perf_counter()
             worker_future = self._executor.submit(
                 _process_predict, path, type_name, stacked,
                 self.predictor.default_batch_size, self.lazy_shards,
                 self._generations.get(path, 0))
         else:
+            compute_start = None
             worker_future = self._executor.submit(
-                self._serve_stacked, path, type_name, stacked)
+                self._execute, key, batch, stacked, batch_span)
         worker_future.add_done_callback(
-            lambda done: self._finish(key, batch, int(stacked.shape[0]), done))
+            lambda done: self._finish(key, batch, int(stacked.shape[0]),
+                                      done, batch_span, compute_start))
+
+    def _record_queue_wait(self, path: str,
+                           batch: list[QueuedRequest]) -> None:
+        """Record every member's queue.wait (histogram + trace child)."""
+        now_monotonic = time.monotonic()
+        now = time.perf_counter()
+        for request in batch:
+            self.obs.observe_stage(path, "queue.wait",
+                                   now_monotonic - request.enqueued_at)
+            if request.trace is not None:
+                request.trace.record(
+                    "queue.wait",
+                    request.trace.marks.get("enqueued", now), now)
+
+    def _execute(self, key: tuple[str, str], batch: list[QueuedRequest],
+                 stacked: np.ndarray, batch_span=None) -> Prediction:
+        """Record queue/compute stages and run the stacked predict.
+
+        Runs on the compute thread (in-line under ``workers="serial"``, a
+        pool thread under ``"thread"``), so queue.wait naturally includes
+        the executor's own queueing and compute.predict starts exactly
+        when the numerics do.  The batch span is activated around the
+        predict so the predictor (and the out-of-sample extension under
+        it) can attach children via :func:`repro.obs.current_span`.
+        """
+        path, type_name = key
+        self._record_queue_wait(path, batch)
+        compute_start = time.perf_counter()
+        with activate_span(batch_span):
+            prediction = self._serve_stacked(path, type_name, stacked)
+        compute_end = time.perf_counter()
+        self._record_compute(batch, batch_span, compute_start, compute_end,
+                             int(stacked.shape[0]))
+        return prediction
+
+    @staticmethod
+    def _record_compute(batch: list[QueuedRequest], batch_span,
+                        start: float, end: float, batch_rows: int) -> None:
+        """Copy the batch's compute window onto each member's trace."""
+        for request in batch:
+            if request.trace is not None:
+                attributes = {"rows": request.n_rows,
+                              "batch_rows": batch_rows}
+                if batch_span is not None:
+                    attributes["batch_span_id"] = batch_span.span_id
+                request.trace.record("compute.predict", start, end,
+                                     **attributes)
 
     def _serve_stacked(self, path: str, type_name: str,
                        stacked: np.ndarray) -> Prediction:
@@ -370,11 +501,25 @@ class RuntimeServer:
         return self.predictor.serve(request).to_prediction()
 
     def _finish(self, key: tuple[str, str], batch: list[QueuedRequest],
-                rows: int, done: Future) -> None:
-        if done.exception() is not None:
-            self._fail(batch, done.exception())
+                rows: int, done: Future, batch_span=None,
+                compute_start: float | None = None) -> None:
+        exc = done.exception()
+        if compute_start is not None:
+            # Process workers: the parent-side window (hand-off -> result)
+            # stands in for compute.predict, IPC included.
+            compute_end = time.perf_counter()
+            self.obs.observe_stage(key[0], "compute.predict",
+                                   compute_end - compute_start)
+            if batch_span is not None:
+                batch_span.record("compute.predict", compute_start,
+                                  compute_end, rows=rows)
+            self._record_compute(batch, batch_span, compute_start,
+                                 compute_end, rows)
+        if exc is not None:
+            self._fail(batch, exc)
         else:
             self._settle(batch, done.result())
+        self.obs.finish(batch_span, error=exc)
         self._observe(key, batch, rows)
 
     def _observe(self, key: tuple[str, str], batch: list[QueuedRequest],
@@ -449,7 +594,9 @@ class RuntimeServer:
             self._stats.completed += len(batch)
 
     def _fail(self, batch: list[QueuedRequest], exc: BaseException) -> None:
+        code = error_code(exc)
         for request in batch:
+            self.obs.count_error(code)
             if not request.future.done():
                 request.future.set_exception(exc)
         with self._lock:
@@ -551,6 +698,9 @@ class RuntimeServer:
             snapshot.batch_policy = policy_snapshot()
         if self.predictor.diagnostics:
             snapshot.drift = self.predictor.drift_snapshot()
+        snapshot.tracing = self.obs.tracing
+        snapshot.stages = self.obs.metrics.snapshot_stages()
+        snapshot.errors = self.obs.metrics.snapshot_errors()
         return snapshot
 
     @property

@@ -27,6 +27,7 @@ training-side sparse backend.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,7 @@ import scipy.sparse as sp
 from .._validation import as_float_array, check_positive_int
 from ..core.parallel import TypeWorkPool
 from ..exceptions import ShapeError
+from ..obs import current_span
 from ..graph.neighbors import QueryIndex
 from ..graph.weights import WeightingScheme, compute_edge_weights_query
 from ..linalg.backend import resolve_backend
@@ -189,9 +191,15 @@ def out_of_sample_predict(reference: np.ndarray, membership_block: np.ndarray,
 
     spans = [(start, min(start + batch_size, n_queries))
              for start in range(0, n_queries, batch_size)]
+    extension_start = time.perf_counter()
     with TypeWorkPool(n_jobs) as pool:
         pool.map(one_batch, spans)
     n_batches = len(spans)
+    parent = current_span()
+    if parent is not None:
+        parent.record("compute.extension", extension_start,
+                      time.perf_counter(), rows=int(n_queries),
+                      n_batches=n_batches, n_jobs=int(n_jobs), p=int(p))
 
     membership = row_normalize_l1(scores, copy=False)
     labels = np.argmax(membership, axis=1).astype(np.int64)

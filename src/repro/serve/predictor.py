@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from .._validation import check_positive_int
 from ..diagnostics.drift import DriftDetector
+from ..obs import activate_span, current_span
 from ._legacy import legacy_positional_args
 from .artifact import RHCHMEModel
 from .extension import Prediction
@@ -94,16 +95,26 @@ class BatchPredictor:
         on histograms already computed at fit time, so the per-request
         overhead is a few percent at most; models whose artifacts predate
         fingerprints are silently skipped.
+    obs:
+        Optional :class:`repro.obs.Observability` hub to record the
+        ``compute.predict`` stage into (the runtime passes its own, so the
+        numerics window lands in the same histograms as the queue and
+        wire stages).  When the hub has tracing on and a span is active
+        (the runtime activates the batch span around the predict), a
+        ``compute.predict`` child is attached under it and the
+        out-of-sample extension nests its own children below that.
     """
 
     def __init__(self, *, cache_size: int = 4,
                  default_batch_size: int = 256,
                  lazy_shards: bool = False,
-                 diagnostics: bool | dict = False) -> None:
+                 diagnostics: bool | dict = False,
+                 obs=None) -> None:
         self.cache_size = check_positive_int(cache_size, name="cache_size")
         self.default_batch_size = check_positive_int(default_batch_size,
                                                      name="default_batch_size")
         self.lazy_shards = bool(lazy_shards)
+        self.obs = obs
         self.diagnostics = isinstance(diagnostics, dict) or bool(diagnostics)
         self._detector_options: dict = (dict(diagnostics)
                                         if isinstance(diagnostics, dict) else {})
@@ -215,10 +226,27 @@ class BatchPredictor:
 
         model = self.get_model(request.model)
         batch_size = request.batch_size or self.default_batch_size
+        parent = current_span() if (self.obs is not None
+                                    and self.obs.tracing) else None
+        span = (None if parent is None
+                else parent.child("compute.predict", type=request.type_name,
+                                  rows=int(request.queries.shape[0]),
+                                  batch_size=int(batch_size)))
         start = time.perf_counter()
-        prediction = model.predict(request.type_name, request.queries,
-                                   batch_size=batch_size)
+        try:
+            with activate_span(span):
+                prediction = model.predict(request.type_name, request.queries,
+                                           batch_size=batch_size)
+        except BaseException as exc:
+            if span is not None:
+                span.finish(error=exc)
+            raise
         elapsed = time.perf_counter() - start
+        if span is not None:
+            span.finish()
+        if self.obs is not None:
+            self.obs.observe_stage(str(request.model), "compute.predict",
+                                   elapsed)
         if self.diagnostics:
             self._observe_drift(request, model, prediction)
         with self._lock:

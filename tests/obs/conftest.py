@@ -1,0 +1,90 @@
+"""Fixtures for the observability test suite.
+
+One small fitted artifact on disk (session-scoped; fitting dominates the
+suite's runtime) plus a ``launch`` factory booting background
+:class:`~repro.net.NetServer` instances with tracing enabled by default
+— the configuration whose behaviour this suite pins down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RHCHME
+from repro.net import NetServer
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+
+
+def obs_blobs(n_points: int = 60, *, n_anchors: int = 24, n_clusters: int = 3,
+              n_features: int = 5, seed: int = 9) -> MultiTypeRelationalData:
+    rng = np.random.default_rng(seed)
+    point_labels = np.arange(n_points) % n_clusters
+    anchor_labels = np.arange(n_anchors) % n_clusters
+    point_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    anchor_centers = rng.normal(scale=6.0, size=(n_clusters, n_features))
+    point_features = point_centers[point_labels] + rng.normal(
+        size=(n_points, n_features))
+    anchor_features = anchor_centers[anchor_labels] + rng.normal(
+        size=(n_anchors, n_features))
+    co_cluster = point_labels[:, None] == anchor_labels[None, :]
+    matrix = np.where(co_cluster, 1.0, 0.05) + 0.05 * rng.random(
+        (n_points, n_anchors))
+    points = ObjectType("points", n_objects=n_points, n_clusters=n_clusters,
+                        features=point_features, labels=point_labels)
+    anchors = ObjectType("anchors", n_objects=n_anchors,
+                         n_clusters=n_clusters, features=anchor_features,
+                         labels=anchor_labels)
+    return MultiTypeRelationalData(
+        [points, anchors], [Relation("points", "anchors", matrix)])
+
+
+@pytest.fixture(scope="session")
+def obs_dataset() -> MultiTypeRelationalData:
+    return obs_blobs()
+
+
+@pytest.fixture(scope="session")
+def obs_artifact(obs_dataset):
+    model = RHCHME(max_iter=15, random_state=0, use_subspace_member=False,
+                   track_metrics_every=0)
+    model.fit(obs_dataset)
+    return model.export_model(obs_dataset)
+
+
+@pytest.fixture(scope="session")
+def obs_model_path(obs_artifact, tmp_path_factory):
+    return obs_artifact.save(tmp_path_factory.mktemp("obs") / "model.npz")
+
+
+@pytest.fixture(scope="session")
+def obs_queries(obs_dataset):
+    rng = np.random.default_rng(17)
+    reference = obs_dataset.get_type("points").features
+    picks = rng.integers(0, reference.shape[0], size=32)
+    return reference[picks] + 0.05 * rng.normal(
+        size=(32, reference.shape[1]))
+
+
+@pytest.fixture
+def launch(obs_model_path):
+    """Factory booting traced background servers; closes them on teardown.
+
+    Defaults: the session artifact routed as model id ``docs``, serial
+    workers (deterministic in-line execution), ``tracing=True``.  Keyword
+    overrides are forwarded to :meth:`NetServer.launch`.
+    """
+    handles = []
+
+    def _launch(**kwargs):
+        kwargs.setdefault("models", {"docs": str(obs_model_path)})
+        kwargs.setdefault("workers", "serial")
+        kwargs.setdefault("tracing", True)
+        handle = NetServer.launch(**kwargs)
+        handles.append(handle)
+        return handle
+
+    yield _launch
+    for handle in handles:
+        handle.close(drain=False)

@@ -1,0 +1,94 @@
+"""The CLI traces subcommand and the load generator's obs integration."""
+
+from __future__ import annotations
+
+import json
+
+from repro.net import NetClient, run_closed_loop
+from repro.net.__main__ import main as net_main
+
+
+class TestTracesCli:
+    def test_traces_subcommand_prints_the_dump(self, launch, obs_queries,
+                                               capsys):
+        handle = launch()
+        with NetClient(handle.host, handle.port) as client:
+            client.predict("docs", "points", obs_queries[:4],
+                           trace_id="cli-visible")
+        exit_code = net_main(["traces", "--host", handle.host,
+                              "--port", str(handle.port)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["tracing"] is True
+        assert any(trace["trace_id"] == "cli-visible"
+                   for trace in document["traces"])
+        assert captured.err == ""  # no "tracing disabled" hint
+
+    def test_limit_truncates_to_the_slowest(self, launch, obs_queries,
+                                            capsys):
+        handle = launch()
+        with NetClient(handle.host, handle.port) as client:
+            for index in range(5):
+                client.predict("docs", "points", obs_queries[:2],
+                               trace_id=f"t-{index}")
+        exit_code = net_main(["traces", "--host", handle.host,
+                              "--port", str(handle.port), "--limit", "2"])
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["traces"]) == 2
+        assert document["recorded"] >= 5
+
+    def test_hint_when_tracing_is_off(self, launch, capsys):
+        handle = launch(tracing=False)
+        exit_code = net_main(["traces", "--host", handle.host,
+                              "--port", str(handle.port)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["tracing"] is False
+        assert "--tracing" in captured.err
+
+
+class TestLoadgen:
+    def test_trace_ids_land_in_the_flight_recorder(self, launch,
+                                                   obs_queries):
+        handle = launch()
+        report = run_closed_loop(
+            handle.host, handle.port, model="docs", type_name="points",
+            queries=obs_queries, n_clients=2, requests_per_client=4,
+            rows_per_request=2, trace_ids=True)
+        assert report.completed == 8
+        with NetClient(handle.host, handle.port) as client:
+            dump = client.traces()
+        retained = {trace["trace_id"] for trace in dump["traces"]}
+        expected = {f"loadgen-{c:03d}-{i:06d}"
+                    for c in range(2) for i in range(4)}
+        # Every request traced; the recorder's ring is far larger than 8,
+        # so all of them must still be retained.
+        assert expected <= retained
+
+    def test_stage_breakdown_attributes_the_run(self, launch, obs_queries):
+        handle = launch()
+        report = run_closed_loop(
+            handle.host, handle.port, model="docs", type_name="points",
+            queries=obs_queries, n_clients=2, requests_per_client=5,
+            rows_per_request=2)
+        breakdown = report.stage_breakdown
+        assert {"http.parse", "queue.wait", "compute.predict",
+                "wire.encode"} <= set(breakdown)
+        for stage, entry in breakdown.items():
+            assert entry["count"] >= 1, stage
+            assert entry["sum_seconds"] >= 0.0
+            assert entry["mean_ms"] >= 0.0
+        # Request stages are observed once per request (batch.assemble is
+        # per coalesced batch, so it may be lower).
+        assert breakdown["http.parse"]["count"] == report.completed
+        assert report.as_dict()["stage_breakdown"] == breakdown
+
+    def test_stage_breakdown_opt_out(self, launch, obs_queries):
+        handle = launch()
+        report = run_closed_loop(
+            handle.host, handle.port, model="docs", type_name="points",
+            queries=obs_queries, n_clients=1, requests_per_client=3,
+            stage_breakdown=False)
+        assert report.stage_breakdown == {}

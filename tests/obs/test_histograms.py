@@ -1,0 +1,92 @@
+"""Unit tests of the fixed-bucket histograms and error counters."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import BUCKET_BOUNDS, LatencyHistogram, StageMetrics
+
+
+class TestBucketBounds:
+    def test_bounds_are_strictly_increasing(self):
+        assert list(BUCKET_BOUNDS) == sorted(set(BUCKET_BOUNDS))
+
+    def test_bounds_span_microseconds_to_minutes(self):
+        assert BUCKET_BOUNDS[0] == 1e-5
+        assert BUCKET_BOUNDS[-1] == 100.0
+        assert len(BUCKET_BOUNDS) == 29
+
+
+class TestLatencyHistogram:
+    def test_observation_lands_in_the_right_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.5e-5)   # below the first bound
+        histogram.observe(200.0)    # above the last bound → overflow
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["bucket_counts"][0] == 1
+        assert snapshot["bucket_counts"][-1] == 1
+        assert len(snapshot["bucket_counts"]) == len(BUCKET_BOUNDS) + 1
+
+    def test_boundary_value_counts_in_its_own_bucket(self):
+        # bisect_left puts an exact bound into that bound's bucket — the
+        # Prometheus "le" (less-or-equal) convention.
+        histogram = LatencyHistogram()
+        histogram.observe(BUCKET_BOUNDS[3])
+        assert histogram.snapshot()["bucket_counts"][3] == 1
+
+    def test_negative_readings_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["sum_seconds"] == 0.0
+
+    def test_sum_and_count_accumulate(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert abs(snapshot["sum_seconds"] - 0.006) < 1e-9
+
+    def test_concurrent_observe_loses_nothing(self):
+        histogram = LatencyHistogram()
+        n_threads, per_thread = 8, 500
+
+        def _observe():
+            for _ in range(per_thread):
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=_observe)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.snapshot()["count"] == n_threads * per_thread
+
+
+class TestStageMetrics:
+    def test_snapshot_groups_by_model_then_stage(self):
+        metrics = StageMetrics()
+        metrics.observe("docs", "http.parse", 0.001)
+        metrics.observe("docs", "compute.predict", 0.010)
+        metrics.observe("imgs", "http.parse", 0.002)
+        stages = metrics.snapshot_stages()
+        assert set(stages) == {"docs", "imgs"}
+        assert set(stages["docs"]) == {"http.parse", "compute.predict"}
+        assert stages["imgs"]["http.parse"]["count"] == 1
+
+    def test_empty_snapshot_before_traffic(self):
+        metrics = StageMetrics()
+        assert metrics.snapshot_stages() == {}
+        assert metrics.snapshot_errors() == {}
+
+    def test_error_counters_accumulate_per_code(self):
+        metrics = StageMetrics()
+        metrics.count_error("queue_full")
+        metrics.count_error("queue_full")
+        metrics.count_error("model_not_found")
+        assert metrics.snapshot_errors() == {"queue_full": 2,
+                                             "model_not_found": 1}

@@ -1,0 +1,81 @@
+"""Per-model batch policies: the PolicyRouter and its /v1/stats surface."""
+
+from __future__ import annotations
+
+from repro.net import NetClient
+from repro.runtime import AdaptiveBatchController, PolicyRouter
+
+
+def _controller() -> AdaptiveBatchController:
+    return AdaptiveBatchController(target_p99_seconds=0.010,
+                                   min_batch_size=8, max_batch_size=128,
+                                   initial_batch_size=128, window=4)
+
+
+class TestPolicyRouter:
+    def test_each_model_gets_its_own_policy_instance(self):
+        router = PolicyRouter(_controller)
+        policy_a = router.policy_for(("model-a.npz", "points"))
+        policy_b = router.policy_for(("model-b.npz", "points"))
+        assert policy_a is not policy_b
+        # Same model, different type: one policy (per *model* isolation).
+        assert router.policy_for(("model-a.npz", "anchors")) is policy_a
+        assert router.models == ["model-a.npz", "model-b.npz"]
+
+    def test_observations_do_not_leak_across_models(self):
+        router = PolicyRouter(_controller)
+        key_a, key_b = ("a.npz", "points"), ("b.npz", "points")
+        before_b = router.batch_size(key_b)
+        # Hammer model a with over-target latencies until it backs off.
+        for _ in range(16):
+            router.observe(key_a, rows=128, seconds=0.100)
+        assert router.batch_size(key_a) < 128
+        assert router.batch_size(key_b) == before_b
+
+    def test_prebuilt_policies_take_precedence_over_factory(self):
+        pinned = _controller()
+        router = PolicyRouter(_controller, policies={"a.npz": pinned})
+        assert router.policy_for(("a.npz", "points")) is pinned
+        assert router.policy_for(("b.npz", "points")) is not pinned
+
+    def test_flat_snapshot_merges_and_by_model_partitions(self):
+        router = PolicyRouter(_controller)
+        router.observe(("a.npz", "points"), rows=4, seconds=0.001)
+        router.observe(("b.npz", "points"), rows=4, seconds=0.001)
+        flat = router.snapshot()
+        assert {entry["model"] for entry in flat.values()} == {"a.npz",
+                                                               "b.npz"}
+        by_model = router.snapshot_by_model()
+        assert set(by_model) == {"a.npz", "b.npz"}
+        for label, snapshot in by_model.items():
+            assert all(entry["model"] == label
+                       for entry in snapshot.values())
+
+    def test_scalar_keys_route_by_str(self):
+        router = PolicyRouter(_controller)
+        assert router.policy_for("plain-key") is router.policy_for(
+            "plain-key")
+        assert router.models == ["plain-key"]
+
+
+class TestStatsSurface:
+    def test_stats_expose_per_model_policy_snapshots(self, launch,
+                                                     obs_model_path,
+                                                     obs_queries):
+        handle = launch(batch_policy=PolicyRouter(_controller))
+        with NetClient(handle.host, handle.port) as client:
+            client.predict("docs", "points", obs_queries[:4])
+            stats = client.stats()
+        by_model = stats["batch_policy_by_model"]
+        assert set(by_model) == {"docs"}  # public id, never the path
+        flat = stats["runtime"]["batch_policy"]
+        assert flat, "flat snapshot must stay populated for the exporter"
+        assert str(obs_model_path) not in by_model
+
+    def test_no_by_model_section_for_single_policies(self, launch,
+                                                     obs_queries):
+        handle = launch(batch_policy=_controller())
+        with NetClient(handle.host, handle.port) as client:
+            client.predict("docs", "points", obs_queries[:4])
+            stats = client.stats()
+        assert "batch_policy_by_model" not in stats

@@ -1,0 +1,169 @@
+"""Strict Prometheus text-format validation of ``GET /v1/metrics``.
+
+A real scraper is the consumer of that endpoint, so this test implements
+the consumer's rules (text exposition format v0.0.4) rather than
+spot-checking substrings: every sample must belong to a family announced
+by exactly one ``# HELP``/``# TYPE`` pair, histogram buckets must be
+cumulative and monotone with ``le`` bounds in increasing order, and the
+``+Inf`` bucket must equal the series' ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.net import NetClient
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_HELP = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$")
+_TYPE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(counter|gauge|histogram|summary|untyped)$")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+class Exposition:
+    """A parsed exposition: families, samples, and format violations."""
+
+    def __init__(self, text: str) -> None:
+        self.help: dict[str, int] = {}
+        self.types: dict[str, str] = {}
+        self.samples: list[tuple[str, dict, float]] = []
+        assert text.endswith("\n"), "exposition must end with a newline"
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            assert line == line.rstrip(), \
+                f"line {line_number}: trailing whitespace"
+            if not line:
+                continue
+            if line.startswith("#"):
+                self._comment(line, line_number)
+                continue
+            match = _SAMPLE.match(line)
+            assert match, f"line {line_number}: unparseable sample {line!r}"
+            labels = dict(_LABEL.findall(match.group("labels") or ""))
+            raw = match.group("labels") or ""
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in labels.items())
+            assert rebuilt == raw, \
+                f"line {line_number}: malformed label block {raw!r}"
+            self.samples.append((match.group("name"), labels,
+                                 _parse_value(match.group("value"))))
+
+    def _comment(self, line: str, line_number: int) -> None:
+        help_match = _HELP.match(line)
+        if help_match:
+            name = help_match.group(1)
+            assert name not in self.help, \
+                f"line {line_number}: duplicate HELP for {name}"
+            self.help[name] = line_number
+            return
+        type_match = _TYPE.match(line)
+        assert type_match, f"line {line_number}: malformed comment {line!r}"
+        name = type_match.group(1)
+        assert name not in self.types, \
+            f"line {line_number}: duplicate TYPE for {name}"
+        self.types[name] = type_match.group(2)
+
+    def family(self, sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] or sample_name
+            if (sample_name.endswith(suffix)
+                    and self.types.get(base) == "histogram"):
+                return base
+        return sample_name
+
+    def series(self, name: str) -> dict[tuple, float]:
+        return {tuple(sorted(labels.items())): value
+                for sample_name, labels, value in self.samples
+                if sample_name == name}
+
+
+@pytest.fixture
+def exposition(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries)
+        client.predict("docs", "points", obs_queries[:3])
+        with pytest.raises(Exception):
+            client.predict("nope", "points", obs_queries[:1])
+        return Exposition(client.metrics())
+
+
+def test_every_sample_has_help_and_type(exposition):
+    for name, _, _ in exposition.samples:
+        family = exposition.family(name)
+        assert family in exposition.help, f"{name}: no HELP for {family}"
+        assert family in exposition.types, f"{name}: no TYPE for {family}"
+
+
+def test_histogram_buckets_are_cumulative_and_ordered(exposition):
+    families = [name for name, kind in exposition.types.items()
+                if kind == "histogram"]
+    assert "repro_stage_duration_seconds" in families
+    for family in families:
+        by_series: dict[tuple, list[tuple[float, float]]] = {}
+        for name, labels, value in exposition.samples:
+            if name != family + "_bucket":
+                continue
+            le = _parse_value(labels["le"])
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            by_series.setdefault(key, []).append((le, value))
+        assert by_series, f"{family}: histogram family without buckets"
+        counts = exposition.series(family + "_count")
+        sums = exposition.series(family + "_sum")
+        for key, buckets in by_series.items():
+            bounds = [le for le, _ in buckets]
+            assert bounds == sorted(bounds), \
+                f"{family}{key}: le bounds out of order"
+            assert bounds[-1] == math.inf, f"{family}{key}: no +Inf bucket"
+            values = [count for _, count in buckets]
+            assert values == sorted(values), \
+                f"{family}{key}: bucket counts not monotone"
+            assert key in counts and key in sums, \
+                f"{family}{key}: missing _count or _sum"
+            assert values[-1] == counts[key], \
+                f"{family}{key}: +Inf bucket != _count"
+            assert sums[key] >= 0.0
+
+
+def test_counters_are_non_negative(exposition):
+    for name, kind in exposition.types.items():
+        if kind != "counter":
+            continue
+        for value in exposition.series(name).values():
+            assert value >= 0.0, f"{name}: negative counter"
+
+
+def test_stage_and_error_series_reflect_the_traffic(exposition):
+    stage_series = exposition.series("repro_stage_duration_seconds_count")
+    seen = {dict(key)["stage"] for key in stage_series}
+    assert {"http.parse", "queue.wait", "batch.assemble", "compute.predict",
+            "wire.encode"} <= seen
+    parse_key = tuple(sorted({"model": "docs",
+                              "stage": "http.parse"}.items()))
+    assert stage_series[parse_key] >= 2
+    errors = exposition.series("repro_request_errors_total")
+    error_key = tuple(sorted({"code": "model_not_found"}.items()))
+    assert errors[error_key] == 1
+
+
+def test_no_duplicate_sample_series(exposition):
+    seen = set()
+    for name, labels, _ in exposition.samples:
+        key = (name, tuple(sorted(labels.items())))
+        assert key not in seen, f"duplicate series {key}"
+        seen.add(key)

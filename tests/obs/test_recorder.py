@@ -1,0 +1,103 @@
+"""Unit tests of the flight recorder and the Observability hub."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import FlightRecorder, Observability, Span
+
+
+def _completed(name: str, seconds: float, *, error: str | None = None) -> Span:
+    start = time.perf_counter()
+    span = Span(name, start=start)
+    span.finish(end=start + seconds, error=error)
+    return span
+
+
+class TestFlightRecorder:
+    def test_ring_evicts_oldest_but_pins_slowest(self):
+        recorder = FlightRecorder(capacity=4, keep_slowest=1, keep_errors=0)
+        recorder.add(_completed("slow", 9.0))
+        for index in range(10):
+            recorder.add(_completed(f"fast-{index}", 0.001))
+        dump = recorder.dump()
+        assert dump["recorded"] == 11
+        names = [trace["name"] for trace in dump["traces"]]
+        # The slow outlier rotated out of the ring long ago but survives
+        # in the slowest pool — and sorts first.
+        assert names[0] == "slow"
+        assert dump["retained"] == 5  # ring(4) + pinned slowest
+
+    def test_errored_traces_are_pinned(self):
+        recorder = FlightRecorder(capacity=2, keep_slowest=0, keep_errors=8)
+        recorder.add(_completed("bad", 0.001, error="ValueError: boom"))
+        for index in range(5):
+            recorder.add(_completed(f"ok-{index}", 0.002))
+        statuses = [trace["status"] for trace in recorder.dump()["traces"]]
+        assert "error" in statuses
+
+    def test_dump_deduplicates_across_pools(self):
+        # A slow trace still inside the ring is also in the slowest pool;
+        # the dump must list it once.
+        recorder = FlightRecorder(capacity=8, keep_slowest=4, keep_errors=4)
+        recorder.add(_completed("only", 1.0))
+        dump = recorder.dump()
+        assert dump["retained"] == 1
+        assert len(dump["traces"]) == 1
+
+    def test_dump_sorts_slowest_first(self):
+        recorder = FlightRecorder(capacity=8, keep_slowest=0, keep_errors=0)
+        for seconds in (0.01, 0.5, 0.001):
+            recorder.add(_completed(f"d{seconds}", seconds))
+        durations = [trace["duration_seconds"]
+                     for trace in recorder.dump()["traces"]]
+        assert durations == sorted(durations, reverse=True)
+
+
+class TestObservabilityHub:
+    def test_tracing_off_creates_no_spans(self):
+        hub = Observability(tracing=False)
+        assert hub.start_request(model="docs") is None
+        assert hub.start_batch(model="docs", type_name="points",
+                               member_trace_ids=[]) is None
+        hub.finish(None)  # must be a no-op, not a crash
+        assert hub.dump_traces() == {"tracing": False, "recorded": 0,
+                                     "retained": 0, "traces": []}
+
+    def test_tracing_on_records_finished_trees(self):
+        hub = Observability(tracing=True)
+        span = hub.start_request(model="docs", type_name="points",
+                                 trace_id="t" * 32, request_id="r-1")
+        assert span.trace_id == "t" * 32
+        assert span.attributes["request_id"] == "r-1"
+        hub.finish(span)
+        dump = hub.dump_traces()
+        assert dump["tracing"] is True
+        assert dump["recorded"] == 1
+        assert dump["traces"][0]["trace_id"] == "t" * 32
+
+    def test_option_dict_configures_the_recorder(self):
+        hub = Observability(tracing={"capacity": 3, "keep_slowest": 1,
+                                     "keep_errors": 2})
+        assert hub.tracing is True
+        assert hub.recorder.capacity == 3
+        assert hub.recorder.keep_slowest == 1
+        assert hub.recorder.keep_errors == 2
+
+    def test_metrics_are_always_on_even_without_tracing(self):
+        hub = Observability(tracing=False)
+        hub.observe_stage("docs", "compute.predict", 0.01)
+        hub.count_error("queue_full")
+        snapshot = hub.snapshot()
+        assert snapshot["tracing"] is False
+        assert snapshot["stages"]["docs"]["compute.predict"]["count"] == 1
+        assert snapshot["errors"] == {"queue_full": 1}
+        assert "recorder" not in snapshot
+
+    def test_finish_with_error_marks_the_tree(self):
+        hub = Observability(tracing=True)
+        span = hub.start_request(model="docs")
+        hub.finish(span, error=RuntimeError("exploded"))
+        trace = hub.dump_traces()["traces"][0]
+        assert trace["status"] == "error"
+        assert "exploded" in trace["error"]

@@ -1,0 +1,136 @@
+"""Unit tests of the span model: tree building, context propagation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import Span, activate_span, current_span, new_span_id, \
+    new_trace_id
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)  # raises if not hex
+
+    def test_span_id_is_16_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_root_span_mints_trace_id_when_absent(self):
+        span = Span("request")
+        assert len(span.trace_id) == 32
+        assert span.parent_id is None
+
+    def test_explicit_trace_id_is_kept(self):
+        span = Span("request", trace_id="client-chosen")
+        assert span.trace_id == "client-chosen"
+
+
+class TestTree:
+    def test_children_share_trace_id_and_link_parent(self):
+        root = Span("request")
+        child = root.child("compute.predict", rows=4)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.attributes == {"rows": 4}
+        assert root.children == [child]
+
+    def test_record_appends_completed_child_from_explicit_timestamps(self):
+        root = Span("request")
+        t0 = time.perf_counter()
+        child = root.record("queue.wait", t0, t0 + 0.25)
+        assert child.end is not None
+        assert abs(child.duration - 0.25) < 1e-9
+
+    def test_finish_is_idempotent_and_captures_error(self):
+        span = Span("request")
+        span.finish()
+        first_end = span.end
+        span.finish()  # second call must not move the end timestamp
+        assert span.end == first_end
+        errored = Span("request").finish(error=ValueError("boom"))
+        assert errored.status == "error"
+        assert errored.error == "ValueError: boom"
+
+    def test_iter_spans_walks_depth_first(self):
+        root = Span("a")
+        b = root.child("b")
+        b.child("c")
+        root.child("d")
+        assert [s.name for s in root.iter_spans()] == ["a", "b", "c", "d"]
+
+    def test_concurrent_record_is_thread_safe(self):
+        root = Span("fit")
+        n_threads, per_thread = 8, 200
+
+        def _record(index):
+            for i in range(per_thread):
+                t0 = time.perf_counter()
+                root.record("one_type", t0, t0, item=f"{index}:{i}")
+
+        threads = [threading.Thread(target=_record, args=(k,))
+                   for k in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(root.children) == n_threads * per_thread
+
+
+class TestToDict:
+    def test_offsets_are_relative_to_root(self):
+        root = Span("request", start=100.0)
+        root.record("http.parse", 100.0, 100.5)
+        root.record("wire.encode", 101.0, 101.25)
+        root.finish(end=101.5)
+        document = root.to_dict()
+        assert document["start_offset_seconds"] == 0.0
+        assert document["duration_seconds"] == 1.5
+        offsets = {child["name"]: child["start_offset_seconds"]
+                   for child in document["children"]}
+        assert offsets == {"http.parse": 0.0, "wire.encode": 1.0}
+
+    def test_error_and_attributes_serialise(self):
+        root = Span("request", model="docs")
+        root.finish(error="ValidationError: bad rows")
+        document = root.to_dict()
+        assert document["status"] == "error"
+        assert document["error"] == "ValidationError: bad rows"
+        assert document["attributes"] == {"model": "docs"}
+        assert "children" not in document
+
+
+class TestContextPropagation:
+    def test_no_current_span_outside_activation(self):
+        assert current_span() is None
+
+    def test_activation_nests_and_restores(self):
+        outer = Span("request")
+        with activate_span(outer):
+            assert current_span() is outer
+            inner = outer.child("compute.predict")
+            with activate_span(inner):
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_activating_none_is_a_noop(self):
+        with activate_span(None) as entered:
+            assert entered is None
+            assert current_span() is None
+
+    def test_thread_does_not_inherit_context(self):
+        # contextvars do not cross thread boundaries: worker threads must
+        # be handed the span explicitly (activate or Span.record), which
+        # is exactly what the runtime and the update kernels do.
+        seen = []
+        with activate_span(Span("request")):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_span()))
+            thread.start()
+            thread.join()
+        assert seen == [None]

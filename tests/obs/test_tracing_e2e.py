@@ -1,0 +1,185 @@
+"""End-to-end tracing through the HTTP front-end and the runtime.
+
+Every test boots a real traced server on a loopback port and talks real
+HTTP — including the acceptance-critical checks that tracing never
+changes numerics and that a retained trace's stage spans actually account
+for the request's wall clock.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.net import NetClient, PredictRequest
+from repro.serve.predictor import BatchPredictor
+
+STAGE_NAMES = ("http.parse", "queue.wait", "compute.predict", "wire.encode")
+
+
+def _raw(host, port, method, path, document=None, *, timeout=30.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    body = None if document is None else json.dumps(document).encode("utf-8")
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, json.loads(payload) if payload else {}
+    finally:
+        conn.close()
+
+
+def _find_trace(handle, trace_id):
+    _, dump = _raw(handle.host, handle.port, "GET", "/v1/traces")
+    matches = [trace for trace in dump["traces"]
+               if trace["trace_id"] == trace_id]
+    assert matches, f"{trace_id} not retained in {len(dump['traces'])} traces"
+    return matches[0]
+
+
+# ----------------------------------------------------------------- numerics
+def test_predictions_bit_identical_with_tracing_on(launch, obs_model_path,
+                                                   obs_queries):
+    handle = launch()  # tracing=True by fixture default
+    in_process = BatchPredictor().serve(PredictRequest(
+        model=str(obs_model_path), type_name="points", queries=obs_queries))
+    with NetClient(handle.host, handle.port) as client:
+        traced = client.predict("docs", "points", obs_queries,
+                                trace_id="parity-check")
+    np.testing.assert_array_equal(traced.labels, in_process.labels)
+    np.testing.assert_array_equal(traced.membership, in_process.membership)
+
+
+# ----------------------------------------------------------------- trace ids
+def test_client_supplied_trace_id_is_echoed(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        response = client.predict("docs", "points", obs_queries[:2],
+                                  trace_id="my-trace-1")
+    assert response.trace_id == "my-trace-1"
+
+
+def test_server_assigns_trace_id_when_client_sends_none(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        response = client.predict("docs", "points", obs_queries[:2])
+    assert response.trace_id is not None
+    assert len(response.trace_id) == 32
+    int(response.trace_id, 16)
+
+
+def test_tracing_off_echoes_but_never_assigns(launch, obs_queries):
+    handle = launch(tracing=False)
+    with NetClient(handle.host, handle.port) as client:
+        echoed = client.predict("docs", "points", obs_queries[:2],
+                                trace_id="still-echoed")
+        bare = client.predict("docs", "points", obs_queries[:2])
+    assert echoed.trace_id == "still-echoed"
+    assert bare.trace_id is None
+
+
+def test_error_response_carries_the_trace_id(launch, obs_queries):
+    handle = launch()
+    status, document = _raw(
+        handle.host, handle.port, "POST", "/v1/predict",
+        {"schema_version": 1, "model": "nope", "type": "points",
+         "queries": obs_queries[:1].tolist(), "trace_id": "err-trace"})
+    assert status == 404
+    assert document["code"] == "model_not_found"
+    assert document["trace_id"] == "err-trace"
+
+
+# ------------------------------------------------------------- span trees
+def test_request_trace_has_the_named_stages(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries, trace_id="stages")
+    trace = _find_trace(handle, "stages")
+    assert trace["name"] == "request"
+    assert trace["status"] == "ok"
+    children = {child["name"] for child in trace["children"]}
+    assert children >= set(STAGE_NAMES)
+
+
+def test_stage_durations_account_for_the_wall_clock(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries, trace_id="coverage")
+    trace = _find_trace(handle, "coverage")
+    wall = trace["duration_seconds"]
+    covered = sum(child["duration_seconds"]
+                  for child in trace["children"]
+                  if child["name"] in STAGE_NAMES)
+    # The named stages are disjoint intervals inside the request window:
+    # their sum can never exceed the wall clock (small float slop aside)
+    # and must explain most of it for the tree to be useful.
+    assert covered <= wall * 1.02
+    assert covered >= wall * 0.5
+
+
+def test_batch_span_links_its_member_requests(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries[:4], trace_id="member")
+    _, dump = _raw(handle.host, handle.port, "GET", "/v1/traces")
+    batches = [trace for trace in dump["traces"] if trace["name"] == "batch"]
+    assert batches, "no batch spans retained"
+    linked = [trace for trace in batches
+              if "member" in trace["attributes"]["member_trace_ids"]]
+    assert len(linked) == 1
+    member = _find_trace(handle, "member")
+    compute = [child for child in member["children"]
+               if child["name"] == "compute.predict"]
+    assert compute[0]["attributes"]["batch_span_id"] == linked[0]["span_id"]
+
+
+def test_errored_request_trace_is_retained(launch, obs_queries):
+    handle = launch()
+    _raw(handle.host, handle.port, "POST", "/v1/predict",
+         {"schema_version": 1, "model": "docs", "type": "no-such-type",
+          "queries": obs_queries[:1].tolist(), "trace_id": "failing"})
+    trace = _find_trace(handle, "failing")
+    assert trace["status"] == "error"
+    assert trace["error"]
+
+
+def test_traces_endpoint_shape_and_method_guard(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries[:2])
+        dump = client.traces()
+    assert dump["tracing"] is True
+    assert dump["recorded"] >= 1
+    assert dump["retained"] == len(dump["traces"])
+    assert {"capacity", "keep_slowest", "keep_errors"} <= set(dump)
+    status, _ = _raw(handle.host, handle.port, "POST", "/v1/traces", {})
+    assert status == 405
+
+
+def test_traces_endpoint_with_tracing_off(launch):
+    handle = launch(tracing=False)
+    status, dump = _raw(handle.host, handle.port, "GET", "/v1/traces")
+    assert status == 200
+    assert dump["tracing"] is False
+    assert dump["traces"] == []
+
+
+# ---------------------------------------------------------------- stats
+def test_stats_surface_stage_histograms_and_errors(launch, obs_queries):
+    handle = launch()
+    with NetClient(handle.host, handle.port) as client:
+        client.predict("docs", "points", obs_queries[:4])
+        with pytest.raises(Exception):
+            client.predict("nope", "points", obs_queries[:1])
+        stats = client.stats()
+    runtime = stats["runtime"]
+    assert runtime["tracing"] is True
+    assert runtime["stages"]["docs"]["http.parse"]["count"] >= 1
+    assert runtime["errors"]["model_not_found"] == 1
+    stage_models = set(runtime["stages"])
+    assert any("compute.predict" in stages
+               for stages in runtime["stages"].values())
+    assert len(stage_models) >= 2  # public id (net) + artifact path (runtime)
