@@ -24,6 +24,8 @@ compatibility adapters, never hot-path storage.
   R-space quantity (the ``G S Gᵀ`` product is never materialised),
   including the per-pair kernels of the blocked core.
 * :mod:`repro.core.state` — blocked factorisation state and initialisation.
+* :mod:`repro.core.schedule` — delta scheduling (:class:`DirtySet`): which
+  blocks an incremental refit recomputes and which stay frozen.
 * :mod:`repro.core.parallel` — the per-type/per-pair thread pool.
 * :mod:`repro.core.convergence` — iteration history bookkeeping.
 * :mod:`repro.core.rhchme` — the :class:`RHCHME` estimator (Algorithm 2).
@@ -34,12 +36,15 @@ from .convergence import IterationRecord, TraceRecorder
 from .objective import ObjectiveBreakdown, evaluate_objective, evaluate_objective_blocks
 from .parallel import TypeWorkPool
 from .rhchme import RHCHME, RHCHMEResult
+from .schedule import DeltaSchedule, DirtySet
 from .state import FactorizationState, initialize_state
 from .updates import (update_association, update_association_blocks,
                       update_error_matrix, update_error_matrix_blocks,
                       update_membership, update_membership_blocks)
 
 __all__ = [
+    "DeltaSchedule",
+    "DirtySet",
     "FactorizationState",
     "IterationRecord",
     "ObjectiveBreakdown",

@@ -37,6 +37,7 @@ from .config import RHCHMEConfig
 from .convergence import TraceRecorder
 from .objective import evaluate_objective_blocks
 from .parallel import TypeWorkPool
+from .schedule import DeltaSchedule, DirtySet
 from .state import FactorizationState, initialize_state, warm_start_state
 from .updates import (active_relation_pairs, update_association_blocks,
                       update_error_matrix_blocks, update_membership_blocks)
@@ -142,7 +143,8 @@ class RHCHME:
 
     # ------------------------------------------------------------------ fit
     def fit(self, data: MultiTypeRelationalData, *,
-            warm_start: FactorizationState | dict | None = None) -> RHCHMEResult:
+            warm_start: FactorizationState | dict | None = None,
+            dirty: DirtySet | None = None) -> RHCHMEResult:
         """Run Algorithm 2 on a multi-type relational dataset.
 
         Parameters
@@ -159,9 +161,32 @@ class RHCHME:
             refresh path of :mod:`repro.runtime` uses this to refit a grown
             dataset from a previously fitted model's blocks in a fraction
             of the cold iterations.
+        dirty:
+            Optional :class:`~repro.core.schedule.DirtySet` declaring which
+            types' data changed; requires ``warm_start``.  Clean ``G_t``
+            blocks are frozen at their warm-start values, clean pairs skip
+            their S/E_R kernels, clean Laplacians are never built, and the
+            objective reuses cached terms for frozen blocks — turning the
+            refit's per-iteration cost into ``O(dirty neighbourhood)``.
+            ``dirty.full_sweep_every=k`` runs every k-th iteration
+            unrestricted.  ``None`` (default) is the full refit,
+            bit-identical to the behaviour without delta scheduling.
         """
         config = self.config
         start = time.perf_counter()
+
+        dirty_indices: frozenset[int] | None = None
+        if dirty is not None:
+            if not isinstance(dirty, DirtySet):
+                raise ValidationError(
+                    f"dirty must be a DirtySet or None, got "
+                    f"{type(dirty).__name__}")
+            if warm_start is None:
+                raise ValidationError(
+                    "dirty-scheduled fits require warm_start=: clean blocks "
+                    "are frozen at their warm-start values, so there is "
+                    "nothing to freeze in a cold fit")
+            dirty_indices = dirty.resolve(data.type_names)
 
         ensemble_start = time.perf_counter()
         ensemble = HeterogeneousManifoldEnsemble(
@@ -178,7 +203,12 @@ class RHCHME:
             backend=config.backend,
             random_state=config.random_state,
         )
-        L_blocks = ensemble.build_blocks(data)
+        # Without sweeps only dirty types ever run a G update, so only
+        # their Laplacian blocks are built; sweep iterations need them all.
+        build_types = None
+        if dirty is not None and dirty.full_sweep_every <= 0:
+            build_types = dirty_indices
+        L_blocks = ensemble.build_blocks(data, types=build_types)
         backend = ensemble.resolved_backend_
         ensemble_seconds = time.perf_counter() - ensemble_start
 
@@ -192,8 +222,9 @@ class RHCHME:
 
         # L is fixed for the whole fit; split each type's block into
         # (L_t⁺, L_t⁻) once instead of re-splitting inside every membership
-        # update.
-        L_parts = [split_parts(block) for block in L_blocks]
+        # update.  Types the delta schedule never updates carry no block.
+        L_parts = [None if block is None else split_parts(block)
+                   for block in L_blocks]
         if warm_start is None:
             state = initialize_state(data, R_pairs, init=config.init,
                                      smoothing=config.init_smoothing,
@@ -216,14 +247,26 @@ class RHCHME:
         # computed once per fit.
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
 
+        schedule = None
+        objective_cache = None
+        if dirty is not None:
+            schedule = DeltaSchedule(dirty, data.type_names, pairs,
+                                     track_errors=config.use_error_matrix)
+            objective_cache = {}
+
         monitor = None
         fit_span = None
         if config.diagnostics:
-            # One eigensolve per type up front (L is fixed for the whole
-            # fit), then O(n) churn per recorded iterate — see
-            # repro.diagnostics.spectral for the cost contract.
-            from ..diagnostics.spectral import SpectralMonitor
-            monitor = SpectralMonitor([t.name for t in data.types], L_blocks)
+            if schedule is None:
+                # One eigensolve per type up front (L is fixed for the
+                # whole fit), then O(n) churn per recorded iterate — see
+                # repro.diagnostics.spectral for the cost contract.  A
+                # delta-scheduled fit skips the monitor: clean Laplacians
+                # are deliberately never built, and eigensolving them here
+                # would defeat the schedule's whole point.
+                from ..diagnostics.spectral import SpectralMonitor
+                monitor = SpectralMonitor([t.name for t in data.types],
+                                          L_blocks)
             # Diagnostics also buys the hierarchical fit trace: one span
             # tree per fit (per-iteration -> per-family -> per-kernel),
             # persisted with the spectral summary in the artifact sidecar.
@@ -242,36 +285,53 @@ class RHCHME:
             # not change between recording the initial objective and the
             # first loop pass, so re-solving there would recompute the
             # identical matrix (one full wasted S solve per fit).
+            setup_sweep = schedule is not None and schedule.sweep(1)
             with _span_scope(fit_span, "setup"):
-                state.S = self._timed(trace, "s_update",
-                                      update_association_blocks,
-                                      R_pairs, state, pairs=pairs, pool=pool)
+                state.S = self._timed(
+                    trace, "s_update", update_association_blocks,
+                    R_pairs, state, pairs=pairs, pool=pool,
+                    dirty_pairs=(schedule.dirty_pairs
+                                 if schedule is not None and not setup_sweep
+                                 else None),
+                    S_prev=state.S if schedule is not None else None)
                 self._record(trace, data, R_pairs, L_blocks, state, pairs,
-                             pool, monitor=monitor)
+                             pool, monitor=monitor, schedule=schedule,
+                             sweep=setup_sweep, cache=objective_cache)
 
             for iteration in range(1, config.max_iter + 1):
+                sweep = schedule is not None and schedule.sweep(iteration)
+                restrict = schedule is not None and not sweep
                 with _span_scope(fit_span, "iteration", iteration=iteration):
                     if iteration > 1:
-                        state.S = self._timed(trace, "s_update",
-                                              update_association_blocks,
-                                              R_pairs, state, pairs=pairs,
-                                              pool=pool)
-                    state.G_blocks = self._timed(trace, "g_update",
-                                                 update_membership_blocks,
-                                                 R_pairs, L_parts, state,
-                                                 lam=config.lam, pairs=pairs,
-                                                 pool=pool)
+                        state.S = self._timed(
+                            trace, "s_update", update_association_blocks,
+                            R_pairs, state, pairs=pairs, pool=pool,
+                            dirty_pairs=(schedule.dirty_pairs if restrict
+                                         else None),
+                            S_prev=(state.S if schedule is not None
+                                    else None))
+                    state.G_blocks = self._timed(
+                        trace, "g_update", update_membership_blocks,
+                        R_pairs, L_parts, state,
+                        lam=config.lam, pairs=pairs, pool=pool,
+                        dirty_types=(schedule.dirty_types if restrict
+                                     else None))
                     if config.use_error_matrix:
-                        state.E_R = self._timed(trace, "e_update",
-                                                update_error_matrix_blocks,
-                                                R_pairs, state,
-                                                beta=config.beta,
-                                                zeta=config.zeta,
-                                                row_tol=config.error_row_tol,
-                                                pairs=pairs, pool=pool)
+                        state.E_R = self._timed(
+                            trace, "e_update", update_error_matrix_blocks,
+                            R_pairs, state,
+                            beta=config.beta,
+                            zeta=config.zeta,
+                            row_tol=config.error_row_tol,
+                            pairs=pairs, pool=pool,
+                            dirty_types=(schedule.error_types if restrict
+                                         else None),
+                            E_prev=(state.E_R if schedule is not None
+                                    else None))
                     state.iteration = iteration
                     self._record(trace, data, R_pairs, L_blocks, state, pairs,
-                                 pool, monitor=monitor)
+                                 pool, monitor=monitor, schedule=schedule,
+                                 sweep=sweep, cache=objective_cache)
                 decrease = trace.last_relative_decrease()
                 if 0.0 <= decrease < config.tol:
                     converged = True
@@ -288,6 +348,8 @@ class RHCHME:
                                       "n_jobs": config.n_jobs,
                                       "update_seconds": trace.timings,
                                       "warm_start": warm_start is not None})
+        if schedule is not None:
+            result.extras["dirty"] = schedule.describe()
         if monitor is not None:
             result.extras["diagnostics"] = monitor.summary(trace)
         if fit_span is not None:
@@ -295,7 +357,8 @@ class RHCHME:
                               n_iterations=int(iteration))
             fit_span.finish()
             trace.span_tree = fit_span
-            result.extras["diagnostics"]["trace"] = fit_span.to_dict()
+            result.extras.setdefault("diagnostics", {})["trace"] = \
+                fit_span.to_dict()
         self.result_ = result
         return result
 
@@ -356,12 +419,14 @@ class RHCHME:
     # -------------------------------------------------------------- internal
     def _record(self, trace: TraceRecorder, data: MultiTypeRelationalData,
                 R_pairs, L_blocks, state: FactorizationState, pairs,
-                pool, monitor=None) -> None:
+                pool, monitor=None, schedule=None, sweep: bool = False,
+                cache=None) -> None:
         """Record the objective breakdown and optional metrics for one iterate."""
         config = self.config
         breakdown = self._timed(trace, "objective", evaluate_objective_blocks,
                                 R_pairs, state, L_blocks, lam=config.lam,
-                                beta=config.beta, pairs=pairs, pool=pool)
+                                beta=config.beta, pairs=pairs, pool=pool,
+                                schedule=schedule, sweep=sweep, cache=cache)
         metrics: dict[str, float] = {}
         if monitor is not None:
             metrics.update(monitor.observe(state))

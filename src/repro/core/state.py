@@ -207,7 +207,8 @@ def warm_start_state(data: MultiTypeRelationalData,
                      blocks: Mapping[str, np.ndarray], *,
                      association: np.ndarray | None = None,
                      error_matrix: np.ndarray | None = None,
-                     smoothing: float = 0.05) -> FactorizationState:
+                     smoothing: float = 0.05,
+                     smooth_types=None) -> FactorizationState:
     """Build a factorisation state from per-type membership blocks.
 
     This is the warm-start entry point of the fitter: a caller that already
@@ -241,6 +242,12 @@ def warm_start_state(data: MultiTypeRelationalData,
         normalisation.  The multiplicative updates cannot move an entry off
         an exact zero, so a small floor keeps every cluster reachable for
         the new objects; ``0`` disables the mixing.
+    smooth_types:
+        Optional iterable of type names to restrict the smoothing mix to.
+        A delta-scheduled refresh passes its dirty types here: frozen
+        clean blocks keep their fitted values exactly (re-normalised
+        only), while the blocks that will actually be re-optimised get
+        the uniform floor.  ``None`` (default) smooths every type.
     """
     smoothing = check_positive_float(smoothing, name="smoothing",
                                      minimum=0.0, inclusive=True)
@@ -248,6 +255,14 @@ def warm_start_state(data: MultiTypeRelationalData,
         raise ValidationError(f"smoothing must be < 1, got {smoothing}")
     object_spec = data.object_block_spec()
     cluster_spec = data.cluster_block_spec()
+    smooth_names = None
+    if smooth_types is not None:
+        smooth_names = {str(name) for name in smooth_types}
+        unknown = sorted(smooth_names - set(data.type_names))
+        if unknown:
+            raise ValidationError(
+                f"smooth_types names unknown object types {unknown}; the "
+                f"dataset has {list(data.type_names)}")
     prepared: list[np.ndarray] = []
     for object_type in data.types:
         if object_type.name not in blocks:
@@ -263,7 +278,8 @@ def warm_start_state(data: MultiTypeRelationalData,
                 f"{block.shape}, expected {expected}")
         check_non_negative(block, name=f"blocks[{object_type.name!r}]")
         block = row_normalize_l1(block)
-        if smoothing > 0.0:
+        if smoothing > 0.0 and (smooth_names is None
+                                or object_type.name in smooth_names):
             block = ((1.0 - smoothing) * block
                      + smoothing / object_type.n_clusters)
         prepared.append(block)

@@ -287,7 +287,8 @@ def active_relation_pairs(R_pairs, E_R, object_spec) -> list[tuple[int, int]]:
 
 
 def update_association_blocks(R_pairs, state: FactorizationState, *,
-                              pairs=None, pool=None) -> np.ndarray:
+                              pairs=None, pool=None, dirty_pairs=None,
+                              S_prev=None) -> np.ndarray:
     """Blockwise closed-form S update (Eq. 18).
 
     ``GᵀG`` is block diagonal, so its pseudo-inverse is the block diagonal
@@ -297,13 +298,26 @@ def update_association_blocks(R_pairs, state: FactorizationState, *,
     step disappears instead of being re-imposed.  ``R_pairs`` maps ordered
     type-index pairs to relation blocks (dense or CSR); pairs absent from
     both ``R_pairs`` and ``pairs`` contribute nothing.
+
+    Under a delta schedule ``dirty_pairs`` restricts the solve to the
+    pairs whose factors moved; clean blocks carry over from ``S_prev``
+    (the warm-start association), whose diagonal blocks are re-zeroed to
+    keep the structural invariant regardless of what the caller stored
+    there.  With ``dirty_pairs=None`` (the default) every active pair is
+    solved into a fresh zero matrix — the pre-delta behaviour, unchanged.
     """
     if pairs is None:
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
     G = state.G_blocks
     cluster_spec = state.cluster_spec
     object_spec = state.object_spec
-    pinvs = [gram_pinv(block.T @ block) for block in G]
+    if dirty_pairs is None:
+        compute = list(pairs)
+        pinvs = [gram_pinv(block.T @ block) for block in G]
+    else:
+        compute = [pair for pair in pairs if pair in dirty_pairs]
+        needed = sorted({index for pair in compute for index in pair})
+        pinvs = {index: gram_pinv(G[index].T @ G[index]) for index in needed}
 
     def one_pair(pair):
         t, u = pair
@@ -311,15 +325,21 @@ def update_association_blocks(R_pairs, state: FactorizationState, *,
         core = G[t].T @ rspace.project_relations(R_pairs.get(pair), E_tu, G[u])
         return pinvs[t] @ core @ pinvs[u]
 
-    S = np.zeros((cluster_spec.total, cluster_spec.total))
-    for (t, u), block in zip(pairs, _map(pool, one_pair, pairs)):
+    if dirty_pairs is None or S_prev is None:
+        S = np.zeros((cluster_spec.total, cluster_spec.total))
+    else:
+        S = np.array(S_prev, dtype=np.float64, copy=True)
+        for t in range(cluster_spec.n_types):
+            block = cluster_spec.slice(t)
+            S[block, block] = 0.0
+    for (t, u), block in zip(compute, _map(pool, one_pair, compute)):
         S[cluster_spec.slice(t), cluster_spec.slice(u)] = block
     return S
 
 
 def update_membership_blocks(R_pairs, L_parts, state: FactorizationState, *,
-                             lam: float, pairs=None,
-                             pool=None) -> list[np.ndarray]:
+                             lam: float, pairs=None, pool=None,
+                             dirty_types=None) -> list[np.ndarray]:
     """Blockwise multiplicative G update (Eq. 21–22), one task per type.
 
     For type ``t`` the relevant rows of the global update's A and B terms
@@ -329,6 +349,12 @@ def update_membership_blocks(R_pairs, L_parts, state: FactorizationState, *,
     ``L_parts`` supplies the per-type ``(L_t⁺, L_t⁻)`` splits (loop-invariant,
     computed once per fit).  Types are independent given the other factors,
     so they thread across ``pool``.
+
+    ``dirty_types`` (a set of type indices) restricts the update to those
+    types; every clean type's block object is returned *as is* — frozen,
+    never copied, its ``L_parts`` entry never touched (a delta-scheduled
+    fit does not even build clean Laplacians).  ``None`` updates every
+    type, exactly as before.
     """
     if pairs is None:
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
@@ -336,12 +362,18 @@ def update_membership_blocks(R_pairs, L_parts, state: FactorizationState, *,
     S = state.S
     cluster_spec = state.cluster_spec
     object_spec = state.object_spec
-    grams = [block.T @ block for block in G]
     by_source: dict[int, list[int]] = {}
     by_target: dict[int, list[int]] = {}
     for t, u in pairs:
         by_source.setdefault(t, []).append(u)
         by_target.setdefault(u, []).append(t)
+    if dirty_types is None:
+        todo = list(range(object_spec.n_types))
+        grams = [block.T @ block for block in G]
+    else:
+        todo = sorted(dirty_types)
+        needed = sorted({u for t in todo for u in by_target.get(t, ())})
+        grams = {u: G[u].T @ G[u] for u in needed}
 
     def s_block(t: int, u: int) -> np.ndarray:
         return S[cluster_spec.slice(t), cluster_spec.slice(u)]
@@ -365,7 +397,12 @@ def update_membership_blocks(R_pairs, L_parts, state: FactorizationState, *,
         ratio = safe_divide(numerator, denominator, eps=_EPS)
         return row_normalize_l1(block * np.sqrt(ratio))
 
-    return _map(pool, one_type, range(object_spec.n_types))
+    if dirty_types is None:
+        return _map(pool, one_type, todo)
+    updated = list(G)
+    for t, block in zip(todo, _map(pool, one_type, todo)):
+        updated[t] = block
+    return updated
 
 
 def _pair_frobenius_sq(R_pairs, pairs) -> float:
@@ -378,10 +415,33 @@ def _pair_frobenius_sq(R_pairs, pairs) -> float:
     return total
 
 
+def _carried_error_rows(E_prev, object_spec, t: int, n_total: int):
+    """Type ``t``'s stored rows of the previous E_R, in global coordinates.
+
+    The splice path of a delta-scheduled E update: clean row types carry
+    their previous rows through unchanged instead of re-solving them.
+    Returns ``(rows, values)`` with values of global width ``n_total``.
+    """
+    lo = object_spec.offsets[t]
+    hi = lo + object_spec.sizes[t]
+    if E_prev is None:
+        return np.empty(0, dtype=np.int64), np.empty((0, n_total))
+    if isinstance(E_prev, RowSparseMatrix):
+        start = int(np.searchsorted(E_prev.rows, lo))
+        stop = int(np.searchsorted(E_prev.rows, hi))
+        return (np.asarray(E_prev.rows[start:stop], dtype=np.int64),
+                np.asarray(E_prev.values[start:stop]))
+    block = np.asarray(E_prev)[lo:hi]
+    norms_sq = np.einsum("ij,ij->i", block, block)
+    keep = np.flatnonzero(norms_sq > 0.0)
+    return keep.astype(np.int64) + lo, block[keep]
+
+
 def update_error_matrix_blocks(R_pairs, state: FactorizationState, *,
                                beta: float, zeta: float = 1e-10,
                                row_tol: float = 0.0, pairs=None,
-                               pool=None, sparse: bool | None = None):
+                               pool=None, sparse: bool | None = None,
+                               dirty_types=None, E_prev=None):
     """Blockwise sample-wise sparse error matrix update (Eq. 25–27).
 
     The L2,1 row norm of object ``i`` of type ``t`` spans every cross-type
@@ -395,6 +455,11 @@ def update_error_matrix_blocks(R_pairs, state: FactorizationState, *,
     Returns the global representation the rest of the pipeline speaks: a
     :class:`RowSparseMatrix` when the relations are CSR (or ``sparse=True``),
     a dense array otherwise.
+
+    Under a delta schedule ``dirty_types`` restricts the re-solve to those
+    row types; every clean row type splices its rows of ``E_prev`` (the
+    previous iterate's error matrix) through unchanged.  ``None`` solves
+    every type from scratch — the pre-delta behaviour, unchanged.
     """
     if pairs is None:
         pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
@@ -419,7 +484,17 @@ def update_error_matrix_blocks(R_pairs, state: FactorizationState, *,
     for t, u in pairs:
         by_source.setdefault(t, []).append(u)
 
-    E_dense = None if sparse else np.zeros((n_total, n_total))
+    todo = (list(range(object_spec.n_types)) if dirty_types is None
+            else sorted(dirty_types))
+    if sparse:
+        E_dense = None
+    elif dirty_types is None or E_prev is None:
+        E_dense = np.zeros((n_total, n_total))
+    else:
+        E_dense = (E_prev.to_dense() if isinstance(E_prev, RowSparseMatrix)
+                   else np.array(E_prev, dtype=np.float64, copy=True))
+        for t in todo:
+            E_dense[object_spec.slice(t), :] = 0.0
 
     def one_type(t: int):
         targets = by_source.get(t, ())
@@ -468,10 +543,20 @@ def update_error_matrix_blocks(R_pairs, state: FactorizationState, *,
                 residuals[u] * scale[:, None])
         return None
 
-    results = _map(pool, one_type, range(object_spec.n_types))
+    results = _map(pool, one_type, todo)
     if not sparse:
         return E_dense
-    rows = np.concatenate([result[0] for result in results])
-    values = (np.vstack([result[1] for result in results])
+    if dirty_types is None:
+        pieces = results
+    else:
+        # Recomputed rows land in their type's global row range and clean
+        # types splice theirs from E_prev, so concatenating in type order
+        # keeps the global row index strictly increasing.
+        solved = dict(zip(todo, results))
+        pieces = [solved.get(t) if t in solved
+                  else _carried_error_rows(E_prev, object_spec, t, n_total)
+                  for t in range(object_spec.n_types)]
+    rows = np.concatenate([piece[0] for piece in pieces])
+    values = (np.vstack([piece[1] for piece in pieces])
               if rows.size else np.empty((0, n_total)))
     return RowSparseMatrix(rows, values, (n_total, n_total))

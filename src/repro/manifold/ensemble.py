@@ -189,7 +189,8 @@ class HeterogeneousManifoldEnsemble:
         return _TypeLaplacians(name=name, subspace=subspace_laplacian,
                                pnn=pnn_laplacian, combined=combined)
 
-    def build_blocks(self, data: MultiTypeRelationalData) -> list:
+    def build_blocks(self, data: MultiTypeRelationalData, *,
+                     types=None) -> list:
         """Build the per-type ensemble Laplacian blocks ``L_t`` (Eq. 12).
 
         The global regulariser L is block diagonal by construction — it
@@ -198,12 +199,22 @@ class HeterogeneousManifoldEnsemble:
         own, in the resolved backend's representation (dense array or CSR).
         The concrete backend used is recorded on ``resolved_backend_`` and
         the per-type members on ``members_``.
+
+        ``types`` optionally restricts the build to a subset of type
+        *indices* — a delta-scheduled refit only re-optimises dirty types,
+        so building (and eigen-touching) the clean types' graphs would be
+        pure waste at scale.  Skipped types yield ``None`` in both the
+        returned list and ``members_``.
         """
         backend = self.resolve(data.n_objects_total)
         self.resolved_backend_ = backend
         self.members_ = []
         blocks = []
-        for object_type in data.types:
+        for index, object_type in enumerate(data.types):
+            if types is not None and index not in types:
+                self.members_.append(None)
+                blocks.append(None)
+                continue
             member = self.build_for_type(object_type.name, object_type.features,
                                          object_type.n_objects, backend=backend)
             self.members_.append(member)

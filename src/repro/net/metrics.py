@@ -227,6 +227,33 @@ def _drift_section(out: _Exposition, drift: dict,
                        entry.get("mass_psi"), labels)
 
 
+def _refresh_section(out: _Exposition, refresh: dict,
+                     routes_by_path: dict[str, str]) -> None:
+    for path, entry in ((refresh or {}).get("models") or {}).items():
+        labels = {"model": _model_label(routes_by_path, path)}
+        out.sample("repro_refresh_last_seconds", "gauge",
+                   "Wall-clock seconds of the model's most recent refresh.",
+                   entry.get("seconds"), labels)
+        out.sample("repro_refresh_last_iterations", "gauge",
+                   "Solver iterations the most recent refresh ran.",
+                   entry.get("iterations"), labels)
+        out.sample("repro_refresh_types_touched", "gauge",
+                   "Object types the most recent refresh re-optimised "
+                   "(all types on a full warm refit).",
+                   entry.get("n_types_touched"), labels)
+        out.sample("repro_refresh_agreement_proxy", "gauge",
+                   "Fraction of pre-refresh objects keeping their cluster "
+                   "assignment through the refresh.",
+                   entry.get("agreement_proxy"), labels)
+        out.sample("repro_refresh_new_objects", "gauge",
+                   "Objects appended to the corpus by the most recent "
+                   "refresh.", entry.get("n_new_objects"), labels)
+        out.sample("repro_refresh_delta_scheduled", "gauge",
+                   "1 when the most recent refresh ran under a delta "
+                   "schedule (clean types frozen).",
+                   entry.get("delta"), labels)
+
+
 def _policy_section(out: _Exposition, policy,
                     routes_by_path: dict[str, str]) -> None:
     snapshot = getattr(policy, "snapshot", None)
@@ -296,6 +323,7 @@ def render_prometheus(server) -> str:
     _errors_section(out, runtime_stats.errors)
     _batch_policy_section(out, runtime_stats.batch_policy, routes_by_path)
     _drift_section(out, runtime_stats.drift, routes_by_path)
+    _refresh_section(out, runtime_stats.refresh, routes_by_path)
     _policy_section(out, getattr(server.runtime, "refresh_policy", None),
                     routes_by_path)
     _spectral_section(out, server)

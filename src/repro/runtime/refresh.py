@@ -25,6 +25,13 @@ of the cold iteration count while agreeing with a cold refit on the vast
 majority of objects (test-enforced at ≥ 90%, the same bar the serving
 extension meets).
 
+On top of the warm start, ``refresh_model(..., dirty=...)`` adds *delta
+scheduling* (see :mod:`repro.core.schedule`): only the types whose data
+actually changed — and their neighbourhood of pairs — recompute, so a
+refresh touching 1 of T types costs a fraction of even the warm-start
+refit.  ``dirty="auto"`` derives the dirty set from the growth delta
+itself; ``dirty=None`` keeps the full warm-start refit.
+
 ``refresh_model`` requires the grown dataset to *extend* the fitted one:
 same types in the same order, same cluster counts, old objects forming a
 prefix of each type (new objects append).  That is exactly the shape of a
@@ -33,12 +40,14 @@ streaming ingest; reshuffled or shrunk datasets need a cold fit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
 from ..core.config import RHCHMEConfig
 from ..core.rhchme import RHCHME, RHCHMEResult
+from ..core.schedule import DirtySet
 from ..core.state import warm_start_state
 from ..exceptions import ValidationError
 from ..linalg.rowsparse import RowSparseMatrix
@@ -50,6 +59,9 @@ __all__ = ["RefreshOutcome", "refresh_model", "warm_start_blocks"]
 #: Uniform mass mixed into warm-start rows so no cluster starts at an exact
 #: zero (multiplicative updates cannot leave zeros).
 _SMOOTHING = 0.05
+
+#: Accepted values of the ``validate`` knob.
+_VALIDATE_MODES = ("full", "shapes")
 
 
 @dataclass(frozen=True)
@@ -64,26 +76,85 @@ class RefreshOutcome:
         The underlying fit result (trace, convergence, timings).
     grown:
         Mapping from type name to how many new objects it gained.
+    dirty:
+        The :class:`~repro.core.schedule.DirtySet` the refit was scheduled
+        with, or ``None`` for a full warm-start refit.
+    seconds:
+        Wall-clock time of the refresh (warm start + refit + export).
+    agreement_proxy:
+        Fraction of objects whose final hard label matches their
+        warm-start seed — a cheap online stand-in for cold-refit
+        agreement (``None`` when the dataset carries no objects).
     """
 
     model: RHCHMEModel
     result: RHCHMEResult
     grown: dict[str, int]
+    dirty: DirtySet | None = None
+    seconds: float = 0.0
+    agreement_proxy: float | None = field(default=None)
 
     @property
     def n_new_objects(self) -> int:
         """Total number of newly added objects across all types."""
         return int(sum(self.grown.values()))
 
+    @property
+    def delta_scheduled(self) -> bool:
+        """Whether the refit ran under a delta schedule."""
+        return self.dirty is not None
 
-def _check_extends(model: RHCHMEModel,
-                   data: MultiTypeRelationalData) -> dict[str, int]:
-    """Validate that ``data`` extends the model's training set; return growth."""
-    if data.type_names != model.type_names:
+    @property
+    def types_touched(self) -> list[str]:
+        """Names of the types the refit re-optimised (all when full)."""
+        if self.dirty is None:
+            return [info.name for info in self.model.types]
+        return sorted(self.dirty.types)
+
+    def telemetry(self) -> dict:
+        """JSON-safe refresh summary (served on ``/v1/stats`` and metrics)."""
+        return {
+            "delta": self.delta_scheduled,
+            "types_touched": self.types_touched,
+            "n_types_touched": len(self.types_touched),
+            "iterations": int(self.result.n_iterations),
+            "converged": bool(self.result.converged),
+            "seconds": float(self.seconds),
+            "agreement_proxy": (None if self.agreement_proxy is None
+                                else float(self.agreement_proxy)),
+            "n_new_objects": self.n_new_objects,
+            "grown": {name: int(count) for name, count in self.grown.items()},
+        }
+
+
+def _check_extends(model: RHCHMEModel, data: MultiTypeRelationalData, *,
+                   validate: str = "full") -> dict[str, int]:
+    """Validate that ``data`` extends the model's training set; return growth.
+
+    ``validate="shapes"`` skips the element-wise feature-prefix comparison
+    (sizes and widths are still checked) — the append-only object log
+    guarantees the prefix property by construction, and the comparison
+    would page every clean type's features into RAM on an mmap-opened
+    artifact, defeating the point of the mapped layout.
+    """
+    if validate not in _VALIDATE_MODES:
         raise ValidationError(
-            f"refresh dataset types {data.type_names} do not match the "
-            f"fitted model's types {model.type_names} (same names, same "
-            "order required)")
+            f"validate must be one of {_VALIDATE_MODES}, got {validate!r}")
+    if data.type_names != model.type_names:
+        if sorted(data.type_names) == sorted(model.type_names):
+            raise ValidationError(
+                f"refresh dataset reordered the fitted types: got "
+                f"{data.type_names}, the model was fitted on "
+                f"{model.type_names} — an incremental refresh needs the "
+                "same types in the same order")
+        missing = [name for name in model.type_names
+                   if name not in data.type_names]
+        unexpected = [name for name in data.type_names
+                      if name not in model.type_names]
+        raise ValidationError(
+            f"refresh dataset types do not match the fitted model's: "
+            f"missing {missing or 'none'}, unexpected {unexpected or 'none'} "
+            f"(the model was fitted on {model.type_names})")
     grown: dict[str, int] = {}
     for info in model.types:
         object_type = data.get_type(info.name)
@@ -97,40 +168,52 @@ def _check_extends(model: RHCHMEModel,
                 f"type {info.name!r} shrank ({info.n_objects} -> "
                 f"{object_type.n_objects} objects); refresh only supports "
                 "appended objects — run a cold fit instead")
-        if info.name in model.features:
+        if info.n_features is not None:
             if object_type.features is None:
                 raise ValidationError(
-                    f"type {info.name!r} lost its feature matrix; the grown "
+                    f"type {info.name!r} lost its feature matrix (fitted "
+                    f"with {info.n_objects} feature rows); the grown "
                     "dataset must extend the fitted one")
-            old = model.features[info.name]
             new = object_type.features
-            if new.shape[1] != old.shape[1] or not np.allclose(
-                    new[: info.n_objects], old):
+            # width from TypeInfo metadata, not the stored array: on a lazy
+            # mmap-opened artifact this check must not touch feature files
+            if new.shape[1] != info.n_features:
                 raise ValidationError(
-                    f"features of type {info.name!r} do not extend the fitted "
-                    "training features (old objects must form an unchanged "
-                    "prefix); refresh assumes appended objects")
+                    f"features of type {info.name!r} changed width "
+                    f"({info.n_features} -> {new.shape[1]} columns); the "
+                    "grown dataset must extend the fitted training features")
+            if validate == "full" and not np.allclose(
+                    new[: info.n_objects], model.features[info.name]):
+                raise ValidationError(
+                    f"features of type {info.name!r} do not extend the "
+                    f"fitted training features (the first {info.n_objects} "
+                    f"of {object_type.n_objects} rows must form an "
+                    "unchanged prefix); refresh assumes appended objects")
         grown[info.name] = object_type.n_objects - info.n_objects
     return grown
 
 
 def warm_start_blocks(model: RHCHMEModel, data: MultiTypeRelationalData, *,
-                      batch_size: int = 256) -> dict[str, np.ndarray]:
+                      batch_size: int = 256,
+                      validate: str = "full") -> dict[str, np.ndarray]:
     """Per-type warm-start membership blocks for a grown dataset.
 
     Old rows are the model's fitted blocks; appended rows are seeded with
     the out-of-sample smoothed membership when the type has features, else
-    with the type's mean membership row.
+    with the type's mean membership row.  Only the appended rows' features
+    are ever read, so an mmap-opened artifact seeds growth without paging
+    clean types in (pass ``validate="shapes"`` to also skip the
+    feature-prefix content check — see :func:`_check_extends`).
     """
-    grown = _check_extends(model, data)
+    grown = _check_extends(model, data, validate=validate)
     blocks: dict[str, np.ndarray] = {}
     for info in model.types:
         old_block = model.membership[info.name]
         n_new = grown[info.name]
         if n_new == 0:
-            blocks[info.name] = old_block.copy()
+            blocks[info.name] = np.array(old_block, copy=True)
             continue
-        if info.name in model.features:
+        if info.n_features is not None:
             new_features = data.get_type(info.name).features[info.n_objects:]
             seeded = model.predict(info.name, new_features,
                                    batch_size=batch_size).membership
@@ -172,7 +255,22 @@ def _embed_error_matrix(model: RHCHMEModel, data: MultiTypeRelationalData
     return E_R
 
 
-def refresh_model(model: RHCHMEModel | str, data: MultiTypeRelationalData,
+def _seed_agreement(blocks: dict[str, np.ndarray],
+                    result: RHCHMEResult) -> float | None:
+    """Fraction of objects keeping their warm-start hard label."""
+    agree = 0
+    total = 0
+    for name, block in blocks.items():
+        seeds = np.argmax(np.asarray(block), axis=1)
+        final = result.labels[name]
+        agree += int(np.sum(seeds == final))
+        total += int(seeds.size)
+    return agree / total if total else None
+
+
+def refresh_model(model: RHCHMEModel | str, data: MultiTypeRelationalData, *,
+                  dirty: DirtySet | str | None = None,
+                  validate: str = "full",
                   **overrides) -> RefreshOutcome:
     """Warm-start refit ``model`` on the grown dataset ``data``.
 
@@ -184,6 +282,19 @@ def refresh_model(model: RHCHMEModel | str, data: MultiTypeRelationalData,
     data:
         The grown dataset: the model's training objects plus newly appended
         objects (validated — see module docstring).
+    dirty:
+        Delta schedule for the refit.  ``None`` (default) is the full
+        warm-start refit — unchanged behaviour.  A
+        :class:`~repro.core.schedule.DirtySet` restricts the refit to the
+        named types' neighbourhood, and ``"auto"`` builds that set from
+        the growth delta (types that gained objects).  Warm-start
+        smoothing is then applied only to the dirty types, so frozen
+        blocks keep their fitted values exactly.
+    validate:
+        ``"full"`` (default) checks the feature prefix element-wise;
+        ``"shapes"`` trusts the append-only contract and checks only
+        sizes/widths — required to keep an mmap-opened artifact's clean
+        types unpaged.
     overrides:
         Config overrides for the refit, validated through
         :meth:`RHCHMEConfig.with_overrides` (e.g. ``max_iter=10`` to cap
@@ -192,21 +303,34 @@ def refresh_model(model: RHCHMEModel | str, data: MultiTypeRelationalData,
     Returns
     -------
     RefreshOutcome
-        The refreshed artifact plus the underlying fit result and growth
-        accounting.
+        The refreshed artifact plus the underlying fit result, growth
+        accounting and refresh telemetry.
     """
+    start = time.perf_counter()
     if not isinstance(model, RHCHMEModel):
         model = RHCHMEModel.load(model)
     config: RHCHMEConfig = model.config
     if overrides:
         config = config.with_overrides(**overrides)
-    blocks = warm_start_blocks(model, data)
-    state = warm_start_state(data, blocks, association=model.association,
-                             error_matrix=_embed_error_matrix(model, data),
-                             smoothing=_SMOOTHING)
-    estimator = RHCHME(config)
-    result = estimator.fit(data, warm_start=state)
-    refreshed = result.to_model(data, config)
+    blocks = warm_start_blocks(model, data, validate=validate)
     grown = {info.name: data.get_type(info.name).n_objects - info.n_objects
              for info in model.types}
-    return RefreshOutcome(model=refreshed, result=result, grown=grown)
+    if isinstance(dirty, str):
+        if dirty != "auto":
+            raise ValidationError(
+                f'dirty must be a DirtySet, "auto" or None, got {dirty!r}')
+        dirty = DirtySet.from_growth(grown)
+    elif dirty is not None and not isinstance(dirty, DirtySet):
+        raise ValidationError(
+            f'dirty must be a DirtySet, "auto" or None, got '
+            f"{type(dirty).__name__}")
+    smooth_types = None if dirty is None else sorted(dirty.types)
+    state = warm_start_state(data, blocks, association=model.association,
+                             error_matrix=_embed_error_matrix(model, data),
+                             smoothing=_SMOOTHING, smooth_types=smooth_types)
+    estimator = RHCHME(config)
+    result = estimator.fit(data, warm_start=state, dirty=dirty)
+    refreshed = result.to_model(data, config)
+    return RefreshOutcome(model=refreshed, result=result, grown=grown,
+                          dirty=dirty, seconds=time.perf_counter() - start,
+                          agreement_proxy=_seed_agreement(blocks, result))

@@ -40,12 +40,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.schedule import DirtySet
 from ..exceptions import (QueueFullError, ServerClosedError, ValidationError,
                           error_code)
 from ..net.schema import PredictRequest, PredictResponse
 from ..obs import Observability, activate_span
 from ..serve._legacy import legacy_positional_args
-from ..serve.artifact import RHCHMEModel
+from ..serve.artifact import MMAP_LAYOUT, RHCHMEModel
 from ..serve.extension import Prediction
 from ..serve.predictor import BatchPredictor
 from ..serve.shards import ShardedModelReader
@@ -83,6 +84,10 @@ class RuntimeStats:
     tracing: bool = False
     stages: dict = field(default_factory=dict)
     errors: dict = field(default_factory=dict)
+    # Refresh telemetry: per-model summary of the last refresh (delta
+    # scheduling, types touched, iterations, seconds, agreement proxy)
+    # under "models", plus the most recent one under "last".
+    refresh: dict = field(default_factory=dict)
 
     @property
     def mean_batch_rows(self) -> float:
@@ -108,6 +113,7 @@ class RuntimeStats:
             "tracing": self.tracing,
             "stages": dict(self.stages),
             "errors": dict(self.errors),
+            "refresh": dict(self.refresh),
         }
 
 
@@ -182,6 +188,19 @@ class RuntimeServer:
     refresh_overrides:
         Config overrides forwarded to :meth:`refresh` by the automatic
         path (e.g. ``{"max_iter": 10}`` to bound refit cost).
+    delta_refresh:
+        When ``True``, :meth:`refresh` calls that pass no explicit
+        ``dirty`` derive a :class:`~repro.core.schedule.DirtySet`
+        automatically: types that grew in the refresh dataset plus types
+        whose serving-time drift score is at or above
+        ``drift_dirty_threshold`` — the clean remainder of the model stays
+        frozen through the refit.  ``False`` (default) keeps every
+        refresh a full warm-start refit unless the caller passes
+        ``dirty`` explicitly.
+    drift_dirty_threshold:
+        Drift score at which a non-growing type is still marked dirty by
+        the automatic delta schedule (only consulted when diagnostics are
+        on; see :meth:`~repro.serve.BatchPredictor.drift_score`).
     tracing:
         Span tracing for the request path (see :mod:`repro.obs`).
         ``False`` (default) keeps only the always-on stage histograms;
@@ -204,6 +223,8 @@ class RuntimeServer:
                  refresh_policy=None,
                  refresh_data=None,
                  refresh_overrides: dict | None = None,
+                 delta_refresh: bool = False,
+                 drift_dirty_threshold: float = 0.25,
                  tracing: bool | dict = False) -> None:
         if workers not in WORKER_MODES:
             raise ValidationError(
@@ -228,6 +249,14 @@ class RuntimeServer:
         self.refresh_policy = refresh_policy
         self._refresh_data_source = refresh_data
         self._refresh_overrides = dict(refresh_overrides or {})
+        self.delta_refresh = bool(delta_refresh)
+        self.drift_dirty_threshold = float(drift_dirty_threshold)
+        if self.drift_dirty_threshold < 0:
+            raise ValidationError(
+                f"drift_dirty_threshold must be non-negative, got "
+                f"{drift_dirty_threshold!r}")
+        self._refresh_meta: dict[str, dict] = {}
+        self._last_refresh: dict | None = None
         self._auto_lock = threading.Lock()
         self._auto_refreshing: set[str] = set()
         self.last_auto_refresh_error: str | None = None
@@ -603,8 +632,31 @@ class RuntimeServer:
             self._stats.failed += len(batch)
 
     # --------------------------------------------------------------- refreshing
-    def refresh(self, path, data, *, save: bool = True,
-                **overrides) -> RefreshOutcome:
+    def _dirty_set_for(self, path, data, sidecar: dict) -> DirtySet:
+        """Automatic dirty set: grown types plus drift-flagged types.
+
+        Growth is read from the sidecar's shape metadata against the
+        refresh dataset (no arrays touched); drift scores come from the
+        predictor's serving-time detector when diagnostics are on.  Types
+        unknown to either side are left for the refresh validation to
+        reject with its own message.
+        """
+        names: set[str] = set()
+        known = {name for name in data.type_names}
+        for entry in sidecar.get("types", []):
+            name = entry["name"]
+            if name not in known:
+                continue
+            if data.get_type(name).n_objects > int(entry["n_objects"]):
+                names.add(name)
+            if self.predictor.diagnostics:
+                score = self.predictor.drift_score(path, name)
+                if score is not None and score >= self.drift_dirty_threshold:
+                    names.add(name)
+        return DirtySet(types=frozenset(names))
+
+    def refresh(self, path, data, *, save: bool = True, dirty=None,
+                validate: str | None = None, **overrides) -> RefreshOutcome:
         """Incrementally refit the artifact at ``path`` on a grown dataset.
 
         Warm-starts a refit from the artifact's current G/S/E_R blocks (see
@@ -615,6 +667,15 @@ class RuntimeServer:
         complete against it; requests dispatched after the swap see the new
         model.  ``overrides`` are config overrides for the refit (e.g.
         ``max_iter=10``).
+
+        ``dirty`` schedules a delta refit (a
+        :class:`~repro.core.schedule.DirtySet`, ``"auto"``, or ``None``
+        for full; with the server's ``delta_refresh=True`` an omitted
+        ``dirty`` is derived from growth + drift via automatic
+        scheduling).  ``validate`` defaults per layout: ``"shapes"`` on a
+        ``per-type-mmap`` artifact (whose clean feature arrays must stay
+        unpaged — the model is opened as a lazy view with only the dirty
+        types promoted), ``"full"`` otherwise.
 
         With ``save=False`` the refreshed model is published to the
         in-process cache only; this is rejected under ``workers="process"``
@@ -627,27 +688,52 @@ class RuntimeServer:
                 "which load artifacts from disk; use save=True or "
                 "thread/serial workers")
         sidecar = RHCHMEModel.read_metadata(path)
-        layout = "per-type" if sidecar.get("shards") else None
-        outcome = refresh_model(RHCHMEModel.load(path), data, **overrides)
-        if save:
-            # A cached lazy reader may still serve in-flight requests and
-            # lazily open shards while the files are rewritten below; make
-            # its remaining shards resident first so it never touches the
-            # disk again.
-            cached = self.predictor.peek_model(path)
-            if isinstance(cached, ShardedModelReader):
-                cached.preload()
-            outcome.model.save(path, shards=layout)
-            self._generations[self._resolve(path)] = (
-                self._generations.get(self._resolve(path), 0) + 1)
+        manifest = sidecar.get("shards") or {}
+        layout = manifest.get("layout") if manifest else None
+        if validate is None:
+            validate = "shapes" if layout == MMAP_LAYOUT else "full"
+        if dirty is None and self.delta_refresh:
+            dirty = self._dirty_set_for(path, data, sidecar)
+        view = None
+        if layout == MMAP_LAYOUT:
+            # Lazy import: the streaming layer is optional for servers
+            # that never see an mmap artifact.
+            from ..stream.view import open_model_view
+            promote = sorted(dirty.types) if isinstance(dirty, DirtySet) else []
+            view = open_model_view(path, promote=promote)
+            model = view.model
+        else:
+            model = RHCHMEModel.load(path)
+        try:
+            outcome = refresh_model(model, data, dirty=dirty,
+                                    validate=validate, **overrides)
+            if save:
+                # A cached lazy reader may still serve in-flight requests
+                # and lazily open shards while the files are rewritten
+                # below; make its remaining shards resident first so it
+                # never touches the disk again.  (The refresh view itself
+                # survives the rewrite: promoted arrays are copies, and
+                # the atomic renames keep its mapped inodes alive.)
+                cached = self.predictor.peek_model(path)
+                if isinstance(cached, ShardedModelReader):
+                    cached.preload()
+                outcome.model.save(path, shards=layout)
+                self._generations[self._resolve(path)] = (
+                    self._generations.get(self._resolve(path), 0) + 1)
+        finally:
+            if view is not None:
+                view.close()
         self.predictor.put_model(path, outcome.model)
         if self.refresh_policy is not None:
             # Manual and automatic refreshes alike restart the policy's
             # cooldown, so a just-refreshed model is not re-triggered by
             # the stale pre-refresh window.
             self.refresh_policy.notify_refresh(self._resolve(path))
+        telemetry = outcome.telemetry()
         with self._lock:
             self._stats.refreshes += 1
+            self._refresh_meta[self._resolve(path)] = telemetry
+            self._last_refresh = telemetry
         return outcome
 
     # --------------------------------------------------------------- lifecycle
@@ -701,6 +787,11 @@ class RuntimeServer:
         snapshot.tracing = self.obs.tracing
         snapshot.stages = self.obs.metrics.snapshot_stages()
         snapshot.errors = self.obs.metrics.snapshot_errors()
+        with self._lock:
+            snapshot.refresh = {"models": {p: dict(t) for p, t
+                                           in self._refresh_meta.items()},
+                                "last": (dict(self._last_refresh)
+                                         if self._last_refresh else None)}
         return snapshot
 
     @property

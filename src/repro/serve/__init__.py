@@ -25,7 +25,8 @@ The async multi-worker front-end with dynamic micro-batching lives one
 layer up, in :mod:`repro.runtime`.
 """
 
-from .artifact import RHCHMEModel, SCHEMA_VERSION, SHARD_LAYOUTS, TypeInfo, load_model
+from .artifact import (MMAP_LAYOUT, RHCHMEModel, SCHEMA_VERSION,
+                       SHARD_LAYOUTS, TypeInfo, load_model)
 from .extension import Prediction, out_of_sample_predict
 from .holdout import HoldoutSplit, holdout_split
 from .predictor import BatchPredictor, ServingStats
@@ -34,6 +35,7 @@ from .shards import ShardedModelReader, open_model
 __all__ = [
     "BatchPredictor",
     "HoldoutSplit",
+    "MMAP_LAYOUT",
     "Prediction",
     "RHCHMEModel",
     "SCHEMA_VERSION",

@@ -14,8 +14,8 @@ artifact whose schema version does not match, raising
 :class:`~repro.exceptions.ArtifactError` instead of silently misreading a
 foreign layout.
 
-Two on-disk layouts share one schema version and one artifact *handle* (the
-``model.npz`` path a caller passes around):
+Three on-disk layouts share one schema version and one artifact *handle*
+(the ``model.npz`` path a caller passes around):
 
 * **monolithic** (default) — every array in one compressed ``model.npz``;
 * **per-type shards** (``save(path, shards="per-type")``) — one
@@ -26,6 +26,15 @@ Two on-disk layouts share one schema version and one artifact *handle* (the
   that only ever answers queries for one type can instead go through
   :class:`repro.serve.shards.ShardedModelReader` and read just that type's
   shard.
+* **per-type mmap shards** (``save(path, shards="per-type-mmap")``) — one
+  *raw* ``.npy`` file per array (compressed npz members cannot be
+  memory-mapped), grouped per type in the manifest.  A reader can open any
+  individual array with ``mmap_mode="r"`` and page in only the bytes it
+  touches; a streaming refresh promotes just the dirty types' arrays to
+  in-memory copies and never reads the clean types' features at all.  Every
+  array file is written via temp-file + atomic rename, so an open memory
+  map in another process keeps reading the old inode while a refresh
+  replaces the file.
 """
 
 from __future__ import annotations
@@ -50,7 +59,8 @@ from ..linalg.rowsparse import RowSparseMatrix
 from .extension import Prediction, out_of_sample_predict
 
 __all__ = ["SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "SHARD_LAYOUTS",
-           "TypeInfo", "RHCHMEModel", "load_model", "error_matrix_npz_keys"]
+           "MMAP_LAYOUT", "TypeInfo", "RHCHMEModel", "load_model",
+           "error_matrix_npz_keys"]
 
 #: Version stamp of the on-disk artifact layout.  Bump whenever the npz key
 #: set or the sidecar structure changes incompatibly; ``load`` refuses
@@ -74,7 +84,10 @@ SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 _FORMAT = "rhchme-model"
 
 #: Supported on-disk array layouts (``save(..., shards=...)``).
-SHARD_LAYOUTS = ("monolithic", "per-type")
+SHARD_LAYOUTS = ("monolithic", "per-type", "per-type-mmap")
+
+#: The raw-``.npy``-per-array layout readable through ``mmap_mode="r"``.
+MMAP_LAYOUT = "per-type-mmap"
 
 #: Manifest key of the cross-type shard (association + error matrix).
 GLOBAL_SHARD = "global"
@@ -106,10 +119,14 @@ def error_matrix_npz_keys(sidecar: dict) -> list[str]:
     return ["error_matrix"]
 
 
+def _safe_label(label: str) -> str:
+    """Filesystem-safe file name component for a type label."""
+    return re.sub(r"[^A-Za-z0-9_-]+", "-", label).strip("-") or "type"
+
+
 def _shard_stem(stem: str, label: str) -> str:
     """Filesystem-safe shard file name component for a type label."""
-    safe = re.sub(r"[^A-Za-z0-9_-]+", "-", label).strip("-") or "type"
-    return f"{stem}.{safe}.npz"
+    return f"{stem}.{_safe_label(label)}.npz"
 
 
 def _write_npz_atomic(path: Path, arrays: dict[str, np.ndarray]) -> None:
@@ -124,6 +141,24 @@ def _write_npz_atomic(path: Path, arrays: dict[str, np.ndarray]) -> None:
     try:
         with open(tmp, "wb") as handle:
             np.savez_compressed(handle, **arrays)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _write_npy_atomic(path: Path, array: np.ndarray) -> None:
+    """Write one raw ``.npy`` via a temp file + atomic rename.
+
+    Same torn-write guarantee as :func:`_write_npz_atomic`, with one extra
+    property the mmap layout depends on: ``replace`` swaps the directory
+    entry but leaves the old inode alive, so a reader holding an open memory
+    map keeps reading consistent old bytes while a refresh rewrites the
+    array underneath it.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.save(handle, np.asarray(array))
         tmp.replace(path)
     finally:
         tmp.unlink(missing_ok=True)
@@ -493,21 +528,54 @@ class RHCHMEModel:
         """Map each array file of an artifact to its absolute path.
 
         Keys are type names plus :data:`GLOBAL_SHARD` for a per-type sharded
-        artifact, or the single key ``"monolithic"`` for the default layout.
-        Shard file names in the manifest are relative to the sidecar.
+        artifact, npz array keys (``membership::<type>``, ``association``, …)
+        for the mmap layout (one file per array), or the single key
+        ``"monolithic"`` for the default layout.  Shard file names in the
+        manifest are relative to the sidecar.
         """
         npz_path, sidecar_path = cls._paths(path)
         manifest = sidecar.get("shards")
         if not manifest:
             return {"monolithic": npz_path}
-        if manifest.get("layout") != "per-type":
+        layout = manifest.get("layout")
+        if layout == MMAP_LAYOUT:
+            flat: dict[str, Path] = {}
+            for entries in cls.mmap_array_paths(path, sidecar).values():
+                flat.update(entries)
+            return flat
+        if layout != "per-type":
             raise ArtifactError(
-                f"unknown shard layout {manifest.get('layout')!r} "
-                f"(this library reads {SHARD_LAYOUTS[1]!r})")
+                f"unknown shard layout {layout!r} "
+                f"(this library reads {list(SHARD_LAYOUTS[1:])})")
         directory = sidecar_path.parent
         paths = {GLOBAL_SHARD: directory / manifest[GLOBAL_SHARD]}
         for name, filename in manifest["types"].items():
             paths[name] = directory / filename
+        return paths
+
+    @classmethod
+    def mmap_array_paths(cls, path, sidecar: dict) -> dict[str, dict[str, Path]]:
+        """Per-shard array-file map of a ``per-type-mmap`` artifact.
+
+        Returns ``{shard_key: {npz_key: path}}`` where shard keys are type
+        names plus :data:`GLOBAL_SHARD` and npz keys are the same array
+        names the other layouts use (``membership::<type>``,
+        ``association``, …).  Raises :class:`ArtifactError` for any other
+        layout — callers that just need existence checks should use
+        :meth:`shard_paths`, which handles every layout.
+        """
+        _, sidecar_path = cls._paths(path)
+        manifest = sidecar.get("shards") or {}
+        if manifest.get("layout") != MMAP_LAYOUT:
+            raise ArtifactError(
+                f"artifact at {path} does not use the {MMAP_LAYOUT!r} layout "
+                f"(found {manifest.get('layout')!r})")
+        directory = sidecar_path.parent
+        paths = {GLOBAL_SHARD: {key: directory / filename for key, filename
+                                in manifest[GLOBAL_SHARD].items()}}
+        for name, entries in manifest["types"].items():
+            paths[name] = {key: directory / filename
+                           for key, filename in entries.items()}
         return paths
 
     def _type_arrays(self, info: TypeInfo) -> dict[str, np.ndarray]:
@@ -577,6 +645,9 @@ class RHCHMEModel:
             sidecar's ``shards`` manifest, so a reader serving queries for
             one type can load just that type's blocks (see
             :class:`repro.serve.shards.ShardedModelReader`).
+            ``"per-type-mmap"`` writes one *raw* ``.npy`` per array
+            (``<stem>.<type>.<kind>.npy``) so readers can memory-map
+            individual arrays and page in only the bytes they touch.
         """
         layout = shards or "monolithic"
         if layout not in SHARD_LAYOUTS:
@@ -591,7 +662,7 @@ class RHCHMEModel:
             for info in self.types:
                 arrays.update(self._type_arrays(info))
             _write_npz_atomic(npz_path, arrays)
-        else:
+        elif layout == "per-type":
             if GLOBAL_SHARD in self.type_names:
                 # The flat shard-key namespace (type names + the global
                 # shard) cannot represent this artifact unambiguously.
@@ -616,6 +687,42 @@ class RHCHMEModel:
             npz_path.unlink(missing_ok=True)  # stale monolithic arrays
             for filename, arrays in files.items():
                 _write_npz_atomic(npz_path.with_name(filename), arrays)
+            sidecar["shards"] = manifest
+        else:  # MMAP_LAYOUT: one raw .npy per array
+            if GLOBAL_SHARD in self.type_names:
+                raise ValidationError(
+                    f"cannot shard per type: a type is named "
+                    f"{GLOBAL_SHARD!r}, which is the reserved key of the "
+                    "cross-type shard; rename the type or save "
+                    "monolithically")
+            stem = npz_path.stem
+            array_files: dict[str, np.ndarray] = {}
+
+            def plan(label: str, arrays: dict[str, np.ndarray]) -> dict[str, str]:
+                entries = {}
+                for key, array in arrays.items():
+                    kind = key.split("::", 1)[0]
+                    filename = f"{stem}.{label}.{kind}.npy"
+                    entries[key] = filename
+                    array_files[filename] = array
+                return entries
+
+            manifest = {"layout": MMAP_LAYOUT,
+                        GLOBAL_SHARD: plan(GLOBAL_SHARD, self._global_arrays()),
+                        "types": {}}
+            used_labels = {GLOBAL_SHARD}
+            for index, info in enumerate(self.types):
+                label = _safe_label(info.name)
+                if label in used_labels:  # names collide after sanitisation
+                    label = f"type{index}"
+                used_labels.add(label)
+                manifest["types"][info.name] = plan(label,
+                                                    self._type_arrays(info))
+            self._remove_stale_layout(
+                path, keep={npz_path.with_name(name) for name in array_files})
+            npz_path.unlink(missing_ok=True)  # stale monolithic arrays
+            for filename, array in array_files.items():
+                _write_npy_atomic(npz_path.with_name(filename), array)
             sidecar["shards"] = manifest
         # Sidecar last and atomically: readers never see a torn JSON, and a
         # crash mid-save leaves the previous sidecar in place (whose
@@ -655,6 +762,21 @@ class RHCHMEModel:
             raise ArtifactError(
                 f"corrupt model arrays at {shard_path}: {exc}") from exc
 
+    @staticmethod
+    def read_npy(array_path: Path, *, mmap_mode: str | None = None) -> np.ndarray:
+        """Read one raw ``.npy`` array file, with artifact errors.
+
+        ``mmap_mode="r"`` opens the file as a read-only memory map (only
+        touched pages are read from disk); ``None`` reads an ordinary
+        in-memory array.  Raises :class:`~repro.exceptions.ArtifactError`
+        on a missing, truncated or non-npy file.
+        """
+        try:
+            return np.load(array_path, mmap_mode=mmap_mode, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(
+                f"corrupt model arrays at {array_path}: {exc}") from exc
+
     @classmethod
     def load(cls, path) -> "RHCHMEModel":
         """Read an artifact written by :meth:`save` (either layout).
@@ -669,8 +791,10 @@ class RHCHMEModel:
         """
         sidecar = cls.read_metadata(path)
         config, types = cls.parse_sidecar(sidecar)
-        shard_paths = cls.shard_paths(path, sidecar)
-        sharded = "monolithic" not in shard_paths
+        manifest = sidecar.get("shards") or {}
+        mmapped = manifest.get("layout") == MMAP_LAYOUT
+        shard_paths = ({} if mmapped else cls.shard_paths(path, sidecar))
+        sharded = not mmapped and "monolithic" not in shard_paths
 
         def type_keys(info: TypeInfo) -> list[str]:
             keys = [f"membership::{info.name}", f"labels::{info.name}"]
@@ -679,7 +803,22 @@ class RHCHMEModel:
             return keys
 
         global_keys = ["association"] + error_matrix_npz_keys(sidecar)
-        if sharded:
+        if mmapped:
+            array_paths = cls.mmap_array_paths(path, sidecar)
+            arrays = {}
+            for shard_key, keys in (
+                    [(GLOBAL_SHARD, global_keys)]
+                    + [(info.name, type_keys(info)) for info in types]):
+                entries = array_paths.get(shard_key, {})
+                for key in keys:
+                    if key not in entries:
+                        raise ArtifactError(
+                            f"model arrays at {path} do not match the "
+                            f"sidecar (missing {key!r} in shard "
+                            f"{shard_key!r}); the array files and json do "
+                            "not describe the same model")
+                    arrays[key] = np.asarray(cls.read_npy(entries[key]))
+        elif sharded:
             arrays = cls.read_shard(shard_paths[GLOBAL_SHARD], global_keys)
             for info in types:
                 arrays.update(cls.read_shard(shard_paths[info.name],

@@ -7,16 +7,23 @@ needs nothing beyond that type's training features and membership block —
 not the association matrix, not the error matrix, not any other type.
 
 :class:`ShardedModelReader` fronts an artifact written with
-``save(path, shards="per-type")`` and loads shards *on demand*: the first
-predict for a type reads exactly that type's npz; the global shard (S and
-E_R) is never touched by prediction at all.  Every load is recorded in
-:attr:`shard_loads`, so tests and benchmarks can assert partial-load claims
-with manifest accounting instead of trusting timings.
+``save(path, shards="per-type")`` or ``shards="per-type-mmap"`` and loads
+arrays *on demand*: the first predict for a type reads exactly that type's
+shard; the global shard (S and E_R) is never touched by prediction at all.
+On the mmap layout each array is its own raw ``.npy`` file opened with
+``mmap_mode="r"`` — the OS pages in only the bytes actually touched, and
+:meth:`promote` upgrades chosen shards to in-memory copies (the
+copy-on-write boundary a delta-scheduled refresh needs before the artifact
+is rewritten underneath the maps).  Every file open is recorded in
+:attr:`shard_loads` and :meth:`cache_info` reports byte-level residency, so
+tests and benchmarks can assert partial-load claims with manifest
+accounting instead of trusting timings.
 
 The reader is thread-safe (shard loads and index builds are single-flight
-under a lock) and exposes the same ``predict``/``type_info`` surface as the
-eager model, so :class:`repro.serve.BatchPredictor` and the runtime serve
-through either interchangeably.
+under a lock), is a context manager (``close()`` releases every open memory
+map deterministically), and exposes the same ``predict``/``type_info``
+surface as the eager model, so :class:`repro.serve.BatchPredictor` and the
+runtime serve through either interchangeably.
 """
 
 from __future__ import annotations
@@ -28,7 +35,8 @@ import numpy as np
 from ..exceptions import ArtifactError, ValidationError
 from ..graph.neighbors import QueryIndex
 from ..linalg.backend import resolve_backend
-from .artifact import (GLOBAL_SHARD, RHCHMEModel, TypeInfo,
+from ..linalg.rowsparse import RowSparseMatrix
+from .artifact import (GLOBAL_SHARD, MMAP_LAYOUT, RHCHMEModel, TypeInfo,
                        check_query_features, error_matrix_npz_keys)
 from .extension import Prediction, out_of_sample_predict
 
@@ -42,31 +50,47 @@ class ShardedModelReader:
     ----------
     path:
         The artifact handle (the same ``model.npz`` path the monolithic API
-        uses); its sidecar must carry a ``per-type`` shards manifest —
-        a monolithic artifact is refused with
+        uses); its sidecar must carry a ``per-type`` or ``per-type-mmap``
+        shards manifest — a monolithic artifact is refused with
         :class:`~repro.exceptions.ArtifactError` (load it eagerly instead).
+    mmap:
+        On a ``per-type-mmap`` artifact, ``True`` (default) opens arrays as
+        read-only memory maps; ``False`` reads each array eagerly into
+        memory on first touch (still per array, never the whole artifact).
+        Ignored on the npz layout, which cannot be mapped.
 
     Attributes
     ----------
     shard_loads:
-        Mapping from shard key (type name or ``"global"``) to how many times
-        its file was opened; stays at one per shard for the lifetime of the
-        reader unless :meth:`evict` drops it.
+        Mapping from shard key (type name or ``"global"``) to how many
+        array files were opened for it; on the npz layout that is one per
+        shard for the lifetime of the reader unless :meth:`evict` drops it,
+        on the mmap layout one per array file.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, mmap: bool = True) -> None:
         self._sidecar = RHCHMEModel.read_metadata(path)
         if not self._sidecar.get("shards"):
             raise ArtifactError(
                 f"artifact at {path} is monolithic, not sharded; load it with "
                 "RHCHMEModel.load or re-export with save(shards='per-type')")
         self._path = RHCHMEModel.resolve_path(path)
+        self._layout = self._sidecar["shards"].get("layout")
         self._shard_paths = RHCHMEModel.shard_paths(path, self._sidecar)
+        if self._layout == MMAP_LAYOUT:
+            self._array_paths = RHCHMEModel.mmap_array_paths(path, self._sidecar)
+        else:
+            self._array_paths = {}
+        self._mmap = bool(mmap) and self._layout == MMAP_LAYOUT
         self.config, self.types = RHCHMEModel.parse_sidecar(self._sidecar)
         self._lock = threading.Lock()
         self._type_arrays: dict[str, dict[str, np.ndarray]] = {}
         self._global_arrays: dict[str, np.ndarray] | None = None
+        self._array_cache: dict[tuple[str, str], np.ndarray] = {}
+        self._memmaps: list[np.ndarray] = []
+        self._promoted: set[str] = set()
         self._query_indexes: dict[str, QueryIndex] = {}
+        self._closed = False
         self.shard_loads: dict[str, int] = {}
 
     # -------------------------------------------------------------- accessors
@@ -74,6 +98,11 @@ class ShardedModelReader:
     def type_names(self) -> list[str]:
         """Names of the captured object types in block order."""
         return [t.name for t in self.types]
+
+    @property
+    def layout(self) -> str:
+        """On-disk shard layout (``"per-type"`` or ``"per-type-mmap"``)."""
+        return self._layout
 
     def type_info(self, name: str) -> TypeInfo:
         """Return the :class:`TypeInfo` of the named type (metadata only)."""
@@ -85,16 +114,29 @@ class ShardedModelReader:
 
     @property
     def loaded_types(self) -> list[str]:
-        """Type names whose shards are currently resident, in load order."""
+        """Type names with at least one resident array, in load order."""
+        if self._layout == MMAP_LAYOUT:
+            seen: list[str] = []
+            for shard, _key in self._array_cache:
+                if shard != GLOBAL_SHARD and shard not in seen:
+                    seen.append(shard)
+            return seen
         return list(self._type_arrays)
 
     def accounting(self) -> dict:
         """Manifest accounting snapshot for partial-load assertions."""
+        if self._layout == MMAP_LAYOUT:
+            global_loaded = any(shard == GLOBAL_SHARD
+                                for shard, _key in self._array_cache)
+            n_files = sum(len(entries) for entries in self._array_paths.values())
+        else:
+            global_loaded = self._global_arrays is not None
+            n_files = len(self._shard_paths)
         return {
             "n_types": len(self.types),
-            "n_shards_on_disk": len(self._shard_paths),
+            "n_shards_on_disk": n_files,
             "loaded_types": self.loaded_types,
-            "global_loaded": self._global_arrays is not None,
+            "global_loaded": global_loaded,
             "shard_loads": dict(self.shard_loads),
         }
 
@@ -113,13 +155,47 @@ class ShardedModelReader:
         return self._sidecar.get("diagnostics")
 
     # ----------------------------------------------------------- lazy loading
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ArtifactError(
+                f"reader for {self._path} is closed; open a new "
+                "ShardedModelReader (or ModelView) to read it again")
+
     def _count_load(self, key: str) -> None:
         self.shard_loads[key] = self.shard_loads.get(key, 0) + 1
 
+    def _mmap_get(self, shard: str, key: str) -> np.ndarray:
+        """One array of the mmap layout, loaded lazily and single-flight."""
+        self._check_open()
+        cached = self._array_cache.get((shard, key))
+        if cached is not None:
+            return cached
+        with self._lock:
+            self._check_open()
+            cached = self._array_cache.get((shard, key))
+            if cached is not None:
+                return cached
+            try:
+                array_path = self._array_paths[shard][key]
+            except KeyError:
+                raise ArtifactError(
+                    f"model arrays at {self._path} do not match the sidecar "
+                    f"(no file for {key!r} in shard {shard!r}); the array "
+                    "files and json do not describe the same model") from None
+            mode = "r" if self._mmap and shard not in self._promoted else None
+            array = RHCHMEModel.read_npy(array_path, mmap_mode=mode)
+            if isinstance(array, np.memmap):
+                self._memmaps.append(array)
+            self._array_cache[(shard, key)] = array
+            self._count_load(shard)
+        return array
+
     def _arrays_for(self, info: TypeInfo) -> dict[str, np.ndarray]:
+        self._check_open()
         arrays = self._type_arrays.get(info.name)
         if arrays is None:
             with self._lock:
+                self._check_open()
                 arrays = self._type_arrays.get(info.name)
                 if arrays is None:
                     keys = [f"membership::{info.name}", f"labels::{info.name}"]
@@ -132,8 +208,10 @@ class ShardedModelReader:
         return arrays
 
     def _global(self) -> dict[str, np.ndarray]:
+        self._check_open()
         if self._global_arrays is None:
             with self._lock:
+                self._check_open()
                 if self._global_arrays is None:
                     keys = ["association"] + error_matrix_npz_keys(self._sidecar)
                     self._global_arrays = RHCHMEModel.read_shard(
@@ -142,30 +220,59 @@ class ShardedModelReader:
         return self._global_arrays
 
     def features(self, type_name: str) -> np.ndarray:
-        """Training features of one type (loads that type's shard)."""
+        """Training features of one type (loads/maps that type's array)."""
         info = self.type_info(type_name)
-        arrays = self._arrays_for(info)
-        try:
-            return arrays[f"features::{type_name}"]
-        except KeyError:
+        if info.n_features is None:
             raise ValidationError(
-                f"type {type_name!r} was fitted without features") from None
+                f"type {type_name!r} was fitted without features")
+        if self._layout == MMAP_LAYOUT:
+            return self._mmap_get(info.name, f"features::{type_name}")
+        return self._arrays_for(info)[f"features::{type_name}"]
 
     def membership(self, type_name: str) -> np.ndarray:
-        """Fitted membership block of one type (loads that type's shard)."""
-        return self._arrays_for(self.type_info(type_name))[
-            f"membership::{type_name}"]
+        """Fitted membership block of one type (loads that type's array)."""
+        info = self.type_info(type_name)
+        if self._layout == MMAP_LAYOUT:
+            return self._mmap_get(info.name, f"membership::{type_name}")
+        return self._arrays_for(info)[f"membership::{type_name}"]
 
     def labels(self, type_name: str) -> np.ndarray:
-        """Fitted hard labels of one type (loads that type's shard)."""
-        return np.asarray(
-            self._arrays_for(self.type_info(type_name))[f"labels::{type_name}"],
-            dtype=np.int64)
+        """Fitted hard labels of one type (loads that type's array)."""
+        info = self.type_info(type_name)
+        if self._layout == MMAP_LAYOUT:
+            raw = self._mmap_get(info.name, f"labels::{type_name}")
+        else:
+            raw = self._arrays_for(info)[f"labels::{type_name}"]
+        return np.asarray(raw, dtype=np.int64)
 
     @property
     def association(self) -> np.ndarray:
         """The fitted association matrix ``S`` (loads the global shard)."""
+        if self._layout == MMAP_LAYOUT:
+            return self._mmap_get(GLOBAL_SHARD, "association")
         return self._global()["association"]
+
+    @property
+    def error_matrix(self) -> np.ndarray | RowSparseMatrix | None:
+        """The fitted error matrix ``E_R`` (``None`` when the fit disabled it).
+
+        Reconstructs the same representation :meth:`RHCHMEModel.load`
+        produces — a :class:`RowSparseMatrix` for the row-sparse on-disk
+        layout, a dense array otherwise.
+        """
+        keys = error_matrix_npz_keys(self._sidecar)
+        if not keys:
+            return None
+        if self._layout == MMAP_LAYOUT:
+            arrays = {key: self._mmap_get(GLOBAL_SHARD, key) for key in keys}
+        else:
+            arrays = self._global()
+        if "error_matrix_rows" in keys:
+            n_total = sum(info.n_objects for info in self.types)
+            return RowSparseMatrix(np.asarray(arrays["error_matrix_rows"]),
+                                   np.asarray(arrays["error_matrix_values"]),
+                                   (n_total, n_total))
+        return arrays["error_matrix"]
 
     def query_index(self, type_name: str) -> QueryIndex:
         """Cached neighbour-search index of one type (single-flight build)."""
@@ -179,29 +286,159 @@ class ShardedModelReader:
                     self._query_indexes[type_name] = index
         return index
 
+    # -------------------------------------------------------- residency moves
+    def promote(self, type_name: str | None = None) -> None:
+        """Promote shards from memory maps to in-memory copies.
+
+        ``type_name`` promotes one type's arrays; ``None`` promotes every
+        shard including the global one.  Promotion is the copy-on-write
+        boundary of a streaming refresh: once a dirty type's arrays are
+        plain in-memory copies, the artifact files can be rewritten
+        underneath the reader without the maps observing torn state.  Future
+        lazy loads of a promoted shard read eagerly instead of mapping.
+        No-op on the npz layout, whose arrays are always resident copies.
+        """
+        if self._layout != MMAP_LAYOUT:
+            return
+        self._check_open()
+        if type_name is None:
+            shards = [GLOBAL_SHARD] + self.type_names
+        else:
+            shards = [self.type_info(type_name).name]
+        with self._lock:
+            for shard in shards:
+                self._promoted.add(shard)
+            for (shard, key), array in list(self._array_cache.items()):
+                if shard in self._promoted and isinstance(array, np.memmap):
+                    self._array_cache[(shard, key)] = np.array(array)
+
     def preload(self) -> None:
-        """Make every shard resident now.
+        """Make every array resident in memory now.
 
         Used before an in-place artifact rewrite (e.g. a runtime refresh):
         once resident, the reader never touches the disk again, so the
-        rewrite cannot race its remaining lazy loads.
+        rewrite cannot race its remaining lazy loads.  On the mmap layout
+        this promotes everything first, so no memory map remains backed by
+        the files about to be replaced.
         """
+        self.promote(None)
         for info in self.types:
-            self._arrays_for(info)
+            if self._layout == MMAP_LAYOUT:
+                self.membership(info.name)
+                self.labels(info.name)
+                if info.n_features is not None:
+                    self.features(info.name)
+            else:
+                self._arrays_for(info)
             if info.n_features is not None:
                 self.query_index(info.name)
-        self._global()
+        _ = self.association
+        _ = self.error_matrix
 
     def evict(self, type_name: str | None = None) -> None:
-        """Drop one type's resident shard (or all shards with ``None``)."""
+        """Drop one type's resident arrays (or all arrays with ``None``).
+
+        Open memory maps of evicted arrays stay tracked and are released
+        by :meth:`close`; eviction only drops the reader's references so a
+        later access re-reads (and re-maps) from disk.
+        """
         with self._lock:
             if type_name is None:
                 self._type_arrays.clear()
+                self._array_cache.clear()
                 self._query_indexes.clear()
                 self._global_arrays = None
             else:
                 self._type_arrays.pop(type_name, None)
                 self._query_indexes.pop(type_name, None)
+                for shard, key in list(self._array_cache):
+                    if shard == type_name:
+                        del self._array_cache[(shard, key)]
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release every open memory map and drop all caches; idempotent.
+
+        After ``close()`` any array access raises
+        :class:`~repro.exceptions.ArtifactError`.  Maps whose buffers are
+        still referenced elsewhere (a caller kept a slice) are left for the
+        garbage collector rather than invalidated under the caller's feet.
+        """
+        with self._lock:
+            self._type_arrays.clear()
+            self._array_cache.clear()
+            self._query_indexes.clear()
+            self._global_arrays = None
+            maps, self._memmaps = self._memmaps, []
+            self._closed = True
+        for array in maps:
+            mm = getattr(array, "_mmap", None)
+            if mm is None:
+                continue
+            try:
+                mm.close()
+            except BufferError:
+                # an exported view still references the buffer; dropping
+                # our reference lets refcounting finalise it later
+                pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "ShardedModelReader":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def cache_info(self) -> dict:
+        """Byte-level residency accounting of every array file.
+
+        Returns per-array entries (``shard``, ``bytes``, ``mode``) plus the
+        totals partial-read assertions gate on: ``total_bytes`` (all array
+        files on disk), ``resident_bytes`` (arrays held as in-memory
+        copies), ``mapped_bytes`` (arrays held as live memory maps — an
+        upper bound on what mapping may page in).  ``mode`` is ``"cold"``,
+        ``"mapped"`` or ``"resident"``.
+        """
+        arrays: dict[str, dict] = {}
+        total = resident = mapped = 0
+        if self._layout == MMAP_LAYOUT:
+            for shard, entries in self._array_paths.items():
+                for key, array_path in entries.items():
+                    nbytes = (array_path.stat().st_size
+                              if array_path.exists() else 0)
+                    total += nbytes
+                    cached = self._array_cache.get((shard, key))
+                    if cached is None:
+                        mode = "cold"
+                    elif isinstance(cached, np.memmap):
+                        mode = "mapped"
+                        mapped += nbytes
+                    else:
+                        mode = "resident"
+                        resident += nbytes
+                    arrays[key] = {"shard": shard, "bytes": nbytes,
+                                   "mode": mode}
+        else:
+            for shard, shard_path in self._shard_paths.items():
+                nbytes = shard_path.stat().st_size if shard_path.exists() else 0
+                total += nbytes
+                loaded = (self._global_arrays is not None
+                          if shard == GLOBAL_SHARD
+                          else shard in self._type_arrays)
+                mode = "resident" if loaded else "cold"
+                if loaded:
+                    resident += nbytes
+                arrays[shard] = {"shard": shard, "bytes": nbytes,
+                                 "mode": mode}
+        return {"layout": self._layout, "arrays": arrays,
+                "total_bytes": total, "resident_bytes": resident,
+                "mapped_bytes": mapped, "loads": dict(self.shard_loads),
+                "promoted": sorted(self._promoted), "closed": self._closed}
 
     # ------------------------------------------------------------- prediction
     def predict(self, type_name: str, X_new, *, batch_size: int = 256,
@@ -210,36 +447,36 @@ class ShardedModelReader:
         """Assign new objects of ``type_name`` out of sample.
 
         Identical numerics to :meth:`RHCHMEModel.predict` — the same
-        blocks feed the same extension — but only ``type_name``'s shard is
-        ever read from disk.  ``n_jobs`` threads the micro-batches exactly
-        as on the eager model (``None`` = the in-memory config's knob).
+        blocks feed the same extension — but only ``type_name``'s arrays
+        are ever read from disk.  ``n_jobs`` threads the micro-batches
+        exactly as on the eager model (``None`` = the in-memory config's
+        knob).
         """
         info = self.type_info(type_name)
         X_new = check_query_features(info, X_new)
         resolved = resolve_backend(self.config.backend if backend is None
                                    else backend, n_objects=info.n_objects)
-        arrays = self._arrays_for(info)
         return out_of_sample_predict(
-            arrays[f"features::{type_name}"],
-            arrays[f"membership::{type_name}"], X_new,
+            self.features(type_name), self.membership(type_name), X_new,
             p=self.config.p, weighting=self.config.weighting,
             backend=resolved, batch_size=batch_size,
             index=self.query_index(type_name),
             n_jobs=self.config.n_jobs if n_jobs is None else n_jobs)
 
     def to_model(self) -> RHCHMEModel:
-        """Load every shard and return the equivalent eager model."""
+        """Load every array and return the equivalent eager model."""
         return RHCHMEModel.load(self._path)
 
 
 def open_model(path, *, lazy: bool = False):
     """Open an artifact as an eager model or, when possible, a lazy reader.
 
-    With ``lazy=True`` a per-type sharded artifact is opened as a
-    :class:`ShardedModelReader` (only queried types' shards are read); a
-    monolithic artifact falls back to the eager
-    :class:`~repro.serve.artifact.RHCHMEModel`.  Both returned objects share
-    the ``predict``/``type_info``/``type_names`` serving surface.
+    With ``lazy=True`` a sharded artifact (``per-type`` or
+    ``per-type-mmap``) is opened as a :class:`ShardedModelReader` (only
+    queried types' arrays are read); a monolithic artifact falls back to
+    the eager :class:`~repro.serve.artifact.RHCHMEModel`.  Both returned
+    objects share the ``predict``/``type_info``/``type_names`` serving
+    surface.
     """
     if lazy and RHCHMEModel.read_metadata(path).get("shards"):
         return ShardedModelReader(path)

@@ -1,0 +1,101 @@
+"""Fixtures for the streaming-growth test suite.
+
+One prefix-stable four-type star dataset (documents at the hub, three
+satellite types, one of them featureless) drives every streaming test:
+all randomness is drawn for fixed per-type pools up front, so a dataset
+requested at grown sizes extends the base dataset as an exact prefix —
+the append-only contract the object log, the delta scheduler and the
+refresh validator all rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import RHCHME
+from repro.relational.dataset import MultiTypeRelationalData
+from repro.relational.types import ObjectType, Relation
+from repro.serve import MMAP_LAYOUT
+
+#: Fixed per-type pool sizes every draw is made at (prefix stability).
+POOL = {"docs": 96, "words": 60, "authors": 45, "venues": 30}
+
+#: Default (base) sizes; tests grow individual types past these.
+BASE_SIZES = {"docs": 60, "words": 48, "authors": 36, "venues": 20}
+
+N_CLUSTERS = 3
+N_FEATURES = 6
+
+
+def star_prefix(sizes: dict[str, int] | None = None, *, seed: int = 0,
+                sparse: bool = False) -> MultiTypeRelationalData:
+    """Four-type star whose objects are prefix-stable across sizes.
+
+    ``docs``/``words``/``authors`` carry blob features, ``venues`` is
+    featureless; relations form a star around ``docs``.  Because every
+    random draw happens at the fixed ``POOL`` sizes, ``star_prefix({"docs":
+    72})`` extends ``star_prefix()`` exactly — the shape an append-only
+    ingest produces.  ``sparse=True`` thresholds the relation matrices and
+    stores them as CSR (exercises the sparse backend's row-sparse E_R).
+    """
+    rng = np.random.default_rng(seed)
+    sizes = {**BASE_SIZES, **(sizes or {})}
+    labels = {name: np.arange(POOL[name]) % N_CLUSTERS for name in POOL}
+    pool_features = {}
+    for name in ("docs", "words", "authors"):
+        centers = rng.normal(scale=6.0, size=(N_CLUSTERS, N_FEATURES))
+        pool_features[name] = (centers[labels[name]]
+                               + rng.normal(size=(POOL[name], N_FEATURES)))
+    pool_relations = {}
+    for other in ("words", "authors", "venues"):
+        co_cluster = labels["docs"][:, None] == labels[other][None, :]
+        pool_relations[("docs", other)] = (
+            np.where(co_cluster, 1.0, 0.05)
+            + 0.05 * rng.random((POOL["docs"], POOL[other])))
+    types = []
+    for name in ("docs", "words", "authors", "venues"):
+        features = pool_features.get(name)
+        types.append(ObjectType(
+            name, n_objects=sizes[name], n_clusters=N_CLUSTERS,
+            features=None if features is None else features[: sizes[name]]))
+    relations = []
+    for (source, target), matrix in pool_relations.items():
+        block = matrix[: sizes[source], : sizes[target]]
+        if sparse:
+            block = sp.csr_matrix(np.where(block > 0.5, block, 0.0))
+        relations.append(Relation(source, target, block))
+    return MultiTypeRelationalData(types, relations)
+
+
+@pytest.fixture(scope="session")
+def star_factory():
+    """The prefix-stable star-dataset generator, exposed to test modules."""
+    return star_prefix
+
+
+@pytest.fixture(scope="session")
+def stream_base() -> MultiTypeRelationalData:
+    return star_prefix()
+
+
+@pytest.fixture(scope="session")
+def stream_grown() -> MultiTypeRelationalData:
+    """Base plus 12 new docs and 4 new venues (two dirty types)."""
+    return star_prefix({"docs": 72, "venues": 24})
+
+
+@pytest.fixture(scope="session")
+def stream_model(stream_base):
+    estimator = RHCHME(max_iter=25, random_state=0,
+                       use_subspace_member=False, track_metrics_every=0)
+    estimator.fit(stream_base)
+    return estimator.export_model(stream_base)
+
+
+@pytest.fixture(scope="session")
+def mmap_model_path(stream_model, tmp_path_factory):
+    return stream_model.save(
+        tmp_path_factory.mktemp("stream-mmap") / "model.npz",
+        shards=MMAP_LAYOUT)
