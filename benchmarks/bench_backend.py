@@ -1,37 +1,37 @@
-"""Dense-vs-sparse backend benchmark for the RHCHME graph pipeline.
+"""Three-engine backend benchmark for the RHCHME solver pipeline.
 
 Times the stages the compute backend actually differentiates, across growing
-total object counts N:
+total object counts N, for every available engine:
 
-* **build** — p-NN affinity + ensemble Laplacian assembly
-  (:class:`repro.manifold.HeterogeneousManifoldEnsemble` with the p-NN member
-  only, which is the regulariser every backend-sensitive stage consumes),
-  plus the one-time positive/negative Laplacian split the fit loop reuses;
-* **update** — repeated membership updates (Eq. 21), the per-iteration hot
-  loop forming ``L± @ G``, driven exactly as ``RHCHME.fit`` drives it
-  (precomputed split passed in).
+* **dense / sparse (numpy)** — the global-kernel pipeline of the original
+  benchmark: **build** (p-NN affinity + ensemble Laplacian assembly + the
+  one-time positive/negative split) and **update** (repeated membership
+  updates forming ``L± @ G``), with ``pipeline = build + update`` as the
+  gated dense-vs-sparse metric (sparse/dense speedup ≥ 3× at the largest
+  size).  Peak *additional* backend memory is measured with
+  :mod:`tracemalloc` in a separate untimed pass.
+* **engine sweep** — the blocked hot loop (S / G / E_R updates + objective,
+  exactly the kernels ``RHCHME.fit`` iterates) timed per engine: numpy
+  ``dense``, numpy ``sparse`` and — when torch is installed — the
+  ``torch`` engine of :class:`repro.linalg.torch_engine.TorchSolverEngine`.
+  Each engine entry records ``engine`` and ``device``; the summary derives
+  the torch-vs-numpy crossover N (smallest size where torch wins).
+* **s_update** — the batched per-pair association path (shape-grouped GEMM
+  sandwiches) against the per-pair loop it replaced, on the numpy engine.
 
-``pipeline = build + update`` is the gated metric: the acceptance target is a
-sparse/dense pipeline speedup ≥ 3× at the largest size.  Objective
-evaluations (Eq. 15) are timed separately because their dominant cost — the
-reconstruction residual ``R − G S Gᵀ − E_R`` — lives in the inherently dense
-R-space shared by both backends (its smoothness term ``tr(Gᵀ L G)`` is the
-only backend-sensitive part); sparsifying R is future work, not this knob.
+Gates (``--check``, used by the CI bench smoke):
 
-Peak *additional* memory attributable to the backend — Laplacian assembly
-plus regulariser application (part splits, ``L± @ G``, smoothness trace) — is
-measured with :mod:`tracemalloc` in a separate untimed pass (tracemalloc
-inflates allocation-heavy timings); for the sparse backend it must stay
-sublinear in N².  With ``--with-fit`` the runner additionally times full
-``RHCHME.fit`` calls (random init, error matrix on) as an end-to-end
-reference — the fit also contains backend-independent dense R-space work
-(S and E_R updates, objective tracking), so its speedup is smaller by
-construction.
+* the batched S update is no slower than the per-pair loop at the largest
+  size (10% timing slack);
+* when torch is installed and runs on CPU, the torch hot loop stays within
+  1.5× of the best numpy engine at the largest size.  Without torch the
+  numpy gates still run; no torch gate is applied.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_backend.py            # full run
     PYTHONPATH=src python benchmarks/bench_backend.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_backend.py --check    # gate exit
     PYTHONPATH=src python benchmarks/bench_backend.py --with-fit
 
 Writes ``BENCH_backend.json`` (see ``--output``).
@@ -45,17 +45,23 @@ import tracemalloc
 import numpy as np
 
 from common import (bootstrap_sys_path, emit_report, environment_metadata,
-                    make_parser, select_sizes)
+                    gate, make_parser, select_sizes)
 
 bootstrap_sys_path()
 
-from repro.core import RHCHME  # noqa: E402
-from repro.core.objective import evaluate_objective  # noqa: E402
+from repro.core import RHCHME, rspace  # noqa: E402
+from repro.core.objective import (evaluate_objective,  # noqa: E402
+                                  evaluate_objective_blocks)
 from repro.core.state import initialize_state  # noqa: E402
-from repro.core.updates import update_association, update_membership  # noqa: E402
-from repro.linalg.backend import is_sparse  # noqa: E402
+from repro.core.updates import (active_relation_pairs,  # noqa: E402
+                                update_association, update_association_blocks,
+                                update_error_matrix_blocks, update_membership,
+                                update_membership_blocks)
+from repro.linalg.backend import is_sparse, torch_available  # noqa: E402
+from repro.linalg.batched import group_by_shape  # noqa: E402
 from repro.linalg.norms import trace_quadratic  # noqa: E402
 from repro.linalg.parts import split_parts  # noqa: E402
+from repro.linalg.safe import gram_pinv  # noqa: E402
 from repro.manifold.ensemble import HeterogeneousManifoldEnsemble  # noqa: E402
 from repro.relational.dataset import MultiTypeRelationalData  # noqa: E402
 from repro.relational.types import ObjectType, Relation  # noqa: E402
@@ -64,6 +70,11 @@ DEFAULT_SIZES = (300, 1000, 3000)
 SMOKE_SIZES = (150, 400)
 LAM = 250.0
 BETA = 50.0
+# Timing slack for the batched-no-slower gate: single-run wall-clock on
+# shared CI runners jitters by more than the margin the batching wins at
+# small N, so the gate asserts "no regression" rather than "strictly faster".
+BATCHED_SLACK = 1.10
+TORCH_CPU_SLACK = 1.5
 
 
 def make_synthetic(n_total: int, *, n_features: int = 10, n_clusters: int = 5,
@@ -101,7 +112,7 @@ def _make_ensemble(backend: str, p: int) -> HeterogeneousManifoldEnsemble:
 
 def time_pipeline(data: MultiTypeRelationalData, *, backend: str, p: int,
                   n_iters: int, seed: int) -> dict:
-    """Time the backend-owned stages and measure their peak memory.
+    """Time the backend-owned global-kernel stages and their peak memory.
 
     Timed (without tracemalloc, which inflates allocation-heavy code):
     ensemble build, ``n_iters`` membership updates, ``n_iters`` objective
@@ -141,6 +152,8 @@ def time_pipeline(data: MultiTypeRelationalData, *, backend: str, p: int,
     nnz = int(L.nnz) if is_sparse(L) else int(np.count_nonzero(L))
     n = L.shape[0]
     return {
+        "engine": backend,
+        "device": "cpu",
         "backend": backend,
         "build_seconds": round(build_seconds, 6),
         "update_seconds": round(update_seconds, 6),
@@ -150,6 +163,154 @@ def time_pipeline(data: MultiTypeRelationalData, *, backend: str, p: int,
         "laplacian_nnz": nnz,
         "laplacian_density": round(nnz / float(n * n), 6),
         "representation": "csr" if is_sparse(L) else "ndarray",
+    }
+
+
+def _blocked_problem(data: MultiTypeRelationalData, *, engine_name: str,
+                     p: int, seed: int):
+    """Blocked operands (R_pairs, L_blocks, L_parts, state) for one engine.
+
+    The torch engine consumes dense relation blocks (its carrier rule in
+    ``RHCHME.fit``); the numpy engines keep their own representation.
+    """
+    carrier = "dense" if engine_name == "torch" else engine_name
+    R_pairs = data.relation_blocks(normalize=True, backend=carrier)
+    ensemble = _make_ensemble(engine_name, p)
+    L_blocks = ensemble.build_blocks(data)
+    L_parts = [split_parts(block) for block in L_blocks]
+    state = initialize_state(data, R_pairs, init="random", random_state=seed)
+    return R_pairs, L_blocks, L_parts, state
+
+
+def time_engine_updates(data: MultiTypeRelationalData, *, engine_name: str,
+                        p: int, n_iters: int, seed: int,
+                        torch_device: str = "auto") -> dict:
+    """Time the blocked hot loop (S / G / E_R / objective) on one engine.
+
+    This is the per-iteration work ``RHCHME.fit`` repeats — the stages the
+    ``engine`` knob actually swaps — driven identically for numpy dense,
+    numpy sparse and the torch engine so the timings are comparable.
+    """
+    engine = None
+    device = "cpu"
+    if engine_name == "torch":
+        from repro.linalg.torch_engine import TorchSolverEngine
+        engine = TorchSolverEngine(device=torch_device)
+        device = engine.device
+    R_pairs, L_blocks, L_parts, state = _blocked_problem(
+        data, engine_name=engine_name, p=p, seed=seed)
+    if engine is not None:
+        engine.register_laplacians(L_blocks, L_parts)
+
+    # One warm pass populates S / caches (torch moves loop invariants to the
+    # device here) so the timed rounds measure steady-state iterations.
+    state.S = update_association_blocks(R_pairs, state, engine=engine)
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        S = update_association_blocks(R_pairs, state, engine=engine)
+    s_seconds = time.perf_counter() - start
+    state.S = S
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        G = update_membership_blocks(R_pairs, L_parts, state, lam=LAM,
+                                     engine=engine)
+    g_seconds = time.perf_counter() - start
+    state.G_blocks = G
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        E = update_error_matrix_blocks(R_pairs, state, beta=BETA,
+                                       engine=engine)
+    e_seconds = time.perf_counter() - start
+    state.E_R = E
+
+    start = time.perf_counter()
+    for _ in range(n_iters):
+        breakdown = evaluate_objective_blocks(R_pairs, state, L_blocks,
+                                              lam=LAM, beta=BETA,
+                                              engine=engine)
+    objective_seconds = time.perf_counter() - start
+
+    total = s_seconds + g_seconds + e_seconds + objective_seconds
+    return {
+        "engine": engine_name,
+        "device": device,
+        "s_seconds": round(s_seconds, 6),
+        "g_seconds": round(g_seconds, 6),
+        "e_seconds": round(e_seconds, 6),
+        "objective_seconds": round(objective_seconds, 6),
+        "update_total_seconds": round(total, 6),
+        "final_objective": float(breakdown.total),
+    }
+
+
+def _loop_association(R_pairs, state) -> np.ndarray:
+    """The pre-batching S update, replicated exactly: one closure per pair
+    through the same span-wrapped ``_map`` fan-out, one pinv sandwich per
+    pair, no shape grouping."""
+    from repro.core import updates as updates_module
+
+    pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
+    G = state.G_blocks
+    cluster_spec = state.cluster_spec
+    object_spec = state.object_spec
+    pinvs = [gram_pinv(block.T @ block) for block in G]
+
+    def one_pair(pair):
+        t, u = pair
+        E_tu = updates_module._error_block(state.E_R, object_spec, t, u)
+        core = G[t].T @ rspace.project_relations(R_pairs.get(pair), E_tu, G[u])
+        return pinvs[t] @ core @ pinvs[u]
+
+    S = np.zeros((cluster_spec.total, cluster_spec.total))
+    blocks = updates_module._map(None, one_pair, pairs, labels=pairs,
+                                 name="one_pair")
+    for (t, u), block in zip(pairs, blocks):
+        S[cluster_spec.slice(t), cluster_spec.slice(u)] = block
+    return S
+
+
+def time_s_update(data: MultiTypeRelationalData, *, p: int, n_iters: int,
+                  seed: int) -> dict:
+    """Batched (shape-grouped GEMM) vs per-pair-loop association update."""
+    R_pairs, _, _, state = _blocked_problem(data, engine_name="dense",
+                                            p=p, seed=seed)
+    pairs = active_relation_pairs(R_pairs, state.E_R, state.object_spec)
+    clusters = [state.cluster_spec.sizes[t] for t in
+                range(state.cluster_spec.n_types)]
+    groups = group_by_shape(pairs, lambda pair: (clusters[pair[0]],
+                                                 clusters[pair[1]]))
+
+    loop_S = _loop_association(R_pairs, state)
+    batched_S = update_association_blocks(R_pairs, state)
+    np.testing.assert_allclose(batched_S, loop_S, rtol=1e-10, atol=1e-12)
+
+    # Best-of-3: both variants are sub-millisecond at small N, where a
+    # single-run comparison is scheduler noise, not a regression signal.
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(n_iters):
+                fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    loop_seconds = best_of(lambda: _loop_association(R_pairs, state))
+    batched_seconds = best_of(
+        lambda: update_association_blocks(R_pairs, state))
+
+    return {
+        "n_pairs": len(pairs),
+        "n_shape_groups": len(groups),
+        "max_group_size": max((len(members) for _, members in groups),
+                              default=0),
+        "loop_seconds": round(loop_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "speedup_batched_over_loop": round(
+            loop_seconds / max(batched_seconds, 1e-12), 3),
     }
 
 
@@ -163,6 +324,8 @@ def time_fit(data: MultiTypeRelationalData, *, backend: str, p: int,
     result = model.fit(data)
     seconds = time.perf_counter() - start
     return {
+        "engine": backend,
+        "device": result.extras.get("device", "cpu"),
         "backend": backend,
         "fit_seconds": round(seconds, 6),
         "ensemble_seconds": round(result.ensemble_seconds, 6),
@@ -171,8 +334,24 @@ def time_fit(data: MultiTypeRelationalData, *, backend: str, p: int,
     }
 
 
+def _crossover_n(results, engine_names) -> int | None:
+    """Smallest N where the torch hot loop beats the best numpy engine."""
+    if "torch" not in engine_names:
+        return None
+    for entry in results:
+        timings = {e["engine"]: e["update_total_seconds"]
+                   for e in entry["engines"]}
+        best_numpy = min(timings[name] for name in ("dense", "sparse"))
+        if timings["torch"] < best_numpy:
+            return entry["n_total"]
+    return None
+
+
 def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
-        fit_max_iter: int) -> dict:
+        fit_max_iter: int, torch_device: str) -> dict:
+    engine_names = ["dense", "sparse"]
+    if torch_available():
+        engine_names.append("torch")
     results = []
     for n_total in sizes:
         data = make_synthetic(n_total, seed=seed)
@@ -186,15 +365,24 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
         entry["memory_ratio_dense_over_sparse"] = round(
             entry["dense"]["peak_additional_bytes"]
             / max(entry["sparse"]["peak_additional_bytes"], 1), 3)
+        entry["engines"] = []
+        for name in engine_names:
+            print(f"[bench] N={n_total} engine={name} hot loop ...", flush=True)
+            entry["engines"].append(time_engine_updates(
+                data, engine_name=name, p=p, n_iters=n_iters, seed=seed,
+                torch_device=torch_device))
+        entry["s_update"] = time_s_update(data, p=p, n_iters=n_iters,
+                                          seed=seed)
         if with_fit:
-            for backend in ("dense", "sparse"):
+            for backend in engine_names:
                 print(f"[bench] N={n_total} full fit backend={backend} ...", flush=True)
                 entry[f"fit_{backend}"] = time_fit(data, backend=backend, p=p,
                                                    max_iter=fit_max_iter, seed=seed)
             entry["speedup_fit"] = round(
                 entry["fit_dense"]["fit_seconds"] / entry["fit_sparse"]["fit_seconds"], 3)
         results.append(entry)
-        print(f"[bench] N={n_total}: pipeline speedup ×{entry['speedup_pipeline']}"
+        print(f"[bench] N={n_total}: pipeline speedup ×{entry['speedup_pipeline']}, "
+              f"s_update batched ×{entry['s_update']['speedup_batched_over_loop']}"
               + (f", fit speedup ×{entry['speedup_fit']}" if with_fit else ""),
               flush=True)
 
@@ -208,6 +396,22 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
         m1 = largest["sparse"]["peak_additional_bytes"]
         if m0 > 0 and m1 > 0 and n1 > n0:
             mem_exponent = round(float(np.log(m1 / m0) / np.log(n1 / n0)), 3)
+
+    engine_totals = {e["engine"]: e["update_total_seconds"]
+                     for e in largest["engines"]}
+    best_numpy = min(engine_totals[name] for name in ("dense", "sparse"))
+    fastest = min(engine_totals, key=engine_totals.get)
+    torch_entry = next((e for e in largest["engines"]
+                        if e["engine"] == "torch"), None)
+    torch_summary = {
+        "available": torch_available(),
+        "device": torch_entry["device"] if torch_entry else None,
+        "crossover_n": _crossover_n(results, engine_names),
+        "cpu_ratio_vs_best_numpy_at_largest": (
+            round(torch_entry["update_total_seconds"] / best_numpy, 3)
+            if torch_entry and torch_entry["device"] == "cpu" else None),
+    }
+    s_update = largest["s_update"]
     return {
         "benchmark": "rhchme-backend",
         **environment_metadata(),
@@ -215,6 +419,7 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
         "p": int(p),
         "lam": LAM,
         "beta": BETA,
+        "engines": engine_names,
         "results": results,
         "summary": {
             "largest_n": largest["n_total"],
@@ -223,32 +428,74 @@ def run(sizes, *, p: int, n_iters: int, seed: int, with_fit: bool,
             "sparse_peak_memory_growth_exponent_vs_n": mem_exponent,
             "sparse_memory_sublinear_in_n_squared": (
                 bool(mem_exponent < 2.0) if mem_exponent is not None else None),
+            "fastest_engine_at_largest": fastest,
+            "engine_update_seconds_at_largest": engine_totals,
+            "torch": torch_summary,
+            "batched_s_update": {
+                "speedup_at_largest": s_update["speedup_batched_over_loop"],
+                "no_slower_than_loop": bool(
+                    s_update["batched_seconds"]
+                    <= s_update["loop_seconds"] * BATCHED_SLACK),
+            },
         },
     }
+
+
+def check_gates(report: dict) -> int:
+    """Exit status for ``--check``: batched-S and torch-CPU hot-loop gates."""
+    summary = report["summary"]
+    status = gate(
+        summary["batched_s_update"]["no_slower_than_loop"],
+        "batched S update slower than the per-pair loop at "
+        f"N={summary['largest_n']} "
+        f"(×{summary['batched_s_update']['speedup_at_largest']}, "
+        f"slack {BATCHED_SLACK})")
+    torch_summary = summary["torch"]
+    ratio = torch_summary["cpu_ratio_vs_best_numpy_at_largest"]
+    if ratio is not None:
+        status = status or gate(
+            ratio <= TORCH_CPU_SLACK,
+            f"torch-CPU hot loop ×{ratio} of best numpy at "
+            f"N={summary['largest_n']} (limit ×{TORCH_CPU_SLACK})")
+    return status
 
 
 def main(argv=None) -> int:
     parser = make_parser(
         __doc__, "BENCH_backend.json",
-        sizes_help=f"total object counts to benchmark (default {DEFAULT_SIZES})")
+        sizes_help=f"total object counts to benchmark (default {DEFAULT_SIZES})",
+        with_check="fail on a gate miss: batched S update no slower than the "
+                   "per-pair loop; torch-CPU (when installed) within 1.5x of "
+                   "the best numpy engine at the largest size")
     parser.add_argument("--p", type=int, default=5, help="p-NN neighbour count")
     parser.add_argument("--iters", type=int, default=10,
                         help="membership/objective rounds per pipeline timing")
     parser.add_argument("--with-fit", action="store_true",
                         help="also time full RHCHME fits (slower)")
     parser.add_argument("--fit-max-iter", type=int, default=5)
+    parser.add_argument("--torch-device", default="auto",
+                        help="device for the torch engine entries "
+                             "(auto/cpu/cuda; ignored without torch)")
     args = parser.parse_args(argv)
 
     sizes = select_sizes(args, DEFAULT_SIZES, SMOKE_SIZES)
     report = run(sizes, p=args.p, n_iters=args.iters, seed=args.seed,
-                 with_fit=args.with_fit, fit_max_iter=args.fit_max_iter)
+                 with_fit=args.with_fit, fit_max_iter=args.fit_max_iter,
+                 torch_device=args.torch_device)
     emit_report(report, args)
     summary = report["summary"]
+    torch_summary = summary["torch"]
     print(f"[bench] largest N={summary['largest_n']}: "
           f"pipeline speedup ×{summary['speedup_pipeline_at_largest']} "
           f"(target ≥3: {'PASS' if summary['meets_3x_target'] else 'MISS'}), "
           f"sparse peak-memory exponent vs N: "
           f"{summary['sparse_peak_memory_growth_exponent_vs_n']}")
+    print(f"[bench] engines at largest N: "
+          f"{summary['engine_update_seconds_at_largest']} "
+          f"(fastest: {summary['fastest_engine_at_largest']}, "
+          f"torch crossover N: {torch_summary['crossover_n']})")
+    if getattr(args, "check", False):
+        return check_gates(report)
     return 0
 
 

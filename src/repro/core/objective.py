@@ -76,6 +76,22 @@ def evaluate_objective(R, G: np.ndarray, S: np.ndarray,
                               graph_smoothness=float(graph_smoothness))
 
 
+# Module-level objective task kernels (picklable for process pools; see
+# repro.core.updates for the convention).  Items are plain operand tuples.
+
+
+def _pair_error_task(item) -> float:
+    """``‖R_tu − G_t S_tu G_uᵀ − E_tu‖²_F`` of one relation pair."""
+    R_tu, G_t, S_tu, G_u, E_tu = item
+    return rspace.pair_reconstruction_error(R_tu, G_t, S_tu, G_u, E_tu)
+
+
+def _smoothness_task(item) -> float:
+    """``tr(G_tᵀ L_t G_t)`` of one type."""
+    G_t, L_t = item
+    return trace_quadratic(G_t, L_t)
+
+
 def _type_l21(E_R, object_spec, t: int) -> float:
     """The L2,1 norm contribution of one row type's E_R rows."""
     if E_R is None:
@@ -89,7 +105,7 @@ def _type_l21(E_R, object_spec, t: int) -> float:
 def evaluate_objective_blocks(R_pairs, state, L_blocks, *, lam: float,
                               beta: float, pairs=None, pool=None,
                               schedule=None, sweep: bool = False,
-                              cache=None) -> ObjectiveBreakdown:
+                              cache=None, engine=None) -> ObjectiveBreakdown:
     """Blockwise evaluation of Eq. 15 — no global matrix is ever assembled.
 
     Every term decomposes over the block structure: the reconstruction is a
@@ -120,6 +136,10 @@ def evaluate_objective_blocks(R_pairs, state, L_blocks, *, lam: float,
         summed from the cache.  ``sweep=True`` refreshes every cached
         term.  Either argument ``None`` runs the full evaluation exactly
         as before.
+    engine:
+        Optional :class:`~repro.linalg.torch_engine.TorchSolverEngine`;
+        routes the per-pair residual norms and per-type traces through the
+        device instead of the pool.
     """
     from .updates import _error_block, _map  # local: avoids an import cycle
 
@@ -130,26 +150,32 @@ def evaluate_objective_blocks(R_pairs, state, L_blocks, *, lam: float,
     object_spec = state.object_spec
     cluster_spec = state.cluster_spec
 
-    def one_pair(pair) -> float:
+    def pair_item(pair):
         t, u = pair
         S_tu = S[cluster_spec.slice(t), cluster_spec.slice(u)]
         E_tu = _error_block(state.E_R, object_spec, t, u)
-        return rspace.pair_reconstruction_error(R_pairs.get(pair), G[t],
-                                                S_tu, G[u], E_tu)
+        return R_pairs.get(pair), G[t], S_tu, G[u], E_tu
 
-    def one_type(t: int) -> float:
-        return trace_quadratic(G[t], L_blocks[t])
-
-    def one_task(task):
-        kind, payload = task
-        return one_pair(payload) if kind == "pair" else one_type(payload)
+    def evaluate_terms(eval_pairs, eval_types):
+        """Per-pair reconstruction and per-type smoothness term values."""
+        if engine is not None:
+            return ([engine.pair_reconstruction_error(*pair_item(pair))
+                     for pair in eval_pairs],
+                    [engine.smoothness(t, G[t], L_blocks[t])
+                     for t in eval_types])
+        pair_values = _map(pool, _pair_error_task,
+                           [pair_item(pair) for pair in eval_pairs],
+                           labels=eval_pairs, name="one_pair")
+        type_values = _map(pool, _smoothness_task,
+                           [(G[t], L_blocks[t]) for t in eval_types],
+                           labels=eval_types, name="one_type")
+        return pair_values, type_values
 
     if schedule is None or cache is None:
-        tasks = ([("pair", pair) for pair in pairs]
-                 + [("smooth", t) for t in range(object_spec.n_types)])
-        results = _map(pool, one_task, tasks)
-        reconstruction = float(sum(results[:len(pairs)]))
-        smoothness = float(sum(results[len(pairs):]))
+        pair_values, type_values = evaluate_terms(
+            list(pairs), list(range(object_spec.n_types)))
+        reconstruction = float(sum(pair_values))
+        smoothness = float(sum(type_values))
         error_sparsity = beta * l21_norm(state.E_R)
         return ObjectiveBreakdown(reconstruction=reconstruction,
                                   error_sparsity=float(error_sparsity),
@@ -165,10 +191,11 @@ def evaluate_objective_blocks(R_pairs, state, L_blocks, *, lam: float,
     eval_types = [t for t in smooth_over
                   if sweep or t in schedule.dirty_types
                   or ("smooth", t) not in cache]
-    tasks = ([("pair", pair) for pair in eval_pairs]
-             + [("smooth", t) for t in eval_types])
-    for task, value in zip(tasks, _map(pool, one_task, tasks)):
-        cache[task] = float(value)
+    pair_values, type_values = evaluate_terms(eval_pairs, eval_types)
+    for pair, value in zip(eval_pairs, pair_values):
+        cache[("pair", pair)] = float(value)
+    for t, value in zip(eval_types, type_values):
+        cache[("smooth", t)] = float(value)
     reconstruction = float(sum(cache[("pair", pair)] for pair in pairs))
     smoothness = float(sum(cache[("smooth", t)] for t in smooth_over))
     source_types = {pair[0] for pair in pairs}

@@ -1,0 +1,382 @@
+"""Torch tensor engine for the blocked RHCHME solver kernels.
+
+``backend="torch"`` routes the per-iteration hot kernels of Algorithm 2 —
+the per-pair association cores and their pseudo-inverse sandwiches (Eq. 18,
+batched with ``torch.bmm`` over same-shape groups), the per-type
+multiplicative membership updates with their Laplacian operator products
+``L± @ G`` (Eq. 21–22), the per-type error residuals (Eq. 25–27) and the
+objective terms (Eq. 15) — through torch, on CPU always and on CUDA when a
+device is visible.  A p-NN affinity kernel (Eq. 3) is provided as well for
+device-resident graph construction.
+
+Everything outside the kernels stays numpy-facing.  The engine's contract
+with the blocked orchestration in :mod:`repro.core.updates` /
+:mod:`repro.core.objective` is numpy-in / numpy-out with *explicit*
+host↔device transfer points:
+
+* loop-invariant operands — the relation blocks ``R_tu`` and the per-type
+  Laplacian splits ``(L_t⁺, L_t⁻)`` — are moved to the device once and
+  cached (CSR Laplacians become coalesced sparse COO tensors, so ``L @ G``
+  stays an ``O(nnz · c)`` sparse-dense product);
+* per-iteration operands (``G_t``, ``S``, ``E_R`` blocks) cross at each
+  kernel call — free on CPU (``torch.from_numpy`` shares memory) and the
+  honest, bounded cost on CUDA (skinny ``(n, c)`` / ``(c, c)`` arrays);
+* kernel outputs return as numpy arrays, so artifacts, serving and the
+  delta-schedule bookkeeping never see a tensor.
+
+All math is float64 and mirrors the numpy kernels' formulas exactly
+(``safe_divide``'s denominator floor, the row-ℓ1 zero-row rule, the
+positive/negative part splits), which is what the 1e-6 cross-engine parity
+gates in ``tests/`` enforce.
+
+Torch is an optional dependency: this module imports it lazily and every
+entry point raises :class:`ImportError` with
+:data:`repro.linalg.backend.TORCH_INSTALL_HINT` when it is missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .backend import TORCH_INSTALL_HINT, torch_available
+from .batched import group_by_shape
+
+__all__ = [
+    "require_torch",
+    "resolve_device",
+    "pnn_affinity",
+    "TorchSolverEngine",
+]
+
+_EPS = 1e-12  # mirrors the numpy kernels' safe_divide / row-ℓ1 floors
+
+
+def require_torch():
+    """Import and return torch, or raise ImportError with the install hint."""
+    if not torch_available():
+        raise ImportError(TORCH_INSTALL_HINT)
+    import torch
+    return torch
+
+
+def resolve_device(device: str | None = "auto") -> str:
+    """Concrete torch device string for a ``torch_device`` knob.
+
+    ``"auto"`` (or ``None``) picks ``"cuda"`` when torch sees a CUDA device
+    and ``"cpu"`` otherwise; ``"cpu"`` and ``"cuda"``/``"cuda:k"`` are
+    validated against availability.
+    """
+    torch = require_torch()
+    name = "auto" if device is None else str(device)
+    if name == "auto":
+        return "cuda" if torch.cuda.is_available() else "cpu"
+    if name == "cpu":
+        return name
+    if name.startswith("cuda"):
+        if not torch.cuda.is_available():
+            raise RuntimeError(
+                f"torch_device={name!r} requested but torch reports no CUDA "
+                f"device; use torch_device='cpu' or 'auto'")
+        return name
+    raise ValueError(
+        f"unknown torch device {name!r}; expected 'auto', 'cpu' or 'cuda[:k]'")
+
+
+def pnn_affinity(X: np.ndarray, p: int = 5, scheme: str = "cosine", *,
+                 sigma: float = 1.0, device: str | None = "auto") -> np.ndarray:
+    """Symmetric p-NN affinity ``W^E`` (Eq. 3) as one torch kernel.
+
+    Mirrors :func:`repro.graph.pnn.pnn_affinity`'s dense path: p nearest
+    neighbours by Euclidean distance, the Eq. 3 union of both directions'
+    edge lists, direction-independent weights (binary / heat kernel /
+    non-negative cosine), symmetrised as ``(W + Wᵀ)/2`` with a zero
+    diagonal.  Returns a numpy array — the Laplacian assembly downstream is
+    representation-agnostic.
+    """
+    from ..graph.weights import WeightingScheme  # local: keeps imports acyclic
+    torch = require_torch()
+    scheme = WeightingScheme.coerce(scheme)
+    dev = resolve_device(device)
+    X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if p >= n:
+        p = max(n - 1, 1)
+    Xt = torch.from_numpy(X).to(dev)
+    distances = torch.cdist(Xt, Xt)
+    distances.fill_diagonal_(float("inf"))
+    neighbours = torch.topk(distances, p, dim=1, largest=False).indices
+    mask = torch.zeros((n, n), dtype=torch.bool, device=dev)
+    mask.scatter_(1, neighbours, True)
+    mask = mask | mask.T
+    mask.fill_diagonal_(False)
+    if scheme is WeightingScheme.BINARY:
+        weights = torch.ones((n, n), dtype=torch.float64, device=dev)
+    elif scheme is WeightingScheme.HEAT_KERNEL:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        # exp(-inf) = 0 on the diagonal; the mask zeroes it anyway.
+        weights = torch.exp(-(distances ** 2) / sigma)
+    else:  # cosine, clipped non-negative so the Laplacian stays well defined
+        norms = torch.linalg.vector_norm(Xt, dim=1)
+        safe = torch.where(norms > _EPS, norms, torch.ones_like(norms))
+        similarity = (Xt @ Xt.T) / (safe[:, None] * safe[None, :])
+        dead = norms <= _EPS
+        similarity[dead, :] = 0.0
+        similarity[:, dead] = 0.0
+        weights = torch.clamp(torch.clamp(similarity, -1.0, 1.0), min=0.0)
+    affinity = torch.where(mask, weights,
+                           torch.zeros((), dtype=torch.float64, device=dev))
+    affinity = (affinity + affinity.T) / 2.0
+    affinity.fill_diagonal_(0.0)
+    return affinity.cpu().numpy()
+
+
+class TorchSolverEngine:
+    """Device-resident implementations of the blocked solver kernels.
+
+    One engine is created per ``RHCHME.fit`` (when the resolved backend is
+    ``"torch"``) and receives exactly the same per-task operands the numpy
+    kernels receive — the orchestration (delta schedules, splices, caches,
+    trace recording) is shared, so the engine only owns the arithmetic.
+    """
+
+    def __init__(self, device: str | None = "auto") -> None:
+        self.torch = require_torch()
+        self.device = resolve_device(device)
+        # Loop-invariant operands, keyed by object identity.  The cached
+        # entry holds a reference to the source array, so the id cannot be
+        # recycled while the cache is alive.
+        self._constants: dict[int, tuple] = {}
+        self._laplacians: dict[int, object] = {}
+        self._laplacian_parts: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------- transfers
+    def _tensor(self, array):
+        """Move a numpy array (or view) to the device as float64."""
+        host = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+        return self.torch.from_numpy(host).to(self.device)
+
+    def _constant(self, array):
+        """Device tensor of a loop-invariant operand, cached by identity."""
+        if array is None:
+            return None
+        hit = self._constants.get(id(array))
+        if hit is not None and hit[0] is array:
+            return hit[1]
+        tensor = self._operator_tensor(array)
+        self._constants[id(array)] = (array, tensor)
+        return tensor
+
+    def _operator_tensor(self, matrix):
+        """Dense tensor, or coalesced sparse COO for a scipy sparse matrix."""
+        torch = self.torch
+        if sp.issparse(matrix):
+            coo = matrix.tocoo()
+            indices = torch.from_numpy(
+                np.ascontiguousarray(np.vstack([coo.row, coo.col]),
+                                     dtype=np.int64))
+            values = torch.from_numpy(
+                np.ascontiguousarray(coo.data, dtype=np.float64))
+            return torch.sparse_coo_tensor(
+                indices, values, size=coo.shape, dtype=torch.float64,
+                device=self.device).coalesce()
+        return self._tensor(matrix)
+
+    def _matmul_operator(self, operator, dense):
+        """``operator @ dense`` for a dense or sparse-COO operator tensor."""
+        if operator.is_sparse:
+            return self.torch.sparse.mm(operator, dense)
+        return operator @ dense
+
+    def register_laplacians(self, L_blocks, L_parts) -> None:
+        """Move the per-type Laplacians and their ± splits to the device.
+
+        Called once per fit — L is loop-invariant.  ``None`` entries (types
+        a delta schedule never builds) are skipped.
+        """
+        self._laplacians = {
+            t: self._operator_tensor(block)
+            for t, block in enumerate(L_blocks) if block is not None}
+        self._laplacian_parts = {
+            t: (self._operator_tensor(parts[0]), self._operator_tensor(parts[1]))
+            for t, parts in enumerate(L_parts) if parts is not None}
+
+    # ------------------------------------------------------------ primitives
+    def _project(self, R_tu, E_tu, G_u_tensor, n_rows: int):
+        """Device counterpart of ``rspace.project_relations``: ``(R−E) G_u``."""
+        torch = self.torch
+        if R_tu is None:
+            RG = torch.zeros((n_rows, G_u_tensor.shape[1]),
+                             dtype=torch.float64, device=self.device)
+        else:
+            RG = self._matmul_operator(self._constant(R_tu), G_u_tensor)
+        if E_tu is None:
+            return RG
+        if not isinstance(E_tu, np.ndarray):
+            raise TypeError(
+                f"the torch engine runs with dense-backend semantics and "
+                f"expects a dense E_R block, got {type(E_tu).__name__}")
+        return RG - self._tensor(E_tu) @ G_u_tensor
+
+    @staticmethod
+    def _split(tensor):
+        """Positive/negative parts, mirroring ``linalg.parts.split_parts``."""
+        return tensor.clamp(min=0.0), (-tensor).clamp(min=0.0)
+
+    def _row_normalize_l1(self, tensor):
+        """Row-ℓ1 normalisation with the numpy kernel's zero-row rule."""
+        sums = tensor.abs().sum(dim=1, keepdim=True)
+        scale = self.torch.where(sums > _EPS, sums, self.torch.ones_like(sums))
+        return tensor / scale
+
+    # --------------------------------------------------------------- kernels
+    def association_blocks(self, compute, items, pinvs) -> dict:
+        """Per-pair S blocks (Eq. 18) with batched ``torch.bmm`` sandwiches.
+
+        ``items`` aligns with ``compute``: one ``(G_t, R_tu, E_tu, G_u)``
+        operand tuple per pair.  ``pinvs`` are the per-type numpy gram
+        pseudo-inverses (tiny ``(k, k)`` arrays; the guarded eigh-based
+        pinv stays on the host for exact parity).  Cores are computed per
+        pair — their heavy factor is the pair-shaped ``(R−E) G_u`` product —
+        then every same-shape group of ``(k_t, k_u)`` cores runs its
+        ``P_t C P_u`` sandwich as one ``torch.bmm`` batch.
+        """
+        torch = self.torch
+        cores: dict = {}
+        G_cache: dict[int, object] = {}
+        for pair, (G_t, R_tu, E_tu, G_u) in zip(compute, items):
+            t, u = pair
+            G_u_tensor = G_cache.get(u)
+            if G_u_tensor is None:
+                G_u_tensor = G_cache[u] = self._tensor(G_u)
+            G_t_tensor = G_cache.get(t)
+            if G_t_tensor is None:
+                G_t_tensor = G_cache[t] = self._tensor(G_t)
+            n_rows = G_t.shape[0] if R_tu is None else R_tu.shape[0]
+            proj = self._project(R_tu, E_tu, G_u_tensor, n_rows)
+            cores[pair] = G_t_tensor.T @ proj
+        pinv_cache: dict[int, object] = {}
+
+        def pinv(index):
+            tensor = pinv_cache.get(index)
+            if tensor is None:
+                tensor = pinv_cache[index] = self._tensor(pinvs[index])
+            return tensor
+
+        blocks: dict = {}
+        for _, group in group_by_shape(compute,
+                                       lambda pair: tuple(cores[pair].shape)):
+            if len(group) == 1:
+                pair = group[0]
+                solved = pinv(pair[0]) @ (cores[pair] @ pinv(pair[1]))
+                blocks[pair] = solved.cpu().numpy()
+                continue
+            core_stack = torch.stack([cores[pair] for pair in group])
+            left = torch.stack([pinv(pair[0]) for pair in group])
+            right = torch.stack([pinv(pair[1]) for pair in group])
+            solved = torch.bmm(left, torch.bmm(core_stack, right))
+            for pair, block in zip(group, solved):
+                blocks[pair] = block.cpu().numpy()
+        return blocks
+
+    def membership_blocks(self, items, *, lam: float) -> list:
+        """Per-type multiplicative G updates (Eq. 21–22) on the device.
+
+        ``items`` carries one ``(t, G_t, L_parts_t, a_terms, b_terms)``
+        tuple per dirty type, where ``a_terms`` lists
+        ``(R_tu, E_tu, G_u, S_tu)`` over the type's outgoing pairs and
+        ``b_terms`` lists ``(S_ut, gram_u)`` over its incoming ones.
+        ``L_parts_t`` is the numpy split, used only when the type was not
+        pre-registered via :meth:`register_laplacians`.
+        """
+        results = []
+        for t, G_t, L_parts_t, a_terms, b_terms in items:
+            block = self._tensor(G_t)
+            A = self.torch.zeros_like(block)
+            for R_tu, E_tu, G_u, S_tu in a_terms:
+                G_u_tensor = self._tensor(G_u)
+                proj = self._project(R_tu, E_tu, G_u_tensor, G_t.shape[0])
+                A = A + proj @ self._tensor(S_tu).T
+            c = block.shape[1]
+            B = self.torch.zeros((c, c), dtype=self.torch.float64,
+                                 device=self.device)
+            for S_ut, gram_u in b_terms:
+                S_ut_tensor = self._tensor(S_ut)
+                B = B + S_ut_tensor.T @ self._tensor(gram_u) @ S_ut_tensor
+            parts = self._laplacian_parts.get(t)
+            if parts is None:
+                parts = (self._operator_tensor(L_parts_t[0]),
+                         self._operator_tensor(L_parts_t[1]))
+            L_pos, L_neg = parts
+            A_pos, A_neg = self._split(A)
+            B_pos, B_neg = self._split(B)
+            numerator = (lam * self._matmul_operator(L_neg, block)
+                         + A_pos + block @ B_neg)
+            denominator = (lam * self._matmul_operator(L_pos, block)
+                           + A_neg + block @ B_pos)
+            ratio = numerator / denominator.clamp(min=_EPS)
+            updated = self._row_normalize_l1(block * ratio.sqrt())
+            results.append(updated.cpu().numpy())
+        return results
+
+    def error_residuals(self, item):
+        """Per-type residual blocks and squared row norms (Eq. 25–27 input).
+
+        ``item`` is ``(G_t, terms)`` with ``terms`` listing
+        ``(u, R_tu, S_tu, G_u)`` over the type's outgoing pairs.  Returns
+        ``({u: residual_block}, sq_row_norms)`` as numpy arrays — the
+        shrinkage ``(β D + I)⁻¹`` is elementwise on an ``(n_t,)`` vector
+        and stays on the host, shared verbatim with the numpy path.
+        """
+        G_t, terms = item
+        G_t_tensor = self._tensor(G_t)
+        n_t = G_t.shape[0]
+        sq = self.torch.zeros(n_t, dtype=self.torch.float64,
+                              device=self.device)
+        residuals = {}
+        for u, R_tu, S_tu, G_u in terms:
+            reconstruction = (G_t_tensor @ self._tensor(S_tu)) \
+                @ self._tensor(G_u).T
+            if R_tu is None:
+                residual = -reconstruction
+            else:
+                R_tensor = self._constant(R_tu)
+                if R_tensor.is_sparse:
+                    R_tensor = R_tensor.to_dense()
+                residual = R_tensor - reconstruction
+            residuals[u] = residual
+            sq = sq + (residual * residual).sum(dim=1)
+        return ({u: residual.cpu().numpy()
+                 for u, residual in residuals.items()},
+                sq.cpu().numpy())
+
+    def pair_reconstruction_error(self, R_tu, G_t, S_tu, G_u, E_tu) -> float:
+        """``‖R_tu − G_t S_tu G_uᵀ − E_tu‖²_F`` for one pair, on the device."""
+        M = self._tensor(G_t) @ self._tensor(S_tu)
+        residual = -(M @ self._tensor(G_u).T)
+        if R_tu is not None:
+            R_tensor = self._constant(R_tu)
+            if R_tensor.is_sparse:
+                R_tensor = R_tensor.to_dense()
+            residual = residual + R_tensor
+        if E_tu is not None:
+            if not isinstance(E_tu, np.ndarray):
+                raise TypeError(
+                    f"the torch engine expects a dense E_R block, got "
+                    f"{type(E_tu).__name__}")
+            residual = residual - self._tensor(E_tu)
+        return float((residual * residual).sum().item())
+
+    def smoothness(self, t: int, G_t, L_t) -> float:
+        """``tr(G_tᵀ L_t G_t)`` with the registered device Laplacian."""
+        block = self._tensor(G_t)
+        operator = self._laplacians.get(t)
+        if operator is None:
+            operator = self._operator_tensor(L_t)
+        LG = self._matmul_operator(operator, block)
+        return float((LG * block).sum().item())

@@ -65,6 +65,9 @@ class TestBackendKnob:
     def test_explicit_backends_accepted(self):
         assert RHCHMEConfig(backend="dense").backend == "dense"
         assert RHCHMEConfig(backend="sparse").backend == "sparse"
+        # The torch *name* is valid without torch installed; availability is
+        # only checked when a fit resolves the backend.
+        assert RHCHMEConfig(backend="torch").backend == "torch"
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(ValueError):
@@ -124,3 +127,43 @@ class TestNJobsKnob:
         assert config.with_overrides(n_jobs=2).n_jobs == 2
         with pytest.raises(ValueError):
             config.with_overrides(n_jobs=0)
+
+
+class TestExecutorKnob:
+    def test_default_is_thread(self):
+        assert RHCHMEConfig().executor == "thread"
+
+    def test_process_accepted(self):
+        assert RHCHMEConfig(executor="process").executor == "process"
+
+    def test_invalid_rejected(self):
+        for bad in ("fork", "serial", "", None, 2):
+            with pytest.raises(ValueError):
+                RHCHMEConfig(executor=bad)
+
+    def test_with_overrides_revalidates(self):
+        config = RHCHMEConfig()
+        assert config.with_overrides(executor="process").executor == "process"
+        with pytest.raises(ValueError):
+            config.with_overrides(executor="fork")
+
+
+class TestTorchDeviceKnob:
+    def test_default_is_auto(self):
+        assert RHCHMEConfig().torch_device == "auto"
+
+    def test_cpu_and_cuda_names_accepted(self):
+        assert RHCHMEConfig(torch_device="cpu").torch_device == "cpu"
+        assert RHCHMEConfig(torch_device="cuda").torch_device == "cuda"
+        assert RHCHMEConfig(torch_device="cuda:1").torch_device == "cuda:1"
+
+    def test_invalid_rejected(self):
+        for bad in ("tpu", "gpu", "", None, 0):
+            with pytest.raises(ValueError):
+                RHCHMEConfig(torch_device=bad)
+
+    def test_with_overrides_revalidates(self):
+        config = RHCHMEConfig()
+        assert config.with_overrides(torch_device="cpu").torch_device == "cpu"
+        with pytest.raises(ValueError):
+            config.with_overrides(torch_device="mps ")

@@ -1,0 +1,103 @@
+"""Shape-grouped batched GEMM layout of the blocked S update."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.batched import batched_pinv_sandwich, group_by_shape
+
+
+def _random_problem(rng, shapes):
+    """Pairs, cores and pinvs for a list of per-pair core shapes."""
+    pairs = []
+    cores = {}
+    sizes: dict[int, int] = {}
+    for index, (k_t, k_u) in enumerate(shapes):
+        t, u = 2 * index, 2 * index + 1
+        sizes[t], sizes[u] = k_t, k_u
+        pairs.append((t, u))
+        cores[(t, u)] = rng.standard_normal((k_t, k_u))
+    pinvs = {index: rng.standard_normal((k, k)) for index, k in sizes.items()}
+    return pairs, cores, pinvs
+
+
+class TestGroupByShape:
+    def test_groups_preserve_first_seen_order(self):
+        keys = ["a", "b", "c", "d", "e"]
+        shapes = {"a": (2, 3), "b": (4, 4), "c": (2, 3), "d": (5, 1),
+                  "e": (4, 4)}
+        groups = group_by_shape(keys, shapes.__getitem__)
+        assert groups == [((2, 3), ["a", "c"]), ((4, 4), ["b", "e"]),
+                          ((5, 1), ["d"])]
+
+    def test_empty_keys_give_no_groups(self):
+        assert group_by_shape([], lambda key: (1, 1)) == []
+
+    def test_every_key_lands_in_exactly_one_group(self):
+        rng = np.random.default_rng(0)
+        keys = list(range(40))
+        shapes = {key: (int(rng.integers(2, 5)), int(rng.integers(2, 5)))
+                  for key in keys}
+        groups = group_by_shape(keys, shapes.__getitem__)
+        regrouped = [key for _, members in groups for key in members]
+        assert sorted(regrouped) == keys
+        for shape, members in groups:
+            assert all(shapes[key] == shape for key in members)
+
+
+class TestBatchedPinvSandwich:
+    def test_matches_per_pair_loop(self):
+        rng = np.random.default_rng(1)
+        pairs, cores, pinvs = _random_problem(
+            rng, [(3, 4), (3, 4), (5, 5), (3, 4), (2, 6)])
+        blocks = batched_pinv_sandwich(pairs, cores, pinvs)
+        for t, u in pairs:
+            expected = pinvs[t] @ cores[(t, u)] @ pinvs[u]
+            np.testing.assert_allclose(blocks[(t, u)], expected,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_singleton_groups_match_too(self):
+        rng = np.random.default_rng(2)
+        pairs, cores, pinvs = _random_problem(rng, [(2, 3), (4, 2), (3, 5)])
+        blocks = batched_pinv_sandwich(pairs, cores, pinvs)
+        for t, u in pairs:
+            expected = pinvs[t] @ cores[(t, u)] @ pinvs[u]
+            np.testing.assert_allclose(blocks[(t, u)], expected,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_batched_and_singleton_paths_agree_bitwise(self):
+        # The singleton path uses the same association order P_t (C P_u) as
+        # the broadcasted stack, so splitting a group must not change bits.
+        rng = np.random.default_rng(3)
+        pairs, cores, pinvs = _random_problem(rng, [(4, 4), (4, 4), (4, 4)])
+        together = batched_pinv_sandwich(pairs, cores, pinvs)
+        alone = {}
+        for pair in pairs:
+            alone.update(batched_pinv_sandwich([pair], cores, pinvs))
+        for pair in pairs:
+            np.testing.assert_array_equal(together[pair], alone[pair])
+
+    def test_pinvs_accepts_a_list(self):
+        rng = np.random.default_rng(4)
+        pinvs = [rng.standard_normal((3, 3)) for _ in range(2)]
+        cores = {(0, 1): rng.standard_normal((3, 3)),
+                 (1, 0): rng.standard_normal((3, 3))}
+        blocks = batched_pinv_sandwich([(0, 1), (1, 0)], cores, pinvs)
+        np.testing.assert_allclose(blocks[(0, 1)],
+                                   pinvs[0] @ cores[(0, 1)] @ pinvs[1],
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_empty_pairs_give_empty_result(self):
+        assert batched_pinv_sandwich([], {}, {}) == {}
+
+    @pytest.mark.parametrize("n_shared", [2, 5, 9])
+    def test_shared_shape_groups_batch(self, n_shared):
+        rng = np.random.default_rng(5)
+        pairs, cores, pinvs = _random_problem(rng, [(3, 3)] * n_shared)
+        blocks = batched_pinv_sandwich(pairs, cores, pinvs)
+        assert set(blocks) == set(pairs)
+        for t, u in pairs:
+            expected = pinvs[t] @ cores[(t, u)] @ pinvs[u]
+            np.testing.assert_allclose(blocks[(t, u)], expected,
+                                       rtol=1e-12, atol=1e-12)

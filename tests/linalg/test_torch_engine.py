@@ -1,0 +1,270 @@
+"""Torch engine kernels against their numpy counterparts (torch required).
+
+Every test in this module is skipped when torch is not installed — the CI
+torch job (CPU wheel) is where they run.  The device is forced to CPU so
+the assertions are deterministic on CUDA-less runners; all comparisons use
+the 1e-6 cross-engine parity gate of the issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+torch = pytest.importorskip("torch")
+
+from repro.graph.pnn import pnn_affinity as numpy_pnn_affinity  # noqa: E402
+from repro.graph.weights import WeightingScheme  # noqa: E402
+from repro.linalg import torch_engine  # noqa: E402
+from repro.linalg.parts import split_parts  # noqa: E402
+from repro.linalg.safe import gram_pinv  # noqa: E402
+from repro.linalg.torch_engine import (TorchSolverEngine,  # noqa: E402
+                                       pnn_affinity, resolve_device)
+
+RTOL = 1e-6
+ATOL = 1e-9
+
+
+@pytest.fixture
+def engine():
+    return TorchSolverEngine(device="cpu")
+
+
+def _random_factors(rng, sizes, clusters):
+    G = [np.abs(rng.standard_normal((n, c))) for n, c in zip(sizes, clusters)]
+    for block in G:
+        block /= np.maximum(block.sum(axis=1, keepdims=True), 1e-12)
+    return G
+
+
+class TestResolveDevice:
+    def test_cpu_is_always_accepted(self):
+        assert resolve_device("cpu") == "cpu"
+
+    def test_auto_picks_a_concrete_device(self):
+        assert resolve_device("auto") in ("cpu", "cuda")
+        assert resolve_device(None) in ("cpu", "cuda")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_device("tpu")
+
+    def test_cuda_without_cuda_raises(self, monkeypatch):
+        monkeypatch.setattr(torch.cuda, "is_available", lambda: False)
+        with pytest.raises(RuntimeError):
+            resolve_device("cuda")
+
+
+class TestRequireTorch:
+    def test_returns_torch_module(self):
+        assert torch_engine.require_torch() is torch
+
+    def test_raises_with_hint_when_missing(self, monkeypatch):
+        monkeypatch.setattr(torch_engine, "torch_available", lambda: False)
+        with pytest.raises(ImportError, match="pip install torch"):
+            torch_engine.require_torch()
+
+
+class TestPnnAffinityParity:
+    @pytest.mark.parametrize("scheme", list(WeightingScheme))
+    def test_matches_numpy_kernel(self, scheme):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((40, 6))
+        expected = numpy_pnn_affinity(X, p=5, scheme=scheme, sigma=2.0)
+        result = pnn_affinity(X, p=5, scheme=scheme, sigma=2.0, device="cpu")
+        np.testing.assert_allclose(result, expected, rtol=RTOL, atol=ATOL)
+
+    def test_zero_rows_under_cosine(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((12, 4))
+        X[3] = 0.0
+        expected = numpy_pnn_affinity(X, p=3, scheme="cosine")
+        result = pnn_affinity(X, p=3, scheme="cosine", device="cpu")
+        np.testing.assert_allclose(result, expected, rtol=RTOL, atol=ATOL)
+
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        W = pnn_affinity(rng.standard_normal((20, 3)), p=4, device="cpu")
+        np.testing.assert_allclose(W, W.T)
+        assert np.all(np.diag(W) == 0.0)
+
+
+class TestAssociationBlocks:
+    def test_matches_numpy_sandwich(self, engine):
+        from repro.core import rspace
+        from repro.linalg.batched import batched_pinv_sandwich
+
+        rng = np.random.default_rng(3)
+        sizes, clusters = [30, 25, 20], [4, 4, 3]
+        G = _random_factors(rng, sizes, clusters)
+        pairs = [(0, 1), (1, 0), (0, 2), (2, 0)]
+        R = {(0, 1): rng.random((30, 25)), (0, 2): rng.random((30, 20))}
+        R[(1, 0)] = R[(0, 1)].T.copy()
+        R[(2, 0)] = R[(0, 2)].T.copy()
+        E = {pair: 0.1 * rng.standard_normal(R[pair].shape) for pair in pairs}
+        pinvs = [gram_pinv(block.T @ block) for block in G]
+        items = [(G[t], R[(t, u)], E[(t, u)], G[u]) for t, u in pairs]
+
+        blocks = engine.association_blocks(pairs, items, pinvs)
+
+        cores = {(t, u): G[t].T @ rspace.project_relations(
+            R[(t, u)], E[(t, u)], G[u]) for t, u in pairs}
+        expected = batched_pinv_sandwich(pairs, cores, pinvs)
+        for pair in pairs:
+            np.testing.assert_allclose(blocks[pair], expected[pair],
+                                       rtol=RTOL, atol=ATOL)
+
+    def test_sparse_relations_and_missing_operands(self, engine):
+        from repro.core import rspace
+        from repro.linalg.batched import batched_pinv_sandwich
+
+        rng = np.random.default_rng(4)
+        G = _random_factors(rng, [15, 12], [3, 2])
+        R_dense = rng.random((15, 12))
+        R_dense[R_dense < 0.7] = 0.0
+        pairs = [(0, 1), (1, 0)]
+        R = {(0, 1): sp.csr_array(R_dense)}
+        items = [(G[0], R.get((0, 1)), None, G[1]),
+                 (G[1], R.get((1, 0)), None, G[0])]
+        pinvs = [gram_pinv(block.T @ block) for block in G]
+
+        blocks = engine.association_blocks(pairs, items, pinvs)
+
+        cores = {(0, 1): G[0].T @ rspace.project_relations(
+                     R[(0, 1)], None, G[1]),
+                 (1, 0): G[1].T @ rspace.project_relations(
+                     None, None, G[0])}
+        expected = batched_pinv_sandwich(pairs, cores, pinvs)
+        for pair in pairs:
+            np.testing.assert_allclose(blocks[pair], expected[pair],
+                                       rtol=RTOL, atol=ATOL)
+
+
+class TestMembershipBlocks:
+    def test_matches_numpy_task(self, engine):
+        from repro.core.updates import _membership_type_task
+
+        rng = np.random.default_rng(5)
+        G = _random_factors(rng, [25, 18], [4, 3])
+        R_01 = rng.random((25, 18))
+        E_01 = 0.05 * rng.standard_normal((25, 18))
+        S_01 = rng.standard_normal((4, 3))
+        S_10 = rng.standard_normal((3, 4))
+        gram_1 = G[1].T @ G[1]
+        W = rng.random((25, 25))
+        W = (W + W.T) / 2.0
+        np.fill_diagonal(W, 0.0)
+        L = np.diag(W.sum(axis=1)) - W
+        L_parts = split_parts(L)
+
+        a_terms = [(R_01, E_01, G[1], S_01)]
+        b_terms = [(S_10, gram_1)]
+        expected = _membership_type_task(
+            (G[0], L_parts, a_terms, b_terms, 0.7))
+        [result] = engine.membership_blocks(
+            [(0, G[0], L_parts, a_terms, b_terms)], lam=0.7)
+        np.testing.assert_allclose(result, expected, rtol=RTOL, atol=ATOL)
+
+    def test_uses_registered_sparse_laplacian(self, engine):
+        from repro.core.updates import _membership_type_task
+
+        rng = np.random.default_rng(6)
+        G = _random_factors(rng, [20], [3])
+        W = rng.random((20, 20))
+        W[W < 0.8] = 0.0
+        W = (W + W.T) / 2.0
+        np.fill_diagonal(W, 0.0)
+        L = sp.csr_array(np.diag(np.asarray(W.sum(axis=1))) - W)
+        L_parts = split_parts(L)
+        engine.register_laplacians([L], [L_parts])
+
+        expected = _membership_type_task((G[0], L_parts, [], [], 1.3))
+        [result] = engine.membership_blocks([(0, G[0], L_parts, [], [])],
+                                            lam=1.3)
+        np.testing.assert_allclose(result, expected, rtol=RTOL, atol=ATOL)
+
+
+class TestErrorResiduals:
+    def test_matches_numpy_residuals(self, engine):
+        rng = np.random.default_rng(7)
+        G = _random_factors(rng, [22, 14], [3, 2])
+        R_01 = rng.random((22, 14))
+        S_01 = rng.standard_normal((3, 2))
+        terms = [(1, R_01, S_01, G[1])]
+
+        residuals, sq = engine.error_residuals((G[0], terms))
+
+        expected = R_01 - (G[0] @ S_01) @ G[1].T
+        np.testing.assert_allclose(residuals[1], expected,
+                                   rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(
+            sq, np.einsum("ij,ij->i", expected, expected),
+            rtol=RTOL, atol=ATOL)
+
+    def test_missing_relation_gives_negative_reconstruction(self, engine):
+        rng = np.random.default_rng(8)
+        G = _random_factors(rng, [10, 8], [2, 2])
+        S_01 = rng.standard_normal((2, 2))
+        residuals, _ = engine.error_residuals((G[0], [(1, None, S_01, G[1])]))
+        np.testing.assert_allclose(residuals[1], -(G[0] @ S_01) @ G[1].T,
+                                   rtol=RTOL, atol=ATOL)
+
+
+class TestObjectiveKernels:
+    def test_pair_reconstruction_error(self, engine):
+        from repro.core import rspace
+
+        rng = np.random.default_rng(9)
+        G = _random_factors(rng, [16, 12], [3, 2])
+        R_01 = rng.random((16, 12))
+        E_01 = 0.1 * rng.standard_normal((16, 12))
+        S_01 = rng.standard_normal((3, 2))
+        expected = rspace.pair_reconstruction_error(R_01, G[0], S_01, G[1],
+                                                    E_01)
+        result = engine.pair_reconstruction_error(R_01, G[0], S_01, G[1],
+                                                  E_01)
+        assert result == pytest.approx(expected, rel=RTOL)
+
+    def test_smoothness_matches_trace_quadratic(self, engine):
+        from repro.linalg.norms import trace_quadratic
+
+        rng = np.random.default_rng(10)
+        G = _random_factors(rng, [18], [3])
+        W = rng.random((18, 18))
+        W = (W + W.T) / 2.0
+        np.fill_diagonal(W, 0.0)
+        L = np.diag(W.sum(axis=1)) - W
+        assert engine.smoothness(0, G[0], L) == pytest.approx(
+            trace_quadratic(G[0], L), rel=RTOL)
+
+    def test_smoothness_with_registered_sparse_operator(self, engine):
+        from repro.linalg.norms import trace_quadratic
+
+        rng = np.random.default_rng(11)
+        G = _random_factors(rng, [15], [2])
+        W = rng.random((15, 15))
+        W[W < 0.7] = 0.0
+        W = (W + W.T) / 2.0
+        np.fill_diagonal(W, 0.0)
+        L = sp.csr_array(np.diag(np.asarray(W.sum(axis=1))) - W)
+        engine.register_laplacians([L], [split_parts(L)])
+        assert engine.smoothness(0, G[0], None) == pytest.approx(
+            trace_quadratic(G[0], L), rel=RTOL)
+
+
+class TestConstantCache:
+    def test_loop_invariant_operands_move_once(self, engine):
+        R = np.random.default_rng(12).random((10, 8))
+        first = engine._constant(R)
+        second = engine._constant(R)
+        assert first is second
+
+    def test_rejects_row_sparse_error_blocks(self, engine):
+        from repro.linalg.rowsparse import RowSparseMatrix
+
+        rng = np.random.default_rng(13)
+        G_u = rng.random((8, 2))
+        E = RowSparseMatrix(np.array([1]), rng.random((1, 8)), (10, 8))
+        with pytest.raises(TypeError):
+            engine._project(None, E, engine._tensor(G_u), 10)

@@ -68,6 +68,20 @@ class TestRoundTrip:
         loaded = load_model(tmp_path / "model")
         assert loaded.type_names == blob_artifact.type_names
 
+    def test_runtime_knobs_absent_from_sidecar(self, saved):
+        # n_jobs / diagnostics / executor / torch_device describe how one
+        # machine ran the fit, not what the model is — they must not be
+        # persisted, so the artifact loads identically anywhere (including
+        # torch-free hosts).
+        _, path = saved
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        for knob in ("n_jobs", "diagnostics", "executor", "torch_device"):
+            assert knob not in sidecar["config"]
+        loaded = RHCHMEModel.load(path)
+        assert loaded.config.n_jobs == 1
+        assert loaded.config.executor == "thread"
+        assert loaded.config.torch_device == "auto"
+
 
 class TestSchemaRefusal:
     def _rewrite_sidecar(self, path, **overrides):

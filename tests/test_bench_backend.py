@@ -1,4 +1,4 @@
-"""Smoke test for the dense-vs-sparse backend benchmark runner."""
+"""Smoke test for the three-engine backend benchmark runner."""
 
 from __future__ import annotations
 
@@ -21,12 +21,42 @@ def test_runner_produces_report(tmp_path):
     report = json.loads(output.read_text())
     assert report["sizes"] == [60, 120]
     assert {entry["n_total"] for entry in report["results"]} == {60, 120}
+    # The engine list depends on the environment: numpy engines always run,
+    # torch rides along when installed.
+    assert report["engines"][:2] == ["dense", "sparse"]
+    assert set(report["engines"]) <= {"dense", "sparse", "torch"}
     for entry in report["results"]:
         assert entry["dense"]["representation"] == "ndarray"
+        assert entry["dense"]["engine"] == "dense"
+        assert entry["dense"]["device"] == "cpu"
         assert entry["sparse"]["representation"] == "csr"
+        assert entry["sparse"]["engine"] == "sparse"
         assert entry["sparse"]["laplacian_density"] < 0.5
         assert entry["speedup_pipeline"] > 0
+        # Blocked hot-loop sweep: one timing per available engine, each
+        # tagged with the engine name and concrete device.
+        assert [e["engine"] for e in entry["engines"]] == report["engines"]
+        for engine_entry in entry["engines"]:
+            assert engine_entry["device"]
+            assert engine_entry["update_total_seconds"] > 0
+        # Batched-vs-loop S update: the two-type dataset has two pairs with
+        # one shared core shape, so the batched GEMM path is exercised.
+        s_update = entry["s_update"]
+        assert s_update["n_pairs"] == 2
+        assert s_update["n_shape_groups"] == 1
+        assert s_update["max_group_size"] == 2
+        assert s_update["loop_seconds"] > 0
+        assert s_update["batched_seconds"] > 0
     summary = report["summary"]
     assert summary["largest_n"] == 120
     assert "meets_3x_target" in summary
     assert summary["sparse_peak_memory_growth_exponent_vs_n"] is not None
+    assert summary["fastest_engine_at_largest"] in report["engines"]
+    assert set(summary["engine_update_seconds_at_largest"]) == set(
+        report["engines"])
+    torch_summary = summary["torch"]
+    assert isinstance(torch_summary["available"], bool)
+    if not torch_summary["available"]:
+        assert torch_summary["crossover_n"] is None
+        assert torch_summary["cpu_ratio_vs_best_numpy_at_largest"] is None
+    assert "no_slower_than_loop" in summary["batched_s_update"]
